@@ -1,0 +1,88 @@
+"""Ablation benches for the design choices in the gradient approximation.
+
+Not a paper table, but the design decisions DESIGN.md calls out:
+
+1. smoothing on/off -- ``difference`` vs ``raw-difference`` (Eq. 4 matters:
+   the unsmoothed stair gradient is zero almost everywhere);
+2. HWS sensitivity -- retraining quality across half-window sizes;
+3. boundary rule -- Eq. 6 vs zero-filling outside the valid range.
+
+All runs share one pretrained LeNet and one AppMult so differences isolate
+the gradient method.
+"""
+
+import numpy as np
+from conftest import save_result
+
+from repro.core.gradient import GradientPair, difference_gradient_lut, gradient_luts
+from repro.data import DataLoader, SyntheticImageDataset
+from repro.models import LeNet
+from repro.multipliers.registry import get_multiplier
+from repro.retrain.convert import approximate_model, calibrate, freeze
+from repro.retrain.trainer import TrainConfig, Trainer, evaluate
+
+MULT_NAME = "mul7u_rm6"
+EPOCHS = 2
+
+
+def _zero_boundary_gradients(mult, hws):
+    """Difference gradient with the Eq. 6 fallback replaced by zeros."""
+    lut = mult.lut()
+    n = lut.shape[0]
+
+    def one(wrt):
+        g = difference_gradient_lut(lut, hws, wrt)
+        mask = np.zeros(n, dtype=bool)
+        mask[hws + 1 : n - 1 - hws] = True
+        if wrt == "x":
+            g[:, ~mask] = 0.0
+        else:
+            g[~mask, :] = 0.0
+        return g.astype(np.float32)
+
+    return GradientPair(one("w"), one("x"), f"difference-no-eq6(hws={hws})")
+
+
+def test_gradient_ablation(benchmark):
+    train = SyntheticImageDataset(320, 10, 12, seed=2, split="train")
+    test = SyntheticImageDataset(128, 10, 12, seed=2, split="test")
+    mult = get_multiplier(MULT_NAME)
+
+    base = LeNet(num_classes=10, image_size=12, seed=2)
+    Trainer(base, TrainConfig(epochs=6, batch_size=32, seed=2)).fit(train)
+
+    variants = {
+        "ste": gradient_luts(mult, "ste"),
+        "raw-difference": gradient_luts(mult, "raw-difference"),
+        "difference hws=1": gradient_luts(mult, "difference", hws=1),
+        "difference hws=2": gradient_luts(mult, "difference", hws=2),
+        "difference hws=8": gradient_luts(mult, "difference", hws=8),
+        "difference hws=32": gradient_luts(mult, "difference", hws=32),
+        "difference hws=2, no Eq.6": _zero_boundary_gradients(mult, 2),
+    }
+
+    def run_all():
+        out = {}
+        for label, pair in variants.items():
+            model = approximate_model(base, mult, gradients=pair)
+            calibrate(model, DataLoader(train, batch_size=32), batches=3)
+            freeze(model)
+            history = Trainer(
+                model, TrainConfig(epochs=EPOCHS, batch_size=32, seed=2)
+            ).fit(train)
+            top1, _ = evaluate(model, test)
+            out[label] = (history.train_loss[-1], top1)
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    lines = [
+        f"Gradient ablation on {MULT_NAME} (LeNet, {EPOCHS} retrain epochs)",
+        f"{'variant':<28} {'final loss':>11} {'test top1/%':>12}",
+    ]
+    for label, (loss, top1) in results.items():
+        lines.append(f"{label:<28} {loss:11.4f} {100 * top1:12.2f}")
+    save_result("ablation_gradient", "\n".join(lines))
+
+    # The raw (unsmoothed) difference gradient should not beat the smoothed
+    # one -- zero gradients on stair treads stall learning (Section III-A).
+    assert results["difference hws=2"][0] <= results["raw-difference"][0] + 0.05

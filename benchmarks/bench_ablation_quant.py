@@ -1,0 +1,64 @@
+"""Ablation: per-tensor vs per-channel weight quantization.
+
+Not a paper artifact -- the paper uses per-tensor uniform quantization
+(Eq. 7).  This bench quantifies what the per-channel extension buys on the
+same AppMult retraining task, and verifies the smoothing-kernel variants
+(uniform = Eq. 4 vs triangular/gaussian) behave comparably.
+"""
+
+from conftest import save_result
+
+from repro.core.gradient import gradient_luts
+from repro.data import DataLoader, SyntheticImageDataset
+from repro.models import LeNet
+from repro.multipliers.registry import get_multiplier
+from repro.retrain.convert import approximate_model, calibrate, freeze
+from repro.retrain.trainer import TrainConfig, Trainer, evaluate
+
+MULT_NAME = "mul7u_rm6"
+
+
+def test_quantization_and_kernel_ablation(benchmark):
+    train = SyntheticImageDataset(320, 10, 12, seed=6, split="train")
+    test = SyntheticImageDataset(128, 10, 12, seed=6, split="test")
+    mult = get_multiplier(MULT_NAME)
+    base = LeNet(num_classes=10, image_size=12, seed=6)
+    Trainer(base, TrainConfig(epochs=6, batch_size=32, seed=6)).fit(train)
+
+    def run(per_channel: bool, kernel: str):
+        pair = gradient_luts(mult, "difference", hws=2, kernel=kernel)
+        model = approximate_model(
+            base, mult, gradients=pair, per_channel_weights=per_channel
+        )
+        calibrate(model, DataLoader(train, batch_size=32), batches=3)
+        freeze(model)
+        init, _ = evaluate(model, test)
+        Trainer(model, TrainConfig(epochs=2, batch_size=32, seed=6)).fit(train)
+        top1, _ = evaluate(model, test)
+        return init, top1
+
+    def run_all():
+        return {
+            "per-tensor / uniform": run(False, "uniform"),
+            "per-channel / uniform": run(True, "uniform"),
+            "per-tensor / triangular": run(False, "triangular"),
+            "per-tensor / gaussian": run(False, "gaussian"),
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    lines = [
+        f"Quantization & smoothing-kernel ablation on {MULT_NAME} (LeNet)",
+        f"{'variant':<26} {'initial/%':>10} {'retrained/%':>12}",
+    ]
+    for label, (init, top1) in results.items():
+        lines.append(f"{label:<26} {100 * init:10.2f} {100 * top1:12.2f}")
+    save_result("ablation_quantization", "\n".join(lines))
+
+    # Per-channel quantization should not hurt the starting point.
+    assert (
+        results["per-channel / uniform"][0]
+        >= results["per-tensor / uniform"][0] - 0.05
+    )
+    # All kernel variants must land in the same band after retraining.
+    finals = [v[1] for v in results.values()]
+    assert max(finals) - min(finals) < 0.35

@@ -1,0 +1,64 @@
+"""Regenerates Fig. 3: the smoothed AppMult function and its gradients.
+
+Fig. 3a plots ``AM(W_f=10, X)`` for the 7-bit truncated multiplier of
+Fig. 2 (mul7u_rm6), the smoothed function with HWS=4, and the accurate
+product.  Fig. 3b plots the difference-based gradient against the constant
+STE gradient (= 10).  This bench prints the three series and checks the
+figure's described features: stair jumps at X = 31, 63, 95 and gradient
+peaks near them.
+"""
+
+import numpy as np
+from conftest import save_result
+
+from repro.core.gradient import difference_gradient_lut, ste_gradient_lut
+from repro.core.smoothing import smooth_function
+from repro.multipliers.registry import get_multiplier
+
+W_F = 10
+HWS = 4
+
+
+def _series():
+    mult = get_multiplier("mul7u_rm6")
+    lut = mult.lut()
+    am = lut[W_F].astype(float)
+    acc = W_F * np.arange(128, dtype=float)
+    smoothed = smooth_function(am, HWS)
+    grad = difference_gradient_lut(lut, HWS, "x")[W_F]
+    ste = ste_gradient_lut(7, "x")[W_F]
+    return am, acc, smoothed, grad, ste
+
+
+def test_fig3_smoothing_and_gradient(benchmark):
+    am, acc, smoothed, grad, ste = benchmark.pedantic(
+        _series, rounds=1, iterations=1
+    )
+
+    lines = [
+        "Fig 3: AM(Wf=10, X) for mul7u_rm6, HWS=4",
+        f"{'X':>4} {'AM':>6} {'AccMult':>8} {'Smoothed':>9} "
+        f"{'diff-grad':>10} {'STE-grad':>9}",
+    ]
+    for x in range(0, 128, 4):
+        s = f"{smoothed[x]:9.2f}" if not np.isnan(smoothed[x]) else f"{'--':>9}"
+        lines.append(
+            f"{x:>4} {am[x]:6.0f} {acc[x]:8.0f} {s} {grad[x]:10.3f} "
+            f"{ste[x]:9.1f}"
+        )
+    save_result("fig3_smoothing", "\n".join(lines))
+
+    # Fig. 3a: stair-like AM with three large jumps at X = 31, 63, 95.
+    jumps = np.abs(np.diff(am))
+    top3 = set(np.argsort(jumps)[-3:])
+    assert top3 == {31, 63, 95}
+    # Fig. 3a: smoothing removes zero-gradient plateaus in the valid range.
+    valid = slice(HWS, 128 - HWS - 1)
+    assert (np.diff(smoothed[valid]) > 0).all()
+    # Fig. 3b: STE is constant at W_f; the difference gradient is not.
+    assert np.all(ste == W_F)
+    assert grad.std() > 1.0
+    # Gradient peaks sit within HWS of the stair edges.
+    inner = np.arange(HWS + 1, 128 - 1 - HWS)
+    argmax = inner[np.argmax(grad[inner])]
+    assert min(abs(argmax - e) for e in (31, 63, 95)) <= HWS

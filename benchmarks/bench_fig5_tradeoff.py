@@ -1,0 +1,40 @@
+"""Regenerates Fig. 5: ResNet18 accuracy vs normalized power.
+
+Plots (as an aligned text series) retrained accuracy against each
+multiplier's power normalized to mul8u_acc, split by bitwidth like the
+paper's Fig. 5a (7-bit) / Fig. 5b (8-bit), with the AccMult reference
+accuracy noted.  Shape check: at every power point, ours >= STE - noise.
+"""
+
+from conftest import SCALE_NAME, save_result
+
+from repro.retrain.results import format_tradeoff
+
+WIN_TOLERANCE = 0.05 if SCALE_NAME == "tiny" else 0.02
+WIN_FRACTION = 0.5 if SCALE_NAME == "tiny" else 0.7
+
+
+def test_fig5_accuracy_power_tradeoff(benchmark, resnet18_rows):
+    rows, refs = benchmark.pedantic(
+        lambda: resnet18_rows, rounds=1, iterations=1
+    )
+    for bits, fig in ((7, "fig5a_7bit"), (8, "fig5b_8bit")):
+        sub = [r for r in rows if r.bits == bits]
+        if not sub:
+            continue
+        text = format_tradeoff(sub, {bits: refs[bits]})
+        save_result(fig, text)
+
+    # Paper shape: ours dominates STE at matched power points (Fig. 5
+    # shows STE fluctuating far below, ours staying near the reference).
+    # At tiny scale the single-seed noise floor widens the tolerance --
+    # see EXPERIMENTS.md.
+    wins = sum(
+        1
+        for r in rows
+        if r.outcomes["difference"].final_top1
+        >= r.outcomes["ste"].final_top1 - WIN_TOLERANCE
+    )
+    assert wins >= int(WIN_FRACTION * len(rows))
+    # All tested AppMults sit left of the AccMult power point.
+    assert all(r.norm_power < 1.0 for r in rows)

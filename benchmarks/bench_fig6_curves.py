@@ -1,0 +1,59 @@
+"""Regenerates Fig. 6: top-5 accuracy vs epoch on CIFAR-100-like data.
+
+ResNet34 (Fig. 6a) and ResNet50 (Fig. 6b) retrained with the 6-bit
+mul6u_rm4, STE vs difference-based gradients, tracking per-epoch top-5 test
+accuracy.  Shape checks: ours ends at or above STE, and both curves rise.
+"""
+
+from conftest import SCALE_NAME, experiment_scale, save_result
+
+from repro.retrain.experiment import retrain_comparison
+
+
+def _curves(arch):
+    base = experiment_scale(n_classes=100, arch=arch)
+    # 100-class heads need many more samples per class than the 10-class
+    # runs; this is the dominant cost of the tiny suite.
+    scale = base if SCALE_NAME != "tiny" else base.__class__(
+        image_size=16, n_train=1200, n_test=300, n_classes=100,
+        width_mult=0.125, pretrain_epochs=8, qat_epochs=1,
+        retrain_epochs=2, batch_size=32,
+    )
+    rows, refs = retrain_comparison(
+        arch,
+        ["mul6u_rm4"],
+        scale,
+        methods=("ste", "difference"),
+        track_epochs=True,
+    )
+    return rows[0], refs
+
+
+def test_fig6_resnet34_and_resnet50(benchmark):
+    results = benchmark.pedantic(
+        lambda: {arch: _curves(arch) for arch in ("resnet34", "resnet50")},
+        rounds=1,
+        iterations=1,
+    )
+    for fig, arch in (("fig6a_resnet34", "resnet34"), ("fig6b_resnet50", "resnet50")):
+        row, refs = results[arch]
+        ste = row.outcomes["ste"]
+        ours = row.outcomes["difference"]
+        lines = [
+            f"Fig 6 ({arch}): top-5 accuracy vs epoch, mul6u_rm4",
+            f"{'epoch':>6} {'STE top5/%':>11} {'Ours top5/%':>12}",
+        ]
+        for e, (a, b) in enumerate(zip(ste.epoch_top5, ours.epoch_top5), 1):
+            lines.append(f"{e:>6} {100 * a:11.2f} {100 * b:12.2f}")
+        lines.append(
+            f"final: STE {100 * ste.final_top5:.2f}% "
+            f"vs ours {100 * ours.final_top5:.2f}% "
+            f"(paper: 87.90 vs 89.53 for ResNet34, 89.06 vs 91.47 for ResNet50)"
+        )
+        save_result(fig, "\n".join(lines))
+
+        # Shape: ours finishes at or above STE (within the tiny-scale
+        # noise band); curves improve over epoch 1.
+        tol = 0.05 if SCALE_NAME == "tiny" else 0.02
+        assert ours.final_top5 >= ste.final_top5 - tol, arch
+        assert ours.epoch_top5[-1] >= ours.epoch_top5[0] - tol, arch

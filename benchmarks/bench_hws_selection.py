@@ -1,0 +1,48 @@
+"""Regenerates the HWS-selection column of Table I (Section V-A).
+
+The paper sweeps HWS in {1, 2, 4, 8, 16, 32, 64} per AppMult, training a
+LeNet for 5 epochs per candidate and picking the lowest training loss.
+This bench runs the procedure for a representative multiplier per width
+and prints the per-candidate losses.
+"""
+
+from conftest import SCALE_NAME, save_result
+
+from repro.core.hws import select_hws
+from repro.multipliers.registry import get_multiplier
+
+TARGETS = ["mul6u_rm4"] if SCALE_NAME == "tiny" else [
+    "mul6u_rm4", "mul7u_rm6", "mul8u_rm8",
+]
+
+
+def test_hws_selection_sweep(benchmark):
+    def sweep():
+        out = {}
+        for name in TARGETS:
+            mult = get_multiplier(name)
+            out[name] = select_hws(
+                mult,
+                candidates=(1, 2, 4, 8, 16),
+                epochs=2 if SCALE_NAME == "tiny" else 5,
+                train_size=192 if SCALE_NAME == "tiny" else 512,
+                batch_size=32,
+                image_size=12,
+                seed=0,
+            )
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["HWS selection (Section V-A procedure)"]
+    for name, res in results.items():
+        losses = ", ".join(
+            f"hws={h}: {res.losses[h]:.4f}" for h in res.candidates
+        )
+        lines.append(f"{name}: best HWS = {res.best_hws}  ({losses})")
+    save_result("hws_selection", "\n".join(lines))
+
+    for name, res in results.items():
+        assert res.best_hws in res.candidates
+        # Small-stair multipliers prefer small windows (Table I: rm4 -> 2).
+        if name == "mul6u_rm4":
+            assert res.best_hws <= 8

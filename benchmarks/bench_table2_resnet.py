@@ -1,0 +1,60 @@
+"""Regenerates Table II (bottom): ResNet18 on CIFAR-10-like data.
+
+Shares its rows with the Fig. 5 bench through a session fixture so the
+expensive retraining sweep runs once.
+
+Assertion policy (see EXPERIMENTS.md "noise floor"): at the default tiny
+scale a single-seed retraining run carries ~±4pp test-accuracy noise --
+the same order as the paper's mean effect (+2.93pp) -- so accuracy
+comparisons are asserted within that band, while the *mechanism* the paper
+argues from (the difference gradient tracks the AppMult's true local slope
+better than STE for every tested multiplier) is asserted deterministically.
+At REPRO_BENCH_SCALE=small/full the accuracy assertions tighten.
+"""
+
+from conftest import SCALE_NAME, save_result
+
+from repro.core.gradient import gradient_luts
+from repro.analysis.fidelity import gradient_fidelity
+from repro.multipliers.registry import get_multiplier, multiplier_info
+from repro.retrain.results import format_table2
+
+NOISE = 0.05 if SCALE_NAME == "tiny" else 0.01
+
+
+def test_table2_resnet18(benchmark, resnet18_rows):
+    rows, refs = benchmark.pedantic(
+        lambda: resnet18_rows, rounds=1, iterations=1
+    )
+    save_result(
+        "table2_resnet18",
+        format_table2(rows, refs, title="Table II (bottom): ResNet18"),
+    )
+
+    n = len(rows)
+    mean_init = sum(r.initial_top1 for r in rows) / n
+    mean_ste = sum(r.outcomes["ste"].final_top1 for r in rows) / n
+    mean_ours = sum(r.outcomes["difference"].final_top1 for r in rows) / n
+
+    # Paper shape: 28.8% -> 89.5% (STE) / 92.4% (ours) at paper scale.
+    assert mean_ste > mean_init
+    assert mean_ours > mean_init
+    assert mean_ours >= mean_ste - NOISE
+    # ResNet recovers closer to its reference than the initial collapse.
+    for row in rows:
+        best = max(o.final_top1 for o in row.outcomes.values())
+        assert best >= row.initial_top1
+    # Deterministic mechanism check (noise-free): for every tested AppMult
+    # the difference gradient predicts the AppMult's local slope better
+    # than the STE gradient (Section III's premise).  The secant horizon
+    # matches the multiplier's HWS -- the window Eq. 4 smooths over, hence
+    # the effective step size the gradient tables are built to describe.
+    for row in rows:
+        mult = get_multiplier(row.multiplier)
+        hws = multiplier_info(row.multiplier).default_hws or 4
+        h = min(hws, (1 << row.bits) // 2 - 1)
+        diff = gradient_fidelity(mult, gradient_luts(mult, "difference"), horizon=h)
+        ste = gradient_fidelity(mult, gradient_luts(mult, "ste"), horizon=h)
+        # 1.1x slack: multipliers whose stair period is ~2*HWS can tie
+        # (STE's constant equals the half-period secant; e.g. mul7u_081).
+        assert diff.mae <= ste.mae * 1.1, row.multiplier

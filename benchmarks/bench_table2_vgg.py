@@ -1,0 +1,48 @@
+"""Regenerates Table II (top): VGG19 on CIFAR-10-like data.
+
+For each AppMult: initial accuracy after swapping the multiplier in,
+final accuracy after STE retraining, final accuracy after difference-based
+retraining, the improvement, and the multiplier's normalized power/delay.
+
+Paper-shape expectations checked: the difference-based gradient matches or
+beats STE on average, and retraining recovers most of the collapsed
+initial accuracy.
+"""
+
+from conftest import SCALE_NAME, experiment_scale, save_result, table2_multipliers
+
+from repro.retrain.experiment import retrain_comparison
+from repro.retrain.results import format_table2
+
+NOISE = 0.05 if SCALE_NAME == "tiny" else 0.01
+
+
+def test_table2_vgg19(benchmark):
+    scale = experiment_scale()
+    mults = table2_multipliers()
+
+    rows, refs = benchmark.pedantic(
+        lambda: retrain_comparison(
+            "vgg19", mults, scale, methods=("ste", "difference")
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(
+        "table2_vgg19",
+        format_table2(rows, refs, title="Table II (top): VGG19"),
+    )
+
+    n = len(rows)
+    mean_init = sum(r.initial_top1 for r in rows) / n
+    mean_ste = sum(r.outcomes["ste"].final_top1 for r in rows) / n
+    mean_ours = sum(r.outcomes["difference"].final_top1 for r in rows) / n
+
+    # Retraining recovers accuracy (paper: 23% -> 86% on average).
+    assert mean_ste > mean_init
+    assert mean_ours > mean_init
+    # Ours >= STE on average (paper: +4.10pp for VGG19); tiny scale uses
+    # the single-seed noise band documented in EXPERIMENTS.md.
+    assert mean_ours >= mean_ste - NOISE
+    # Every approximate multiplier is cheaper than the 8-bit AccMult.
+    assert all(r.norm_power < 1.0 for r in rows)

@@ -1,0 +1,91 @@
+"""Shared configuration for the benchmark harness.
+
+Every table/figure of the paper has a bench module here.  Because the
+substrate is a single-CPU numpy simulator rather than the authors' RTX 3090
+testbed, absolute numbers differ; the benches reproduce the *shape* of each
+result (who wins, by roughly what factor, where crossovers fall).
+
+Scale is controlled by the ``REPRO_BENCH_SCALE`` environment variable:
+
+- ``tiny`` (default): representative multiplier subset, minutes total.
+- ``small``: all Table II multipliers, smaller models.
+- ``full``: all multipliers, larger models/datasets (hours on one CPU).
+
+Rendered tables are printed and written to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.retrain.experiment import ExperimentScale, retrain_comparison
+
+SCALE_NAME = os.environ.get("REPRO_BENCH_SCALE", "tiny")
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Table II multiplier blocks (paper row order).
+ALL_8BIT = [
+    "mul8u_syn1", "mul8u_syn2", "mul8u_2NDH", "mul8u_17C8",
+    "mul8u_1DMU", "mul8u_17R6", "mul8u_rm8",
+]
+ALL_7BIT = [
+    "mul7u_06Q", "mul7u_073", "mul7u_rm6", "mul7u_syn1",
+    "mul7u_syn2", "mul7u_081", "mul7u_08E",
+]
+
+TINY_8BIT = ["mul8u_syn1", "mul8u_1DMU", "mul8u_rm8"]
+TINY_7BIT = ["mul7u_06Q", "mul7u_rm6", "mul7u_syn2"]
+
+
+def table2_multipliers() -> list[str]:
+    if SCALE_NAME == "tiny":
+        return TINY_8BIT + TINY_7BIT
+    return ALL_8BIT + ALL_7BIT
+
+
+def experiment_scale(n_classes: int = 10, arch: str = "vgg19") -> ExperimentScale:
+    """Scale for one architecture (narrow ResNets train poorly, so they get
+    a bit more width than VGG at each scale tier)."""
+    resnet = arch.startswith("resnet")
+    if SCALE_NAME == "full":
+        return ExperimentScale(
+            image_size=32, n_train=4096, n_test=1024, n_classes=n_classes,
+            width_mult=0.25, pretrain_epochs=15, qat_epochs=4,
+            retrain_epochs=10, batch_size=64,
+        )
+    if SCALE_NAME == "small":
+        return ExperimentScale(
+            image_size=16, n_train=1024, n_test=320, n_classes=n_classes,
+            width_mult=0.125, pretrain_epochs=12, qat_epochs=2,
+            retrain_epochs=5, batch_size=32,
+        )
+    return ExperimentScale(
+        image_size=16, n_train=512, n_test=192, n_classes=n_classes,
+        width_mult=0.125 if resnet else 0.0625,
+        pretrain_epochs=12 if resnet else 10, qat_epochs=2,
+        retrain_epochs=3, batch_size=32,
+    )
+
+
+def save_result(name: str, text: str) -> None:
+    """Print a rendered table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n===== {name} ({SCALE_NAME} scale) =====")
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def resnet18_rows():
+    """ResNet18 Table II rows, shared by the Table II and Fig. 5 benches."""
+    rows, refs = retrain_comparison(
+        "resnet18",
+        table2_multipliers(),
+        experiment_scale(arch="resnet18"),
+        methods=("ste", "difference"),
+    )
+    return rows, refs

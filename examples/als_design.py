@@ -1,0 +1,81 @@
+"""Design an AppMult with approximate logic synthesis, then retrain with it.
+
+Reproduces the origin story of the paper's ``_syn`` multipliers: start from
+an exact gate-level Wallace multiplier, run the SASIMI-style approximate
+synthesis pass under an NMED budget (stand-in for ALSRAC [28]), inspect the
+area/power savings and error metrics of the result, and verify that a DNN
+retrained with the difference-based gradient tolerates the synthesized
+multiplier.
+
+Run:  python examples/als_design.py
+"""
+
+from repro.circuits import (
+    ApproxSynthesisConfig,
+    approximate_synthesis,
+    estimate_cost,
+    wallace_multiplier,
+)
+from repro.data import DataLoader, SyntheticImageDataset
+from repro.models import LeNet
+from repro.multipliers import error_metrics
+from repro.multipliers.base import NetlistMultiplier
+from repro.retrain import (
+    TrainConfig,
+    Trainer,
+    approximate_model,
+    calibrate,
+    evaluate,
+    freeze,
+)
+
+BITS = 7
+NMED_BUDGET = 0.0035  # 0.35%
+
+
+def main() -> None:
+    exact = wallace_multiplier(BITS)
+    exact_cost = estimate_cost(exact)
+    print(f"exact {BITS}-bit multiplier: {exact.stats()}")
+    print(
+        f"  cost: {exact_cost.area_um2:.1f} um^2, "
+        f"{exact_cost.power_uw:.2f} uW"
+    )
+
+    print(f"\nrunning approximate synthesis (NMED budget {NMED_BUDGET:.2%})...")
+    result = approximate_synthesis(
+        exact,
+        ApproxSynthesisConfig(
+            nmed_budget=NMED_BUDGET, maxed_budget=600, max_moves=60, seed=5
+        ),
+    )
+    cost = estimate_cost(result.netlist)
+    print(f"  accepted {len(result.moves)} rewrites, "
+          f"area {result.area_before:.1f} -> {result.area_after:.1f} um^2 "
+          f"({100 * result.area_saving:.0f}% saved), "
+          f"power {exact_cost.power_uw:.2f} -> {cost.power_uw:.2f} uW")
+
+    mult = NetlistMultiplier("mul7u_custom_syn", BITS, result.netlist)
+    print(f"  error metrics: {error_metrics(mult)}")
+
+    print("\nretraining a LeNet with the synthesized multiplier...")
+    train = SyntheticImageDataset(384, 10, 12, seed=6, split="train")
+    test = SyntheticImageDataset(160, 10, 12, seed=6, split="test")
+    base = LeNet(num_classes=10, image_size=12, seed=6)
+    Trainer(base, TrainConfig(epochs=8, batch_size=32, base_lr=3e-3)).fit(train)
+    float_top1, _ = evaluate(base, test)
+
+    model = approximate_model(base, mult, gradient_method="difference", hws=8)
+    calibrate(model, DataLoader(train, batch_size=32), batches=3)
+    freeze(model)
+    init, _ = evaluate(model, test)
+    Trainer(model, TrainConfig(epochs=3, batch_size=32)).fit(train)
+    final, _ = evaluate(model, test)
+    print(
+        f"float {100 * float_top1:.2f}% -> initial {100 * init:.2f}% -> "
+        f"retrained {100 * final:.2f}%"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""Bring your own AppMult and your own gradient.
+
+The paper's framework "can accommodate other user-defined gradients of
+AppMults".  This example shows both extension points:
+
+1. define a custom behavioral AppMult (here: a broken-array multiplier that
+   perforates a diagonal band of partial products),
+2. characterize it (exhaustive Eq. 2 metrics + gate-level cost),
+3. retrain once with the paper's difference-based gradient and once with a
+   hand-rolled *user-defined* gradient table,
+4. compare.
+
+Run:  python examples/custom_multiplier.py
+"""
+
+import numpy as np
+
+from repro.circuits.cost import estimate_cost
+from repro.core.gradient import GradientPair, gradient_luts
+from repro.data import DataLoader, SyntheticImageDataset
+from repro.models import LeNet
+from repro.multipliers import error_metrics
+from repro.multipliers.evoapprox import PartialProductMultiplier
+from repro.retrain import (
+    TrainConfig,
+    Trainer,
+    approximate_model,
+    calibrate,
+    evaluate,
+    freeze,
+)
+
+BITS = 7
+
+
+def build_custom_multiplier() -> PartialProductMultiplier:
+    """Perforate the anti-diagonal band i+j in {4, 5} of a 7-bit array."""
+    dropped = {
+        (i, j)
+        for i in range(BITS)
+        for j in range(BITS)
+        if i + j in (4, 5)
+    }
+    return PartialProductMultiplier("mul7u_band45", BITS, dropped, compensation=24)
+
+
+def scaled_ste_gradient(multiplier) -> GradientPair:
+    """A user-defined gradient: STE damped by each row/column's error rate.
+
+    Purely illustrative -- any ``(2**B, 2**B)`` float tables can be used.
+    """
+    n = 1 << multiplier.bits
+    err = multiplier.error_surface() != 0
+    damp_w = 1.0 - 0.5 * err.mean(axis=0)  # per-X column error rate
+    damp_x = 1.0 - 0.5 * err.mean(axis=1)  # per-W row error rate
+    w = np.arange(n, dtype=np.float32)
+    grad_x = np.broadcast_to(w[:, None] * damp_x[:, None], (n, n))
+    grad_w = np.broadcast_to(w[None, :] * damp_w[None, :], (n, n))
+    return GradientPair(
+        grad_w.astype(np.float32).copy(),
+        grad_x.astype(np.float32).copy(),
+        "user-defined damped STE",
+    )
+
+
+def main() -> None:
+    mult = build_custom_multiplier()
+    print(f"custom AppMult {mult.name}: {error_metrics(mult)}")
+    cost = estimate_cost(mult.build_netlist())
+    print(
+        f"gate-level cost: {cost.area_um2:.1f} um^2, "
+        f"{cost.delay_ps:.0f} ps, {cost.power_uw:.2f} uW "
+        f"({cost.n_gates} gates)"
+    )
+
+    train = SyntheticImageDataset(384, 10, 12, seed=4, split="train")
+    test = SyntheticImageDataset(160, 10, 12, seed=4, split="test")
+    base = LeNet(num_classes=10, image_size=12, seed=4)
+    Trainer(base, TrainConfig(epochs=8, batch_size=32, base_lr=3e-3)).fit(train)
+
+    gradients = {
+        "difference (hws=4)": gradient_luts(mult, "difference", hws=4),
+        "user-defined": scaled_ste_gradient(mult),
+    }
+    for label, pair in gradients.items():
+        model = approximate_model(base, mult, gradients=pair)
+        calibrate(model, DataLoader(train, batch_size=32), batches=3)
+        freeze(model)
+        init, _ = evaluate(model, test)
+        Trainer(model, TrainConfig(epochs=3, batch_size=32)).fit(train)
+        top1, _ = evaluate(model, test)
+        print(
+            f"{label:>20}: initial {100 * init:.2f}% -> "
+            f"retrained {100 * top1:.2f}%"
+        )
+
+
+if __name__ == "__main__":
+    main()

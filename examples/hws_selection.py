@@ -1,0 +1,42 @@
+"""HWS selection: reproduce the Section V-A tuning procedure.
+
+The half window size (HWS) of Eq. 4 controls how aggressively the AppMult
+function is smoothed before differencing.  The paper selects it per
+multiplier by training a small LeNet for a few epochs with each candidate
+and keeping the one with the lowest training loss (Table I, last column).
+
+Run:  python examples/hws_selection.py [multiplier_name]
+"""
+
+import sys
+
+from repro.core.hws import select_hws
+from repro.multipliers import get_multiplier, multiplier_info
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "mul6u_rm4"
+    info = multiplier_info(name)
+    mult = get_multiplier(name)
+
+    print(f"Sweeping HWS for {name} ({info.bits}-bit, {info.category})")
+    print(f"Table I selected HWS: {info.default_hws}")
+
+    result = select_hws(
+        mult,
+        candidates=(1, 2, 4, 8, 16, 32),
+        epochs=2,
+        train_size=256,
+        batch_size=32,
+        image_size=12,
+        seed=0,
+    )
+    print(f"\n{'HWS':>5} {'final train loss':>17}")
+    for hws in result.candidates:
+        marker = "  <- selected" if hws == result.best_hws else ""
+        print(f"{hws:>5} {result.losses[hws]:17.4f}{marker}")
+    print(f"\nselected HWS = {result.best_hws}")
+
+
+if __name__ == "__main__":
+    main()

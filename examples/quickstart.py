@@ -1,0 +1,71 @@
+"""Quickstart: retrain a small CNN with an approximate multiplier.
+
+Walks the full Fig. 1 flow of the paper on a tiny, CPU-friendly setup:
+
+1. pretrain a float LeNet on a synthetic CIFAR-10-like dataset,
+2. swap every convolution for a LUT-backed approximate layer using the
+   7-bit truncated multiplier of Fig. 2 (``mul7u_rm6``),
+3. calibrate and freeze the fake quantization (Eqs. 7-8),
+4. measure the collapsed "initial" accuracy,
+5. retrain with the paper's difference-based gradient (Eqs. 4-6) and with
+   the STE baseline, and compare.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.data import DataLoader, SyntheticImageDataset
+from repro.models import LeNet
+from repro.multipliers import error_metrics, get_multiplier
+from repro.retrain import (
+    TrainConfig,
+    Trainer,
+    approximate_model,
+    calibrate,
+    evaluate,
+    freeze,
+)
+
+MULTIPLIER = "mul7u_rm6"
+EPOCHS_FLOAT = 6
+EPOCHS_RETRAIN = 3
+
+
+def main() -> None:
+    train = SyntheticImageDataset(512, 10, 16, seed=0, split="train")
+    test = SyntheticImageDataset(256, 10, 16, seed=0, split="test")
+
+    print("== 1. Pretrain a float LeNet ==")
+    model = LeNet(num_classes=10, image_size=16, seed=0)
+    Trainer(model, TrainConfig(epochs=EPOCHS_FLOAT, batch_size=32, base_lr=3e-3)).fit(train)
+    float_top1, _ = evaluate(model, test)
+    print(f"float accuracy: {100 * float_top1:.2f}%")
+
+    mult = get_multiplier(MULTIPLIER)
+    print(f"\n== 2. AppMult: {MULTIPLIER} ({error_metrics(mult)}) ==")
+
+    results = {}
+    for method in ("ste", "difference"):
+        approx = approximate_model(model, mult, gradient_method=method)
+        calibrate(approx, DataLoader(train, batch_size=32), batches=4)
+        freeze(approx)
+        if method == "ste":
+            initial_top1, _ = evaluate(approx, test)
+            print(f"initial accuracy with {MULTIPLIER}: "
+                  f"{100 * initial_top1:.2f}%  (collapsed from float)")
+        print(f"\n== 3. Retrain with the {method!r} gradient ==")
+        Trainer(
+            approx, TrainConfig(epochs=EPOCHS_RETRAIN, batch_size=32)
+        ).fit(train)
+        top1, _ = evaluate(approx, test)
+        results[method] = top1
+        print(f"{method} retrained accuracy: {100 * top1:.2f}%")
+
+    gain = 100 * (results["difference"] - results["ste"])
+    print(
+        f"\ndifference-based vs STE: {gain:+.2f} percentage points "
+        f"(paper reports +4.10pp for VGG19 / +2.93pp for ResNet18 at scale)"
+    )
+
+
+if __name__ == "__main__":
+    main()

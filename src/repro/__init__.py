@@ -1,0 +1,36 @@
+"""AppMult-aware DNN retraining with difference-based gradient approximation.
+
+Reproduction of C. Meng, W. Burleson, W. Qian, and G. De Micheli,
+"Gradient Approximation of Approximate Multipliers for High-Accuracy Deep
+Neural Network Retraining", DATE 2025.
+
+The package is organized as a stack of substrates:
+
+- :mod:`repro.circuits` -- gate-level netlists, exhaustive simulation,
+  multiplier generators, approximate logic synthesis, hardware cost models.
+- :mod:`repro.multipliers` -- the multiplier library (exact, truncated,
+  EvoApprox-style behavioral stand-ins, synthesized) with exhaustive error
+  metrics and a registry of every multiplier from the paper's Table I.
+- :mod:`repro.core` -- the paper's contribution: moving-average smoothing of
+  the AppMult function (Eq. 4) and the difference-based gradient LUTs
+  (Eqs. 5-6), plus the HWS selection procedure.
+- :mod:`repro.autograd` / :mod:`repro.nn` / :mod:`repro.optim` /
+  :mod:`repro.models` -- a from-scratch numpy deep-learning framework with
+  fake quantization (Eqs. 7-8) and approximate conv/linear layers whose
+  backward pass applies Eq. 9 with LUT gradients.
+- :mod:`repro.data` -- synthetic CIFAR-like datasets and loaders.
+- :mod:`repro.retrain` -- the AppMult-aware retraining framework (Fig. 4).
+- :mod:`repro.hw` -- hardware characterization reporting (Table I).
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import ReproError, CircuitError, QuantizationError, ConfigError
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "CircuitError",
+    "QuantizationError",
+    "ConfigError",
+]

@@ -1,0 +1,41 @@
+"""Analysis utilities: gradient fidelity and error propagation.
+
+Quantifies *why* the difference-based gradient helps: how well each
+gradient-LUT method predicts the true local behaviour of the AppMult
+(:mod:`repro.analysis.fidelity`), and how AppMult error accumulates through
+a network's layers (:mod:`repro.analysis.propagation`).
+"""
+
+from repro.analysis.fidelity import (
+    GradientFidelity,
+    gradient_fidelity,
+    loss_direction_agreement,
+)
+from repro.analysis.propagation import (
+    LayerErrorStats,
+    layer_error_report,
+)
+from repro.analysis.convergence import (
+    ConvergenceStats,
+    convergence_stats,
+    faster_convergence,
+)
+from repro.analysis.faults import (
+    inject_bitflips,
+    inject_stuck_output_bit,
+    accuracy_under_faults,
+)
+
+__all__ = [
+    "GradientFidelity",
+    "gradient_fidelity",
+    "loss_direction_agreement",
+    "LayerErrorStats",
+    "layer_error_report",
+    "inject_bitflips",
+    "inject_stuck_output_bit",
+    "accuracy_under_faults",
+    "ConvergenceStats",
+    "convergence_stats",
+    "faster_convergence",
+]

@@ -1,0 +1,77 @@
+"""Terminal scatter/line plots for result series (no plotting deps).
+
+The benches and examples print tables; these helpers render the paper's
+figures as ASCII when a quick visual is wanted (Fig. 5 scatter, Fig. 6
+curves) without adding a matplotlib dependency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+def scatter(
+    xs,
+    ys,
+    labels=None,
+    width: int = 60,
+    height: int = 18,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render one or more point series as an ASCII scatter plot.
+
+    Args:
+        xs, ys: Sequences of floats (one series) or dicts
+            ``{series_name: sequence}`` for multiple series.
+        labels: Optional explicit series -> marker mapping.
+        width, height: Plot area in characters.
+        x_label, y_label: Axis captions.
+    """
+    if not isinstance(xs, dict):
+        xs, ys = {"series": xs}, {"series": ys}
+    if set(xs) != set(ys):
+        raise ReproError("xs and ys must have the same series keys")
+    markers = "ox+*#@%&"
+    series_markers = labels or {
+        name: markers[i % len(markers)] for i, name in enumerate(sorted(xs))
+    }
+
+    all_x = np.concatenate([np.asarray(v, dtype=float) for v in xs.values()])
+    all_y = np.concatenate([np.asarray(v, dtype=float) for v in ys.values()])
+    if all_x.size == 0:
+        raise ReproError("nothing to plot")
+    x_lo, x_hi = float(all_x.min()), float(all_x.max())
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for name in sorted(xs):
+        marker = series_markers[name]
+        for x, y in zip(xs[name], ys[name]):
+            col = int(round((float(x) - x_lo) / x_span * (width - 1)))
+            row = int(round((float(y) - y_lo) / y_span * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    lines = [f"{y_hi:8.2f} |" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append(" " * 8 + " |" + "".join(row))
+    lines.append(f"{y_lo:8.2f} |" + "".join(grid[-1]))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(
+        " " * 9 + f"{x_lo:<10.2f}{x_label:^{max(width - 20, 4)}}{x_hi:>10.2f}"
+    )
+    legend = "  ".join(
+        f"{series_markers[name]}={name}" for name in sorted(xs)
+    )
+    lines.append(f"{y_label}  [{legend}]")
+    return "\n".join(lines)
+
+
+def line_plot(series: dict[str, list[float]], **kwargs) -> str:
+    """Scatter with epoch indices as x (curves like Fig. 6)."""
+    xs = {name: list(range(1, len(vals) + 1)) for name, vals in series.items()}
+    return scatter(xs, series, x_label=kwargs.pop("x_label", "epoch"), **kwargs)

@@ -1,0 +1,79 @@
+"""Convergence-rate metrics for accuracy curves (Fig. 6 analysis).
+
+The paper claims the difference-based gradient converges *faster* than STE
+(Fig. 6: "our method shows better performance after 4 epochs ... a faster
+convergence rate").  These metrics quantify that claim from epoch-wise
+accuracy series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class ConvergenceStats:
+    """Summary of one accuracy-vs-epoch curve.
+
+    Attributes:
+        final: Last-epoch accuracy.
+        best: Best epoch accuracy.
+        auc: Mean accuracy over epochs (area under the curve, normalized) --
+            higher means both faster convergence and a higher plateau.
+        epochs_to_fraction: Epochs (1-based) needed to reach
+            ``fraction * final``; None if never reached.
+        fraction: The threshold fraction used.
+    """
+
+    final: float
+    best: float
+    auc: float
+    epochs_to_fraction: int | None
+    fraction: float
+
+
+def convergence_stats(
+    accuracies: list[float] | np.ndarray, fraction: float = 0.9
+) -> ConvergenceStats:
+    """Compute convergence statistics for one curve."""
+    acc = np.asarray(accuracies, dtype=np.float64)
+    if acc.ndim != 1 or acc.size == 0:
+        raise ReproError("need a non-empty 1-D accuracy series")
+    if not 0 < fraction <= 1:
+        raise ReproError("fraction must be in (0, 1]")
+    final = float(acc[-1])
+    threshold = fraction * final
+    reached = np.nonzero(acc >= threshold)[0]
+    return ConvergenceStats(
+        final=final,
+        best=float(acc.max()),
+        auc=float(acc.mean()),
+        epochs_to_fraction=int(reached[0]) + 1 if reached.size else None,
+        fraction=fraction,
+    )
+
+
+def faster_convergence(
+    curve_a: list[float], curve_b: list[float], fraction: float = 0.9
+) -> bool:
+    """True when curve_a converges faster than curve_b.
+
+    "Faster" means: reaches ``fraction`` of *curve_b's* final accuracy in
+    fewer (or equal) epochs AND has at least curve_b's AUC.  Comparing
+    against b's final level keeps the test fair when the two plateaus
+    differ.
+    """
+    a = np.asarray(curve_a, dtype=np.float64)
+    b = np.asarray(curve_b, dtype=np.float64)
+    if a.size != b.size or a.size == 0:
+        raise ReproError("curves must be non-empty and equally long")
+    target = fraction * float(b[-1])
+    reach_a = np.nonzero(a >= target)[0]
+    reach_b = np.nonzero(b >= target)[0]
+    epochs_a = int(reach_a[0]) if reach_a.size else a.size + 1
+    epochs_b = int(reach_b[0]) if reach_b.size else b.size + 1
+    return epochs_a <= epochs_b and a.mean() >= b.mean()

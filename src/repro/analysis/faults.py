@@ -1,0 +1,106 @@
+"""Fault injection: stuck-at and bit-flip corruption of multiplier LUTs.
+
+Hardware AppMults can suffer manufacturing defects (stuck-at nets) or
+soft errors; because this framework represents every multiplier as a LUT,
+both map naturally onto LUT corruptions.  These utilities create faulty
+multiplier variants for robustness studies and failure-injection testing:
+
+- :func:`inject_bitflips` -- random output-bit flips across LUT entries
+  (soft-error model).
+- :func:`inject_stuck_output_bit` -- one product bit stuck at 0/1 for all
+  inputs (hard-defect model).
+- :func:`accuracy_under_faults` -- evaluate a calibrated model while its
+  multiplier degrades.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.multipliers.base import LutMultiplier, Multiplier
+
+
+def inject_bitflips(
+    multiplier: Multiplier,
+    n_flips: int,
+    seed: int = 0,
+    name: str | None = None,
+) -> LutMultiplier:
+    """Flip one random output bit in ``n_flips`` random LUT entries."""
+    if n_flips < 0:
+        raise ReproError("n_flips must be non-negative")
+    lut = multiplier.lut().astype(np.int64).copy()
+    n = lut.shape[0]
+    out_bits = 2 * multiplier.bits
+    rng = np.random.default_rng(seed)
+    rows = rng.integers(0, n, size=n_flips)
+    cols = rng.integers(0, n, size=n_flips)
+    bits = rng.integers(0, out_bits, size=n_flips)
+    for r, c, b in zip(rows, cols, bits):
+        lut[r, c] ^= 1 << b
+    return LutMultiplier(
+        name or f"{multiplier.name}_flip{n_flips}", multiplier.bits, lut
+    )
+
+
+def inject_stuck_output_bit(
+    multiplier: Multiplier,
+    bit: int,
+    value: int,
+    name: str | None = None,
+) -> LutMultiplier:
+    """Force one product bit to ``value`` for every input combination."""
+    out_bits = 2 * multiplier.bits
+    if not 0 <= bit < out_bits:
+        raise ReproError(f"bit {bit} outside product width {out_bits}")
+    if value not in (0, 1):
+        raise ReproError("stuck value must be 0 or 1")
+    lut = multiplier.lut().astype(np.int64).copy()
+    mask = 1 << bit
+    if value:
+        lut |= mask
+    else:
+        lut &= ~mask
+    return LutMultiplier(
+        name or f"{multiplier.name}_sa{value}b{bit}", multiplier.bits, lut
+    )
+
+
+def accuracy_under_faults(
+    model,
+    multiplier: Multiplier,
+    eval_data,
+    fault_counts: list[int],
+    seed: int = 0,
+) -> dict[int, float]:
+    """Top-1 accuracy of a calibrated model under increasing bit-flips.
+
+    The model's approximate layers are re-pointed at corrupted copies of
+    ``multiplier`` (quantization untouched); gradients are irrelevant for
+    evaluation so existing tables are kept.
+
+    Returns:
+        Mapping from flip count to top-1 accuracy.
+    """
+    from repro.retrain.mixed import named_approx_layers
+    from repro.retrain.trainer import evaluate
+
+    results: dict[int, float] = {}
+    for count in fault_counts:
+        faulty = (
+            multiplier
+            if count == 0
+            else inject_bitflips(multiplier, count, seed=seed)
+        )
+        faulty.lut()  # build once
+        trial = copy.deepcopy(model)
+        for _name, layer in named_approx_layers(trial):
+            layer.multiplier = faulty
+            layer.engine.lut_flat = np.ascontiguousarray(faulty.lut().ravel())
+            layer.engine.exact_fast_path = faulty.is_exact
+        top1, _ = evaluate(trial, eval_data)
+        results[count] = top1
+    return results

@@ -1,0 +1,116 @@
+"""Gradient fidelity: how well a gradient LUT explains the real AppMult.
+
+Two complementary measures:
+
+- :func:`gradient_fidelity` compares a gradient LUT against finite
+  differences of the *raw* AppMult function at several horizons -- a
+  LUT-level measure needing no network.
+- :func:`loss_direction_agreement` checks the quantity that matters for
+  retraining: does the backpropagated weight gradient point in a descent
+  direction of the true (LUT-forward) loss?  Measured by perturbing the
+  weights along the negative gradient and recording the loss change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, no_grad
+from repro.core.gradient import GradientPair
+from repro.errors import ReproError
+from repro.multipliers.base import Multiplier
+from repro.nn.losses import cross_entropy
+
+
+@dataclass(frozen=True)
+class GradientFidelity:
+    """Agreement of a gradient LUT with finite differences of the AppMult.
+
+    Attributes:
+        cosine: Cosine similarity between the gradient table and the
+            horizon-h finite difference of the AppMult, averaged over rows.
+        mae: Mean absolute error between the two.
+        horizon: The finite-difference step used as ground truth.
+    """
+
+    cosine: float
+    mae: float
+    horizon: int
+
+
+def gradient_fidelity(
+    multiplier: Multiplier,
+    gradients: GradientPair,
+    horizon: int = 8,
+    wrt: str = "x",
+) -> GradientFidelity:
+    """Compare a gradient LUT against the AppMult's true secant slope.
+
+    The "true" local slope at horizon h is
+    ``(AM(w, x+h) - AM(w, x-h)) / (2h)`` -- what a weight update of
+    magnitude ~h/scale actually experiences.
+
+    Args:
+        multiplier: The AppMult.
+        gradients: Gradient tables to evaluate.
+        horizon: Secant half-width (in integer operand steps).
+        wrt: ``"x"`` or ``"w"``.
+    """
+    lut = multiplier.lut().astype(np.float64)
+    n = lut.shape[0]
+    if not 1 <= horizon < n // 2:
+        raise ReproError(f"horizon {horizon} invalid for {n} levels")
+    table = gradients.grad_x if wrt == "x" else gradients.grad_w
+    if wrt == "w":
+        lut = lut.T
+        table = table.T
+
+    secant = (lut[:, 2 * horizon :] - lut[:, : -2 * horizon]) / (2 * horizon)
+    pred = table[:, horizon : n - horizon].astype(np.float64)
+
+    num = (secant * pred).sum()
+    den = np.linalg.norm(secant) * np.linalg.norm(pred)
+    cosine = float(num / den) if den > 0 else 1.0
+    mae = float(np.abs(secant - pred).mean())
+    return GradientFidelity(cosine=cosine, mae=mae, horizon=horizon)
+
+
+def loss_direction_agreement(
+    model,
+    images: np.ndarray,
+    labels: np.ndarray,
+    step: float = 1e-3,
+) -> float:
+    """Fraction of loss reduction realized by one step along -grad.
+
+    Runs one forward/backward on ``model`` (an approximate model), steps
+    every parameter by ``-step * grad / ||grad||``, and returns the actual
+    loss change divided by the first-order prediction.  1.0 means the
+    gradient tables perfectly predict the LUT-forward loss landscape;
+    values near 0 (or negative) mean the direction is useless (what happens
+    with STE on large-error AppMults).
+    """
+    x = Tensor(images)
+    loss = cross_entropy(model(x), labels)
+    model.zero_grad()
+    loss.backward()
+    loss0 = loss.item()
+
+    grads = [
+        (p, p.grad.copy()) for p in model.parameters() if p.grad is not None
+    ]
+    gnorm = np.sqrt(sum((g**2).sum() for _, g in grads))
+    if gnorm == 0:
+        return 0.0
+    for p, g in grads:
+        p.data = p.data - step * g / gnorm
+    with no_grad():
+        loss1 = cross_entropy(model(Tensor(images)), labels).item()
+    for p, g in grads:
+        p.data = p.data + step * g / gnorm
+
+    predicted_drop = step * gnorm
+    actual_drop = loss0 - loss1
+    return float(actual_drop / predicted_drop)

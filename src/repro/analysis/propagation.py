@@ -1,0 +1,122 @@
+"""Error propagation: how AppMult noise accumulates through a network.
+
+Runs the same calibrated model twice on one batch -- once with the AppMult
+LUTs, once with the exact multiplier (same quantization grid) -- capturing
+every approximate layer's output, and reports per-layer signal-to-noise
+statistics.  Useful for choosing which layers to approximate (see
+:mod:`repro.retrain.mixed`).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, no_grad
+from repro.core.gradient import gradient_luts
+from repro.multipliers.base import Multiplier
+from repro.multipliers.exact import ExactMultiplier
+from repro.nn.module import Module
+
+
+@dataclass(frozen=True)
+class LayerErrorStats:
+    """Per-layer comparison of approximate vs exact outputs.
+
+    Attributes:
+        layer: Dotted layer name.
+        relative_error: ||approx - exact|| / ||exact|| at the layer output.
+        snr_db: Signal-to-noise ratio in dB (inf when error is zero).
+        max_abs_error: Worst absolute output deviation.
+    """
+
+    layer: str
+    relative_error: float
+    snr_db: float
+    max_abs_error: float
+
+
+def _capture_outputs(model: Module, x: np.ndarray) -> dict[str, np.ndarray]:
+    from repro.retrain.mixed import named_approx_layers
+
+    captured: dict[str, np.ndarray] = {}
+    originals = {}
+    for name, layer in named_approx_layers(model):
+        originals[name] = layer.forward
+
+        def make(lname, orig):
+            def wrapped(inp):
+                out = orig(inp)
+                captured[lname] = out.data.copy()
+                return out
+
+            return wrapped
+
+        layer.forward = make(name, originals[name])
+    try:
+        with no_grad():
+            model.eval()
+            model(Tensor(x))
+    finally:
+        for name, layer in named_approx_layers(model):
+            layer.forward = originals[name]
+        model.train()
+    return captured
+
+
+def layer_error_report(
+    approx_model: Module,
+    multiplier: Multiplier,
+    images: np.ndarray,
+) -> list[LayerErrorStats]:
+    """Compare a calibrated approximate model against its exact twin.
+
+    Args:
+        approx_model: Calibrated model whose conv layers use ``multiplier``.
+        multiplier: The AppMult installed in ``approx_model`` (used to build
+            the exact twin at the same bitwidth).
+        images: One input batch (raw ndarray, NCHW).
+    """
+    from repro.retrain.mixed import named_approx_layers
+
+    exact_twin = copy.deepcopy(approx_model)
+    exact = ExactMultiplier(multiplier.bits)
+    pair = gradient_luts(exact, "ste")
+    for _name, layer in named_approx_layers(exact_twin):
+        layer.multiplier = exact
+        layer.set_gradients(pair)
+
+    approx_out = _capture_outputs(approx_model, images)
+    exact_out = _capture_outputs(exact_twin, images)
+
+    stats: list[LayerErrorStats] = []
+    for name in approx_out:
+        a, e = approx_out[name], exact_out[name]
+        err = a - e
+        signal = float(np.linalg.norm(e))
+        noise = float(np.linalg.norm(err))
+        rel = noise / signal if signal > 0 else 0.0
+        snr = float("inf") if noise == 0 else 20 * np.log10(signal / noise)
+        stats.append(
+            LayerErrorStats(
+                layer=name,
+                relative_error=rel,
+                snr_db=snr,
+                max_abs_error=float(np.abs(err).max()),
+            )
+        )
+    return stats
+
+
+def format_error_report(stats: list[LayerErrorStats]) -> str:
+    """Render layer error statistics as an aligned table."""
+    lines = [f"{'layer':<28} {'rel err':>8} {'SNR/dB':>8} {'max |err|':>10}"]
+    for s in stats:
+        snr = f"{s.snr_db:8.1f}" if np.isfinite(s.snr_db) else f"{'inf':>8}"
+        lines.append(
+            f"{s.layer:<28} {s.relative_error:8.4f} {snr} "
+            f"{s.max_abs_error:10.4f}"
+        )
+    return "\n".join(lines)

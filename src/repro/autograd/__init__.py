@@ -1,0 +1,19 @@
+"""A small reverse-mode automatic differentiation engine on numpy.
+
+Stands in for PyTorch's autograd in the paper's retraining framework: a
+tape-based :class:`Tensor` with broadcasting arithmetic, matmul, reductions,
+shape ops, and the hooks needed to register custom backward functions (the
+approximate layers in :mod:`repro.nn.approx` use those to implement Eq. 9
+with gradient LUTs).
+"""
+
+from repro.autograd.tensor import Tensor, no_grad, is_grad_enabled
+from repro.autograd.gradcheck import gradcheck, numerical_gradient
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "gradcheck",
+    "numerical_gradient",
+]

@@ -1,0 +1,70 @@
+"""Numerical gradient checking for the autodiff engine and custom layers."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+def numerical_gradient(
+    func: Callable[..., Tensor],
+    inputs: Sequence[np.ndarray],
+    index: int,
+    eps: float = 1e-5,
+) -> np.ndarray:
+    """Central-difference gradient of ``sum(func(*inputs))`` w.r.t. one input.
+
+    Args:
+        func: Function mapping :class:`Tensor` inputs to a Tensor output.
+        inputs: Raw numpy input arrays.
+        index: Which input to differentiate.
+        eps: Finite-difference step.
+    """
+    base = [np.array(a, dtype=np.float64) for a in inputs]
+    target = base[index]
+    grad = np.zeros_like(target)
+    it = np.nditer(target, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = target[idx]
+        target[idx] = orig + eps
+        hi = float(func(*[Tensor(a) for a in base]).data.sum())
+        target[idx] = orig - eps
+        lo = float(func(*[Tensor(a) for a in base]).data.sum())
+        target[idx] = orig
+        grad[idx] = (hi - lo) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def gradcheck(
+    func: Callable[..., Tensor],
+    inputs: Sequence[np.ndarray],
+    eps: float = 1e-5,
+    atol: float = 1e-4,
+    rtol: float = 1e-3,
+) -> bool:
+    """Compare autodiff gradients of ``sum(func(...))`` against finite
+    differences for every input.
+
+    Returns True when all gradients match within tolerance; raises
+    AssertionError with a diagnostic otherwise.
+    """
+    tensors = [
+        Tensor(np.array(a, dtype=np.float64), requires_grad=True)
+        for a in inputs
+    ]
+    out = func(*tensors)
+    out.sum().backward()
+    for i, t in enumerate(tensors):
+        num = numerical_gradient(func, inputs, i, eps=eps)
+        got = t.grad if t.grad is not None else np.zeros_like(t.data)
+        if not np.allclose(got, num, atol=atol, rtol=rtol):
+            worst = np.abs(got - num).max()
+            raise AssertionError(
+                f"gradcheck failed for input {i}: max abs diff {worst:.3e}"
+            )
+    return True

@@ -1,0 +1,59 @@
+"""Gate-level circuit substrate.
+
+This subpackage stands in for the hardware flow the paper uses (Synopsys
+Design Compiler + ASAP7 for area/delay/power, and the ALSRAC approximate
+logic synthesis tool for the ``_syn`` multipliers).  It provides:
+
+- :mod:`repro.circuits.gates` -- the cell library with ASAP7-flavoured
+  area / delay / switching-energy constants.
+- :mod:`repro.circuits.netlist` -- a combinational netlist IR.
+- :mod:`repro.circuits.simulator` -- exhaustive, bit-packed vectorized
+  simulation over all input combinations.
+- :mod:`repro.circuits.generators` -- exact and truncated array multipliers
+  (Fig. 2 of the paper), adders, Wallace trees.
+- :mod:`repro.circuits.als` -- SASIMI-style approximate logic synthesis by
+  constant / signal substitution under an error budget.
+- :mod:`repro.circuits.cost` -- area, critical-path delay, and switching
+  power estimation.
+"""
+
+from repro.circuits.gates import GATE_LIBRARY, GateSpec
+from repro.circuits.netlist import Netlist, Gate
+from repro.circuits.simulator import simulate, simulate_words, input_patterns
+from repro.circuits.generators import (
+    array_multiplier,
+    truncated_array_multiplier,
+    wallace_multiplier,
+    ripple_carry_adder,
+)
+from repro.circuits.cost import CircuitCost, estimate_cost
+from repro.circuits.als import ApproxSynthesisConfig, approximate_synthesis
+from repro.circuits.adders import lower_or_adder, truncated_adder
+from repro.circuits.export import to_verilog, to_blif
+from repro.circuits.parser import from_blif
+from repro.circuits.equivalence import EquivalenceResult, check_equivalence
+
+__all__ = [
+    "GATE_LIBRARY",
+    "GateSpec",
+    "Netlist",
+    "Gate",
+    "simulate",
+    "simulate_words",
+    "input_patterns",
+    "array_multiplier",
+    "truncated_array_multiplier",
+    "wallace_multiplier",
+    "ripple_carry_adder",
+    "CircuitCost",
+    "estimate_cost",
+    "ApproxSynthesisConfig",
+    "approximate_synthesis",
+    "lower_or_adder",
+    "truncated_adder",
+    "to_verilog",
+    "to_blif",
+    "from_blif",
+    "EquivalenceResult",
+    "check_equivalence",
+]

@@ -1,0 +1,78 @@
+"""Approximate adder generators (library companions to the multipliers).
+
+DNN accelerators approximate accumulators as well as multipliers; these
+generators provide the two classic families so the circuit substrate covers
+the full EvoApproxLib scope:
+
+- **LOA** (lower-part OR adder): the low ``k`` bits are ORed instead of
+  added (no carry chain), the high part is exact with carry-in from the
+  AND of the top approximate bits.
+- **ETA-style truncated adder**: the low ``k`` result bits are forced to 1
+  and no carry propagates into the high part.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.netlist import Netlist
+from repro.errors import CircuitError
+
+
+def lower_or_adder(bits: int, approx_bits: int, name: str | None = None) -> Netlist:
+    """Lower-part OR adder (LOA).
+
+    Args:
+        bits: Operand width.
+        approx_bits: How many low bits use OR instead of a full adder.
+    """
+    if not 0 <= approx_bits <= bits:
+        raise CircuitError(f"approx_bits {approx_bits} invalid for {bits}-bit")
+    nl = Netlist(name=name or f"add{bits}u_loa{approx_bits}")
+    a = nl.add_inputs(bits, "a")
+    b = nl.add_inputs(bits, "b")
+    outs: list[int] = []
+    for k in range(approx_bits):
+        outs.append(nl.or2(a[k], b[k]))
+    # Carry prediction into the exact part: AND of the top approximate bits.
+    carry: int | None = None
+    if approx_bits > 0:
+        carry = nl.and2(a[approx_bits - 1], b[approx_bits - 1])
+    for k in range(approx_bits, bits):
+        if carry is None:
+            s, carry = nl.half_adder(a[k], b[k])
+        else:
+            s, carry = nl.full_adder(a[k], b[k], carry)
+        outs.append(s)
+    if carry is not None:
+        outs.append(carry)
+    else:  # bits == approx_bits == 0 is rejected above; all-OR adder
+        outs.append(nl.const0())
+    nl.outputs = outs
+    return nl
+
+
+def truncated_adder(bits: int, truncated_bits: int, name: str | None = None) -> Netlist:
+    """ETA-style adder: low result bits tied to 1, no carry into the top.
+
+    Setting the low bits to 1 (rather than 0) halves the expected error
+    magnitude of plain truncation.
+    """
+    if not 0 <= truncated_bits <= bits:
+        raise CircuitError(
+            f"truncated_bits {truncated_bits} invalid for {bits}-bit"
+        )
+    nl = Netlist(name=name or f"add{bits}u_eta{truncated_bits}")
+    a = nl.add_inputs(bits, "a")
+    b = nl.add_inputs(bits, "b")
+    outs: list[int] = []
+    for _ in range(truncated_bits):
+        outs.append(nl.const1())
+    carry: int | None = None
+    for k in range(truncated_bits, bits):
+        if carry is None:
+            s, carry = nl.half_adder(a[k], b[k])
+        else:
+            s, carry = nl.full_adder(a[k], b[k], carry)
+        outs.append(s)
+    outs.append(carry if carry is not None else nl.const0())
+    nl.outputs = outs
+    return nl

@@ -1,0 +1,198 @@
+"""Approximate logic synthesis by signal substitution.
+
+Stands in for the ALSRAC tool the paper uses to generate its ``_syn``
+multipliers.  The pass implements the classic SASIMI-style greedy loop:
+
+1. Exhaustively simulate the current netlist.
+2. Enumerate candidate rewrites: replace (all uses of) a signal with a
+   constant, or with another, earlier signal whose exhaustive waveform is
+   similar.
+3. Exactly evaluate the most promising candidates by re-simulation, and
+   apply the one with the best area-saved-per-error ratio whose resulting
+   error (NMED w.r.t. the *original* circuit) stays within budget.
+4. Dead-code eliminate and repeat.
+
+Because our simulator enumerates every input combination, candidate errors
+are exact rather than estimated -- a luxury real ALS tools approximate with
+sampling, which this pass mirrors in spirit via candidate pruning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuits.cost import area
+from repro.circuits.netlist import Netlist
+from repro.circuits.simulator import output_values, simulate_words
+from repro.errors import CircuitError
+
+
+@dataclass(frozen=True)
+class ApproxSynthesisConfig:
+    """Knobs for the greedy approximate-synthesis loop.
+
+    Attributes:
+        nmed_budget: Maximum allowed normalized mean error distance of the
+            rewritten circuit w.r.t. the original, as a fraction
+            (0.003 == 0.3%).  NMED is normalized by ``2**n_output_bits - 1``
+            following Eq. 2 of the paper.
+        max_moves: Upper bound on accepted rewrites.
+        candidates_per_round: How many top-ranked candidates get an exact
+            evaluation each round.
+        allow_signal_substitution: Also consider signal-to-signal rewrites
+            (not just constants).
+        maxed_budget: Optional cap on the worst-case error distance of the
+            rewritten circuit.  ``None`` disables the check.  Real ALS flows
+            targeting DNN accelerators constrain MaxED as well as NMED, since
+            rare huge errors wreck accumulations.
+        seed: Seed for tie-breaking shuffles, making runs reproducible.
+    """
+
+    nmed_budget: float = 0.003
+    max_moves: int = 64
+    candidates_per_round: int = 48
+    allow_signal_substitution: bool = True
+    maxed_budget: int | None = None
+    seed: int = 0
+
+
+@dataclass
+class SynthesisResult:
+    """Outcome of :func:`approximate_synthesis`."""
+
+    netlist: Netlist
+    nmed: float
+    area_before: float
+    area_after: float
+    moves: list[str] = field(default_factory=list)
+
+    @property
+    def area_saving(self) -> float:
+        """Fraction of area removed."""
+        if self.area_before == 0:
+            return 0.0
+        return 1.0 - self.area_after / self.area_before
+
+
+def _nmed(approx: np.ndarray, golden: np.ndarray, norm: float) -> float:
+    return float(np.abs(approx - golden).mean() / norm)
+
+
+def _candidate_moves(
+    netlist: Netlist,
+    values: np.ndarray,
+    config: ApproxSynthesisConfig,
+    rng: np.random.Generator,
+) -> list[tuple[float, int, int | None, str]]:
+    """Rank candidate rewrites.
+
+    Returns a list of ``(score, old_net, new_net_or_None, kind)`` sorted by
+    descending score, where ``new_net is None`` encodes a constant move
+    (kind "const0"/"const1") and otherwise a signal substitution.  The score
+    is a cheap similarity proxy: the fraction of input combinations on which
+    the replacement agrees with the original signal.
+    """
+    n_combos = 1 << netlist.n_inputs
+    gate_outs = [g.out for g in netlist.gates if g.gtype not in ("CONST0", "CONST1")]
+    if not gate_outs:
+        return []
+    ones = np.bitwise_count(values).sum(axis=1).astype(np.float64)
+    p_one = ones / n_combos
+
+    moves: list[tuple[float, int, int | None, str]] = []
+    for s in gate_outs:
+        moves.append((1.0 - p_one[s], s, None, "const0"))
+        moves.append((p_one[s], s, None, "const1"))
+
+    if config.allow_signal_substitution and len(gate_outs) > 1:
+        # Sample pairs (t, s) with t earlier than s to guarantee acyclicity.
+        n_pairs = min(4 * config.candidates_per_round, 512)
+        arr = np.array(gate_outs)
+        for _ in range(n_pairs):
+            s, t = rng.choice(arr, size=2, replace=False)
+            if t > s:
+                s, t = t, s
+            agree = np.bitwise_count(~(values[s] ^ values[t])).sum()
+            # ~ flips padding bits too; clamp to the valid combo count.
+            sim = min(float(agree), float(n_combos)) / n_combos
+            moves.append((sim, int(s), int(t), "subst"))
+
+    moves.sort(key=lambda m: m[0], reverse=True)
+    return moves
+
+
+def approximate_synthesis(
+    netlist: Netlist,
+    config: ApproxSynthesisConfig | None = None,
+) -> SynthesisResult:
+    """Greedily rewrite ``netlist`` to save area within an error budget.
+
+    The error metric is NMED against the *original* netlist's exhaustive
+    output, normalized by ``2**n_output_bits - 1``.
+
+    Raises:
+        CircuitError: If the netlist has no outputs.
+    """
+    if not netlist.outputs:
+        raise CircuitError("cannot synthesize a netlist without outputs")
+    config = config or ApproxSynthesisConfig()
+    rng = np.random.default_rng(config.seed)
+
+    golden = output_values(netlist)
+    norm = float((1 << len(netlist.outputs)) - 1)
+    area_before = area(netlist)
+
+    current = netlist.copy()
+    current_area = area_before
+    current_nmed = 0.0
+    moves_applied: list[str] = []
+
+    for _ in range(config.max_moves):
+        values = simulate_words(current)
+        candidates = _candidate_moves(current, values, config, rng)
+        best: tuple[float, Netlist, float, float, str] | None = None
+        evaluated = 0
+        for _score, old, new, kind in candidates:
+            if evaluated >= config.candidates_per_round:
+                break
+            evaluated += 1
+            if kind == "const0" or kind == "const1":
+                trial = current.copy()
+                const = trial.prepend_const(1 if kind == "const1" else 0)
+                trial = trial.substitute(old, const)
+            else:
+                assert new is not None
+                trial = current.substitute(old, new)
+            trial = trial.dead_code_eliminate()
+            trial_area = area(trial)
+            saved = current_area - trial_area
+            if saved <= 0:
+                continue
+            trial_out = output_values(trial)
+            trial_nmed = _nmed(trial_out, golden, norm)
+            if trial_nmed > config.nmed_budget:
+                continue
+            if (
+                config.maxed_budget is not None
+                and int(np.abs(trial_out - golden).max()) > config.maxed_budget
+            ):
+                continue
+            gain = saved / (max(trial_nmed - current_nmed, 0.0) + 1e-9)
+            if best is None or gain > best[0]:
+                best = (gain, trial, trial_nmed, trial_area, f"{kind}({old}->{new})")
+        if best is None:
+            break
+        _, current, current_nmed, current_area, desc = best
+        moves_applied.append(desc)
+
+    current = current.topo_sort()
+    current.name = f"{netlist.name}_syn"
+    return SynthesisResult(
+        netlist=current,
+        nmed=current_nmed,
+        area_before=area_before,
+        area_after=current_area,
+        moves=moves_applied,
+    )

@@ -1,0 +1,75 @@
+"""Combinational equivalence checking (exhaustive miter).
+
+For the bit-widths this package targets (<= 10-bit operands), exhaustive
+simulation doubles as a complete formal check: two netlists are equivalent
+iff their packed output waveforms agree on every input combination.  The
+checker reports the first counterexample when they differ -- used by tests
+and by the ALS pass's zero-budget mode, and handy when re-importing
+exported Verilog/BLIF from external tools.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuits.netlist import Netlist
+from repro.circuits.simulator import simulate
+from repro.errors import CircuitError
+
+
+@dataclass(frozen=True)
+class EquivalenceResult:
+    """Outcome of an equivalence check.
+
+    Attributes:
+        equivalent: True when outputs agree on all input combinations.
+        counterexample: First differing input combination index, or None.
+        value_a / value_b: Circuit outputs at the counterexample.
+        max_distance: Largest |a - b| over all inputs (0 when equivalent).
+    """
+
+    equivalent: bool
+    counterexample: int | None = None
+    value_a: int | None = None
+    value_b: int | None = None
+    max_distance: int = 0
+
+    def assignment(self, n_inputs: int) -> dict[int, int]:
+        """Expand the counterexample index into per-input bit values."""
+        if self.counterexample is None:
+            raise CircuitError("no counterexample to expand")
+        return {
+            k: (self.counterexample >> k) & 1 for k in range(n_inputs)
+        }
+
+
+def check_equivalence(a: Netlist, b: Netlist) -> EquivalenceResult:
+    """Exhaustively compare two netlists.
+
+    Raises:
+        CircuitError: If input or output counts differ (structural
+            mismatch rather than functional difference).
+    """
+    if a.n_inputs != b.n_inputs:
+        raise CircuitError(
+            f"input count mismatch: {a.n_inputs} vs {b.n_inputs}"
+        )
+    if len(a.outputs) != len(b.outputs):
+        raise CircuitError(
+            f"output count mismatch: {len(a.outputs)} vs {len(b.outputs)}"
+        )
+    va = simulate(a)
+    vb = simulate(b)
+    diff = va != vb
+    if not diff.any():
+        return EquivalenceResult(equivalent=True)
+    first = int(np.argmax(diff))
+    return EquivalenceResult(
+        equivalent=False,
+        counterexample=first,
+        value_a=int(va[first]),
+        value_b=int(vb[first]),
+        max_distance=int(np.abs(va - vb).max()),
+    )

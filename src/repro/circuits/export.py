@@ -1,0 +1,108 @@
+"""Netlist export: structural Verilog and BLIF.
+
+Lets designs leave the Python substrate for real EDA flows -- the
+synthesized AppMults can be handed to an actual synthesis tool (the paper's
+DC + ASAP7 flow) or to ABC via BLIF.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.netlist import Netlist
+from repro.errors import CircuitError
+
+_VERILOG_OPS = {
+    "AND2": "&",
+    "OR2": "|",
+    "XOR2": "^",
+}
+_VERILOG_NEG_OPS = {
+    "NAND2": "&",
+    "NOR2": "|",
+    "XNOR2": "^",
+}
+
+_BLIF_COVERS = {
+    "AND2": "11 1\n",
+    "OR2": "1- 1\n-1 1\n",
+    "XOR2": "10 1\n01 1\n",
+    "NAND2": "0- 1\n-0 1\n",
+    "NOR2": "00 1\n",
+    "XNOR2": "11 1\n00 1\n",
+    "INV": "0 1\n",
+    "BUF": "1 1\n",
+}
+
+
+def _net_name(netlist: Netlist, net: int) -> str:
+    if net < netlist.n_inputs:
+        return netlist.input_names[net]
+    return f"n{net}"
+
+
+def to_verilog(netlist: Netlist, module_name: str | None = None) -> str:
+    """Render the netlist as a structural Verilog module.
+
+    Primary inputs keep their declared names; outputs become a single
+    little-endian ``out`` bus.
+    """
+    netlist.validate()
+    name = module_name or netlist.name.replace("-", "_")
+    inputs = ", ".join(netlist.input_names)
+    lines = [
+        f"module {name}({inputs}, out);",
+        *(f"  input {n};" for n in netlist.input_names),
+        f"  output [{len(netlist.outputs) - 1}:0] out;",
+    ]
+    for g in netlist.gates:
+        lines.append(f"  wire n{g.out};")
+    for g in netlist.gates:
+        out = f"n{g.out}"
+        ins = [_net_name(netlist, i) for i in g.ins]
+        if g.gtype in _VERILOG_OPS:
+            expr = f"{ins[0]} {_VERILOG_OPS[g.gtype]} {ins[1]}"
+        elif g.gtype in _VERILOG_NEG_OPS:
+            expr = f"~({ins[0]} {_VERILOG_NEG_OPS[g.gtype]} {ins[1]})"
+        elif g.gtype == "INV":
+            expr = f"~{ins[0]}"
+        elif g.gtype == "BUF":
+            expr = ins[0]
+        elif g.gtype == "CONST0":
+            expr = "1'b0"
+        elif g.gtype == "CONST1":
+            expr = "1'b1"
+        else:  # pragma: no cover - registry guards gate types
+            raise CircuitError(f"cannot export gate type {g.gtype}")
+        lines.append(f"  assign {out} = {expr};")
+    bus = ", ".join(
+        _net_name(netlist, net) for net in reversed(netlist.outputs)
+    )
+    lines.append(f"  assign out = {{{bus}}};")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def to_blif(netlist: Netlist, model_name: str | None = None) -> str:
+    """Render the netlist in Berkeley Logic Interchange Format."""
+    netlist.validate()
+    name = model_name or netlist.name.replace(" ", "_")
+    out_names = [f"out{k}" for k in range(len(netlist.outputs))]
+    lines = [
+        f".model {name}",
+        ".inputs " + " ".join(netlist.input_names),
+        ".outputs " + " ".join(out_names),
+    ]
+    for g in netlist.gates:
+        ins = [_net_name(netlist, i) for i in g.ins]
+        out = f"n{g.out}"
+        if g.gtype == "CONST0":
+            lines.append(f".names {out}")
+        elif g.gtype == "CONST1":
+            lines.append(f".names {out}\n1")
+        else:
+            lines.append(f".names {' '.join(ins)} {out}")
+            lines.append(_BLIF_COVERS[g.gtype].rstrip("\n"))
+    for k, net in enumerate(netlist.outputs):
+        lines.append(f".names {_net_name(netlist, net)} out{k}")
+        lines.append("1 1")
+    lines.append(".end")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,262 @@
+"""Structural generators for arithmetic circuits.
+
+The central generator is the unsigned B-bit multiplier, built as an AND-gate
+partial-product array followed by a column-compression tree and a final
+ripple-carry adder.  The truncated variant implements Fig. 2 of the paper:
+the rightmost ``k`` columns of partial products are removed and the
+corresponding output bits are tied to zero.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.netlist import Netlist
+from repro.errors import CircuitError
+
+
+def ripple_carry_adder(bits: int, name: str = "rca") -> Netlist:
+    """Generate a ``bits``-bit unsigned ripple-carry adder.
+
+    Inputs are ``a[0..bits-1]`` then ``b[0..bits-1]``; output is the
+    ``bits+1``-bit sum.
+    """
+    if bits < 1:
+        raise CircuitError("adder needs at least 1 bit")
+    nl = Netlist(name=name)
+    a = nl.add_inputs(bits, "a")
+    b = nl.add_inputs(bits, "b")
+    outs: list[int] = []
+    carry: int | None = None
+    for k in range(bits):
+        if carry is None:
+            s, carry = nl.half_adder(a[k], b[k])
+        else:
+            s, carry = nl.full_adder(a[k], b[k], carry)
+        outs.append(s)
+    outs.append(carry)
+    nl.outputs = outs
+    return nl
+
+
+def _partial_products(
+    nl: Netlist, w: list[int], x: list[int], dropped_columns: int
+) -> list[list[int]]:
+    """Build AND-gate partial products grouped by output column (weight).
+
+    Columns ``0 .. dropped_columns-1`` are left empty, implementing the
+    "remove & set as 0" truncation of Fig. 2.
+    """
+    bits = len(w)
+    cols: list[list[int]] = [[] for _ in range(2 * bits)]
+    for i in range(bits):
+        for j in range(bits):
+            weight = i + j
+            if weight < dropped_columns:
+                continue
+            cols[weight].append(nl.and2(w[i], x[j]))
+    return cols
+
+
+def _compress_dadda(nl: Netlist, cols: list[list[int]]) -> list[list[int]]:
+    """Dadda-style column compression to at most two rows.
+
+    Repeatedly applies full adders (3:2) and half adders (2:2) across all
+    columns in parallel passes until every column holds at most two nets.
+    """
+    cols = [list(c) for c in cols]
+    while any(len(c) > 2 for c in cols):
+        nxt: list[list[int]] = [[] for _ in cols]
+        for weight, col in enumerate(cols):
+            idx = 0
+            while len(col) - idx >= 3:
+                s, c = nl.full_adder(col[idx], col[idx + 1], col[idx + 2])
+                nxt[weight].append(s)
+                if weight + 1 < len(nxt):
+                    nxt[weight + 1].append(c)
+                idx += 3
+            if len(col) - idx == 2 and len(col) > 3:
+                s, c = nl.half_adder(col[idx], col[idx + 1])
+                nxt[weight].append(s)
+                if weight + 1 < len(nxt):
+                    nxt[weight + 1].append(c)
+                idx += 2
+            nxt[weight].extend(col[idx:])
+        cols = nxt
+    return cols
+
+
+def _compress_ripple(nl: Netlist, cols: list[list[int]]) -> list[list[int]]:
+    """Sequential (array-style) column compression to at most two rows.
+
+    Processes columns low-to-high, chaining adders serially within each
+    column.  Produces the same function as :func:`_compress_dadda` but with a
+    longer critical path, mimicking a plain array multiplier.
+    """
+    cols = [list(c) for c in cols]
+    for weight in range(len(cols)):
+        col = cols[weight]
+        while len(col) > 2:
+            if len(col) >= 3:
+                a, b, c = col.pop(), col.pop(), col.pop()
+                s, carry = nl.full_adder(a, b, c)
+            else:  # pragma: no cover - loop guard keeps len >= 3 here
+                a, b = col.pop(), col.pop()
+                s, carry = nl.half_adder(a, b)
+            col.append(s)
+            if weight + 1 < len(cols):
+                cols[weight + 1].append(carry)
+    return cols
+
+
+def _final_adder(nl: Netlist, cols: list[list[int]]) -> list[int]:
+    """Sum the remaining (at most two) rows with a ripple-carry chain."""
+    outs: list[int] = []
+    carry: int | None = None
+    for col in cols:
+        nets = list(col)
+        if carry is not None:
+            nets.append(carry)
+            carry = None
+        if not nets:
+            outs.append(nl.const0())
+        elif len(nets) == 1:
+            outs.append(nets[0])
+        elif len(nets) == 2:
+            s, carry = nl.half_adder(nets[0], nets[1])
+            outs.append(s)
+        else:
+            s, carry = nl.full_adder(nets[0], nets[1], nets[2])
+            outs.append(s)
+    if carry is not None:  # pragma: no cover - top column never overflows
+        outs.append(carry)
+    return outs
+
+
+def _multiplier(
+    bits: int,
+    dropped_columns: int,
+    reduction: str,
+    name: str,
+) -> Netlist:
+    if bits < 1 or bits > 10:
+        raise CircuitError(f"unsupported multiplier width: {bits}")
+    if not 0 <= dropped_columns <= 2 * bits:
+        raise CircuitError(f"invalid truncation: {dropped_columns}")
+    nl = Netlist(name=name)
+    w = nl.add_inputs(bits, "w")
+    x = nl.add_inputs(bits, "x")
+    cols = _partial_products(nl, w, x, dropped_columns)
+    if reduction == "dadda":
+        cols = _compress_dadda(nl, cols)
+    elif reduction == "ripple":
+        cols = _compress_ripple(nl, cols)
+    else:
+        raise CircuitError(f"unknown reduction strategy: {reduction!r}")
+    # A B x B product fits in exactly 2B bits; drop any structurally
+    # generated (functionally zero) top carry so the output width is 2B.
+    nl.outputs = _final_adder(nl, cols)[: 2 * bits]
+    return nl.dead_code_eliminate()
+
+
+def array_multiplier(bits: int) -> Netlist:
+    """Exact unsigned ``bits x bits`` array multiplier (2*bits output bits)."""
+    return _multiplier(bits, 0, "ripple", f"mul{bits}u_acc")
+
+
+def wallace_multiplier(bits: int) -> Netlist:
+    """Exact unsigned multiplier with Dadda/Wallace column compression."""
+    return _multiplier(bits, 0, "dadda", f"mul{bits}u_wallace")
+
+
+def truncated_array_multiplier(bits: int, dropped_columns: int) -> Netlist:
+    """Truncated multiplier of Fig. 2: drop the rightmost columns of PPs.
+
+    Args:
+        bits: Operand width B.
+        dropped_columns: Number of least-significant partial-product columns
+            removed (the ``_rmk`` suffix in the paper's Table I).
+    """
+    return _multiplier(
+        bits, dropped_columns, "ripple", f"mul{bits}u_rm{dropped_columns}"
+    )
+
+
+def custom_array_multiplier(
+    bits: int,
+    dropped: set[tuple[int, int]] | None = None,
+    compensation: int = 0,
+    name: str = "mul_custom",
+    reduction: str = "dadda",
+) -> Netlist:
+    """Multiplier with an arbitrary set of removed partial products.
+
+    Args:
+        bits: Operand width B.
+        dropped: Set of ``(i, j)`` pairs whose partial product ``w_i * x_j``
+            is removed (treated as 0).
+        compensation: Constant added to the result (wired in as tie-one
+            cells in the compression tree), used by compensated-truncation
+            approximations.
+        name: Netlist name.
+        reduction: ``"dadda"`` or ``"ripple"`` compression.
+    """
+    if bits < 1 or bits > 10:
+        raise CircuitError(f"unsupported multiplier width: {bits}")
+    if compensation < 0 or compensation >= 1 << (2 * bits):
+        raise CircuitError(f"compensation out of range: {compensation}")
+    dropped = dropped or set()
+    nl = Netlist(name=name)
+    w = nl.add_inputs(bits, "w")
+    x = nl.add_inputs(bits, "x")
+    cols: list[list[int]] = [[] for _ in range(2 * bits)]
+    for i in range(bits):
+        for j in range(bits):
+            if (i, j) in dropped:
+                continue
+            cols[i + j].append(nl.and2(w[i], x[j]))
+    for k in range(2 * bits):
+        if (compensation >> k) & 1:
+            cols[k].append(nl.const1())
+    if reduction == "dadda":
+        cols = _compress_dadda(nl, cols)
+    else:
+        cols = _compress_ripple(nl, cols)
+    nl.outputs = _final_adder(nl, cols)[: 2 * bits]
+    return nl.dead_code_eliminate()
+
+
+def truncation_drop_set(bits: int, dropped_columns: int) -> set[tuple[int, int]]:
+    """The ``(i, j)`` pairs removed by a rightmost-k-columns truncation."""
+    return {
+        (i, j)
+        for i in range(bits)
+        for j in range(bits)
+        if i + j < dropped_columns
+    }
+
+
+def expected_exact_product(bits: int) -> np.ndarray:
+    """Golden reference: W*X for every input combination of the multiplier.
+
+    Input combination index packs W in the low ``bits`` bits and X in the
+    high ``bits`` bits, matching the generator's input declaration order.
+    """
+    idx = np.arange(1 << (2 * bits), dtype=np.int64)
+    w = idx & ((1 << bits) - 1)
+    x = idx >> bits
+    return w * x
+
+
+def truncation_error_bound(bits: int, dropped_columns: int) -> int:
+    """Worst-case error magnitude of the Fig. 2 truncation.
+
+    All removed partial products equal one:
+    ``sum_{d=0}^{k-1} n_d * 2^d`` where ``n_d`` is the number of partial
+    products of weight ``d`` in a B-bit array.
+    """
+    total = 0
+    for d in range(min(dropped_columns, 2 * bits - 1)):
+        n_d = min(d + 1, bits, 2 * bits - 1 - d)
+        total += n_d * (1 << d)
+    return total

@@ -1,0 +1,288 @@
+"""Combinational netlist intermediate representation.
+
+A :class:`Netlist` is a DAG of two-input (or unary/constant) gates over
+integer net ids.  Net ids are allocated densely: primary inputs first, then
+one net per gate output.  Gates are stored in creation order, which is a
+valid topological order as long as the netlist is built bottom-up; after
+rewrites (e.g. approximate synthesis) call :meth:`Netlist.topo_sort` to
+restore the invariant.
+
+Outputs are an ordered list of net ids, LSB first, so the integer value of
+the circuit output for one input combination is ``sum(bit_k << k)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuits.gates import (
+    BINARY_GATES,
+    CONST_GATES,
+    UNARY_GATES,
+    gate_spec,
+    is_known_gate,
+)
+from repro.errors import CircuitError
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gate instance: ``out = gtype(*ins)``."""
+
+    gtype: str
+    out: int
+    ins: tuple[int, ...]
+
+
+@dataclass
+class Netlist:
+    """A combinational gate-level netlist.
+
+    Attributes:
+        name: Human-readable circuit name.
+        n_inputs: Number of primary input nets (ids ``0..n_inputs-1``).
+        gates: Gate instances in topological order.
+        outputs: Primary output net ids, LSB first.
+        input_names: Optional labels for the primary inputs.
+    """
+
+    name: str = "circuit"
+    n_inputs: int = 0
+    gates: list[Gate] = field(default_factory=list)
+    outputs: list[int] = field(default_factory=list)
+    input_names: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._next_net = self.n_inputs + sum(1 for _ in self.gates)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_inputs(self, count: int, prefix: str = "in") -> list[int]:
+        """Declare ``count`` primary inputs; must precede any gate.
+
+        Returns the list of new input net ids.
+        """
+        if self.gates:
+            raise CircuitError("inputs must be declared before gates")
+        start = self.n_inputs
+        self.n_inputs += count
+        self._next_net += count
+        self.input_names.extend(f"{prefix}{i}" for i in range(count))
+        return list(range(start, start + count))
+
+    def add_gate(self, gtype: str, *ins: int) -> int:
+        """Append a gate and return its output net id."""
+        if not is_known_gate(gtype):
+            raise CircuitError(f"unknown gate type: {gtype!r}")
+        expected = gate_spec(gtype).fanin
+        if len(ins) != expected:
+            raise CircuitError(
+                f"{gtype} expects {expected} inputs, got {len(ins)}"
+            )
+        for net in ins:
+            if not 0 <= net < self._next_net:
+                raise CircuitError(f"gate input references unknown net {net}")
+        out = self._next_net
+        self._next_net += 1
+        self.gates.append(Gate(gtype, out, tuple(ins)))
+        return out
+
+    def prepend_const(self, value: int) -> int:
+        """Insert a tie cell at the *front* of the gate list; return its net.
+
+        Unlike :meth:`add_gate`, this keeps the gate list topologically
+        ordered even when existing gates will be rewritten to read the new
+        constant (tie cells have no inputs, so the front is always legal).
+        """
+        gtype = "CONST1" if value else "CONST0"
+        out = self._next_net
+        self._next_net += 1
+        self.gates.insert(0, Gate(gtype, out, ()))
+        return out
+
+    # Convenience wrappers -------------------------------------------------
+    def const0(self) -> int:
+        return self.add_gate("CONST0")
+
+    def const1(self) -> int:
+        return self.add_gate("CONST1")
+
+    def inv(self, a: int) -> int:
+        return self.add_gate("INV", a)
+
+    def buf(self, a: int) -> int:
+        return self.add_gate("BUF", a)
+
+    def and2(self, a: int, b: int) -> int:
+        return self.add_gate("AND2", a, b)
+
+    def or2(self, a: int, b: int) -> int:
+        return self.add_gate("OR2", a, b)
+
+    def xor2(self, a: int, b: int) -> int:
+        return self.add_gate("XOR2", a, b)
+
+    def xnor2(self, a: int, b: int) -> int:
+        return self.add_gate("XNOR2", a, b)
+
+    def nand2(self, a: int, b: int) -> int:
+        return self.add_gate("NAND2", a, b)
+
+    def nor2(self, a: int, b: int) -> int:
+        return self.add_gate("NOR2", a, b)
+
+    def half_adder(self, a: int, b: int) -> tuple[int, int]:
+        """Return ``(sum, carry)`` of a half adder."""
+        return self.xor2(a, b), self.and2(a, b)
+
+    def full_adder(self, a: int, b: int, cin: int) -> tuple[int, int]:
+        """Return ``(sum, carry)`` of a full adder built from 2-input cells."""
+        axb = self.xor2(a, b)
+        s = self.xor2(axb, cin)
+        c1 = self.and2(a, b)
+        c2 = self.and2(axb, cin)
+        cout = self.or2(c1, c2)
+        return s, cout
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def n_nets(self) -> int:
+        """Total number of nets (inputs + gate outputs)."""
+        return self._next_net
+
+    @property
+    def n_outputs(self) -> int:
+        return len(self.outputs)
+
+    def gate_counts(self) -> dict[str, int]:
+        """Return a histogram of gate types."""
+        counts: dict[str, int] = {}
+        for g in self.gates:
+            counts[g.gtype] = counts.get(g.gtype, 0) + 1
+        return counts
+
+    def fanouts(self) -> dict[int, list[int]]:
+        """Map each net id to the indices of gates that read it."""
+        fo: dict[int, list[int]] = {}
+        for gi, g in enumerate(self.gates):
+            for net in g.ins:
+                fo.setdefault(net, []).append(gi)
+        return fo
+
+    def validate(self) -> None:
+        """Check structural invariants; raise :class:`CircuitError` on failure.
+
+        Invariants: gate list is topologically ordered, every referenced net
+        is defined, and every output net exists.
+        """
+        defined = set(range(self.n_inputs))
+        for g in self.gates:
+            for net in g.ins:
+                if net not in defined:
+                    raise CircuitError(
+                        f"gate {g} reads net {net} before definition"
+                    )
+            if g.out in defined:
+                raise CircuitError(f"net {g.out} defined twice")
+            defined.add(g.out)
+        for net in self.outputs:
+            if net not in defined:
+                raise CircuitError(f"output references undefined net {net}")
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def copy(self) -> "Netlist":
+        """Return a deep copy."""
+        out = Netlist(
+            name=self.name,
+            n_inputs=self.n_inputs,
+            gates=list(self.gates),
+            outputs=list(self.outputs),
+            input_names=list(self.input_names),
+        )
+        out._next_net = self._next_net
+        return out
+
+    def substitute(self, old: int, new: int) -> "Netlist":
+        """Return a copy where every *use* of net ``old`` reads ``new``.
+
+        The gate driving ``old`` (if any) is left in place; use
+        :meth:`dead_code_eliminate` afterwards to strip it.  Output pins that
+        reference ``old`` are redirected as well.
+        """
+        if old < self.n_inputs and old in self.outputs and new == old:
+            return self.copy()
+        result = self.copy()
+        result.gates = [
+            Gate(g.gtype, g.out, tuple(new if i == old else i for i in g.ins))
+            for g in result.gates
+        ]
+        result.outputs = [new if o == old else o for o in result.outputs]
+        return result
+
+    def dead_code_eliminate(self) -> "Netlist":
+        """Return a copy with gates not reachable from the outputs removed.
+
+        Net ids are *not* renumbered; the gate list just shrinks.  Primary
+        inputs are always kept.
+        """
+        live: set[int] = set(self.outputs)
+        # Walk gates in reverse topological order, marking support.
+        keep: list[Gate] = []
+        for g in reversed(self.gates):
+            if g.out in live:
+                keep.append(g)
+                live.update(g.ins)
+        result = self.copy()
+        result.gates = list(reversed(keep))
+        return result
+
+    def topo_sort(self) -> "Netlist":
+        """Return a copy whose gate list is re-sorted topologically."""
+        by_out = {g.out: g for g in self.gates}
+        order: list[Gate] = []
+        seen: set[int] = set(range(self.n_inputs))
+        state: dict[int, int] = {}
+
+        def visit(net: int) -> None:
+            stack = [(net, False)]
+            while stack:
+                cur, expanded = stack.pop()
+                if cur in seen:
+                    continue
+                gate = by_out.get(cur)
+                if gate is None:
+                    raise CircuitError(f"net {cur} has no driver")
+                if expanded:
+                    seen.add(cur)
+                    order.append(gate)
+                    continue
+                if state.get(cur) == 1:
+                    raise CircuitError("combinational cycle detected")
+                state[cur] = 1
+                stack.append((cur, True))
+                for src in gate.ins:
+                    if src not in seen:
+                        stack.append((src, False))
+
+        for out in self.outputs:
+            visit(out)
+        # Keep gates that are live but feed no output last (rare).
+        remaining = [g for g in self.gates if g.out not in seen]
+        result = self.copy()
+        result.gates = order + remaining
+        return result
+
+    def stats(self) -> str:
+        """One-line human-readable summary."""
+        counts = ", ".join(
+            f"{k}:{v}" for k, v in sorted(self.gate_counts().items())
+        )
+        return (
+            f"{self.name}: {self.n_inputs} inputs, {len(self.gates)} gates "
+            f"({counts}), {len(self.outputs)} outputs"
+        )

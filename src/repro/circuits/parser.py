@@ -1,0 +1,152 @@
+"""BLIF import: parse ``.blif`` text back into a :class:`Netlist`.
+
+Accepts any single-model combinational BLIF whose ``.names`` covers use
+the standard 0/1/- syntax with output value 1 (ON-set covers, the form ABC
+and our exporter emit).  Each cover is synthesized into INV/AND2/OR2 gates,
+so imported circuits immediately work with the simulator, cost model, and
+ALS pass; round-tripping through :func:`repro.circuits.export.to_blif`
+preserves the function exactly (see tests).
+"""
+
+from __future__ import annotations
+
+from repro.circuits.netlist import Netlist
+from repro.errors import CircuitError
+
+
+def _tokenize(text: str) -> list[list[str]]:
+    """Split into logical lines, honoring ``\\`` continuations and comments."""
+    lines: list[list[str]] = []
+    pending = ""
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].rstrip()
+        if not line.strip():
+            continue
+        if line.endswith("\\"):
+            pending += line[:-1] + " "
+            continue
+        full = pending + line
+        pending = ""
+        lines.append(full.split())
+    if pending:
+        lines.append(pending.split())
+    return lines
+
+
+def _and_tree(nl: Netlist, terms: list[int]) -> int:
+    node = terms[0]
+    for t in terms[1:]:
+        node = nl.and2(node, t)
+    return node
+
+
+def _or_tree(nl: Netlist, terms: list[int]) -> int:
+    node = terms[0]
+    for t in terms[1:]:
+        node = nl.or2(node, t)
+    return node
+
+
+def from_blif(text: str) -> Netlist:
+    """Parse BLIF text into a netlist.
+
+    Restrictions: one ``.model``; only ``.inputs`` / ``.outputs`` /
+    ``.names`` / ``.end`` constructs; ON-set covers (every cover row's
+    output value is 1, or the bare-``1`` constant form).
+
+    Raises:
+        CircuitError: On unsupported constructs or undefined signals.
+    """
+    lines = _tokenize(text)
+    name = "imported"
+    input_names: list[str] = []
+    output_names: list[str] = []
+    tables: list[tuple[list[str], str, list[str]]] = []  # (ins, out, covers)
+
+    i = 0
+    while i < len(lines):
+        tok = lines[i]
+        key = tok[0]
+        if key == ".model":
+            name = tok[1] if len(tok) > 1 else name
+            i += 1
+        elif key == ".inputs":
+            input_names.extend(tok[1:])
+            i += 1
+        elif key == ".outputs":
+            output_names.extend(tok[1:])
+            i += 1
+        elif key == ".names":
+            sig = tok[1:]
+            if not sig:
+                raise CircuitError(".names without signals")
+            ins, out = sig[:-1], sig[-1]
+            covers: list[str] = []
+            i += 1
+            while i < len(lines) and not lines[i][0].startswith("."):
+                row = lines[i]
+                if ins:
+                    if len(row) != 2 or row[1] != "1":
+                        raise CircuitError(
+                            f"only ON-set covers supported: {' '.join(row)}"
+                        )
+                    if len(row[0]) != len(ins):
+                        raise CircuitError(
+                            f"cover width mismatch for {out}: {row[0]}"
+                        )
+                    covers.append(row[0])
+                else:
+                    if row != ["1"]:
+                        raise CircuitError(
+                            f"constant table must be '1': {' '.join(row)}"
+                        )
+                    covers.append("1")
+                i += 1
+            tables.append((ins, out, covers))
+        elif key == ".end":
+            i += 1
+        else:
+            raise CircuitError(f"unsupported BLIF construct: {key}")
+
+    nl = Netlist(name=name)
+    net_of: dict[str, int] = {}
+    for net, iname in zip(nl.add_inputs(len(input_names)), input_names):
+        net_of[iname] = net
+    nl.input_names = list(input_names)
+
+    inverted: dict[str, int] = {}
+
+    def literal(signal: str, positive: bool) -> int:
+        if signal not in net_of:
+            raise CircuitError(f"signal {signal!r} used before definition")
+        if positive:
+            return net_of[signal]
+        if signal not in inverted:
+            inverted[signal] = nl.inv(net_of[signal])
+        return inverted[signal]
+
+    for ins, out, covers in tables:
+        if not ins:
+            net_of[out] = nl.const1() if covers else nl.const0()
+            continue
+        if not covers:
+            net_of[out] = nl.const0()
+            continue
+        products: list[int] = []
+        for cover in covers:
+            terms = [
+                literal(sig, ch == "1")
+                for ch, sig in zip(cover, ins)
+                if ch != "-"
+            ]
+            if not terms:  # all-dash cover: constant 1
+                terms = [nl.const1()]
+            products.append(_and_tree(nl, terms))
+        net_of[out] = _or_tree(nl, products)
+
+    missing = [o for o in output_names if o not in net_of]
+    if missing:
+        raise CircuitError(f"outputs never defined: {missing}")
+    nl.outputs = [net_of[o] for o in output_names]
+    nl.validate()
+    return nl

@@ -1,0 +1,153 @@
+"""Exhaustive vectorized netlist simulation.
+
+All ``2**n_inputs`` input combinations are simulated at once.  Each net's
+waveform is stored as a bit-packed :class:`numpy.uint64` vector (one bit per
+input combination), so a gate evaluation is a single bitwise numpy op over
+``2**n / 64`` machine words.  For the paper's largest multipliers
+(two 8-bit operands, 16 inputs) that is 1024 words per net -- an exhaustive
+simulation of an 8x8 multiplier takes about a millisecond.
+
+Input combination ``i`` assigns primary input ``k`` the value
+``(i >> k) & 1``; i.e. input 0 is the LSB of the combination index.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.netlist import Netlist
+from repro.errors import CircuitError
+
+
+def n_words(n_combos: int) -> int:
+    """Number of uint64 words needed to hold ``n_combos`` bits."""
+    return (n_combos + 63) // 64
+
+
+def _tail_mask(n_combos: int) -> np.uint64:
+    """Mask selecting the valid bits of the final word."""
+    rem = n_combos % 64
+    if rem == 0:
+        return np.uint64(0xFFFFFFFFFFFFFFFF)
+    return np.uint64((1 << rem) - 1)
+
+
+def input_patterns(n_inputs: int) -> np.ndarray:
+    """Return packed exhaustive input waveforms.
+
+    Returns:
+        Array of shape ``(n_inputs, n_words)`` where row ``k`` packs the
+        value of input ``k`` across all ``2**n_inputs`` combinations.
+    """
+    if n_inputs < 0 or n_inputs > 26:
+        raise CircuitError(f"unsupported input count: {n_inputs}")
+    n_combos = 1 << n_inputs
+    words = n_words(n_combos)
+    out = np.zeros((n_inputs, words), dtype=np.uint64)
+    full = np.uint64(0xFFFFFFFFFFFFFFFF)
+    for k in range(n_inputs):
+        period = 1 << k
+        if period < 64:
+            # Pattern repeats within one word: build the word directly.
+            word = 0
+            for bit in range(64):
+                if (bit >> k) & 1:
+                    word |= 1 << bit
+            out[k, :] = np.uint64(word)
+        else:
+            # Whole words alternate in blocks of period/64.
+            block = period // 64
+            idx = np.arange(words)
+            out[k, (idx // block) % 2 == 1] = full
+    out[:, -1] &= _tail_mask(n_combos)
+    return out
+
+
+def simulate_words(netlist: Netlist, n_inputs: int | None = None) -> np.ndarray:
+    """Simulate all input combinations; return packed waveforms per net.
+
+    Returns:
+        Array of shape ``(n_nets, n_words)``: row ``i`` is the packed
+        waveform of net ``i`` (inputs first, then gate outputs).
+    """
+    if n_inputs is None:
+        n_inputs = netlist.n_inputs
+    n_combos = 1 << n_inputs
+    words = n_words(n_combos)
+    mask = _tail_mask(n_combos)
+    full = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+    values = np.zeros((netlist.n_nets, words), dtype=np.uint64)
+    values[:n_inputs] = input_patterns(n_inputs)
+
+    for g in netlist.gates:
+        t = g.gtype
+        if t == "AND2":
+            v = values[g.ins[0]] & values[g.ins[1]]
+        elif t == "OR2":
+            v = values[g.ins[0]] | values[g.ins[1]]
+        elif t == "XOR2":
+            v = values[g.ins[0]] ^ values[g.ins[1]]
+        elif t == "NAND2":
+            v = ~(values[g.ins[0]] & values[g.ins[1]])
+        elif t == "NOR2":
+            v = ~(values[g.ins[0]] | values[g.ins[1]])
+        elif t == "XNOR2":
+            v = ~(values[g.ins[0]] ^ values[g.ins[1]])
+        elif t == "INV":
+            v = ~values[g.ins[0]]
+        elif t == "BUF":
+            v = values[g.ins[0]].copy()
+        elif t == "CONST0":
+            v = np.zeros(words, dtype=np.uint64)
+        elif t == "CONST1":
+            v = np.full(words, full, dtype=np.uint64)
+        else:  # pragma: no cover - netlist.add_gate rejects unknown types
+            raise CircuitError(f"unknown gate type {t!r}")
+        v[-1] &= mask
+        values[g.out] = v
+    return values
+
+
+def unpack_bits(words: np.ndarray, n_combos: int) -> np.ndarray:
+    """Unpack a packed waveform into a uint8 0/1 vector of length n_combos."""
+    as_bytes = words.view(np.uint8)
+    return np.unpackbits(as_bytes, bitorder="little", count=n_combos)
+
+
+def output_values(
+    netlist: Netlist, values: np.ndarray | None = None
+) -> np.ndarray:
+    """Return the integer output of the circuit for every input combination.
+
+    Output bit ``k`` (``netlist.outputs[k]``) contributes ``2**k``.
+
+    Returns:
+        int64 array of length ``2**n_inputs``.
+    """
+    if values is None:
+        values = simulate_words(netlist)
+    n_combos = 1 << netlist.n_inputs
+    result = np.zeros(n_combos, dtype=np.int64)
+    for k, net in enumerate(netlist.outputs):
+        bits = unpack_bits(values[net], n_combos).astype(np.int64)
+        result += bits << k
+    return result
+
+
+def simulate(netlist: Netlist) -> np.ndarray:
+    """Exhaustively simulate; return the integer output per input combination.
+
+    Equivalent to ``output_values(netlist)``; provided as the primary entry
+    point.
+    """
+    return output_values(netlist)
+
+
+def signal_probabilities(netlist: Netlist, values: np.ndarray | None = None) -> np.ndarray:
+    """Return P(net = 1) under a uniform input distribution, per net."""
+    if values is None:
+        values = simulate_words(netlist)
+    n_combos = 1 << netlist.n_inputs
+    ones = np.bitwise_count(values).sum(axis=1).astype(np.float64)
+    return ones / float(n_combos)

@@ -1,0 +1,130 @@
+"""Command-line interface.
+
+Three subcommands mirror the main workflows::
+
+    python -m repro.cli characterize [names...]     # Table I rows
+    python -m repro.cli retrain --multiplier NAME   # one STE-vs-ours run
+    python -m repro.cli hws --multiplier NAME       # HWS sweep
+    python -m repro.cli export --multiplier NAME    # Verilog/BLIF dump
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.multipliers.registry import TABLE1_NAMES
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    from repro.hw.report import characterize_all, format_table1
+
+    names = tuple(args.names) if args.names else TABLE1_NAMES
+    print(format_table1(characterize_all(names)))
+    return 0
+
+
+def _cmd_retrain(args: argparse.Namespace) -> int:
+    from repro.retrain.experiment import ExperimentScale, retrain_comparison
+    from repro.retrain.results import format_table2
+
+    scale = ExperimentScale(
+        image_size=args.image_size,
+        n_train=args.n_train,
+        n_test=max(args.n_train // 4, 64),
+        width_mult=args.width_mult,
+        pretrain_epochs=args.pretrain_epochs,
+        retrain_epochs=args.epochs,
+        batch_size=args.batch_size,
+        seed=args.seed,
+    )
+    rows, refs = retrain_comparison(
+        args.arch, [args.multiplier], scale, methods=("ste", "difference")
+    )
+    print(format_table2(rows, refs, title=f"{args.arch} / {args.multiplier}"))
+    return 0
+
+
+def _cmd_hws(args: argparse.Namespace) -> int:
+    from repro.core.hws import select_hws
+    from repro.multipliers.registry import get_multiplier
+
+    result = select_hws(
+        get_multiplier(args.multiplier),
+        epochs=args.epochs,
+        train_size=args.n_train,
+        seed=args.seed,
+    )
+    for hws in result.candidates:
+        marker = "  <-- selected" if hws == result.best_hws else ""
+        print(f"hws={hws:<3} loss={result.losses[hws]:.4f}{marker}")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.circuits.export import to_blif, to_verilog
+    from repro.multipliers.registry import get_multiplier
+
+    mult = get_multiplier(args.multiplier)
+    build = getattr(mult, "build_netlist", None)
+    netlist = mult.netlist if hasattr(mult, "netlist") else (
+        build() if build else None
+    )
+    if netlist is None:
+        print(f"{args.multiplier} has no structural netlist", file=sys.stderr)
+        return 1
+    text = to_blif(netlist) if args.format == "blif" else to_verilog(netlist)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="AppMult-aware retraining toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("characterize", help="print Table I rows")
+    p.add_argument("names", nargs="*", help="multiplier names (default: all)")
+    p.set_defaults(func=_cmd_characterize)
+
+    p = sub.add_parser("retrain", help="run one STE-vs-difference comparison")
+    p.add_argument("--multiplier", required=True)
+    p.add_argument("--arch", default="lenet",
+                   choices=["lenet", "vgg19", "resnet18", "resnet34", "resnet50"])
+    p.add_argument("--epochs", type=int, default=3)
+    p.add_argument("--pretrain-epochs", type=int, default=8)
+    p.add_argument("--n-train", type=int, default=512)
+    p.add_argument("--image-size", type=int, default=16)
+    p.add_argument("--width-mult", type=float, default=0.125)
+    p.add_argument("--batch-size", type=int, default=32)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_retrain)
+
+    p = sub.add_parser("hws", help="sweep half window sizes")
+    p.add_argument("--multiplier", required=True)
+    p.add_argument("--epochs", type=int, default=2)
+    p.add_argument("--n-train", type=int, default=256)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_hws)
+
+    p = sub.add_parser("export", help="dump a multiplier netlist")
+    p.add_argument("--multiplier", required=True)
+    p.add_argument("--format", choices=["verilog", "blif"], default="verilog")
+    p.add_argument("--output", default=None)
+    p.set_defaults(func=_cmd_export)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,40 @@
+"""The paper's contribution: gradient approximation of AppMults.
+
+- :mod:`repro.core.smoothing` -- moving-average smoothing of the AppMult
+  function (Eq. 4, Fig. 3a).
+- :mod:`repro.core.gradient` -- difference-based gradient LUTs (Eqs. 5-6,
+  Fig. 3b), the STE baseline, and user-defined gradient hooks.
+- :mod:`repro.core.hws` -- the half-window-size selection procedure of
+  Section V-A (short LeNet trainings over HWS in {1, 2, 4, ..., 64}).
+"""
+
+from repro.core.smoothing import (
+    smooth_lut,
+    smooth_function,
+    smooth_function_kernel,
+    smoothing_kernel,
+)
+from repro.core.gradient import (
+    GradientPair,
+    difference_gradient_lut,
+    ste_gradient_lut,
+    raw_difference_gradient_lut,
+    gradient_luts,
+    GRADIENT_METHODS,
+)
+from repro.core.hws import select_hws, HwsSelectionResult
+
+__all__ = [
+    "smooth_lut",
+    "smooth_function",
+    "smooth_function_kernel",
+    "smoothing_kernel",
+    "GradientPair",
+    "difference_gradient_lut",
+    "ste_gradient_lut",
+    "raw_difference_gradient_lut",
+    "gradient_luts",
+    "GRADIENT_METHODS",
+    "select_hws",
+    "HwsSelectionResult",
+]

@@ -1,0 +1,211 @@
+"""Difference-based gradient approximation of AppMults (Eqs. 5-6).
+
+Given an AppMult LUT, this module precomputes gradient LUTs
+
+    grad_x[w, x] ~= dAM(w, x)/dx      grad_w[w, x] ~= dAM(w, x)/dw
+
+with three interchangeable methods:
+
+- ``"difference"`` -- the paper's contribution: smooth along the operand
+  (Eq. 4), then take the central difference of the smoothed function
+  (Eq. 5) inside the valid range and the range-based average slope (Eq. 6)
+  near the domain boundary.
+- ``"ste"`` -- the straight-through estimator baseline used by all prior
+  AppMult-aware retraining frameworks: the gradient of the *accurate*
+  multiplier (``dAM/dX ~= W``, ``dAM/dW ~= X``), Eq. 3.
+- ``"raw-difference"`` -- ablation: central difference of the *unsmoothed*
+  AppMult function (zero almost everywhere for stair-like AppMults, huge at
+  stair edges), demonstrating why Eq. 4 matters.
+
+User-defined gradients (the paper's framework explicitly supports them) are
+accepted anywhere a method name is: pass a callable
+``f(multiplier) -> GradientPair``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Union
+
+import numpy as np
+
+from repro.core.smoothing import smooth_lut, smoothing_kernel
+from repro.errors import ReproError
+from repro.multipliers.base import Multiplier
+
+
+@dataclass(frozen=True)
+class GradientPair:
+    """Gradient LUTs of one AppMult w.r.t. both operands.
+
+    Attributes:
+        grad_w: ``(2**B, 2**B)`` float32 array, ``dAM/dW`` at ``(w, x)``.
+        grad_x: ``(2**B, 2**B)`` float32 array, ``dAM/dX`` at ``(w, x)``.
+        method: Human-readable description of how they were computed.
+    """
+
+    grad_w: np.ndarray
+    grad_x: np.ndarray
+    method: str
+
+    def __post_init__(self) -> None:
+        if self.grad_w.shape != self.grad_x.shape:
+            raise ReproError("gradient LUT shape mismatch")
+
+
+def _smooth_rows(lut: np.ndarray, hws: int, kernel: str) -> np.ndarray:
+    """Row-wise smoothing along axis 1 with a selectable kernel shape."""
+    if kernel == "uniform":
+        return smooth_lut(lut, hws, axis=1)
+    weights = smoothing_kernel(hws, kernel)
+    n = lut.shape[1]
+    valid = np.arange(hws, n - hws)
+    out = np.full(lut.shape, np.nan)
+    acc = np.zeros((lut.shape[0], valid.size))
+    for k, wk in enumerate(weights):
+        acc += wk * lut[:, valid - hws + k]
+    out[:, valid] = acc
+    return out
+
+
+def _difference_along_x(
+    lut: np.ndarray, hws: int, kernel: str = "uniform"
+) -> np.ndarray:
+    """Eqs. 5-6 along axis 1 (the X operand) for every row W."""
+    lut = np.asarray(lut, dtype=np.float64)
+    n = lut.shape[1]
+    smoothed = _smooth_rows(lut, hws, kernel)
+    grad = np.empty_like(lut)
+
+    # Eq. 6: boundary estimate = (max - min over the whole row) / 2**B.
+    row_range = (lut.max(axis=1) - lut.min(axis=1)) / n
+    grad[:] = row_range[:, None]
+
+    # Eq. 5: central difference of the smoothed function, valid strictly
+    # inside (HWS, 2**B - 1 - HWS).
+    inner = np.arange(hws + 1, n - 1 - hws)
+    if inner.size:
+        grad[:, inner] = (smoothed[:, inner + 1] - smoothed[:, inner - 1]) / 2.0
+    return grad
+
+
+def difference_gradient_lut(
+    lut: np.ndarray, hws: int, wrt: str = "x", kernel: str = "uniform"
+) -> np.ndarray:
+    """The paper's difference-based gradient LUT w.r.t. one operand.
+
+    Args:
+        lut: ``(2**B, 2**B)`` AppMult LUT, ``lut[w, x]``.
+        hws: Half window size for Eq. 4 smoothing.
+        wrt: ``"x"`` for ``dAM/dX`` or ``"w"`` for ``dAM/dW``.
+        kernel: Smoothing kernel shape; ``"uniform"`` is the paper's Eq. 4,
+            ``"triangular"``/``"gaussian"`` are ablation alternatives.
+
+    Returns:
+        Float64 gradient LUT shaped like ``lut`` (indexed ``[w, x]``).
+    """
+    lut = np.asarray(lut)
+    if wrt == "x":
+        return _difference_along_x(lut, hws, kernel)
+    if wrt == "w":
+        return _difference_along_x(lut.T, hws, kernel).T
+    raise ReproError(f"wrt must be 'x' or 'w', got {wrt!r}")
+
+
+def raw_difference_gradient_lut(lut: np.ndarray, wrt: str = "x") -> np.ndarray:
+    """Ablation: central difference of the raw (unsmoothed) AppMult."""
+    lut = np.asarray(lut, dtype=np.float64)
+    work = lut if wrt == "x" else lut.T
+    grad = np.empty_like(work)
+    grad[:, 1:-1] = (work[:, 2:] - work[:, :-2]) / 2.0
+    grad[:, 0] = work[:, 1] - work[:, 0]
+    grad[:, -1] = work[:, -1] - work[:, -2]
+    return grad if wrt == "x" else grad.T
+
+
+def ste_gradient_lut(bits: int, wrt: str = "x") -> np.ndarray:
+    """STE baseline (Eq. 3): gradient of the accurate multiplier.
+
+    ``dAM/dX ~= W`` and ``dAM/dW ~= X``.
+    """
+    n = 1 << bits
+    w = np.arange(n, dtype=np.float64)[:, None]
+    x = np.arange(n, dtype=np.float64)[None, :]
+    if wrt == "x":
+        return np.broadcast_to(w, (n, n)).copy()
+    if wrt == "w":
+        return np.broadcast_to(x, (n, n)).copy()
+    raise ReproError(f"wrt must be 'x' or 'w', got {wrt!r}")
+
+
+GradientMethod = Union[str, Callable[[Multiplier], "GradientPair"]]
+
+#: Built-in gradient method names.
+GRADIENT_METHODS = ("difference", "ste", "raw-difference")
+
+
+def gradient_luts(
+    multiplier: Multiplier,
+    method: GradientMethod = "difference",
+    hws: int | None = None,
+    kernel: str = "uniform",
+) -> GradientPair:
+    """Build both gradient LUTs for an AppMult.
+
+    Args:
+        multiplier: The AppMult whose LUT to differentiate.
+        method: ``"difference"`` (the paper, requires ``hws``), ``"ste"``,
+            ``"raw-difference"``, or a callable for user-defined gradients.
+        hws: Half window size; if ``None``, the registry default for this
+            multiplier's name is looked up (Table I last column).
+        kernel: Smoothing kernel for the difference method ("uniform" is
+            the paper's Eq. 4).
+
+    Returns:
+        :class:`GradientPair` with float32 LUTs.
+    """
+    if callable(method):
+        pair = method(multiplier)
+        if not isinstance(pair, GradientPair):
+            raise ReproError("custom gradient method must return GradientPair")
+        return pair
+
+    bits = multiplier.bits
+    if method == "ste":
+        gw = ste_gradient_lut(bits, "w")
+        gx = ste_gradient_lut(bits, "x")
+        label = "ste"
+    elif method == "difference":
+        if hws is None:
+            hws = _default_hws(multiplier)
+        lut = multiplier.lut()
+        gw = difference_gradient_lut(lut, hws, "w", kernel)
+        gx = difference_gradient_lut(lut, hws, "x", kernel)
+        label = f"difference(hws={hws})"
+        if kernel != "uniform":
+            label = f"difference(hws={hws}, kernel={kernel})"
+    elif method == "raw-difference":
+        lut = multiplier.lut()
+        gw = raw_difference_gradient_lut(lut, "w")
+        gx = raw_difference_gradient_lut(lut, "x")
+        label = "raw-difference"
+    else:
+        raise ReproError(
+            f"unknown gradient method {method!r}; "
+            f"known: {', '.join(GRADIENT_METHODS)}"
+        )
+    return GradientPair(
+        grad_w=gw.astype(np.float32), grad_x=gx.astype(np.float32), method=label
+    )
+
+
+def _default_hws(multiplier: Multiplier) -> int:
+    """Table I default HWS for registered names; fallback heuristic else."""
+    from repro.multipliers.registry import _REGISTRY  # local to avoid cycle
+
+    info = _REGISTRY.get(multiplier.name)
+    if info is not None and info.default_hws is not None:
+        return info.default_hws
+    # Heuristic: a quarter of the stair width works well for truncation-like
+    # AppMults; 4 is a safe general default at 7-8 bits.
+    return 4

@@ -1,0 +1,97 @@
+"""Half-window-size (HWS) selection (Section V-A of the paper).
+
+The paper picks HWS per AppMult by sweeping HWS in {1, 2, 4, 8, 16, 32, 64},
+training a small LeNet on CIFAR-10 for 5 epochs with each candidate's
+difference-based gradient, and keeping the HWS with the smallest training
+loss.  :func:`select_hws` reproduces that procedure on the synthetic
+dataset (scaled down by default so it runs in seconds on CPU).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.multipliers.base import Multiplier
+
+#: The paper's HWS candidate set.
+DEFAULT_CANDIDATES: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64)
+
+
+@dataclass
+class HwsSelectionResult:
+    """Outcome of an HWS sweep.
+
+    Attributes:
+        best_hws: The selected half window size.
+        losses: Final training loss per candidate.
+        candidates: The candidates actually evaluated (window must fit the
+            operand domain, so large HWS are skipped at small bitwidths).
+    """
+
+    best_hws: int
+    losses: dict[int, float] = field(default_factory=dict)
+    candidates: tuple[int, ...] = ()
+
+
+def select_hws(
+    multiplier: Multiplier,
+    candidates: tuple[int, ...] = DEFAULT_CANDIDATES,
+    epochs: int = 5,
+    train_size: int = 256,
+    batch_size: int = 32,
+    image_size: int = 12,
+    seed: int = 0,
+) -> HwsSelectionResult:
+    """Run the paper's HWS selection procedure for one AppMult.
+
+    Trains a small LeNet on the synthetic CIFAR-10-like dataset for
+    ``epochs`` epochs per candidate HWS (difference-based gradients), and
+    returns the candidate with the lowest final-epoch mean training loss.
+
+    The defaults are scaled down from the paper's (full CIFAR-10, 5 epochs)
+    so a full sweep stays CPU-friendly; pass larger values to approach the
+    paper's setup.
+    """
+    # Local imports: core must not depend on the training stack at import
+    # time (the training stack itself imports repro.core).
+    from repro.data.synthetic import SyntheticImageDataset
+    from repro.data.dataset import DataLoader
+    from repro.models.lenet import LeNet
+    from repro.retrain.convert import approximate_model, calibrate, freeze
+    from repro.retrain.trainer import Trainer, TrainConfig
+
+    n = 1 << multiplier.bits
+    usable = tuple(h for h in candidates if 2 * h + 1 <= n and n - 2 * h - 2 > 0)
+    if not usable:
+        raise ReproError(
+            f"no usable HWS candidates for a {multiplier.bits}-bit multiplier"
+        )
+
+    data = SyntheticImageDataset(
+        n_samples=train_size,
+        n_classes=10,
+        image_size=image_size,
+        seed=seed,
+        split="train",
+    )
+    losses: dict[int, float] = {}
+    for hws in usable:
+        model = LeNet(
+            num_classes=10, in_channels=3, image_size=image_size, seed=seed
+        )
+        approx = approximate_model(
+            model, multiplier, gradient_method="difference", hws=hws
+        )
+        loader = DataLoader(data, batch_size=batch_size, shuffle=True, seed=seed)
+        calibrate(approx, loader, batches=2)
+        freeze(approx)
+        trainer = Trainer(
+            approx,
+            TrainConfig(epochs=epochs, batch_size=batch_size, base_lr=1e-3, seed=seed),
+        )
+        history = trainer.fit(data, eval_data=None)
+        losses[hws] = history.train_loss[-1]
+
+    best = min(losses, key=lambda h: losses[h])
+    return HwsSelectionResult(best_hws=best, losses=losses, candidates=usable)

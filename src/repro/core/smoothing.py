@@ -1,0 +1,124 @@
+"""Moving-average smoothing of the AppMult function (Eq. 4).
+
+Truncation-style AppMults are stair-like in each operand (Fig. 3a): flat
+for most inputs with jumps at stair edges.  The raw derivative is therefore
+zero almost everywhere and huge at the edges -- both bad for gradient
+descent.  Eq. 4 replaces ``AM(W_f, X)`` by the mean over a window of
+``2*HWS + 1`` neighboring X values:
+
+    S(W_f, X) = (1 / (2 HWS + 1)) * sum_{dx=-HWS..HWS} AM(W_f, X + dx)
+
+and is defined only where the window fits, ``HWS <= X <= 2**B - 1 - HWS``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+def _validate(n: int, hws: int) -> None:
+    if hws < 1:
+        raise ReproError(f"HWS must be a positive integer, got {hws}")
+    if 2 * hws + 1 > n:
+        raise ReproError(
+            f"window 2*{hws}+1 exceeds the domain size {n}"
+        )
+
+
+def smooth_function(values: np.ndarray, hws: int) -> np.ndarray:
+    """Smooth a 1-D function of X with a centered moving average.
+
+    Args:
+        values: ``AM(W_f, X)`` for ``X = 0 .. 2**B - 1`` (1-D array).
+        hws: Half window size (positive).
+
+    Returns:
+        Float array of the same length.  Entries in the valid range
+        ``hws <= X <= n-1-hws`` hold ``S(W_f, X)``; entries outside the
+        valid range are ``nan`` (Eq. 4 does not define them, and Eq. 6
+        supplies the gradient there instead).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 1:
+        raise ReproError("smooth_function expects a 1-D array")
+    n = values.shape[0]
+    _validate(n, hws)
+    window = 2 * hws + 1
+    csum = np.concatenate(([0.0], np.cumsum(values)))
+    out = np.full(n, np.nan)
+    # S(x) for x in [hws, n-1-hws]: mean of values[x-hws : x+hws+1]
+    valid = np.arange(hws, n - hws)
+    out[valid] = (csum[valid + hws + 1] - csum[valid - hws]) / window
+    return out
+
+
+def smoothing_kernel(hws: int, kind: str = "uniform") -> np.ndarray:
+    """Return a normalized smoothing kernel of length ``2*hws + 1``.
+
+    ``"uniform"`` is Eq. 4's moving average.  ``"triangular"`` and
+    ``"gaussian"`` are alternatives explored in the ablation benches: they
+    weight the center more, trading stair suppression for locality.
+    """
+    width = 2 * hws + 1
+    if kind == "uniform":
+        kernel = np.ones(width)
+    elif kind == "triangular":
+        kernel = hws + 1 - np.abs(np.arange(width) - hws).astype(float)
+    elif kind == "gaussian":
+        sigma = max(hws / 2.0, 0.5)
+        offsets = np.arange(width) - hws
+        kernel = np.exp(-0.5 * (offsets / sigma) ** 2)
+    else:
+        raise ReproError(f"unknown smoothing kernel {kind!r}")
+    return kernel / kernel.sum()
+
+
+def smooth_function_kernel(
+    values: np.ndarray, hws: int, kind: str = "uniform"
+) -> np.ndarray:
+    """Like :func:`smooth_function` but with a selectable kernel shape.
+
+    For ``kind="uniform"`` this matches Eq. 4 exactly.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 1:
+        raise ReproError("smooth_function_kernel expects a 1-D array")
+    n = values.shape[0]
+    _validate(n, hws)
+    kernel = smoothing_kernel(hws, kind)
+    full = np.convolve(values, kernel, mode="valid")  # length n - 2*hws
+    out = np.full(n, np.nan)
+    out[hws : n - hws] = full
+    return out
+
+
+def smooth_lut(lut: np.ndarray, hws: int, axis: int = 1) -> np.ndarray:
+    """Smooth a full product LUT along one operand axis (Eq. 4, all rows).
+
+    Args:
+        lut: ``(2**B, 2**B)`` product LUT, ``lut[w, x]``.
+        hws: Half window size.
+        axis: 1 smooths along X (for d/dX), 0 along W (for d/dW).
+
+    Returns:
+        Float array shaped like ``lut`` with ``nan`` outside the valid
+        smoothing range along ``axis``.
+    """
+    lut = np.asarray(lut, dtype=np.float64)
+    if lut.ndim != 2:
+        raise ReproError("smooth_lut expects a 2-D LUT")
+    if axis not in (0, 1):
+        raise ReproError(f"axis must be 0 or 1, got {axis}")
+    work = lut if axis == 1 else lut.T
+    n = work.shape[1]
+    _validate(n, hws)
+    window = 2 * hws + 1
+    csum = np.concatenate(
+        (np.zeros((work.shape[0], 1)), np.cumsum(work, axis=1)), axis=1
+    )
+    out = np.full_like(work, np.nan)
+    valid = np.arange(hws, n - hws)
+    out[:, valid] = (csum[:, valid + hws + 1] - csum[:, valid - hws]) / window
+    return out if axis == 1 else out.T

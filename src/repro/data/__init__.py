@@ -1,0 +1,20 @@
+"""Datasets and loading utilities.
+
+CIFAR-10/100 are not available offline, so :mod:`repro.data.synthetic`
+provides procedurally generated class-conditional image datasets with the
+same tensor shapes and a real train/test generalization gap (see DESIGN.md
+for the substitution rationale).
+"""
+
+from repro.data.synthetic import SyntheticImageDataset, synthetic_cifar10, synthetic_cifar100
+from repro.data.dataset import ArrayDataset, DataLoader
+from repro.data.augment import random_crop_flip
+
+__all__ = [
+    "SyntheticImageDataset",
+    "synthetic_cifar10",
+    "synthetic_cifar100",
+    "ArrayDataset",
+    "DataLoader",
+    "random_crop_flip",
+]

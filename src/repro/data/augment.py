@@ -1,0 +1,31 @@
+"""Training-time data augmentation (pad-crop and horizontal flip)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def random_crop_flip(
+    images: np.ndarray,
+    rng: np.random.Generator,
+    pad: int = 2,
+    flip_prob: float = 0.5,
+) -> np.ndarray:
+    """Standard CIFAR-style augmentation: random pad-crop + horizontal flip.
+
+    Args:
+        images: (N, C, H, W) batch.
+        rng: Random generator.
+        pad: Zero padding before the random crop.
+        flip_prob: Probability of mirroring each sample.
+    """
+    n, c, h, w = images.shape
+    out = np.empty_like(images)
+    padded = np.pad(images, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    dys = rng.integers(0, 2 * pad + 1, size=n)
+    dxs = rng.integers(0, 2 * pad + 1, size=n)
+    flips = rng.random(n) < flip_prob
+    for i in range(n):
+        crop = padded[i, :, dys[i] : dys[i] + h, dxs[i] : dxs[i] + w]
+        out[i] = crop[:, :, ::-1] if flips[i] else crop
+    return out

@@ -1,0 +1,78 @@
+"""Dataset containers and the batching DataLoader."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+class ArrayDataset:
+    """A dataset wrapping in-memory arrays of images and labels."""
+
+    def __init__(self, images: np.ndarray, labels: np.ndarray):
+        if len(images) != len(labels):
+            raise ReproError("images and labels length mismatch")
+        self.images = np.asarray(images, dtype=np.float32)
+        self.labels = np.asarray(labels, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def __getitem__(self, idx):
+        return self.images[idx], self.labels[idx]
+
+
+class DataLoader:
+    """Mini-batch iterator with optional shuffling and augmentation.
+
+    Args:
+        dataset: Object with ``images`` / ``labels`` arrays.
+        batch_size: Samples per batch.
+        shuffle: Re-shuffle indices each epoch.
+        augment: Optional callable ``f(images, rng) -> images`` applied to
+            each training batch (see :mod:`repro.data.augment`).
+        drop_last: Drop a trailing partial batch.
+        seed: RNG seed for shuffling/augmentation.
+    """
+
+    def __init__(
+        self,
+        dataset,
+        batch_size: int = 64,
+        shuffle: bool = False,
+        augment: Callable[[np.ndarray, np.random.Generator], np.ndarray] | None = None,
+        drop_last: bool = False,
+        seed: int = 0,
+    ):
+        if batch_size < 1:
+            raise ReproError("batch_size must be >= 1")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.augment = augment
+        self.drop_last = drop_last
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        order = np.arange(n)
+        if self.shuffle:
+            self._rng.shuffle(order)
+        for start in range(0, n, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            if self.drop_last and len(idx) < self.batch_size:
+                return
+            x = self.dataset.images[idx]
+            y = self.dataset.labels[idx]
+            if self.augment is not None:
+                x = self.augment(x, self._rng)
+            yield x, y

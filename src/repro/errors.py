@@ -1,0 +1,17 @@
+"""Exception hierarchy for the :mod:`repro` package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class CircuitError(ReproError):
+    """Raised for malformed netlists or invalid circuit operations."""
+
+
+class QuantizationError(ReproError):
+    """Raised for invalid quantization configurations or uncalibrated use."""
+
+
+class ConfigError(ReproError):
+    """Raised for invalid experiment or model configurations."""

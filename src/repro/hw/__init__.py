@@ -1,0 +1,15 @@
+"""Hardware characterization and reporting (Table I machinery)."""
+
+from repro.hw.report import (
+    CharacterizationRow,
+    characterize,
+    characterize_all,
+    format_table1,
+)
+
+__all__ = [
+    "CharacterizationRow",
+    "characterize",
+    "characterize_all",
+    "format_table1",
+]

@@ -1,0 +1,101 @@
+"""Multiplier characterization reports (regenerates Table I).
+
+Each row combines:
+
+- *model* area/delay/power from the gate-level cost model
+  (:mod:`repro.circuits.cost`) when the multiplier has a structural
+  netlist -- exact, truncated, perforated, and synthesized multipliers do;
+  behavioral-only ones (DRUM-style mul8u_1DMU) report the datasheet only;
+- *datasheet* values from the paper's Table I (Synopsys DC + ASAP7);
+- error metrics measured exhaustively with Eq. 2;
+- the selected HWS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.cost import CircuitCost, estimate_cost
+from repro.multipliers.base import Multiplier, NetlistMultiplier
+from repro.multipliers.metrics import ErrorMetrics, error_metrics
+from repro.multipliers.registry import (
+    TABLE1_NAMES,
+    MultiplierInfo,
+    get_multiplier,
+    multiplier_info,
+)
+
+
+@dataclass
+class CharacterizationRow:
+    """One multiplier's full characterization."""
+
+    name: str
+    bits: int
+    category: str
+    metrics: ErrorMetrics
+    model_cost: CircuitCost | None
+    info: MultiplierInfo
+
+    @property
+    def has_netlist(self) -> bool:
+        return self.model_cost is not None
+
+
+def _netlist_of(mult: Multiplier):
+    if isinstance(mult, NetlistMultiplier):
+        return mult.netlist
+    build = getattr(mult, "build_netlist", None)
+    return build() if build is not None else None
+
+
+def characterize(name: str) -> CharacterizationRow:
+    """Characterize one registered multiplier (errors + hardware cost)."""
+    info = multiplier_info(name)
+    mult = get_multiplier(name)
+    netlist = _netlist_of(mult)
+    cost = estimate_cost(netlist) if netlist is not None else None
+    return CharacterizationRow(
+        name=name,
+        bits=info.bits,
+        category=info.category,
+        metrics=error_metrics(mult),
+        model_cost=cost,
+        info=info,
+    )
+
+
+def characterize_all(names: tuple[str, ...] = TABLE1_NAMES) -> list[CharacterizationRow]:
+    """Characterize every Table I multiplier (paper row order)."""
+    return [characterize(name) for name in names]
+
+
+def format_table1(rows: list[CharacterizationRow]) -> str:
+    """Render rows in the layout of the paper's Table I.
+
+    Model columns come from the gate-level cost model; ``paper`` columns
+    echo the datasheet for side-by-side comparison.
+    """
+    header = (
+        f"{'Multiplier':<12} {'Area/um2':>9} {'Delay/ps':>9} {'Power/uW':>9} "
+        f"{'ER/%':>6} {'NMED/%':>7} {'MaxED':>6} {'HWS':>4} "
+        f"| {'paper A':>8} {'paper D':>8} {'paper P':>8} {'pNMED':>6}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        d = row.info.datasheet
+        hws = str(row.info.default_hws) if row.info.default_hws else "N/A"
+        if row.model_cost is not None:
+            area = f"{row.model_cost.area_um2:9.1f}"
+            delay = f"{row.model_cost.delay_ps:9.1f}"
+            power = f"{row.model_cost.power_uw:9.2f}"
+        else:
+            area = delay = power = f"{'n/a':>9}"
+        lines.append(
+            f"{row.name:<12} {area} {delay} {power} "
+            f"{row.metrics.er_percent:6.1f} {row.metrics.nmed_percent:7.2f} "
+            f"{row.metrics.maxed:6d} {hws:>4} "
+            f"| {d.area_um2:8.1f} {d.delay_ps:8.1f} {d.power_uw:8.2f} "
+            f"{d.nmed_percent:6.2f}"
+        )
+    return "\n".join(lines)

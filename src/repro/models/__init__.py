@@ -1,0 +1,26 @@
+"""Model zoo: LeNet, VGG, and ResNet families.
+
+Architectures follow the originals (depth, block structure, residual
+wiring); a ``width_mult`` knob scales channel counts so full retraining
+sweeps run on a single CPU.  The paper's models map to ``vgg19``,
+``resnet18/34/50`` at ``width_mult=1.0``.
+"""
+
+from repro.models.lenet import LeNet
+from repro.models.vgg import VGG, vgg11, vgg16, vgg19
+from repro.models.resnet import ResNet, resnet18, resnet34, resnet50
+from repro.models.mobilenet import MobileNetSmall, mobilenet_small
+
+__all__ = [
+    "LeNet",
+    "VGG",
+    "vgg11",
+    "vgg16",
+    "vgg19",
+    "ResNet",
+    "resnet18",
+    "resnet34",
+    "resnet50",
+    "MobileNetSmall",
+    "mobilenet_small",
+]

@@ -1,0 +1,58 @@
+"""LeNet-5 style small CNN (used by the paper's HWS selection)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.errors import ConfigError
+from repro.nn.layers import (
+    Conv2d,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+)
+from repro.nn.module import Module
+
+
+class LeNet(Module):
+    """LeNet-5 adapted to configurable input size / channels.
+
+    Two 5x5 conv + pool stages followed by three fully connected layers
+    (120 / 84 / classes), per LeCun et al.
+    """
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        in_channels: int = 3,
+        image_size: int = 32,
+        seed: int = 0,
+    ):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        if image_size < 12:
+            raise ConfigError("LeNet needs image_size >= 12")
+        self.features = Sequential(
+            Conv2d(in_channels, 6, 5, padding=2, rng=rng),
+            ReLU(),
+            MaxPool2d(2),
+            Conv2d(6, 16, 5, rng=rng),
+            ReLU(),
+            MaxPool2d(2),
+        )
+        spatial = (image_size // 2 - 4) // 2
+        flat = 16 * spatial * spatial
+        self.classifier = Sequential(
+            Flatten(),
+            Linear(flat, 120, rng=rng),
+            ReLU(),
+            Linear(120, 84, rng=rng),
+            ReLU(),
+            Linear(84, num_classes, rng=rng),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.classifier(self.features(x))

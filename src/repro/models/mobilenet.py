@@ -1,0 +1,81 @@
+"""MobileNet-style depthwise-separable CNN (library extension).
+
+A compact model family for the paper's future-work direction ("extend to
+other AI models"): each block is a depthwise 3x3 followed by a pointwise
+1x1 convolution.  The 1x1 convolutions dominate the multiply count and are
+standard :class:`Conv2d` layers, so the AppMult conversion pass picks them
+up automatically; the depthwise layers stay float.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.nn.layers import (
+    BatchNorm2d,
+    Conv2d,
+    DepthwiseConv2d,
+    GlobalAvgPool2d,
+    Linear,
+    ReLU,
+    Sequential,
+)
+from repro.nn.module import Module
+
+
+class SeparableBlock(Module):
+    """Depthwise 3x3 + BN + ReLU, then pointwise 1x1 + BN + ReLU."""
+
+    def __init__(self, in_ch: int, out_ch: int, stride: int, rng):
+        super().__init__()
+        self.depthwise = DepthwiseConv2d(
+            in_ch, 3, stride=stride, padding=1, bias=False, rng=rng
+        )
+        self.bn1 = BatchNorm2d(in_ch)
+        self.pointwise = Conv2d(in_ch, out_ch, 1, bias=False, rng=rng)
+        self.bn2 = BatchNorm2d(out_ch)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.bn1(self.depthwise(x)).relu()
+        return self.bn2(self.pointwise(out)).relu()
+
+
+class MobileNetSmall(Module):
+    """A shallow MobileNet-v1-style network for CIFAR-sized inputs."""
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        in_channels: int = 3,
+        width_mult: float = 1.0,
+        seed: int = 0,
+    ):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+
+        def ch(base: int) -> int:
+            return max(4, int(round(base * width_mult)))
+
+        self.stem = Sequential(
+            Conv2d(in_channels, ch(32), 3, padding=1, bias=False, rng=rng),
+            BatchNorm2d(ch(32)),
+            ReLU(),
+        )
+        self.blocks = Sequential(
+            SeparableBlock(ch(32), ch(64), 1, rng),
+            SeparableBlock(ch(64), ch(128), 2, rng),
+            SeparableBlock(ch(128), ch(128), 1, rng),
+            SeparableBlock(ch(128), ch(256), 2, rng),
+        )
+        self.head = Sequential(
+            GlobalAvgPool2d(),
+            Linear(ch(256), num_classes, rng=rng),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.head(self.blocks(self.stem(x)))
+
+
+def mobilenet_small(**kwargs) -> MobileNetSmall:
+    return MobileNetSmall(**kwargs)

@@ -1,0 +1,140 @@
+"""ResNet family (He et al.) in the CIFAR configuration.
+
+``resnet18``/``resnet34`` use BasicBlock, ``resnet50`` uses Bottleneck,
+with the CIFAR stem (single 3x3 conv, no initial max-pool).  ``width_mult``
+scales the 64/128/256/512 channel progression for CPU-scale runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.nn.layers import (
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    ReLU,
+    Sequential,
+)
+from repro.nn.module import Module
+
+
+class BasicBlock(Module):
+    """Two 3x3 convolutions with a residual connection."""
+
+    expansion = 1
+
+    def __init__(self, in_ch: int, out_ch: int, stride: int, rng):
+        super().__init__()
+        self.conv1 = Conv2d(in_ch, out_ch, 3, stride=stride, padding=1, bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(out_ch)
+        self.conv2 = Conv2d(out_ch, out_ch, 3, padding=1, bias=False, rng=rng)
+        self.bn2 = BatchNorm2d(out_ch)
+        if stride != 1 or in_ch != out_ch:
+            self.shortcut = Sequential(
+                Conv2d(in_ch, out_ch, 1, stride=stride, bias=False, rng=rng),
+                BatchNorm2d(out_ch),
+            )
+        else:
+            self.shortcut = Identity()
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.bn2(self.conv2(out))
+        return (out + self.shortcut(x)).relu()
+
+
+class Bottleneck(Module):
+    """1x1 -> 3x3 -> 1x1 bottleneck with 4x expansion (ResNet50+)."""
+
+    expansion = 4
+
+    def __init__(self, in_ch: int, out_ch: int, stride: int, rng):
+        super().__init__()
+        mid = out_ch
+        out_full = out_ch * self.expansion
+        self.conv1 = Conv2d(in_ch, mid, 1, bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(mid)
+        self.conv2 = Conv2d(mid, mid, 3, stride=stride, padding=1, bias=False, rng=rng)
+        self.bn2 = BatchNorm2d(mid)
+        self.conv3 = Conv2d(mid, out_full, 1, bias=False, rng=rng)
+        self.bn3 = BatchNorm2d(out_full)
+        if stride != 1 or in_ch != out_full:
+            self.shortcut = Sequential(
+                Conv2d(in_ch, out_full, 1, stride=stride, bias=False, rng=rng),
+                BatchNorm2d(out_full),
+            )
+        else:
+            self.shortcut = Identity()
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.bn2(self.conv2(out)).relu()
+        out = self.bn3(self.conv3(out))
+        return (out + self.shortcut(x)).relu()
+
+
+class ResNet(Module):
+    """CIFAR-style ResNet with configurable block type and depth."""
+
+    def __init__(
+        self,
+        block,
+        layers: list[int],
+        num_classes: int = 10,
+        in_channels: int = 3,
+        width_mult: float = 1.0,
+        seed: int = 0,
+    ):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        widths = [max(4, int(round(w * width_mult))) for w in (64, 128, 256, 512)]
+        self.in_ch = widths[0]
+        self.stem = Sequential(
+            Conv2d(in_channels, widths[0], 3, padding=1, bias=False, rng=rng),
+            BatchNorm2d(widths[0]),
+            ReLU(),
+        )
+        self.stage1 = self._make_stage(block, widths[0], layers[0], 1, rng)
+        self.stage2 = self._make_stage(block, widths[1], layers[1], 2, rng)
+        self.stage3 = self._make_stage(block, widths[2], layers[2], 2, rng)
+        self.stage4 = self._make_stage(block, widths[3], layers[3], 2, rng)
+        self.head = Sequential(
+            GlobalAvgPool2d(),
+            Linear(widths[3] * block.expansion, num_classes, rng=rng),
+        )
+
+    def _make_stage(self, block, out_ch: int, blocks: int, stride: int, rng) -> Sequential:
+        strides = [stride] + [1] * (blocks - 1)
+        stage: list[Module] = []
+        for s in strides:
+            stage.append(block(self.in_ch, out_ch, s, rng))
+            self.in_ch = out_ch * block.expansion
+        return Sequential(*stage)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.stem(x)
+        out = self.stage1(out)
+        out = self.stage2(out)
+        out = self.stage3(out)
+        out = self.stage4(out)
+        return self.head(out)
+
+
+def resnet18(**kwargs) -> ResNet:
+    """The paper's CIFAR-10 ResNet."""
+    return ResNet(BasicBlock, [2, 2, 2, 2], **kwargs)
+
+
+def resnet34(**kwargs) -> ResNet:
+    """Used in the paper's CIFAR-100 experiment (Fig. 6a)."""
+    return ResNet(BasicBlock, [3, 4, 6, 3], **kwargs)
+
+
+def resnet50(**kwargs) -> ResNet:
+    """Used in the paper's CIFAR-100 experiment (Fig. 6b)."""
+    return ResNet(Bottleneck, [3, 4, 6, 3], **kwargs)

@@ -1,0 +1,98 @@
+"""VGG family (Simonyan & Zisserman) in the CIFAR configuration.
+
+The standard configurations (VGG11/16/19) are expressed as channel lists
+with ``"M"`` max-pool markers.  ``width_mult`` scales all channel counts and
+``max_stages`` can cut trailing pool stages for small input images; at
+``width_mult=1.0`` and ``max_stages=5`` this is the paper's VGG19.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.errors import ConfigError
+from repro.nn.layers import (
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+)
+from repro.nn.module import Module
+
+CONFIGS: dict[str, list] = {
+    "VGG11": [64, "M", 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M"],
+    "VGG16": [64, 64, "M", 128, 128, "M", 256, 256, 256, "M",
+              512, 512, 512, "M", 512, 512, 512, "M"],
+    "VGG19": [64, 64, "M", 128, 128, "M", 256, 256, 256, 256, "M",
+              512, 512, 512, 512, "M", 512, 512, 512, 512, "M"],
+}
+
+
+class VGG(Module):
+    """Configurable VGG with batch norm and a single linear classifier."""
+
+    def __init__(
+        self,
+        config: str | list = "VGG19",
+        num_classes: int = 10,
+        in_channels: int = 3,
+        image_size: int = 32,
+        width_mult: float = 1.0,
+        max_stages: int | None = None,
+        seed: int = 0,
+    ):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        cfg = CONFIGS[config] if isinstance(config, str) else list(config)
+        if max_stages is not None:
+            kept: list = []
+            stages = 0
+            for item in cfg:
+                kept.append(item)
+                if item == "M":
+                    stages += 1
+                    if stages >= max_stages:
+                        break
+            cfg = kept
+        n_pools = sum(1 for item in cfg if item == "M")
+        if image_size % (1 << n_pools) and image_size < (1 << n_pools):
+            raise ConfigError(
+                f"image_size {image_size} too small for {n_pools} pool stages"
+            )
+
+        layers: list[Module] = []
+        channels = in_channels
+        for item in cfg:
+            if item == "M":
+                layers.append(MaxPool2d(2))
+                continue
+            out_ch = max(4, int(round(item * width_mult)))
+            layers.append(Conv2d(channels, out_ch, 3, padding=1, bias=False, rng=rng))
+            layers.append(BatchNorm2d(out_ch))
+            layers.append(ReLU())
+            channels = out_ch
+        self.features = Sequential(*layers)
+        spatial = image_size >> n_pools
+        self.classifier = Sequential(
+            Flatten(), Linear(channels * spatial * spatial, num_classes, rng=rng)
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.classifier(self.features(x))
+
+
+def vgg11(**kwargs) -> VGG:
+    return VGG("VGG11", **kwargs)
+
+
+def vgg16(**kwargs) -> VGG:
+    return VGG("VGG16", **kwargs)
+
+
+def vgg19(**kwargs) -> VGG:
+    """The paper's VGG model."""
+    return VGG("VGG19", **kwargs)

@@ -1,0 +1,43 @@
+"""Integer multiplier library.
+
+Provides every multiplier from the paper's Table I (exact, truncated
+``_rmk``, EvoApprox-style behavioral stand-ins, and ALS-synthesized
+``_syn``), uniform LUT construction, exhaustive error metrics (Eq. 2), and
+a central registry.
+"""
+
+from repro.multipliers.base import (
+    Multiplier,
+    BehavioralMultiplier,
+    NetlistMultiplier,
+    LutMultiplier,
+)
+from repro.multipliers.exact import ExactMultiplier
+from repro.multipliers.truncated import TruncatedMultiplier
+from repro.multipliers.metrics import ErrorMetrics, error_metrics, operand_histogram
+from repro.multipliers.signed import SignedMultiplier
+from repro.multipliers.registry import (
+    get_multiplier,
+    list_multipliers,
+    multiplier_info,
+    TABLE1_NAMES,
+    MultiplierInfo,
+)
+
+__all__ = [
+    "Multiplier",
+    "BehavioralMultiplier",
+    "NetlistMultiplier",
+    "LutMultiplier",
+    "ExactMultiplier",
+    "TruncatedMultiplier",
+    "ErrorMetrics",
+    "error_metrics",
+    "operand_histogram",
+    "SignedMultiplier",
+    "get_multiplier",
+    "list_multipliers",
+    "multiplier_info",
+    "TABLE1_NAMES",
+    "MultiplierInfo",
+]

@@ -1,0 +1,131 @@
+"""Multiplier interface and LUT construction.
+
+Every multiplier exposes the same contract the paper's retraining framework
+consumes: a complete lookup table ``lut[w, x] = AM(w, x)`` over all
+``2**B x 2**B`` unsigned operand combinations (the paper stores these LUTs
+in GPU memory; we keep them as numpy arrays).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.circuits.netlist import Netlist
+from repro.circuits.simulator import simulate
+from repro.errors import ReproError
+
+
+class Multiplier(ABC):
+    """An unsigned ``bits x bits -> 2*bits`` integer multiplier.
+
+    Subclasses implement :meth:`build_lut`; the base class caches the result
+    and provides vectorized evaluation and convenience queries.
+    """
+
+    def __init__(self, name: str, bits: int):
+        if not 1 <= bits <= 10:
+            raise ReproError(f"unsupported multiplier width: {bits}")
+        self.name = name
+        self.bits = bits
+        self._lut: np.ndarray | None = None
+
+    @abstractmethod
+    def build_lut(self) -> np.ndarray:
+        """Compute the full LUT, shape ``(2**bits, 2**bits)``, ``lut[w, x]``."""
+
+    def lut(self) -> np.ndarray:
+        """Return the (cached) complete product LUT as int32, ``lut[w, x]``."""
+        if self._lut is None:
+            lut = np.asarray(self.build_lut())
+            n = 1 << self.bits
+            if lut.shape != (n, n):
+                raise ReproError(
+                    f"{self.name}: LUT shape {lut.shape} != {(n, n)}"
+                )
+            self._lut = np.ascontiguousarray(lut.astype(np.int32))
+            self._lut.setflags(write=False)
+        return self._lut
+
+    def __call__(self, w: np.ndarray, x: np.ndarray) -> np.ndarray:
+        """Evaluate ``AM(w, x)`` elementwise for integer operand arrays."""
+        w = np.asarray(w)
+        x = np.asarray(x)
+        n = 1 << self.bits
+        if np.any((w < 0) | (w >= n)) or np.any((x < 0) | (x >= n)):
+            raise ReproError(f"{self.name}: operands out of [0, {n})")
+        return self.lut()[w, x]
+
+    @property
+    def is_exact(self) -> bool:
+        """True if the LUT equals the exact product everywhere."""
+        n = 1 << self.bits
+        w = np.arange(n, dtype=np.int64)[:, None]
+        x = np.arange(n, dtype=np.int64)[None, :]
+        return bool(np.array_equal(self.lut(), (w * x).astype(np.int32)))
+
+    def error_surface(self) -> np.ndarray:
+        """Return ``AM(w, x) - w*x`` for all operand pairs (int64)."""
+        n = 1 << self.bits
+        w = np.arange(n, dtype=np.int64)[:, None]
+        x = np.arange(n, dtype=np.int64)[None, :]
+        return self.lut().astype(np.int64) - w * x
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r}, bits={self.bits})"
+
+
+class BehavioralMultiplier(Multiplier):
+    """Multiplier defined by a vectorized python function ``f(W, X)``.
+
+    The function receives two broadcastable int64 arrays holding all operand
+    combinations and must return the approximate products.
+    """
+
+    def __init__(self, name: str, bits: int, func):
+        super().__init__(name, bits)
+        self._func = func
+
+    def build_lut(self) -> np.ndarray:
+        n = 1 << self.bits
+        w = np.arange(n, dtype=np.int64)[:, None]
+        x = np.arange(n, dtype=np.int64)[None, :]
+        return np.broadcast_to(
+            np.asarray(self._func(w, x), dtype=np.int64), (n, n)
+        ).copy()
+
+
+class NetlistMultiplier(Multiplier):
+    """Multiplier backed by a gate-level netlist.
+
+    The netlist's inputs must be declared as W bits (LSB first) followed by
+    X bits, matching :mod:`repro.circuits.generators`.
+    """
+
+    def __init__(self, name: str, bits: int, netlist: Netlist):
+        super().__init__(name, bits)
+        if netlist.n_inputs != 2 * bits:
+            raise ReproError(
+                f"{name}: netlist has {netlist.n_inputs} inputs, "
+                f"expected {2 * bits}"
+            )
+        self.netlist = netlist
+
+    def build_lut(self) -> np.ndarray:
+        out = simulate(self.netlist)
+        n = 1 << self.bits
+        # Input combination index i packs w in the low bits, x in the high
+        # bits, so reshaping gives axis order (x, w); transpose to lut[w, x].
+        return out.reshape(n, n).T
+
+
+class LutMultiplier(Multiplier):
+    """Multiplier defined directly by a precomputed LUT (e.g. loaded data)."""
+
+    def __init__(self, name: str, bits: int, lut: np.ndarray):
+        super().__init__(name, bits)
+        self._raw = np.asarray(lut)
+
+    def build_lut(self) -> np.ndarray:
+        return self._raw

@@ -1,0 +1,103 @@
+"""Radix-4 Booth signed multiplier (behavioral, with truncated variant).
+
+A complement to the sign-magnitude :class:`repro.multipliers.signed.SignedMultiplier`
+wrapper: real signed accelerator datapaths are usually Booth-encoded, and
+Booth truncation has a different error structure than array truncation
+(errors are two-sided because partial products can be negative).
+
+The LUT is indexed by the unsigned reinterpretation of two's-complement
+operands, matching the convention of :class:`SignedMultiplier`, so the same
+LUT machinery applies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.multipliers.base import Multiplier
+
+
+def booth_digits(w: np.ndarray, bits: int) -> np.ndarray:
+    """Radix-4 signed-digit (Booth-style) recoding of two's-complement values.
+
+    Returns:
+        Array of shape ``w.shape + (ceil((bits+2)/2),)`` with digits in
+        {-2, -1, 0, 1} such that ``sum_d digit_d * 4**d == w`` exactly.
+    """
+    w = np.asarray(w, dtype=np.int64)
+    n_digits = (bits + 2) // 2
+    digits = np.empty(w.shape + (n_digits,), dtype=np.int64)
+    remaining = w.copy()
+    for d in range(n_digits):
+        digit = remaining - (remaining >> 2 << 2)  # remaining mod 4
+        digit = np.where(digit > 1, digit - 4, digit)  # recode into [-2, 1]
+        remaining = (remaining - digit) >> 2
+        digits[..., d] = digit
+    return digits
+
+
+class BoothMultiplier(Multiplier):
+    """Signed radix-4 Booth multiplier with optional truncated digits.
+
+    ``dropped_digits`` removes the lowest Booth partial products (each
+    covering two bit positions), the Booth analogue of Fig. 2's column
+    truncation.  ``dropped_digits=0`` gives the exact signed product.
+    """
+
+    def __init__(self, bits: int, dropped_digits: int = 0, name: str | None = None):
+        n_digits = (bits + 2) // 2
+        if not 0 <= dropped_digits <= n_digits:
+            raise ReproError(
+                f"dropped_digits {dropped_digits} invalid "
+                f"(radix-4 has {n_digits} digits at {bits} bits)"
+            )
+        super().__init__(
+            name or f"mul{bits}s_booth_rd{dropped_digits}", bits
+        )
+        self.dropped_digits = dropped_digits
+
+    def build_lut(self) -> np.ndarray:
+        bits = self.bits
+        n = 1 << bits
+        half = n >> 1
+        signed = np.arange(n, dtype=np.int64)
+        signed[half:] -= n
+
+        digits = booth_digits(signed, bits)  # (n, D)
+        x = signed[None, :]  # (1, n)
+        out = np.zeros((n, n), dtype=np.int64)
+        for d in range(self.dropped_digits, digits.shape[-1]):
+            out += (digits[:, d][:, None] * x) << (2 * d)
+        return out
+
+    @property
+    def is_signed(self) -> bool:
+        return True
+
+    def error_surface(self) -> np.ndarray:
+        """``AM(w, x) - w*x`` with *signed* operand interpretation.
+
+        Overrides the unsigned base-class definition: LUT indices are the
+        two's-complement reinterpretations of signed operands.
+        """
+        n = 1 << self.bits
+        signed = np.arange(n, dtype=np.int64)
+        signed[n >> 1 :] -= n
+        exact = signed[:, None] * signed[None, :]
+        return self.lut().astype(np.int64) - exact
+
+    def product(self, w: np.ndarray, x: np.ndarray) -> np.ndarray:
+        """Evaluate for signed operands in two's-complement range."""
+        bits = self.bits
+        n = 1 << bits
+        half = n >> 1
+        w = np.asarray(w)
+        x = np.asarray(x)
+        if np.any((w < -half) | (w >= half)) or np.any(
+            (x < -half) | (x >= half)
+        ):
+            raise ReproError(
+                f"{self.name}: signed operands out of [{-half}, {half})"
+            )
+        return self.lut()[w & (n - 1), x & (n - 1)]

@@ -1,0 +1,142 @@
+"""Multiplier design-space exploration: error/cost Pareto frontiers.
+
+Enumerates a configurable family of approximate-multiplier designs
+(column truncations, truncation + compensation, row perforations, DRUM
+variants, and optional ALS points), characterizes each with exhaustive
+error metrics and the gate-level cost model, and extracts the Pareto
+frontier over (NMED, power).  This is the search an accelerator designer
+runs *before* the paper's retraining flow: pick candidate multipliers,
+then retrain to recover accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.cost import estimate_cost
+from repro.multipliers.base import Multiplier
+from repro.multipliers.evoapprox import DrumMultiplier, PartialProductMultiplier
+from repro.multipliers.metrics import ErrorMetrics, error_metrics
+from repro.multipliers.truncated import TruncatedMultiplier
+from repro.circuits.generators import truncation_drop_set
+
+
+@dataclass
+class CandidatePoint:
+    """One design point in the multiplier design space."""
+
+    multiplier: Multiplier
+    metrics: ErrorMetrics
+    area_um2: float | None
+    power_uw: float | None
+
+    @property
+    def name(self) -> str:
+        return self.multiplier.name
+
+    def dominates(self, other: "CandidatePoint") -> bool:
+        """Pareto dominance on (NMED, power); requires both costed."""
+        if self.power_uw is None or other.power_uw is None:
+            return False
+        no_worse = (
+            self.metrics.nmed <= other.metrics.nmed
+            and self.power_uw <= other.power_uw
+        )
+        better = (
+            self.metrics.nmed < other.metrics.nmed
+            or self.power_uw < other.power_uw
+        )
+        return no_worse and better
+
+
+def _characterize(mult: Multiplier) -> CandidatePoint:
+    build = getattr(mult, "build_netlist", None)
+    cost = estimate_cost(build()) if build is not None else None
+    return CandidatePoint(
+        multiplier=mult,
+        metrics=error_metrics(mult),
+        area_um2=cost.area_um2 if cost else None,
+        power_uw=cost.power_uw if cost else None,
+    )
+
+
+def enumerate_candidates(
+    bits: int,
+    truncations: tuple[int, ...] = (2, 4, 6, 8),
+    compensation_fractions: tuple[float, ...] = (0.0, 0.25, 0.5),
+    drum_ts: tuple[int, ...] = (),
+    include_exact: bool = True,
+) -> list[CandidatePoint]:
+    """Build and characterize a family of candidate designs.
+
+    Args:
+        bits: Operand width.
+        truncations: ``k`` values for rightmost-column removal (Fig. 2).
+        compensation_fractions: For each truncation, compensation constants
+            as fractions of the mean removed value (0 disables).
+        drum_ts: DRUM significant-bit widths to include (no netlist cost).
+        include_exact: Include the accurate multiplier as the anchor point.
+    """
+    points: list[CandidatePoint] = []
+    if include_exact:
+        from repro.multipliers.exact import ExactMultiplier
+
+        points.append(_characterize(ExactMultiplier(bits)))
+    for k in truncations:
+        if k >= 2 * bits:
+            continue
+        base = TruncatedMultiplier(bits, k)
+        mean_removed = base.worst_case_error / 4
+        for frac in compensation_fractions:
+            comp = int(round(frac * mean_removed))
+            if comp == 0:
+                points.append(_characterize(base))
+                continue
+            mult = PartialProductMultiplier(
+                f"mul{bits}u_rm{k}c{comp}",
+                bits,
+                truncation_drop_set(bits, k),
+                compensation=comp,
+            )
+            points.append(_characterize(mult))
+    for t in drum_ts:
+        if 1 <= t <= bits:
+            points.append(_characterize(DrumMultiplier(bits, t)))
+    # Rounded compensation fractions can collide; keep the first of each.
+    unique: dict[str, CandidatePoint] = {}
+    for p in points:
+        unique.setdefault(p.name, p)
+    return list(unique.values())
+
+
+def pareto_front(points: list[CandidatePoint]) -> list[CandidatePoint]:
+    """Non-dominated subset on (NMED, power), sorted by power.
+
+    Points without a hardware cost (no netlist) are excluded.
+    """
+    costed = [p for p in points if p.power_uw is not None]
+    front = [
+        p
+        for p in costed
+        if not any(q.dominates(p) for q in costed)
+    ]
+    return sorted(front, key=lambda p: p.power_uw)
+
+
+def format_catalog(points: list[CandidatePoint], front: list[CandidatePoint] | None = None) -> str:
+    """Render the design space as an aligned table, flagging Pareto points."""
+    front_names = {p.name for p in (front or [])}
+    lines = [
+        f"{'design':<18} {'NMED/%':>7} {'MaxED':>6} {'ER/%':>6} "
+        f"{'area':>7} {'power':>7} {'pareto':>7}"
+    ]
+    for p in sorted(points, key=lambda q: q.metrics.nmed):
+        area = f"{p.area_um2:7.1f}" if p.area_um2 is not None else f"{'n/a':>7}"
+        power = f"{p.power_uw:7.2f}" if p.power_uw is not None else f"{'n/a':>7}"
+        flag = "*" if p.name in front_names else ""
+        lines.append(
+            f"{p.name:<18} {p.metrics.nmed_percent:7.3f} "
+            f"{p.metrics.maxed:6d} {p.metrics.er_percent:6.1f} "
+            f"{area} {power} {flag:>7}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,30 @@
+"""Exact (accurate) multipliers -- the ``_acc`` rows of Table I."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.generators import wallace_multiplier
+from repro.circuits.netlist import Netlist
+from repro.multipliers.base import Multiplier
+
+
+class ExactMultiplier(Multiplier):
+    """The accurate B-bit unsigned multiplier ``AM(W, X) = W * X``.
+
+    The LUT is computed arithmetically; :meth:`build_netlist` provides the
+    Wallace-tree structural implementation used for hardware costing.
+    """
+
+    def __init__(self, bits: int, name: str | None = None):
+        super().__init__(name or f"mul{bits}u_acc", bits)
+
+    def build_lut(self) -> np.ndarray:
+        n = 1 << self.bits
+        w = np.arange(n, dtype=np.int64)[:, None]
+        x = np.arange(n, dtype=np.int64)[None, :]
+        return w * x
+
+    def build_netlist(self) -> Netlist:
+        """Structural Wallace-tree implementation (for cost estimation)."""
+        return wallace_multiplier(self.bits)

@@ -1,0 +1,96 @@
+"""Multiplier LUT persistence and interchange.
+
+Supports two formats:
+
+- ``.npz`` -- the native format: LUT plus metadata (name, bits, signedness).
+- EvoApprox-style C header -- the format the paper's frameworks (TFApprox,
+  ApproxTrain) consume: a flat ``uint32`` array named ``lut_<name>`` indexed
+  ``lut[a * 2**B + b]``.  Both export and a tolerant import are provided so
+  real EvoApproxLib tables can be dropped in when available.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.multipliers.base import LutMultiplier, Multiplier
+
+
+def save_npz(multiplier: Multiplier, path: str | Path) -> None:
+    """Write a multiplier's LUT and metadata to ``path`` (.npz)."""
+    np.savez_compressed(
+        Path(path),
+        lut=multiplier.lut(),
+        bits=np.int64(multiplier.bits),
+        name=np.str_(multiplier.name),
+    )
+
+
+def load_npz(path: str | Path) -> LutMultiplier:
+    """Load a multiplier saved with :func:`save_npz`."""
+    path = Path(path)
+    if not path.exists():
+        raise ReproError(f"no such LUT file: {path}")
+    with np.load(path) as data:
+        try:
+            lut = data["lut"]
+            bits = int(data["bits"])
+            name = str(data["name"])
+        except KeyError as exc:
+            raise ReproError(f"{path} is not a multiplier archive") from exc
+    return LutMultiplier(name, bits, lut)
+
+
+def export_c_header(multiplier: Multiplier, path: str | Path) -> None:
+    """Write the LUT as an EvoApprox-style C header.
+
+    Layout matches the tables TFApprox/ApproxTrain load:
+    ``lut[a * 2**B + b] == AM(a, b)`` as ``uint32``.
+    """
+    lut = multiplier.lut()
+    n = lut.shape[0]
+    ident = re.sub(r"\W", "_", multiplier.name)
+    lines = [
+        f"// Auto-generated LUT for {multiplier.name} "
+        f"({multiplier.bits}x{multiplier.bits} unsigned)",
+        f"#ifndef LUT_{ident.upper()}_H",
+        f"#define LUT_{ident.upper()}_H",
+        "#include <stdint.h>",
+        f"static const uint32_t lut_{ident}[{n * n}] = {{",
+    ]
+    flat = lut.ravel()
+    for row_start in range(0, flat.size, 16):
+        chunk = ", ".join(str(int(v)) for v in flat[row_start : row_start + 16])
+        lines.append(f"    {chunk},")
+    lines[-1] = lines[-1].rstrip(",")
+    lines.append("};")
+    lines.append("#endif")
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def import_c_header(path: str | Path, bits: int, name: str | None = None) -> LutMultiplier:
+    """Parse an EvoApprox-style C header back into a multiplier.
+
+    Tolerant of formatting: extracts every integer literal between the
+    array's braces, row-major ``lut[a * 2**B + b]``.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ReproError(f"no such header: {path}")
+    text = path.read_text()
+    match = re.search(r"\{(.*)\}", text, flags=re.DOTALL)
+    if match is None:
+        raise ReproError(f"{path} contains no array initializer")
+    values = [int(v) for v in re.findall(r"\d+", match.group(1))]
+    n = 1 << bits
+    if len(values) != n * n:
+        raise ReproError(
+            f"{path}: expected {n * n} entries for {bits}-bit, "
+            f"got {len(values)}"
+        )
+    lut = np.array(values, dtype=np.int64).reshape(n, n)
+    return LutMultiplier(name or path.stem, bits, lut)

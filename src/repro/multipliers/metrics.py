@@ -1,0 +1,126 @@
+"""Exhaustive error metrics for approximate multipliers (Eq. 2).
+
+All metrics enumerate every operand combination under a uniform input
+distribution, exactly as the paper measures them.  NMED is normalized by
+``2**(2B) - 1`` following Eq. 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.multipliers.base import Multiplier
+
+
+@dataclass(frozen=True)
+class ErrorMetrics:
+    """Error characterization of one approximate multiplier.
+
+    Attributes:
+        er: Error rate -- fraction of inputs with a wrong product.
+        nmed: Normalized mean error distance (fraction, not percent).
+        maxed: Maximum error distance.
+        med: Mean error distance (unnormalized).
+        mred: Mean relative error distance over nonzero exact products.
+        bias: Mean signed error (negative means under-approximation).
+    """
+
+    er: float
+    nmed: float
+    maxed: int
+    med: float
+    mred: float
+    bias: float
+
+    @property
+    def er_percent(self) -> float:
+        return 100.0 * self.er
+
+    @property
+    def nmed_percent(self) -> float:
+        return 100.0 * self.nmed
+
+    def __str__(self) -> str:
+        return (
+            f"ER={self.er_percent:.1f}% NMED={self.nmed_percent:.2f}% "
+            f"MaxED={self.maxed}"
+        )
+
+
+def error_metrics(
+    multiplier: Multiplier,
+    w_probs: np.ndarray | None = None,
+    x_probs: np.ndarray | None = None,
+) -> ErrorMetrics:
+    """Compute :class:`ErrorMetrics` by exhaustive enumeration.
+
+    Eq. 2 weights each input combination by its probability ``p_i``; the
+    default is the uniform distribution the paper measures under, but
+    operand marginals can be supplied (e.g. observed weight/activation
+    histograms from a calibrated model) for workload-aware
+    characterization.  MaxED stays distribution-free over the support
+    (combinations with nonzero probability).
+
+    Args:
+        multiplier: The multiplier to characterize.
+        w_probs: Optional length ``2**B`` marginal over the W operand.
+        x_probs: Optional length ``2**B`` marginal over the X operand.
+    """
+    bits = multiplier.bits
+    n = 1 << bits
+    err = multiplier.error_surface()
+    abs_err = np.abs(err)
+    exact = np.arange(n, dtype=np.int64)[:, None] * np.arange(
+        n, dtype=np.int64
+    )[None, :]
+
+    probs = _joint_probs(n, w_probs, x_probs)
+
+    nonzero = exact > 0
+    if np.any(nonzero):
+        rel = abs_err[nonzero] / exact[nonzero]
+        pn = probs[nonzero]
+        mred = float((rel * pn).sum() / pn.sum()) if pn.sum() > 0 else 0.0
+    else:  # pragma: no cover - only for 0-bit corner widths
+        mred = 0.0
+
+    support = probs > 0
+    maxed = int(abs_err[support].max()) if np.any(support) else 0
+
+    return ErrorMetrics(
+        er=float(((err != 0) * probs).sum()),
+        nmed=float((abs_err * probs).sum() / ((1 << (2 * bits)) - 1)),
+        maxed=maxed,
+        med=float((abs_err * probs).sum()),
+        mred=mred,
+        bias=float((err * probs).sum()),
+    )
+
+
+def _joint_probs(
+    n: int, w_probs: np.ndarray | None, x_probs: np.ndarray | None
+) -> np.ndarray:
+    """Joint distribution over (W, X) from independent operand marginals."""
+    def marginal(p):
+        if p is None:
+            return np.full(n, 1.0 / n)
+        p = np.asarray(p, dtype=np.float64)
+        if p.shape != (n,):
+            raise ValueError(f"marginal must have length {n}")
+        if np.any(p < 0) or p.sum() <= 0:
+            raise ValueError("marginal must be non-negative and non-zero")
+        return p / p.sum()
+
+    return marginal(w_probs)[:, None] * marginal(x_probs)[None, :]
+
+
+def operand_histogram(values: np.ndarray, bits: int) -> np.ndarray:
+    """Empirical operand marginal from observed quantized integers."""
+    n = 1 << bits
+    values = np.asarray(values).ravel()
+    if np.any((values < 0) | (values >= n)):
+        raise ValueError(f"operand values outside [0, {n})")
+    counts = np.bincount(values.astype(np.int64), minlength=n)
+    return counts / counts.sum()

@@ -1,0 +1,148 @@
+"""Central registry of the paper's Table I multipliers.
+
+Maps each multiplier name to a constructor, the paper's selected half
+window size (HWS, Table I last column), and the paper's datasheet values
+(area / delay / power from Synopsys DC + ASAP7, error metrics).  Instances
+are cached per process because LUT construction -- and especially the ALS
+runs behind the ``_syn`` names -- is not free.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ReproError
+from repro.multipliers import evoapprox
+from repro.multipliers.base import Multiplier
+from repro.multipliers.exact import ExactMultiplier
+from repro.multipliers.synthesized import build_syn_multiplier
+from repro.multipliers.truncated import TruncatedMultiplier
+
+
+@dataclass(frozen=True)
+class Datasheet:
+    """Paper Table I row: DC+ASAP7 characterization and error metrics."""
+
+    area_um2: float
+    delay_ps: float
+    power_uw: float
+    er_percent: float
+    nmed_percent: float
+    maxed: int
+
+
+@dataclass(frozen=True)
+class MultiplierInfo:
+    """Registry record for one multiplier name."""
+
+    name: str
+    bits: int
+    category: str  # "exact" | "truncated" | "evoapprox" | "synthesized"
+    builder: Callable[[], Multiplier]
+    default_hws: int | None  # Table I last column; None for exact multipliers
+    datasheet: Datasheet
+
+
+def _info(
+    name: str,
+    bits: int,
+    category: str,
+    builder: Callable[[], Multiplier],
+    hws: int | None,
+    sheet: tuple[float, float, float, float, float, int],
+) -> MultiplierInfo:
+    return MultiplierInfo(name, bits, category, builder, hws, Datasheet(*sheet))
+
+
+_REGISTRY: dict[str, MultiplierInfo] = {
+    info.name: info
+    for info in [
+        # name, bits, category, builder, HWS,
+        #   (area um2, delay ps, power uW, ER %, NMED %, MaxED)
+        _info("mul8u_acc", 8, "exact", lambda: ExactMultiplier(8), None,
+              (25.6, 730.1, 22.93, 0.0, 0.0, 0)),
+        _info("mul8u_syn1", 8, "synthesized",
+              lambda: build_syn_multiplier("mul8u_syn1"), 16,
+              (13.0, 582.2, 9.68, 99.1, 0.28, 1937)),
+        _info("mul8u_syn2", 8, "synthesized",
+              lambda: build_syn_multiplier("mul8u_syn2"), 16,
+              (12.3, 577.7, 9.29, 99.5, 0.30, 2057)),
+        _info("mul8u_2NDH", 8, "evoapprox", evoapprox.mul8u_2NDH, 32,
+              (10.0, 512.6, 6.48, 98.7, 0.44, 2709)),
+        _info("mul8u_17C8", 8, "evoapprox", evoapprox.mul8u_17C8, 16,
+              (7.7, 624.4, 5.01, 99.0, 0.56, 1577)),
+        _info("mul8u_1DMU", 8, "evoapprox", evoapprox.mul8u_1DMU, 32,
+              (15.6, 837.6, 11.09, 66.0, 0.65, 4084)),
+        _info("mul8u_17R6", 8, "evoapprox", evoapprox.mul8u_17R6, 32,
+              (6.9, 743.3, 4.60, 99.0, 0.67, 1925)),
+        _info("mul8u_rm8", 8, "truncated",
+              lambda: TruncatedMultiplier(8, 8), 16,
+              (11.6, 655.0, 9.19, 98.0, 0.68, 1793)),
+        _info("mul7u_acc", 7, "exact", lambda: ExactMultiplier(7), None,
+              (19.0, 695.0, 15.72, 0.0, 0.0, 0)),
+        _info("mul7u_06Q", 7, "evoapprox", evoapprox.mul7u_06Q, 4,
+              (10.6, 861.9, 7.90, 95.4, 0.24, 162)),
+        _info("mul7u_073", 7, "evoapprox", evoapprox.mul7u_073, 2,
+              (11.0, 889.8, 8.61, 95.2, 0.27, 154)),
+        _info("mul7u_rm6", 7, "truncated",
+              lambda: TruncatedMultiplier(7, 6), 2,
+              (11.4, 599.0, 9.00, 96.1, 0.28, 273)),
+        _info("mul7u_syn1", 7, "synthesized",
+              lambda: build_syn_multiplier("mul7u_syn1"), 8,
+              (11.5, 561.3, 9.06, 97.6, 0.28, 457)),
+        _info("mul7u_syn2", 7, "synthesized",
+              lambda: build_syn_multiplier("mul7u_syn2"), 8,
+              (10.9, 532.4, 7.98, 98.8, 0.39, 713)),
+        _info("mul7u_081", 7, "evoapprox", evoapprox.mul7u_081, 16,
+              (10.7, 673.6, 7.67, 97.3, 0.45, 314)),
+        _info("mul7u_08E", 7, "evoapprox", evoapprox.mul7u_08E, 4,
+              (8.9, 612.5, 6.15, 97.5, 0.46, 317)),
+        _info("mul6u_acc", 6, "exact", lambda: ExactMultiplier(6), None,
+              (14.1, 680.1, 10.47, 0.0, 0.0, 0)),
+        _info("mul6u_rm4", 6, "truncated",
+              lambda: TruncatedMultiplier(6, 4), 2,
+              (10.3, 563.9, 7.06, 81.3, 0.3, 49)),
+    ]
+}
+
+#: All Table I names, in the paper's row order.
+TABLE1_NAMES: tuple[str, ...] = tuple(_REGISTRY)
+
+
+def list_multipliers(bits: int | None = None, category: str | None = None) -> list[str]:
+    """Registered names, optionally filtered by width and/or category."""
+    return [
+        name
+        for name, info in _REGISTRY.items()
+        if (bits is None or info.bits == bits)
+        and (category is None or info.category == category)
+    ]
+
+
+def multiplier_info(name: str) -> MultiplierInfo:
+    """Return the registry record for ``name``.
+
+    Raises:
+        ReproError: If the name is not registered.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown multiplier {name!r}; known: {', '.join(_REGISTRY)}"
+        ) from None
+
+
+@functools.lru_cache(maxsize=None)
+def get_multiplier(name: str) -> Multiplier:
+    """Build (or fetch the cached) multiplier instance for ``name``."""
+    mult = multiplier_info(name).builder()
+    mult.lut()  # force LUT construction so later uses are cheap
+    return mult
+
+
+def accurate_counterpart(name: str) -> str:
+    """Name of the same-width exact multiplier (``mulBu_acc``)."""
+    return f"mul{multiplier_info(name).bits}u_acc"

@@ -1,0 +1,70 @@
+"""Static segment multipliers (SSM) -- another classic AppMult family.
+
+An SSM picks one ``segment_bits``-wide window of each operand: the low
+segment when the operand fits in it, otherwise the high segment.  Only a
+``segment x segment`` exact multiplier is instantiated in hardware, giving
+large area savings with a characteristic two-regime error structure
+(exact for small operands, coarse for large ones) -- similar in spirit to
+DRUM but with static (not leading-one-aligned) windows, which makes the
+hardware much simpler.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.multipliers.base import Multiplier
+
+
+def ssm_approximate_operand(
+    v: np.ndarray, bits: int, segment_bits: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Segment selection for one operand.
+
+    Returns:
+        ``(value, shift)`` where ``value`` is the selected segment's
+        integer value and ``shift`` the power-of-two scale it carries.
+        Low segment (shift 0) when ``v < 2**segment_bits``; otherwise the
+        top ``segment_bits`` of the operand (shift ``bits - segment_bits``).
+    """
+    v = np.asarray(v, dtype=np.int64)
+    shift_amount = bits - segment_bits
+    high = v >> shift_amount
+    use_high = v >= (1 << segment_bits)
+    value = np.where(use_high, high, v)
+    shift = np.where(use_high, shift_amount, 0)
+    return value, shift
+
+
+class SegmentMultiplier(Multiplier):
+    """Static segment multiplier with an exact ``s x s`` core."""
+
+    def __init__(self, bits: int, segment_bits: int, name: str | None = None):
+        if not 1 <= segment_bits <= bits:
+            raise ReproError(
+                f"segment_bits {segment_bits} invalid for {bits}-bit operands"
+            )
+        super().__init__(
+            name or f"mul{bits}u_ssm{segment_bits}", bits
+        )
+        self.segment_bits = segment_bits
+
+    def build_lut(self) -> np.ndarray:
+        n = 1 << self.bits
+        w_val, w_shift = ssm_approximate_operand(
+            np.arange(n), self.bits, self.segment_bits
+        )
+        x_val, x_shift = ssm_approximate_operand(
+            np.arange(n), self.bits, self.segment_bits
+        )
+        prod = w_val[:, None] * x_val[None, :]
+        shift = w_shift[:, None] + x_shift[None, :]
+        out = prod << shift
+        return np.minimum(out, (1 << (2 * self.bits)) - 1)
+
+    @property
+    def exact_fraction(self) -> float:
+        """Fraction of operand pairs computed exactly (both in low segment)."""
+        small = (1 << self.segment_bits) / (1 << self.bits)
+        return small * small

@@ -1,0 +1,65 @@
+"""Signed multiplier support (the paper's Section III "easily extended").
+
+The paper treats unsigned AppMults; real accelerators often need signed
+weights.  :class:`SignedMultiplier` wraps an unsigned AppMult with
+sign-magnitude handling: ``AM_s(W, X) = sign(W)*sign(X) * AM(|W|, |X|)``,
+where operands are two's-complement B-bit integers in
+``[-2**(B-1), 2**(B-1) - 1]``.
+
+Its LUT is indexed by the *unsigned reinterpretation* of the operands
+(i.e. ``w & (2**B - 1)``), so the same LUT-lookup machinery used for
+unsigned multipliers applies unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.multipliers.base import Multiplier
+
+
+class SignedMultiplier(Multiplier):
+    """Sign-magnitude wrapper turning an unsigned AppMult into a signed one."""
+
+    def __init__(self, inner: Multiplier, name: str | None = None):
+        super().__init__(name or f"{inner.name}_signed", inner.bits)
+        self.inner = inner
+
+    def build_lut(self) -> np.ndarray:
+        bits = self.bits
+        n = 1 << bits
+        half = n >> 1
+        # Signed values in two's-complement index order: 0..half-1, -half..-1
+        signed = np.arange(n, dtype=np.int64)
+        signed[half:] -= n
+        # |v| <= 2**(B-1) always fits the B-bit unsigned multiplier's
+        # operand range, so no saturation is needed (even for -2**(B-1)).
+        mag = np.abs(signed)
+        sign = np.sign(signed)
+        inner_lut = self.inner.lut().astype(np.int64)
+        out = inner_lut[mag[:, None], mag[None, :]]
+        return out * (sign[:, None] * sign[None, :])
+
+    def error_surface(self) -> np.ndarray:
+        """``AM_s(w, x) - w*x`` with *signed* operand interpretation."""
+        n = 1 << self.bits
+        signed = np.arange(n, dtype=np.int64)
+        signed[n >> 1 :] -= n
+        exact = signed[:, None] * signed[None, :]
+        return self.lut().astype(np.int64) - exact
+
+    def product(self, w: np.ndarray, x: np.ndarray) -> np.ndarray:
+        """Evaluate for signed operand arrays (two's-complement range)."""
+        bits = self.bits
+        n = 1 << bits
+        half = n >> 1
+        w = np.asarray(w)
+        x = np.asarray(x)
+        if np.any((w < -half) | (w >= half)) or np.any(
+            (x < -half) | (x >= half)
+        ):
+            raise ReproError(
+                f"{self.name}: signed operands out of [{-half}, {half})"
+            )
+        return self.lut()[w & (n - 1), x & (n - 1)]

@@ -1,0 +1,68 @@
+"""Truncated multipliers: the ``_rmk`` family of Fig. 2.
+
+``TruncatedMultiplier(B, k)`` removes the rightmost ``k`` columns of partial
+products: every ``pp_ij = w_i & x_j`` with ``i + j < k`` is treated as zero,
+so the approximation error (Fig. 2 / Section II-A) is
+
+    eps(W, X) = -sum_{i+j<k} 2^(i+j) * w_i * x_j  <=  0.
+
+Note the paper's own Eq. for Fig. 2 implies ``MaxED = sum_d n_d 2^d``; see
+EXPERIMENTS.md for the one Table I row (mul7u_rm6) where the paper's listed
+MaxED differs from that formula.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.generators import (
+    custom_array_multiplier,
+    truncation_drop_set,
+    truncation_error_bound,
+)
+from repro.circuits.netlist import Netlist
+from repro.errors import ReproError
+from repro.multipliers.base import Multiplier
+
+
+def truncation_error(
+    w: np.ndarray, x: np.ndarray, bits: int, dropped_columns: int
+) -> np.ndarray:
+    """Vectorized ``sum_{i+j<k} 2^(i+j) w_i x_j`` for integer arrays."""
+    err = np.zeros(np.broadcast_shapes(w.shape, x.shape), dtype=np.int64)
+    for i in range(min(bits, dropped_columns)):
+        wi = (w >> i) & 1
+        for j in range(min(bits, dropped_columns - i)):
+            err += (wi & ((x >> j) & 1)) << (i + j)
+    return err
+
+
+class TruncatedMultiplier(Multiplier):
+    """Fig. 2 multiplier: remove the rightmost ``k`` partial-product columns."""
+
+    def __init__(self, bits: int, dropped_columns: int, name: str | None = None):
+        if not 0 <= dropped_columns <= 2 * bits - 1:
+            raise ReproError(
+                f"dropped_columns {dropped_columns} invalid for {bits}-bit"
+            )
+        super().__init__(name or f"mul{bits}u_rm{dropped_columns}", bits)
+        self.dropped_columns = dropped_columns
+
+    def build_lut(self) -> np.ndarray:
+        n = 1 << self.bits
+        w = np.arange(n, dtype=np.int64)[:, None]
+        x = np.arange(n, dtype=np.int64)[None, :]
+        return w * x - truncation_error(w, x, self.bits, self.dropped_columns)
+
+    def build_netlist(self) -> Netlist:
+        """Structural implementation with the truncated columns removed."""
+        return custom_array_multiplier(
+            self.bits,
+            dropped=truncation_drop_set(self.bits, self.dropped_columns),
+            name=self.name,
+        )
+
+    @property
+    def worst_case_error(self) -> int:
+        """Exact worst-case error magnitude (all removed partial products 1)."""
+        return truncation_error_bound(self.bits, self.dropped_columns)

@@ -1,0 +1,59 @@
+"""Neural-network layer library on top of :mod:`repro.autograd`.
+
+Includes the fake-quantization machinery of Eqs. 7-8 (:mod:`repro.nn.quant`)
+and the approximate convolution/linear layers (:mod:`repro.nn.approx`) that
+run integer LUT products forward and gradient-LUT backward (Fig. 4, Eq. 9).
+"""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.layers import (
+    Conv2d,
+    DepthwiseConv2d,
+    Linear,
+    BatchNorm2d,
+    ReLU,
+    MaxPool2d,
+    AvgPool2d,
+    GlobalAvgPool2d,
+    Flatten,
+    Dropout,
+    Sequential,
+    Identity,
+)
+from repro.nn.losses import cross_entropy, CrossEntropyLoss
+from repro.nn.quant import (
+    QuantParams,
+    MinMaxObserver,
+    compute_qparams,
+    fake_quantize,
+    quantize_array,
+    dequantize_array,
+)
+from repro.nn.approx import ApproxConv2d, ApproxLinear
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Conv2d",
+    "DepthwiseConv2d",
+    "Linear",
+    "BatchNorm2d",
+    "ReLU",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Flatten",
+    "Dropout",
+    "Sequential",
+    "Identity",
+    "cross_entropy",
+    "CrossEntropyLoss",
+    "QuantParams",
+    "MinMaxObserver",
+    "compute_qparams",
+    "fake_quantize",
+    "quantize_array",
+    "dequantize_array",
+    "ApproxConv2d",
+    "ApproxLinear",
+]

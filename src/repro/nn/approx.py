@@ -1,0 +1,428 @@
+"""Approximate convolution / linear layers (Fig. 4 of the paper).
+
+Forward (top of Fig. 4): float weights/activations are quantized with
+Eq. 7, multiplied through the AppMult's precomputed LUT (the paper does the
+same lookups in CUDA kernels), accumulated in integer arithmetic, and
+dequantized with Eq. 8 (including the zero-point cross terms).
+
+Backward (bottom of Fig. 4, Eq. 9): the AppMult gradient ``dAM/dW`` /
+``dAM/dX`` is looked up from precomputed gradient LUTs
+(:mod:`repro.core.gradient`) -- either the paper's difference-based tables
+or the STE baseline -- then chained with ``Q'`` (clipped STE) and ``DQ'``:
+
+    dL/dw = s_x * sum_j dL/dy * (gradW(W, X) - Z_x) * 1[w in range]
+    dL/dx = s_w * sum_i dL/dy * (gradX(W, X) - Z_w) * 1[x in range]
+
+The ``- Z_x`` / ``- Z_w`` terms come from differentiating Eq. 8's cross
+terms; with STE tables (gradW = X, gradX = W) the expressions reduce
+exactly to ordinary fake-quantized convolution gradients, which is the
+correctness anchor used by the tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.core.gradient import GradientPair, gradient_luts
+from repro.errors import QuantizationError, ReproError
+from repro.multipliers.base import Multiplier
+from repro.nn import functional as F
+from repro.nn.init import conv_fan_in, kaiming_normal
+from repro.nn.module import Module, Parameter
+from repro.nn.quant import (
+    ChannelQuantParams,
+    MinMaxObserver,
+    QuantParams,
+    compute_channel_qparams,
+    quantize_array,
+    quantize_per_channel,
+)
+
+#: Columns processed per LUT-GEMM chunk; bounds peak memory at
+#: roughly ``M * K * chunk`` int32 elements.
+DEFAULT_CHUNK = 1024
+
+
+class LutGemm:
+    """Chunked LUT-based integer GEMM with gradient-LUT backward.
+
+    Computes ``acc[m, c] = sum_k AM(Wq[m, k], Xq[k, c])`` through a flat
+    product LUT, plus the Eq. 8 zero-point corrections; the backward method
+    applies the gradient LUTs.
+    """
+
+    def __init__(
+        self,
+        multiplier: Multiplier,
+        gradients: GradientPair,
+        chunk: int = DEFAULT_CHUNK,
+    ):
+        self.multiplier = multiplier
+        self.bits = multiplier.bits
+        self.levels = 1 << self.bits
+        self.lut_flat = np.ascontiguousarray(multiplier.lut().ravel())
+        self.grad_w_flat = np.ascontiguousarray(
+            gradients.grad_w.astype(np.float32).ravel()
+        )
+        self.grad_x_flat = np.ascontiguousarray(
+            gradients.grad_x.astype(np.float32).ravel()
+        )
+        self.chunk = chunk
+        self.exact_fast_path = multiplier.is_exact
+        # STE tables are gradW == X and gradX == W; in that case the
+        # gather-free matmul below is mathematically identical and much
+        # faster (this is what makes the AccMult QAT reference cheap).
+        n = self.levels
+        idx = np.arange(n, dtype=np.float32)
+        self.ste_fast_path = bool(
+            np.array_equal(
+                gradients.grad_w, np.broadcast_to(idx[None, :], (n, n))
+            )
+            and np.array_equal(
+                gradients.grad_x, np.broadcast_to(idx[:, None], (n, n))
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def product_sums(self, wq: np.ndarray, xq: np.ndarray) -> np.ndarray:
+        """``sum_k AM(wq[m,k], xq[k,c])`` as int64, shape (M, C)."""
+        m, k = wq.shape
+        k2, c = xq.shape
+        if k != k2:
+            raise ReproError(f"LutGemm shapes: {wq.shape} x {xq.shape}")
+        if self.exact_fast_path:
+            # AM == exact product: a float matmul is bit-exact here because
+            # operands are < 2**10 and K is small enough for float64.
+            return np.rint(
+                wq.astype(np.float64) @ xq.astype(np.float64)
+            ).astype(np.int64)
+        wrow = wq.astype(np.int32) * self.levels  # (M, K)
+        out = np.empty((m, c), dtype=np.int64)
+        for c0 in range(0, c, self.chunk):
+            idx = wrow[:, :, None] + xq[None, :, c0 : c0 + self.chunk]
+            out[:, c0 : c0 + self.chunk] = self.lut_flat[idx].sum(
+                axis=1, dtype=np.int64
+            )
+        return out
+
+    def backward_grads(
+        self,
+        wq: np.ndarray,
+        xq: np.ndarray,
+        gout: np.ndarray,
+        zw: int,
+        zx: int,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Apply the gradient LUTs (Eq. 9 inner part).
+
+        Args:
+            wq: (M, K) quantized weights.
+            xq: (K, C) quantized activations.
+            gout: (M, C) upstream gradient ``dL/d(acc)``.
+            zw, zx: Zero points of weights / activations.
+
+        Returns:
+            ``(gw, gx)`` with shapes (M, K) and (K, C):
+            ``gw[m,k] = sum_c gout[m,c] * (gradW(W,X) - zx)`` and
+            ``gx[k,c] = sum_m gout[m,c] * (gradX(W,X) - zw)``.
+        """
+        m, k = wq.shape
+        _, c = xq.shape
+        gout = np.ascontiguousarray(gout, dtype=np.float32)
+        zw_vec = np.atleast_1d(np.asarray(zw, dtype=np.float64))
+        if self.ste_fast_path:
+            gf = gout.astype(np.float64)
+            gw = gf @ xq.astype(np.float64).T
+            gx = wq.astype(np.float64).T @ gf
+            gw -= zx * gf.sum(axis=1)[:, None]
+            # zw may be scalar (per-tensor) or per-output-channel (M,).
+            gx -= (zw_vec[:, None] * gf).sum(axis=0)[None, :] if zw_vec.size > 1 \
+                else zw_vec[0] * gf.sum(axis=0)[None, :]
+            return gw, gx
+        gw = np.zeros((m, k), dtype=np.float64)
+        gx = np.empty((k, c), dtype=np.float64)
+        wrow = wq.astype(np.int32) * self.levels
+        for c0 in range(0, c, self.chunk):
+            sl = slice(c0, min(c0 + self.chunk, c))
+            idx = wrow[:, :, None] + xq[None, :, sl]
+            g = gout[:, None, sl]  # (M, 1, Cc), broadcast over K
+            # Broadcast-multiply beats einsum here (~1.7x, measured): the
+            # contraction dims are small and memory-bound.
+            gw += (g * self.grad_w_flat[idx]).sum(axis=2)
+            gx[:, sl] = (g * self.grad_x_flat[idx]).sum(axis=0)
+        # Zero-point cross terms of Eq. 8, applied in closed form.
+        gsum_c = gout.sum(axis=1, dtype=np.float64)  # (M,)
+        gw -= zx * gsum_c[:, None]
+        if zw_vec.size > 1:
+            gx -= (zw_vec[:, None] * gout.astype(np.float64)).sum(axis=0)[None, :]
+        else:
+            gx -= zw_vec[0] * gout.sum(axis=0, dtype=np.float64)[None, :]
+        return gw, gx
+
+
+class _QuantState:
+    """Shared calibrate-then-freeze quantization state for approx layers.
+
+    ``per_channel_weights`` switches the weight grid from one (scale, zero
+    point) pair per tensor to one per output channel; activations are
+    always per-tensor (every row shares the LUT's X operand grid).
+    """
+
+    def __init__(self, bits: int, per_channel_weights: bool = False):
+        self.bits = bits
+        self.per_channel_weights = per_channel_weights
+        self.w_observer = MinMaxObserver()
+        self.x_observer = MinMaxObserver()
+        self.w_qparams: QuantParams | ChannelQuantParams | None = None
+        self.x_qparams: QuantParams | None = None
+
+    @property
+    def frozen(self) -> bool:
+        return self.w_qparams is not None and self.x_qparams is not None
+
+    def freeze(self, wmat: np.ndarray | None = None) -> None:
+        if self.per_channel_weights:
+            if wmat is None:
+                raise QuantizationError(
+                    "per-channel freeze needs the weight matrix"
+                )
+            self.w_qparams = compute_channel_qparams(wmat, self.bits)
+        else:
+            self.w_qparams = self.w_observer.qparams(self.bits)
+        self.x_qparams = self.x_observer.qparams(self.bits)
+
+    def require_frozen(self, layer: str) -> None:
+        if not self.frozen:
+            raise QuantizationError(
+                f"{layer}: quantization not calibrated; run calibration "
+                "batches and call freeze() first"
+            )
+
+
+class _ApproxBase(Module):
+    """Common machinery of ApproxConv2d / ApproxLinear."""
+
+    def __init__(
+        self,
+        multiplier: Multiplier,
+        gradients: GradientPair | None,
+        gradient_method,
+        hws: int | None,
+        chunk: int,
+        per_channel_weights: bool = False,
+    ):
+        super().__init__()
+        if gradients is None:
+            gradients = gradient_luts(multiplier, gradient_method, hws=hws)
+        self.multiplier = multiplier
+        self.gradients = gradients
+        self.engine = LutGemm(multiplier, gradients, chunk=chunk)
+        self.quant = _QuantState(
+            multiplier.bits, per_channel_weights=per_channel_weights
+        )
+        self.calibrating = False
+
+    def _weight_matrix(self) -> np.ndarray:
+        return self.weight.data.reshape(self.weight.shape[0], -1)
+
+    def freeze_quantization(self) -> None:
+        """Finalize scales/zero-points after calibration batches."""
+        self.quant.freeze(self._weight_matrix())
+        self.calibrating = False
+
+    def set_gradients(self, gradients: GradientPair) -> None:
+        """Swap in different gradient LUTs (e.g. for STE-vs-ours sweeps)."""
+        self.gradients = gradients
+        self.engine = LutGemm(
+            self.multiplier, gradients, chunk=self.engine.chunk
+        )
+
+    # ------------------------------------------------------------------
+    def _approx_affine(
+        self,
+        x: Tensor,
+        cols: np.ndarray,  # (N, K, L) float patches/features
+        weight: Tensor,
+        wmat: np.ndarray,  # (M, K) float view of the weight
+        bias: Tensor | None,
+        fold_x_grad,
+    ) -> Tensor:
+        """Quantize, LUT-multiply, dequantize; wire the Eq. 9 backward.
+
+        ``fold_x_grad(gx_cols)`` maps the (N, K, L) activation-column
+        gradient back to the input tensor's shape.
+        Returns a Tensor of shape (N, M, L).
+        """
+        qs = self.quant
+        qs.require_frozen(type(self).__name__)
+        per_channel = isinstance(qs.w_qparams, ChannelQuantParams)
+        if per_channel:
+            wq = quantize_per_channel(wmat, qs.w_qparams)  # (M, K)
+            # Per-row scales/zero-points as (M,)/(M, 1) column vectors.
+            sw = qs.w_qparams.scales
+            zw = qs.w_qparams.zero_points.astype(np.float64)
+            sw_col, zw_col = sw[:, None], zw[:, None]
+        else:
+            wq = quantize_array(wmat, qs.w_qparams)
+            sw = qs.w_qparams.scale
+            zw = float(qs.w_qparams.zero_point)
+            sw_col, zw_col = sw, zw
+        n, k, l = cols.shape
+        xq = quantize_array(cols, qs.x_qparams).transpose(1, 0, 2).reshape(
+            k, n * l
+        )
+        sx, zx = qs.x_qparams.scale, qs.x_qparams.zero_point
+        m = wmat.shape[0]
+
+        acc = self.engine.product_sums(wq, xq)  # (M, N*L) int64
+        # Eq. 8 zero-point corrections (accumulated over K terms).
+        acc = acc.astype(np.float64)
+        acc -= zx * wq.sum(axis=1, dtype=np.int64)[:, None]
+        acc -= zw_col * xq.sum(axis=0, dtype=np.int64)[None, :]
+        acc += k * zw_col * zx
+        y = (sw_col * sx) * acc  # (M, N*L)
+        y = y.reshape(m, n, l).transpose(1, 0, 2)  # (N, M, L)
+
+        # Clipped-STE masks for Q' (Eq. 9): gradient only flows where the
+        # float value fell inside the representable range.
+        w_lo = (qs.w_qparams.qmin - zw_col) * sw_col
+        w_hi = (qs.w_qparams.qmax - zw_col) * sw_col
+        x_lo = (qs.x_qparams.qmin - zx) * sx
+        x_hi = (qs.x_qparams.qmax - zx) * sx
+        wmask = (wmat >= w_lo) & (wmat <= w_hi)
+        xmask = (cols >= x_lo) & (cols <= x_hi)
+
+        engine = self.engine
+
+        def backward(g):  # g: (N, M, L)
+            gmat = (
+                g.transpose(1, 0, 2).reshape(m, n * l) * (sw_col * sx)
+            )
+            gw_int, gx_int = engine.backward_grads(wq, xq, gmat, zw, zx)
+            # dW/dw = 1/s_w, dX/dx = 1/s_x (STE through round), so the s_w
+            # (resp. s_x) factors cancel one of the two scales in DQ'.
+            gw = (gw_int / sw_col) * wmask
+            gx_cols = (gx_int / sx).reshape(k, n, l).transpose(1, 0, 2)
+            gx_cols = gx_cols * xmask
+            gx = fold_x_grad(gx_cols)
+            gb = g.sum(axis=(0, 2)) if bias is not None else None
+            gw = gw.reshape(weight.shape)
+            return (gx, gw, gb) if bias is not None else (gx, gw)
+
+        out = y
+        if bias is not None:
+            out = out + bias.data.reshape(1, m, 1)
+        parents = (x, weight) if bias is None else (x, weight, bias)
+        return Tensor.make(out, parents, backward)
+
+
+class ApproxConv2d(_ApproxBase):
+    """Conv2d whose multiplications run through an AppMult LUT.
+
+    In ``calibrating`` mode the layer runs a float convolution while its
+    observers record weight/activation ranges; call
+    :meth:`freeze_quantization` to fix Eq. 7's scales before retraining.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        multiplier: Multiplier,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        gradients: GradientPair | None = None,
+        gradient_method="difference",
+        hws: int | None = None,
+        chunk: int = DEFAULT_CHUNK,
+        per_channel_weights: bool = False,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__(
+            multiplier, gradients, gradient_method, hws, chunk,
+            per_channel_weights=per_channel_weights,
+        )
+        rng = rng or np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = conv_fan_in(in_channels, kernel_size, kernel_size)
+        self.weight = Parameter(
+            kaiming_normal(
+                (out_channels, in_channels, kernel_size, kernel_size),
+                fan_in,
+                rng,
+            )
+        )
+        self.bias = Parameter(np.zeros(out_channels)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.calibrating:
+            self.quant.w_observer.update(self.weight.data)
+            self.quant.x_observer.update(x.data)
+            return F.conv2d(x, self.weight, self.bias, self.stride, self.padding)
+
+        n, c, h, w = x.shape
+        kh = kw = self.kernel_size
+        oh, ow = F.conv_output_size(h, w, kh, kw, self.stride, self.padding)
+        cols = F.im2col(x.data, kh, kw, self.stride, self.padding)
+        wmat = self.weight.data.reshape(self.out_channels, -1)
+
+        def fold_x_grad(gx_cols):
+            return F.col2im(
+                gx_cols, x.shape, kh, kw, self.stride, self.padding
+            )
+
+        out = self._approx_affine(x, cols, self.weight, wmat, self.bias, fold_x_grad)
+        return out.reshape(n, self.out_channels, oh, ow)
+
+
+class ApproxLinear(_ApproxBase):
+    """Linear layer whose multiplications run through an AppMult LUT."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        multiplier: Multiplier,
+        bias: bool = True,
+        gradients: GradientPair | None = None,
+        gradient_method="difference",
+        hws: int | None = None,
+        chunk: int = DEFAULT_CHUNK,
+        per_channel_weights: bool = False,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__(
+            multiplier, gradients, gradient_method, hws, chunk,
+            per_channel_weights=per_channel_weights,
+        )
+        rng = rng or np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            kaiming_normal((out_features, in_features), in_features, rng)
+        )
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.calibrating:
+            self.quant.w_observer.update(self.weight.data)
+            self.quant.x_observer.update(x.data)
+            return F.linear(x, self.weight, self.bias)
+
+        n = x.shape[0]
+        cols = x.data.reshape(n, self.in_features, 1)  # (N, K, 1)
+
+        def fold_x_grad(gx_cols):
+            return gx_cols.reshape(n, self.in_features)
+
+        out = self._approx_affine(
+            x, cols, self.weight, self.weight.data, self.bias, fold_x_grad
+        )
+        return out.reshape(n, self.out_features)

@@ -1,0 +1,21 @@
+"""Weight initializers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def kaiming_normal(shape: tuple[int, ...], fan_in: int, rng: np.random.Generator) -> np.ndarray:
+    """He-normal initialization suited to ReLU networks."""
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def xavier_uniform(shape: tuple[int, ...], fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """Glorot-uniform initialization."""
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def conv_fan_in(in_channels: int, kh: int, kw: int) -> int:
+    return in_channels * kh * kw

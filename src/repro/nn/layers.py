@@ -1,0 +1,207 @@
+"""Standard layers built on :mod:`repro.nn.functional`."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.errors import ReproError
+from repro.nn import functional as F
+from repro.nn.init import conv_fan_in, kaiming_normal
+from repro.nn.module import Module, Parameter
+
+_default_rng = np.random.default_rng(0)
+
+
+class Conv2d(Module):
+    """2-D convolution (NCHW) with optional bias."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or _default_rng
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = conv_fan_in(in_channels, kernel_size, kernel_size)
+        self.weight = Parameter(
+            kaiming_normal(
+                (out_channels, in_channels, kernel_size, kernel_size),
+                fan_in,
+                rng,
+            )
+        )
+        self.bias = Parameter(np.zeros(out_channels)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(x, self.weight, self.bias, self.stride, self.padding)
+
+
+class DepthwiseConv2d(Module):
+    """Depthwise convolution (one spatial filter per channel).
+
+    Used by MobileNet-style models.  Depthwise layers carry a tiny share
+    of a network's multiplies, so the conversion pass leaves them in float
+    and approximates the surrounding 1x1 (pointwise) convolutions.
+    """
+
+    def __init__(
+        self,
+        channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or _default_rng
+        self.channels = channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = kernel_size * kernel_size
+        self.weight = Parameter(
+            kaiming_normal((channels, 1, kernel_size, kernel_size), fan_in, rng)
+        )
+        self.bias = Parameter(np.zeros(channels)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.depthwise_conv2d(
+            x, self.weight, self.bias, self.stride, self.padding
+        )
+
+
+class Linear(Module):
+    """Affine layer ``y = x W^T + b`` for inputs of shape (N, in_features)."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or _default_rng
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            kaiming_normal((out_features, in_features), in_features, rng)
+        )
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.weight, self.bias)
+
+
+class BatchNorm2d(Module):
+    """Batch normalization with running statistics."""
+
+    def __init__(self, channels: int, momentum: float = 0.1, eps: float = 1e-5):
+        super().__init__()
+        self.channels = channels
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Parameter(np.ones(channels))
+        self.beta = Parameter(np.zeros(channels))
+        self.running_mean = np.zeros(channels)
+        self.running_var = np.ones(channels)
+        self._buffer_names = ("running_mean", "running_var")
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4 or x.shape[1] != self.channels:
+            raise ReproError(
+                f"BatchNorm2d expected (N,{self.channels},H,W), got {x.shape}"
+            )
+        return F.batch_norm2d(
+            x,
+            self.gamma,
+            self.beta,
+            self.running_mean,
+            self.running_var,
+            self.training,
+            self.momentum,
+            self.eps,
+        )
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class MaxPool2d(Module):
+    def __init__(self, kernel_size: int = 2, stride: int | None = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.max_pool2d(x, self.kernel_size, self.stride)
+
+
+class AvgPool2d(Module):
+    def __init__(self, kernel_size: int = 2, stride: int | None = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.avg_pool2d(x, self.kernel_size, self.stride)
+
+
+class GlobalAvgPool2d(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.global_avg_pool2d(x)
+
+
+class Flatten(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.flatten_from(1)
+
+
+class Dropout(Module):
+    def __init__(self, p: float = 0.5, rng: np.random.Generator | None = None):
+        super().__init__()
+        if not 0 <= p < 1:
+            raise ReproError(f"dropout probability out of range: {p}")
+        self.p = p
+        self.rng = rng or np.random.default_rng(1234)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, self.training, self.rng)
+
+
+class Identity(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class Sequential(Module):
+    """Run submodules in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self.steps = list(modules)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for m in self.steps:
+            x = m(x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __getitem__(self, i: int) -> Module:
+        return self.steps[i]

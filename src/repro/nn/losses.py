@@ -1,0 +1,35 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.errors import ReproError
+from repro.nn.functional import log_softmax
+from repro.nn.module import Module
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy from raw logits and integer class labels.
+
+    Args:
+        logits: Tensor of shape (N, num_classes).
+        targets: Integer array of shape (N,).
+    """
+    targets = np.asarray(targets)
+    if logits.ndim != 2 or targets.ndim != 1 or targets.shape[0] != logits.shape[0]:
+        raise ReproError(
+            f"cross_entropy shapes: logits {logits.shape}, targets {targets.shape}"
+        )
+    logp = log_softmax(logits, axis=1)
+    n = logits.shape[0]
+    picked = logp[np.arange(n), targets]
+    return -picked.mean()
+
+
+class CrossEntropyLoss(Module):
+    """Module wrapper around :func:`cross_entropy`."""
+
+    def forward(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        return cross_entropy(logits, targets)

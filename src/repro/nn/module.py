@@ -1,0 +1,124 @@
+"""Module base class and Parameter container."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.errors import ReproError
+
+
+class Parameter(Tensor):
+    """A trainable tensor (always ``requires_grad=True`` at creation)."""
+
+    def __init__(self, data):
+        super().__init__(np.asarray(data, dtype=np.float64), requires_grad=True)
+
+
+class Module:
+    """Base class for layers and models.
+
+    Submodules and parameters are discovered by attribute scan (including
+    through lists/tuples of modules), mirroring the PyTorch convention.
+    """
+
+    def __init__(self):
+        self.training = True
+
+    # ------------------------------------------------------------------
+    def forward(self, x: Tensor) -> Tensor:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs) -> Tensor:
+        return self.forward(*args, **kwargs)
+
+    # ------------------------------------------------------------------
+    def _children(self) -> Iterator[tuple[str, "Module"]]:
+        for name, value in vars(self).items():
+            if isinstance(value, Module):
+                yield name, value
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield f"{name}.{i}", item
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` pairs recursively."""
+        for name, value in vars(self).items():
+            if isinstance(value, Parameter):
+                yield f"{prefix}{name}", value
+        for cname, child in self._children():
+            yield from child.named_parameters(prefix=f"{prefix}{cname}.")
+
+    def parameters(self) -> list[Parameter]:
+        """All trainable parameters, depth-first."""
+        return [p for _, p in self.named_parameters()]
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield self and all submodules, depth-first."""
+        yield self
+        for _, child in self._children():
+            yield from child.modules()
+
+    # ------------------------------------------------------------------
+    def train(self) -> "Module":
+        """Set training mode recursively (affects BN, dropout)."""
+        for m in self.modules():
+            m.training = True
+        return self
+
+    def eval(self) -> "Module":
+        """Set evaluation mode recursively."""
+        for m in self.modules():
+            m.training = False
+        return self
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of all parameters (and buffers of known layer types)."""
+        state = {name: p.data.copy() for name, p in self.named_parameters()}
+        for name, buf in self.named_buffers():
+            state[name] = buf.copy()
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load parameters (and buffers) in place.
+
+        Raises:
+            ReproError: On missing or shape-mismatched entries.
+        """
+        params = dict(self.named_parameters())
+        buffers = dict(self.named_buffers())
+        for name, value in state.items():
+            if name in params:
+                if params[name].data.shape != value.shape:
+                    raise ReproError(
+                        f"shape mismatch for {name}: "
+                        f"{params[name].data.shape} vs {value.shape}"
+                    )
+                params[name].data = value.copy()
+            elif name in buffers:
+                buffers[name][...] = value
+            else:
+                raise ReproError(f"unexpected state entry {name!r}")
+        missing = set(params) - set(state)
+        if missing:
+            raise ReproError(f"missing state entries: {sorted(missing)}")
+
+    def named_buffers(self, prefix: str = "") -> Iterator[tuple[str, np.ndarray]]:
+        """Yield non-trainable persistent arrays (e.g. BN running stats)."""
+        buffer_names = getattr(self, "_buffer_names", ())
+        for name in buffer_names:
+            yield f"{prefix}{name}", getattr(self, name)
+        for cname, child in self._children():
+            yield from child.named_buffers(prefix=f"{prefix}{cname}.")
+
+    def count_parameters(self) -> int:
+        """Total number of scalar parameters."""
+        return sum(p.size for p in self.parameters())

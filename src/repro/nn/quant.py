@@ -1,0 +1,179 @@
+"""Uniform fake quantization (Eqs. 7-8) with min/max calibration.
+
+The paper quantizes weights and activations with an asymmetric uniform
+scheme onto the *unsigned* operand range of its AppMults:
+
+    Q(v)  = round(v / s + Z)            (Eq. 7, clipped to [0, 2**B - 1])
+    DQ(Y) = s_w s_x (Y - Z_x W - Z_w X + Z_w Z_x)    (Eq. 8)
+
+Scales and zero points come from observed min/max ranges (one observer per
+tensor); after calibration they are frozen for retraining so the LUT
+indices remain stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.errors import QuantizationError
+
+
+@dataclass(frozen=True)
+class QuantParams:
+    """Frozen quantization parameters of one tensor.
+
+    Attributes:
+        scale: Positive float step size ``s``.
+        zero_point: Integer ``Z`` in ``[0, 2**bits - 1]``.
+        bits: Operand width B.
+    """
+
+    scale: float
+    zero_point: int
+    bits: int
+
+    @property
+    def qmin(self) -> int:
+        return 0
+
+    @property
+    def qmax(self) -> int:
+        return (1 << self.bits) - 1
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0 or not np.isfinite(self.scale):
+            raise QuantizationError(f"invalid scale {self.scale}")
+        if not self.qmin <= self.zero_point <= self.qmax:
+            raise QuantizationError(
+                f"zero point {self.zero_point} outside [0, {self.qmax}]"
+            )
+
+
+def compute_qparams(vmin: float, vmax: float, bits: int) -> QuantParams:
+    """Asymmetric uniform quantization parameters from an observed range.
+
+    The range is expanded to include zero so that a zero activation/weight
+    is exactly representable (standard practice; keeps Eq. 8 exact for
+    zero-padded inputs).
+    """
+    vmin = min(float(vmin), 0.0)
+    vmax = max(float(vmax), 0.0)
+    qmax = (1 << bits) - 1
+    if vmax == vmin:
+        vmax = vmin + 1.0
+    scale = (vmax - vmin) / qmax
+    zero_point = int(round(-vmin / scale))
+    zero_point = max(0, min(qmax, zero_point))
+    return QuantParams(scale=scale, zero_point=zero_point, bits=bits)
+
+
+class MinMaxObserver:
+    """Tracks the running min/max of tensors seen during calibration."""
+
+    def __init__(self):
+        self.vmin = np.inf
+        self.vmax = -np.inf
+        self.count = 0
+
+    def update(self, arr: np.ndarray) -> None:
+        arr = np.asarray(arr)
+        if arr.size == 0:
+            return
+        self.vmin = min(self.vmin, float(arr.min()))
+        self.vmax = max(self.vmax, float(arr.max()))
+        self.count += 1
+
+    @property
+    def calibrated(self) -> bool:
+        return self.count > 0
+
+    def qparams(self, bits: int) -> QuantParams:
+        if not self.calibrated:
+            raise QuantizationError("observer has seen no data")
+        return compute_qparams(self.vmin, self.vmax, bits)
+
+
+def quantize_array(arr: np.ndarray, qp: QuantParams) -> np.ndarray:
+    """Eq. 7 on a raw array: round, shift by zero point, clip. Returns int32."""
+    q = np.rint(arr / qp.scale + qp.zero_point)
+    return np.clip(q, qp.qmin, qp.qmax).astype(np.int32)
+
+
+def dequantize_array(q: np.ndarray, qp: QuantParams) -> np.ndarray:
+    """Inverse of Eq. 7 for a single tensor: ``s * (q - Z)``."""
+    return (np.asarray(q, dtype=np.float64) - qp.zero_point) * qp.scale
+
+
+@dataclass(frozen=True)
+class ChannelQuantParams:
+    """Per-output-channel quantization parameters (weights only).
+
+    Keeps one (scale, zero point) pair per output channel/row of the
+    weight matrix; activations stay per-tensor because all rows share the
+    same LUT operand grid for X.
+    """
+
+    scales: np.ndarray  # (channels,) float
+    zero_points: np.ndarray  # (channels,) int
+    bits: int
+
+    @property
+    def qmin(self) -> int:
+        return 0
+
+    @property
+    def qmax(self) -> int:
+        return (1 << self.bits) - 1
+
+    @property
+    def channels(self) -> int:
+        return len(self.scales)
+
+    def __post_init__(self) -> None:
+        scales = np.asarray(self.scales, dtype=np.float64)
+        zps = np.asarray(self.zero_points)
+        if scales.shape != zps.shape or scales.ndim != 1:
+            raise QuantizationError("per-channel parameter shape mismatch")
+        if np.any(scales <= 0) or not np.all(np.isfinite(scales)):
+            raise QuantizationError("invalid per-channel scale")
+        if np.any(zps < 0) or np.any(zps > self.qmax):
+            raise QuantizationError("per-channel zero point out of range")
+
+
+def compute_channel_qparams(wmat: np.ndarray, bits: int) -> ChannelQuantParams:
+    """Per-row asymmetric quantization parameters for a (M, K) matrix."""
+    wmat = np.asarray(wmat, dtype=np.float64)
+    if wmat.ndim != 2:
+        raise QuantizationError("compute_channel_qparams expects a 2-D matrix")
+    rows = [compute_qparams(row.min(), row.max(), bits) for row in wmat]
+    return ChannelQuantParams(
+        scales=np.array([r.scale for r in rows]),
+        zero_points=np.array([r.zero_point for r in rows], dtype=np.int64),
+        bits=bits,
+    )
+
+
+def quantize_per_channel(wmat: np.ndarray, qp: ChannelQuantParams) -> np.ndarray:
+    """Eq. 7 applied row-wise with per-channel scales/zero points."""
+    q = np.rint(
+        wmat / qp.scales[:, None] + qp.zero_points[:, None]
+    )
+    return np.clip(q, qp.qmin, qp.qmax).astype(np.int32)
+
+
+def fake_quantize(x: Tensor, qp: QuantParams) -> Tensor:
+    """Differentiable quantize-dequantize with the clipped STE.
+
+    Forward: ``DQ(Q(x))``.  Backward: gradient passes unchanged where ``x``
+    fell inside the representable range and is zeroed outside (the standard
+    fake-quantization STE the paper adopts for ``Q'`` in Eq. 9).
+    """
+    q = quantize_array(x.data, qp)
+    out = dequantize_array(q, qp)
+    lo = (qp.qmin - qp.zero_point) * qp.scale
+    hi = (qp.qmax - qp.zero_point) * qp.scale
+    mask = (x.data >= lo) & (x.data <= hi)
+    return Tensor.make(out, (x,), lambda g: (g * mask,))

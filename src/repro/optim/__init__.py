@@ -1,0 +1,7 @@
+"""Optimizers and learning-rate schedulers."""
+
+from repro.optim.sgd import SGD
+from repro.optim.adam import Adam
+from repro.optim.schedulers import StepSchedule, paper_lr_schedule
+
+__all__ = ["SGD", "Adam", "StepSchedule", "paper_lr_schedule"]

@@ -1,0 +1,59 @@
+"""Adam optimizer (the paper's default for retraining)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.nn.module import Parameter
+
+
+class Adam:
+    """Adam with bias correction.
+
+    Defaults match the paper's retraining setup (lr is scheduled externally
+    via :mod:`repro.optim.schedulers`).
+    """
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        if lr <= 0:
+            raise ReproError(f"invalid learning rate {lr}")
+        self.params = list(params)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        """Apply one Adam update from accumulated gradients."""
+        self._t += 1
+        b1, b2 = self.beta1, self.beta2
+        bc1 = 1 - b1**self._t
+        bc2 = 1 - b2**self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            m *= b1
+            m += (1 - b1) * g
+            v *= b2
+            v += (1 - b2) * (g * g)
+            mhat = m / bc1
+            vhat = v / bc2
+            p.data = p.data - self.lr * mhat / (np.sqrt(vhat) + self.eps)
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()

@@ -1,0 +1,57 @@
+"""Learning-rate schedules.
+
+The paper's retraining schedule: lr 0.001 in epochs 1-10, 0.0005 in 11-20,
+0.00025 in 21-30.  :func:`paper_lr_schedule` reproduces it and scales
+proportionally when benchmarks run fewer epochs.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+
+class StepSchedule:
+    """Piecewise-constant schedule over epochs.
+
+    Args:
+        optimizer: Object with an ``lr`` attribute.
+        boundaries: Epoch indices (0-based) at which a new lr begins.
+        lrs: Learning rates, one per segment (``len(boundaries) + 1 == len(lrs)``
+            with an implicit boundary at 0).
+    """
+
+    def __init__(self, optimizer, boundaries: list[int], lrs: list[float]):
+        if len(lrs) != len(boundaries) + 1:
+            raise ReproError("need len(lrs) == len(boundaries) + 1")
+        if sorted(boundaries) != list(boundaries):
+            raise ReproError("boundaries must be increasing")
+        self.optimizer = optimizer
+        self.boundaries = list(boundaries)
+        self.lrs = list(lrs)
+
+    def lr_for_epoch(self, epoch: int) -> float:
+        """Learning rate in effect for 0-based ``epoch``."""
+        idx = sum(1 for b in self.boundaries if epoch >= b)
+        return self.lrs[idx]
+
+    def set_epoch(self, epoch: int) -> float:
+        """Update the optimizer lr for ``epoch`` and return it."""
+        lr = self.lr_for_epoch(epoch)
+        self.optimizer.lr = lr
+        return lr
+
+
+def paper_lr_schedule(optimizer, total_epochs: int = 30, base_lr: float = 1e-3) -> StepSchedule:
+    """The paper's 3-segment schedule, scaled to ``total_epochs``.
+
+    With 30 epochs: lr/1 for epochs 0-9, lr/2 for 10-19, lr/4 for 20-29.
+    Fewer epochs compress the boundaries proportionally (at least one epoch
+    per segment when possible).
+    """
+    if total_epochs < 1:
+        raise ReproError("total_epochs must be >= 1")
+    b1 = max(1, round(total_epochs / 3))
+    b2 = max(b1 + 1, round(2 * total_epochs / 3))
+    boundaries = [b for b in (b1, b2) if b < total_epochs]
+    lrs = [base_lr, base_lr / 2, base_lr / 4][: len(boundaries) + 1]
+    return StepSchedule(optimizer, boundaries, lrs)

@@ -1,0 +1,52 @@
+"""Stochastic gradient descent with optional momentum and weight decay."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.nn.module import Parameter
+
+
+class SGD:
+    """Classic SGD.
+
+    Args:
+        params: Parameters to update.
+        lr: Learning rate.
+        momentum: Momentum coefficient (0 disables).
+        weight_decay: L2 coefficient applied to the gradient.
+    """
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ):
+        if lr <= 0:
+            raise ReproError(f"invalid learning rate {lr}")
+        self.params = list(params)
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        """Apply one update from accumulated gradients."""
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            if self.momentum:
+                v *= self.momentum
+                v += g
+                g = v
+            p.data = p.data - self.lr * g
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()

@@ -1,0 +1,59 @@
+"""AppMult-aware DNN retraining framework (Fig. 4 of the paper).
+
+- :mod:`repro.retrain.convert` -- swap conv layers for LUT-backed
+  approximate layers, calibrate and freeze quantization.
+- :mod:`repro.retrain.trainer` -- training/eval loops with the paper's
+  schedule (Adam, stepped lr).
+- :mod:`repro.retrain.experiment` -- full STE-vs-difference comparison
+  pipelines (the Table II / Fig. 5 / Fig. 6 workloads).
+"""
+
+from repro.retrain.convert import (
+    approximate_model,
+    calibrate,
+    freeze,
+    approx_layers,
+    set_gradient_method,
+)
+from repro.retrain.trainer import Trainer, TrainConfig, TrainHistory, evaluate
+from repro.retrain.experiment import (
+    ExperimentScale,
+    RetrainOutcome,
+    ComparisonRow,
+    retrain_comparison,
+    pretrain_float_model,
+    quantized_reference_accuracy,
+)
+from repro.retrain.checkpoint import save_checkpoint, load_checkpoint
+from repro.retrain.sweep import SweepConfig, SweepSummary, run_sweep
+from repro.retrain.mixed import (
+    mixed_model,
+    greedy_mixed_assignment,
+    named_approx_layers,
+)
+
+__all__ = [
+    "approximate_model",
+    "calibrate",
+    "freeze",
+    "approx_layers",
+    "set_gradient_method",
+    "Trainer",
+    "TrainConfig",
+    "TrainHistory",
+    "evaluate",
+    "ExperimentScale",
+    "RetrainOutcome",
+    "ComparisonRow",
+    "retrain_comparison",
+    "pretrain_float_model",
+    "quantized_reference_accuracy",
+    "save_checkpoint",
+    "load_checkpoint",
+    "SweepConfig",
+    "SweepSummary",
+    "run_sweep",
+    "mixed_model",
+    "greedy_mixed_assignment",
+    "named_approx_layers",
+]

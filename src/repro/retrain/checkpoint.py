@@ -1,0 +1,78 @@
+"""Training checkpoints: save/restore model parameters and quantization.
+
+A checkpoint stores every parameter and buffer (via ``state_dict``) plus,
+for approximate layers, the frozen quantization parameters -- enough to
+resume retraining or to re-evaluate a retrained model without re-running
+calibration.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.nn.approx import _ApproxBase
+from repro.nn.module import Module
+from repro.nn.quant import QuantParams
+
+
+def _approx_layers_named(model: Module):
+    from repro.retrain.mixed import named_approx_layers
+
+    return list(named_approx_layers(model))
+
+
+def save_checkpoint(model: Module, path: str | Path) -> None:
+    """Write parameters, buffers, and quantization state to ``path`` (.npz)."""
+    payload: dict[str, np.ndarray] = {}
+    for key, value in model.state_dict().items():
+        payload[f"state/{key}"] = value
+    for name, layer in _approx_layers_named(model):
+        qs = layer.quant
+        if not qs.frozen:
+            continue
+        payload[f"quant/{name}"] = np.array(
+            [
+                qs.w_qparams.scale,
+                qs.w_qparams.zero_point,
+                qs.x_qparams.scale,
+                qs.x_qparams.zero_point,
+                qs.bits,
+            ],
+            dtype=np.float64,
+        )
+    np.savez_compressed(Path(path), **payload)
+
+
+def load_checkpoint(model: Module, path: str | Path) -> None:
+    """Restore a checkpoint written by :func:`save_checkpoint` in place.
+
+    The model must have the same architecture (and, for quantization
+    entries, the same approximate layers) as the one saved.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ReproError(f"no such checkpoint: {path}")
+    with np.load(path) as data:
+        state = {
+            key[len("state/"):]: data[key]
+            for key in data.files
+            if key.startswith("state/")
+        }
+        quant = {
+            key[len("quant/"):]: data[key]
+            for key in data.files
+            if key.startswith("quant/")
+        }
+    model.load_state_dict(state)
+    layers = dict(_approx_layers_named(model))
+    for name, packed in quant.items():
+        if name not in layers:
+            raise ReproError(f"checkpoint has quant state for unknown layer {name!r}")
+        layer: _ApproxBase = layers[name]
+        bits = int(packed[4])
+        layer.quant.w_qparams = QuantParams(float(packed[0]), int(packed[1]), bits)
+        layer.quant.x_qparams = QuantParams(float(packed[2]), int(packed[3]), bits)
+        layer.calibrating = False

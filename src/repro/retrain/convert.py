@@ -1,0 +1,175 @@
+"""Model conversion: float conv layers -> LUT-backed approximate layers.
+
+Following the paper (and [13], [16]), only convolutional layers are
+approximated by default -- they dominate the multiply count.  Converted
+layers share one precomputed :class:`GradientPair`, mirroring the paper's
+single gradient LUT in GPU memory.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from repro.core.gradient import GradientPair, gradient_luts
+from repro.errors import ConfigError
+from repro.multipliers.base import Multiplier
+from repro.nn.approx import ApproxConv2d, ApproxLinear, _ApproxBase
+from repro.nn.layers import Conv2d, Linear
+from repro.nn.module import Module
+
+
+def _convert_layer(layer, multiplier, gradients, chunk, per_channel):
+    if isinstance(layer, Conv2d):
+        new = ApproxConv2d(
+            layer.in_channels,
+            layer.out_channels,
+            layer.kernel_size,
+            multiplier=multiplier,
+            stride=layer.stride,
+            padding=layer.padding,
+            bias=layer.bias is not None,
+            gradients=gradients,
+            chunk=chunk,
+            per_channel_weights=per_channel,
+        )
+    elif isinstance(layer, Linear):
+        new = ApproxLinear(
+            layer.in_features,
+            layer.out_features,
+            multiplier=multiplier,
+            bias=layer.bias is not None,
+            gradients=gradients,
+            chunk=chunk,
+            per_channel_weights=per_channel,
+        )
+    else:  # pragma: no cover - guarded by callers
+        raise ConfigError(f"cannot convert layer type {type(layer).__name__}")
+    new.weight.data = layer.weight.data.copy()
+    if layer.bias is not None:
+        new.bias.data = layer.bias.data.copy()
+    new.calibrating = True
+    return new
+
+
+def _convert_inplace(
+    module: Module, multiplier, gradients, chunk, include_linear, per_channel
+):
+    def convert(layer):
+        return _convert_layer(layer, multiplier, gradients, chunk, per_channel)
+
+    for name, value in list(vars(module).items()):
+        if isinstance(value, Conv2d) and not isinstance(value, ApproxConv2d):
+            setattr(module, name, convert(value))
+        elif (
+            include_linear
+            and isinstance(value, Linear)
+            and not isinstance(value, ApproxLinear)
+        ):
+            setattr(module, name, convert(value))
+        elif isinstance(value, Module):
+            _convert_inplace(
+                value, multiplier, gradients, chunk, include_linear, per_channel
+            )
+        elif isinstance(value, list):
+            for i, item in enumerate(value):
+                if isinstance(item, Conv2d) and not isinstance(item, ApproxConv2d):
+                    value[i] = convert(item)
+                elif (
+                    include_linear
+                    and isinstance(item, Linear)
+                    and not isinstance(item, ApproxLinear)
+                ):
+                    value[i] = convert(item)
+                elif isinstance(item, Module):
+                    _convert_inplace(
+                        item, multiplier, gradients, chunk,
+                        include_linear, per_channel,
+                    )
+
+
+def approximate_model(
+    model: Module,
+    multiplier: Multiplier,
+    gradient_method="difference",
+    hws: int | None = None,
+    gradients: GradientPair | None = None,
+    include_linear: bool = False,
+    chunk: int = 1024,
+    per_channel_weights: bool = False,
+) -> Module:
+    """Return a deep copy of ``model`` with conv layers approximated.
+
+    The returned model's approximate layers start in ``calibrating`` mode:
+    run some batches through :func:`calibrate`, then :func:`freeze`.
+
+    Args:
+        model: Source float model (left untouched).
+        multiplier: The AppMult to install everywhere.
+        gradient_method: ``"difference"`` / ``"ste"`` / ``"raw-difference"``
+            or a callable (see :mod:`repro.core.gradient`).
+        hws: Half window size override for the difference method.
+        gradients: Precomputed :class:`GradientPair` (skips recomputation).
+        include_linear: Also convert fully connected layers.
+        chunk: LUT-GEMM chunk size (memory/speed knob).
+        per_channel_weights: Use per-output-channel weight quantization
+            (finer grids, usually higher accuracy at the same bitwidth).
+    """
+    if gradients is None:
+        gradients = gradient_luts(multiplier, gradient_method, hws=hws)
+    converted = copy.deepcopy(model)
+    _convert_inplace(
+        converted, multiplier, gradients, chunk, include_linear,
+        per_channel_weights,
+    )
+    if not any(True for _ in approx_layers(converted)):
+        raise ConfigError("model has no convertible layers")
+    return converted
+
+
+def approx_layers(model: Module):
+    """Iterate over all approximate layers of a converted model."""
+    for m in model.modules():
+        if isinstance(m, _ApproxBase):
+            yield m
+
+
+def calibrate(model: Module, loader, batches: int = 4) -> None:
+    """Run calibration batches through a freshly converted model.
+
+    Layers must be in ``calibrating`` mode (as returned by
+    :func:`approximate_model`); observers record weight/activation ranges.
+    """
+    from repro.autograd.tensor import Tensor, no_grad
+
+    for layer in approx_layers(model):
+        layer.calibrating = True
+    model.eval()
+    with no_grad():
+        for i, (x, _y) in enumerate(loader):
+            if i >= batches:
+                break
+            model(Tensor(x))
+    model.train()
+
+
+def freeze(model: Module) -> None:
+    """Freeze quantization parameters of every approximate layer (Eq. 7)."""
+    for layer in approx_layers(model):
+        layer.freeze_quantization()
+
+
+def set_gradient_method(
+    model: Module,
+    multiplier: Multiplier,
+    gradient_method="difference",
+    hws: int | None = None,
+) -> None:
+    """Swap the gradient LUTs of every approximate layer in place.
+
+    Lets one calibrated model be retrained under different gradient
+    approximations (the paper's STE-vs-ours comparison keeps forward
+    behavior identical and only changes the backward tables).
+    """
+    gradients = gradient_luts(multiplier, gradient_method, hws=hws)
+    for layer in approx_layers(model):
+        layer.set_gradients(gradients)

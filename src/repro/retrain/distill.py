@@ -1,0 +1,73 @@
+"""Knowledge distillation for AppMult-aware retraining (extension).
+
+A common companion to hardware-aware retraining: instead of learning only
+from labels, the approximate (student) model also matches the float
+(teacher) model's output distribution.  The combined objective is
+
+    L = alpha * CE(student, labels)
+        + (1 - alpha) * T^2 * KL(softmax(teacher/T) || softmax(student/T))
+
+The gradient flows through the student's LUT layers exactly as in Eq. 9;
+distillation only changes the loss at the top.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, no_grad
+from repro.errors import ConfigError
+from repro.nn.functional import log_softmax
+from repro.nn.losses import cross_entropy
+
+
+def distillation_loss(
+    student_logits: Tensor,
+    teacher_logits: np.ndarray,
+    labels: np.ndarray,
+    temperature: float = 2.0,
+    alpha: float = 0.5,
+) -> Tensor:
+    """Combined hard-label + soft-teacher loss.
+
+    Args:
+        student_logits: (N, C) student outputs (on the autodiff tape).
+        teacher_logits: (N, C) teacher outputs (constant).
+        labels: (N,) integer labels.
+        temperature: Softening temperature T.
+        alpha: Weight of the hard-label cross entropy in [0, 1].
+    """
+    if not 0.0 <= alpha <= 1.0:
+        raise ConfigError(f"alpha must be in [0, 1], got {alpha}")
+    if temperature <= 0:
+        raise ConfigError(f"temperature must be positive, got {temperature}")
+    teacher_logits = np.asarray(teacher_logits, dtype=np.float64)
+    if teacher_logits.shape != student_logits.shape:
+        raise ConfigError(
+            f"teacher shape {teacher_logits.shape} != student "
+            f"{student_logits.shape}"
+        )
+
+    hard = cross_entropy(student_logits, labels)
+
+    # Soft term: KL(p_T || q_T) = sum p_T (log p_T - log q_T); the log p_T
+    # part is constant w.r.t. the student, but keeping it makes the
+    # reported loss a true KL (non-negative, zero at a perfect match).
+    t_shift = teacher_logits / temperature
+    t_shift = t_shift - t_shift.max(axis=1, keepdims=True)
+    p_t = np.exp(t_shift)
+    p_t /= p_t.sum(axis=1, keepdims=True)
+    log_q = log_softmax(student_logits * (1.0 / temperature), axis=1)
+    const_entropy = float((p_t * np.log(np.maximum(p_t, 1e-30))).sum(axis=1).mean())
+    soft = (Tensor(p_t) * log_q).sum(axis=1).mean() * (-1.0) + const_entropy
+
+    return hard * alpha + soft * ((1.0 - alpha) * temperature**2)
+
+
+def teacher_logits_for(teacher, images: np.ndarray) -> np.ndarray:
+    """Run the (float) teacher in eval mode without building a tape."""
+    teacher.eval()
+    with no_grad():
+        out = teacher(Tensor(images)).data.copy()
+    teacher.train()
+    return out

@@ -1,0 +1,299 @@
+"""Experiment pipelines: the paper's Table II / Fig. 5 / Fig. 6 workloads.
+
+The full flow per the paper's Fig. 1:
+
+1. pretrain a float model,
+2. quantization-aware training with the B-bit *accurate* multiplier
+   (the "reference accuracy" rows of Table II),
+3. swap in an AppMult -> measure the collapsed "initial accuracy",
+4. AppMult-aware retraining, once with STE gradients and once with the
+   difference-based gradients, from the same starting point,
+5. record final accuracies + the multiplier's normalized hardware cost.
+
+Everything is parameterized by :class:`ExperimentScale` so benchmarks can
+shrink models/datasets to CPU scale while preserving the comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data.dataset import DataLoader
+from repro.data.synthetic import SyntheticImageDataset
+from repro.errors import ConfigError
+from repro.models.lenet import LeNet
+from repro.models.resnet import resnet18, resnet34, resnet50
+from repro.models.vgg import VGG
+from repro.multipliers.exact import ExactMultiplier
+from repro.multipliers.registry import get_multiplier, multiplier_info
+from repro.retrain.convert import approximate_model, calibrate, freeze
+from repro.retrain.trainer import TrainConfig, Trainer, evaluate
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Scale knobs for one experiment family.
+
+    The defaults are the CPU-friendly benchmark scale; the paper's scale
+    would be ``image_size=32, n_train=50000, width_mult=1.0,
+    retrain_epochs=30``.
+    """
+
+    image_size: int = 16
+    n_train: int = 768
+    n_test: int = 256
+    n_classes: int = 10
+    width_mult: float = 0.125
+    pretrain_epochs: int = 8
+    qat_epochs: int = 2
+    retrain_epochs: int = 3
+    batch_size: int = 32
+    seed: int = 0
+    augment: bool = False
+    chunk: int = 1024
+    # Scaled-down models train best a bit hotter than the paper's 1e-3;
+    # retraining keeps the paper's schedule base.
+    pretrain_lr: float = 3e-3
+    retrain_lr: float = 1e-3
+
+
+def load_data(scale: ExperimentScale) -> tuple[SyntheticImageDataset, SyntheticImageDataset]:
+    """Train/test synthetic datasets for a scale."""
+    train = SyntheticImageDataset(
+        scale.n_train, scale.n_classes, scale.image_size,
+        seed=scale.seed, split="train",
+    )
+    test = SyntheticImageDataset(
+        scale.n_test, scale.n_classes, scale.image_size,
+        seed=scale.seed, split="test",
+    )
+    return train, test
+
+
+def build_model(arch: str, scale: ExperimentScale):
+    """Instantiate an architecture at the experiment scale."""
+    common = dict(
+        num_classes=scale.n_classes,
+        image_size=scale.image_size,
+        seed=scale.seed,
+    )
+    if arch == "lenet":
+        return LeNet(**common)
+    if arch == "vgg19":
+        # Small images support fewer pool stages; keep VGG19's stage pattern.
+        max_stages = max(2, scale.image_size.bit_length() - 2)
+        return VGG(
+            "VGG19", width_mult=scale.width_mult, max_stages=max_stages, **common
+        )
+    if arch == "resnet18":
+        return resnet18(
+            num_classes=scale.n_classes, width_mult=scale.width_mult, seed=scale.seed
+        )
+    if arch == "resnet34":
+        return resnet34(
+            num_classes=scale.n_classes, width_mult=scale.width_mult, seed=scale.seed
+        )
+    if arch == "resnet50":
+        return resnet50(
+            num_classes=scale.n_classes, width_mult=scale.width_mult, seed=scale.seed
+        )
+    raise ConfigError(f"unknown architecture {arch!r}")
+
+
+@dataclass
+class RetrainOutcome:
+    """One retraining run's result."""
+
+    method: str
+    final_top1: float
+    final_top5: float
+    epoch_top1: list[float] = field(default_factory=list)
+    epoch_top5: list[float] = field(default_factory=list)
+    train_loss: list[float] = field(default_factory=list)
+
+
+@dataclass
+class ComparisonRow:
+    """One Table II row: a multiplier under every gradient method."""
+
+    multiplier: str
+    bits: int
+    initial_top1: float
+    outcomes: dict[str, RetrainOutcome]
+    reference_top1: float
+    norm_power: float
+    norm_delay: float
+    nmed_percent: float
+
+    @property
+    def improvement(self) -> float:
+        """Ours minus STE final top-1 (percentage points / 100)."""
+        if "difference" in self.outcomes and "ste" in self.outcomes:
+            return (
+                self.outcomes["difference"].final_top1
+                - self.outcomes["ste"].final_top1
+            )
+        return 0.0
+
+
+def pretrain_float_model(arch: str, scale: ExperimentScale, train, test):
+    """Step 1 of Fig. 1: train the float model. Returns (model, top1)."""
+    model = build_model(arch, scale)
+    trainer = Trainer(
+        model,
+        TrainConfig(
+            epochs=scale.pretrain_epochs,
+            batch_size=scale.batch_size,
+            base_lr=scale.pretrain_lr,
+            augment=scale.augment,
+            seed=scale.seed,
+        ),
+    )
+    trainer.fit(train)
+    top1, _ = evaluate(model, test)
+    return model, top1
+
+
+def _calibrated_approx_model(float_model, multiplier, scale, train, **kwargs):
+    model = approximate_model(float_model, multiplier, chunk=scale.chunk, **kwargs)
+    loader = DataLoader(train, batch_size=scale.batch_size, seed=scale.seed)
+    calibrate(model, loader, batches=4)
+    freeze(model)
+    return model
+
+
+def quantized_reference_accuracy(
+    float_model, bits: int, scale: ExperimentScale, train, test
+):
+    """Step 2 of Fig. 1: QAT with the B-bit AccMult.
+
+    Returns ``(qat_model, reference_top1)``.  The QAT model's (float)
+    weights seed every AppMult retraining at the same bitwidth.
+    """
+    acc_mult = ExactMultiplier(bits)
+    model = _calibrated_approx_model(
+        float_model, acc_mult, scale, train, gradient_method="ste"
+    )
+    trainer = Trainer(
+        model,
+        TrainConfig(
+            epochs=scale.qat_epochs,
+            batch_size=scale.batch_size,
+            base_lr=scale.retrain_lr,
+            augment=scale.augment,
+            seed=scale.seed,
+        ),
+    )
+    trainer.fit(train)
+    top1, _ = evaluate(model, test)
+    return model, top1
+
+
+def _float_weights_from(qat_model, float_model):
+    """Copy the QAT-tuned float weights back onto a float-model skeleton."""
+    import copy
+
+    model = copy.deepcopy(float_model)
+    src = dict(qat_model.named_parameters())
+    for name, p in model.named_parameters():
+        p.data = src[name].data.copy()
+    for (name, buf), (_, src_buf) in zip(
+        model.named_buffers(), qat_model.named_buffers()
+    ):
+        buf[...] = src_buf
+    return model
+
+
+def retrain_comparison(
+    arch: str,
+    multiplier_names: list[str],
+    scale: ExperimentScale,
+    methods: tuple[str, ...] = ("ste", "difference"),
+    hws: int | None = None,
+    track_epochs: bool = False,
+) -> tuple[list[ComparisonRow], dict[int, float]]:
+    """Run the full STE-vs-ours comparison for one architecture.
+
+    Args:
+        arch: Architecture name understood by :func:`build_model`.
+        multiplier_names: Registry names (a Table II column block).
+        scale: Experiment scale.
+        methods: Gradient methods to retrain with.
+        hws: Optional HWS override (default: Table I per-name values).
+        track_epochs: Record per-epoch eval accuracy (needed by Fig. 6).
+
+    Returns:
+        ``(rows, reference_acc_by_bits)``.
+    """
+    train, test = load_data(scale)
+    float_model, float_top1 = pretrain_float_model(arch, scale, train, test)
+
+    bit_widths = sorted({multiplier_info(n).bits for n in multiplier_names})
+    references: dict[int, float] = {}
+    seeds: dict[int, object] = {}
+    for bits in bit_widths:
+        qat_model, ref_top1 = quantized_reference_accuracy(
+            float_model, bits, scale, train, test
+        )
+        references[bits] = ref_top1
+        seeds[bits] = _float_weights_from(qat_model, float_model)
+
+    ref_power = multiplier_info("mul8u_acc").datasheet.power_uw
+    ref_delay = multiplier_info("mul8u_acc").datasheet.delay_ps
+
+    rows: list[ComparisonRow] = []
+    for name in multiplier_names:
+        info = multiplier_info(name)
+        mult = get_multiplier(name)
+        seed_model = seeds[info.bits]
+        base = _calibrated_approx_model(
+            seed_model, mult, scale, train, gradient_method="ste"
+        )
+        initial_top1, _ = evaluate(base, test)
+
+        outcomes: dict[str, RetrainOutcome] = {}
+        for method in methods:
+            model = _calibrated_approx_model(
+                seed_model,
+                mult,
+                scale,
+                train,
+                gradient_method=method,
+                hws=hws if method == "difference" else None,
+            )
+            trainer = Trainer(
+                model,
+                TrainConfig(
+                    epochs=scale.retrain_epochs,
+                    batch_size=scale.batch_size,
+                    base_lr=scale.retrain_lr,
+                    augment=scale.augment,
+                    seed=scale.seed,
+                ),
+            )
+            history = trainer.fit(train, eval_data=test if track_epochs else None)
+            top1, top5 = evaluate(model, test)
+            outcomes[method] = RetrainOutcome(
+                method=method,
+                final_top1=top1,
+                final_top5=top5,
+                epoch_top1=history.eval_top1,
+                epoch_top5=history.eval_top5,
+                train_loss=history.train_loss,
+            )
+
+        sheet = info.datasheet
+        rows.append(
+            ComparisonRow(
+                multiplier=name,
+                bits=info.bits,
+                initial_top1=initial_top1,
+                outcomes=outcomes,
+                reference_top1=references[info.bits],
+                norm_power=sheet.power_uw / ref_power,
+                norm_delay=sheet.delay_ps / ref_delay,
+                nmed_percent=sheet.nmed_percent,
+            )
+        )
+    del float_top1
+    return rows, references

@@ -1,0 +1,120 @@
+"""Structured training-run logging (CSV and JSON lines).
+
+Persists :class:`repro.retrain.trainer.TrainHistory` records so sweeps
+(Table II, Fig. 6) can be re-plotted without re-running, and exposes a
+tiny reader for analysis scripts.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.retrain.trainer import TrainHistory
+
+
+@dataclass
+class RunRecord:
+    """One training run plus its identifying metadata."""
+
+    run_id: str
+    arch: str = ""
+    multiplier: str = ""
+    method: str = ""
+    seed: int = 0
+    extra: dict = field(default_factory=dict)
+    history: TrainHistory = field(default_factory=TrainHistory)
+
+
+def history_to_rows(history: TrainHistory) -> list[dict]:
+    """Flatten a history into per-epoch dictionaries."""
+    n = len(history.train_loss)
+
+    def get(series, i):
+        return series[i] if i < len(series) else None
+
+    return [
+        {
+            "epoch": i + 1,
+            "train_loss": get(history.train_loss, i),
+            "train_top1": get(history.train_top1, i),
+            "eval_top1": get(history.eval_top1, i),
+            "eval_top5": get(history.eval_top5, i),
+            "lr": get(history.lr, i),
+        }
+        for i in range(n)
+    ]
+
+
+def write_csv(record: RunRecord, path: str | Path) -> None:
+    """Write per-epoch rows to a CSV file (metadata in a comment header)."""
+    rows = history_to_rows(record.history)
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        fh.write(
+            f"# run_id={record.run_id} arch={record.arch} "
+            f"multiplier={record.multiplier} method={record.method} "
+            f"seed={record.seed}\n"
+        )
+        writer = csv.DictWriter(
+            fh,
+            fieldnames=["epoch", "train_loss", "train_top1",
+                        "eval_top1", "eval_top5", "lr"],
+        )
+        writer.writeheader()
+        writer.writerows(rows)
+
+
+def append_jsonl(record: RunRecord, path: str | Path) -> None:
+    """Append one run as a JSON line (sweep-friendly log format)."""
+    payload = {
+        "run_id": record.run_id,
+        "arch": record.arch,
+        "multiplier": record.multiplier,
+        "method": record.method,
+        "seed": record.seed,
+        "extra": record.extra,
+        "history": asdict(record.history),
+    }
+    with Path(path).open("a") as fh:
+        fh.write(json.dumps(payload) + "\n")
+
+
+def read_jsonl(path: str | Path) -> list[RunRecord]:
+    """Load every run from a JSONL log."""
+    path = Path(path)
+    if not path.exists():
+        raise ReproError(f"no such log: {path}")
+    records: list[RunRecord] = []
+    for line in path.read_text().splitlines():
+        if not line.strip():
+            continue
+        raw = json.loads(line)
+        records.append(
+            RunRecord(
+                run_id=raw["run_id"],
+                arch=raw.get("arch", ""),
+                multiplier=raw.get("multiplier", ""),
+                method=raw.get("method", ""),
+                seed=raw.get("seed", 0),
+                extra=raw.get("extra", {}),
+                history=TrainHistory(**raw.get("history", {})),
+            )
+        )
+    return records
+
+
+def best_runs(records: list[RunRecord], by: str = "eval_top1") -> dict[str, RunRecord]:
+    """Best run per (multiplier, method) key by final metric value."""
+    out: dict[str, RunRecord] = {}
+    for rec in records:
+        series = getattr(rec.history, by, None)
+        if not series:
+            continue
+        key = f"{rec.multiplier}/{rec.method}"
+        if key not in out or series[-1] > getattr(out[key].history, by)[-1]:
+            out[key] = rec
+    return out

@@ -1,0 +1,250 @@
+"""Per-layer mixed multiplier assignment (cross-layer extension).
+
+The paper applies one AppMult to every convolutional layer, and cites
+cross-layer optimization (Yu et al., TVLSI'24 [13]) as related work.  This
+module provides that extension: assign a *different* multiplier to each
+conv layer, plus a greedy sensitivity-based design-space exploration that
+picks the cheapest per-layer multipliers meeting an accuracy drop budget.
+
+The DSE follows the classic sensitivity recipe:
+
+1. Measure each layer's isolated sensitivity: accuracy when only that layer
+   uses the candidate AppMult (everything else exact).
+2. Greedily approximate layers from least to most sensitive while the
+   validation accuracy stays within ``accuracy_budget`` of the quantized
+   reference.
+3. Optionally retrain the mixed model with difference-based gradients.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+from repro.autograd.tensor import Tensor, no_grad
+from repro.core.gradient import gradient_luts
+from repro.data.dataset import DataLoader
+from repro.errors import ConfigError
+from repro.multipliers.base import Multiplier
+from repro.multipliers.exact import ExactMultiplier
+from repro.nn.approx import _ApproxBase
+from repro.nn.module import Module
+from repro.retrain.convert import approx_layers, approximate_model, calibrate, freeze
+from repro.retrain.trainer import evaluate
+
+
+def named_approx_layers(model: Module):
+    """Yield ``(dotted_name, layer)`` for every approximate layer."""
+    def walk(module: Module, prefix: str):
+        for name, value in vars(module).items():
+            if isinstance(value, _ApproxBase):
+                yield f"{prefix}{name}", value
+            elif isinstance(value, Module):
+                yield from walk(value, f"{prefix}{name}.")
+            elif isinstance(value, list):
+                for i, item in enumerate(value):
+                    if isinstance(item, _ApproxBase):
+                        yield f"{prefix}{name}.{i}", item
+                    elif isinstance(item, Module):
+                        yield from walk(item, f"{prefix}{name}.{i}.")
+
+    yield from walk(model, "")
+
+
+def assign_multiplier(
+    layer: _ApproxBase,
+    multiplier: Multiplier,
+    gradient_method="difference",
+    hws: int | None = None,
+) -> None:
+    """Swap one approximate layer's multiplier (keeping its quantization).
+
+    The layer must already be calibrated; only the LUT engine and gradient
+    tables change, so forward scales stay valid (all Table I multipliers of
+    one bitwidth share the operand range).
+    """
+    if layer.multiplier.bits != multiplier.bits:
+        raise ConfigError(
+            f"cannot swap a {layer.multiplier.bits}-bit layer to a "
+            f"{multiplier.bits}-bit multiplier (quantization grid differs)"
+        )
+    pair = gradient_luts(multiplier, gradient_method, hws=hws)
+    layer.multiplier = multiplier
+    layer.set_gradients(pair)
+
+
+def mixed_model(
+    float_model: Module,
+    assignment: dict[str, Multiplier],
+    calib_loader,
+    gradient_method="difference",
+    default_bits: int | None = None,
+) -> Module:
+    """Build a calibrated model with per-layer multipliers.
+
+    Args:
+        float_model: Source float model.
+        assignment: Dotted layer name -> multiplier.  Layers not listed get
+            the exact multiplier of the same bitwidth.
+        calib_loader: Loader for calibration batches.
+        gradient_method: Gradient method for the assigned AppMults.
+        default_bits: Bitwidth for unlisted layers; inferred from the
+            assignment when omitted.
+
+    Returns:
+        Calibrated, frozen model ready for evaluation or retraining.
+    """
+    if not assignment and default_bits is None:
+        raise ConfigError("empty assignment needs default_bits")
+    bits = default_bits or next(iter(assignment.values())).bits
+    if any(m.bits != bits for m in assignment.values()):
+        raise ConfigError("all assigned multipliers must share one bitwidth")
+
+    model = approximate_model(
+        float_model, ExactMultiplier(bits), gradient_method="ste"
+    )
+    calibrate(model, calib_loader, batches=4)
+    freeze(model)
+    names = dict(named_approx_layers(model))
+    for name, mult in assignment.items():
+        if name not in names:
+            raise ConfigError(
+                f"unknown layer {name!r}; have: {sorted(names)}"
+            )
+        assign_multiplier(names[name], mult, gradient_method)
+    return model
+
+
+@dataclass
+class LayerSensitivity:
+    """Accuracy impact of approximating one layer in isolation."""
+
+    layer: str
+    accuracy: float
+    drop: float
+
+
+@dataclass
+class MixedAssignmentResult:
+    """Outcome of the greedy DSE."""
+
+    assignment: dict[str, str]  # layer -> multiplier name (approximated set)
+    accuracy: float
+    reference_accuracy: float
+    sensitivities: list[LayerSensitivity] = field(default_factory=list)
+    approx_fraction: float = 0.0
+
+
+def greedy_mixed_assignment(
+    float_model: Module,
+    multiplier: Multiplier,
+    train_data,
+    eval_data,
+    accuracy_budget: float = 0.05,
+    batch_size: int = 32,
+    gradient_method="difference",
+) -> MixedAssignmentResult:
+    """Greedy sensitivity-ordered per-layer approximation.
+
+    Approximates as many conv layers as possible with ``multiplier`` while
+    keeping evaluation accuracy within ``accuracy_budget`` of the
+    exact-multiplier quantized reference.
+    """
+    loader = DataLoader(train_data, batch_size=batch_size)
+    base = mixed_model(
+        float_model, {}, loader,
+        gradient_method=gradient_method, default_bits=multiplier.bits,
+    )
+    ref_acc, _ = evaluate(base, eval_data)
+    layer_names = [name for name, _ in named_approx_layers(base)]
+
+    # Phase 1: isolated sensitivities.
+    sensitivities: list[LayerSensitivity] = []
+    for name in layer_names:
+        model = copy.deepcopy(base)
+        assign_multiplier(
+            dict(named_approx_layers(model))[name], multiplier, gradient_method
+        )
+        acc, _ = evaluate(model, eval_data)
+        sensitivities.append(LayerSensitivity(name, acc, ref_acc - acc))
+    sensitivities.sort(key=lambda s: s.drop)
+
+    # Phase 2: greedy accumulation from least sensitive.
+    current = copy.deepcopy(base)
+    chosen: dict[str, str] = {}
+    current_acc = ref_acc
+    for sens in sensitivities:
+        trial = copy.deepcopy(current)
+        assign_multiplier(
+            dict(named_approx_layers(trial))[sens.layer],
+            multiplier,
+            gradient_method,
+        )
+        acc, _ = evaluate(trial, eval_data)
+        if ref_acc - acc <= accuracy_budget:
+            current, current_acc = trial, acc
+            chosen[sens.layer] = multiplier.name
+
+    return MixedAssignmentResult(
+        assignment=chosen,
+        accuracy=current_acc,
+        reference_accuracy=ref_acc,
+        sensitivities=sensitivities,
+        approx_fraction=len(chosen) / max(len(layer_names), 1),
+    )
+
+
+def multiplication_counts(model: Module, input_shape: tuple[int, ...]) -> dict[str, int]:
+    """Multiplications per approximate layer for one forward pass.
+
+    Used to weight per-layer power estimates in mixed-assignment reports.
+    """
+    counts: dict[str, int] = {}
+    x = Tensor(_zeros(input_shape))
+    # Run a forward pass and infer counts from layer geometry.
+    with no_grad():
+        model.eval()
+        _trace_counts(model, x, counts)
+        model.train()
+    return counts
+
+
+def _zeros(shape):
+    import numpy as np
+
+    return np.zeros(shape, dtype=np.float64)
+
+
+def _trace_counts(model: Module, x: Tensor, counts: dict[str, int]) -> None:
+    """Fill ``counts`` by intercepting approximate layers during forward."""
+    from repro.nn.approx import ApproxConv2d, ApproxLinear
+    from repro.nn import functional as F
+
+    originals = {}
+    for name, layer in named_approx_layers(model):
+        originals[name] = layer.forward
+
+        def make_wrapper(lname, lyr, orig):
+            def wrapped(inp):
+                if isinstance(lyr, ApproxConv2d):
+                    n, _c, h, w = inp.shape
+                    oh, ow = F.conv_output_size(
+                        h, w, lyr.kernel_size, lyr.kernel_size,
+                        lyr.stride, lyr.padding,
+                    )
+                    k = lyr.in_channels * lyr.kernel_size**2
+                    counts[lname] = n * lyr.out_channels * oh * ow * k
+                elif isinstance(lyr, ApproxLinear):
+                    counts[lname] = (
+                        inp.shape[0] * lyr.out_features * lyr.in_features
+                    )
+                return orig(inp)
+
+            return wrapped
+
+        layer.forward = make_wrapper(name, layer, originals[name])
+    try:
+        model(x)
+    finally:
+        for name, layer in named_approx_layers(model):
+            layer.forward = originals[name]

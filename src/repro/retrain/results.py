@@ -1,0 +1,88 @@
+"""Formatting of comparison results into paper-style tables."""
+
+from __future__ import annotations
+
+from repro.retrain.experiment import ComparisonRow
+
+
+def format_table2(
+    rows: list[ComparisonRow],
+    references: dict[int, float],
+    title: str = "",
+) -> str:
+    """Render rows in the layout of the paper's Table II.
+
+    Accuracies are percentages; power/delay normalized to mul8u_acc.
+    """
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header = (
+        f"{'Multiplier':<12} {'Init/%':>7} {'STE/%':>7} {'Ours/%':>7} "
+        f"{'Improve':>8} {'NormP':>6} {'NormD':>6} {'NMED/%':>7}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    last_bits = None
+    for row in rows:
+        if row.bits != last_bits:
+            ref = references.get(row.bits)
+            ref_s = f"{100 * ref:.2f}%" if ref is not None else "n/a"
+            lines.append(
+                f"-- {row.bits}-bit AccMult reference accuracy: {ref_s} --"
+            )
+            last_bits = row.bits
+        ste = row.outcomes.get("ste")
+        ours = row.outcomes.get("difference")
+        ste_s = f"{100 * ste.final_top1:7.2f}" if ste else f"{'n/a':>7}"
+        ours_s = f"{100 * ours.final_top1:7.2f}" if ours else f"{'n/a':>7}"
+        imp = (
+            f"{100 * row.improvement:+8.2f}"
+            if ste and ours
+            else f"{'n/a':>8}"
+        )
+        lines.append(
+            f"{row.multiplier:<12} {100 * row.initial_top1:7.2f} {ste_s} "
+            f"{ours_s} {imp} {row.norm_power:6.2f} {row.norm_delay:6.2f} "
+            f"{row.nmed_percent:7.2f}"
+        )
+    means = _mean_line(rows)
+    if means:
+        lines.append(means)
+    return "\n".join(lines)
+
+
+def _mean_line(rows: list[ComparisonRow]) -> str:
+    both = [
+        r
+        for r in rows
+        if "ste" in r.outcomes and "difference" in r.outcomes
+    ]
+    if not both:
+        return ""
+    init = sum(r.initial_top1 for r in both) / len(both)
+    ste = sum(r.outcomes["ste"].final_top1 for r in both) / len(both)
+    ours = sum(r.outcomes["difference"].final_top1 for r in both) / len(both)
+    return (
+        f"{'mean':<12} {100 * init:7.2f} {100 * ste:7.2f} {100 * ours:7.2f} "
+        f"{100 * (ours - ste):+8.2f}"
+    )
+
+
+def format_tradeoff(rows: list[ComparisonRow], references: dict[int, float]) -> str:
+    """Render the Fig. 5 accuracy-vs-power series as aligned text."""
+    lines = [
+        f"{'Multiplier':<12} {'NormPower':>9} {'STE acc/%':>10} "
+        f"{'Ours acc/%':>11}"
+    ]
+    for row in sorted(rows, key=lambda r: r.norm_power):
+        ste = row.outcomes.get("ste")
+        ours = row.outcomes.get("difference")
+        lines.append(
+            f"{row.multiplier:<12} {row.norm_power:9.2f} "
+            f"{100 * ste.final_top1 if ste else float('nan'):10.2f} "
+            f"{100 * ours.final_top1 if ours else float('nan'):11.2f}"
+        )
+    for bits, ref in sorted(references.items()):
+        lines.append(f"reference ({bits}-bit AccMult): {100 * ref:.2f}%")
+    return "\n".join(lines)

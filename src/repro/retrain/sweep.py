@@ -1,0 +1,74 @@
+"""Sweep orchestration: grids of retraining runs with persistent logs.
+
+Ties :mod:`repro.retrain.experiment` and :mod:`repro.retrain.logging`
+together: run every (multiplier, method, seed) combination of a grid,
+append each run to a JSONL log, and summarize means across seeds -- the
+way Table II-style results are produced with error bars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+from repro.retrain.experiment import ExperimentScale, retrain_comparison
+from repro.retrain.logging import RunRecord, append_jsonl
+from repro.retrain.trainer import TrainHistory
+
+
+@dataclass
+class SweepConfig:
+    """A grid of retraining runs."""
+
+    arch: str
+    multipliers: list[str]
+    methods: tuple[str, ...] = ("ste", "difference")
+    seeds: tuple[int, ...] = (0,)
+    scale: ExperimentScale = field(default_factory=ExperimentScale)
+    log_path: str | None = None
+
+
+@dataclass
+class SweepSummary:
+    """Aggregated results of a sweep."""
+
+    final_top1: dict[tuple[str, str], list[float]]  # (mult, method) -> per-seed
+
+    def mean(self, multiplier: str, method: str) -> float:
+        vals = self.final_top1[(multiplier, method)]
+        return sum(vals) / len(vals)
+
+    def improvement(self, multiplier: str) -> float:
+        """Mean (difference - ste) across seeds."""
+        return self.mean(multiplier, "difference") - self.mean(multiplier, "ste")
+
+
+def run_sweep(config: SweepConfig) -> SweepSummary:
+    """Execute the grid; returns per-cell accuracies and logs each run."""
+    results: dict[tuple[str, str], list[float]] = {
+        (m, meth): [] for m in config.multipliers for meth in config.methods
+    }
+    for seed in config.seeds:
+        scale = replace(config.scale, seed=seed)
+        rows, _refs = retrain_comparison(
+            config.arch, config.multipliers, scale, methods=config.methods
+        )
+        for row in rows:
+            for method, outcome in row.outcomes.items():
+                results[(row.multiplier, method)].append(outcome.final_top1)
+                if config.log_path:
+                    record = RunRecord(
+                        run_id=f"{config.arch}-{row.multiplier}-{method}-s{seed}",
+                        arch=config.arch,
+                        multiplier=row.multiplier,
+                        method=method,
+                        seed=seed,
+                        extra={"initial_top1": row.initial_top1},
+                        history=TrainHistory(
+                            train_loss=outcome.train_loss,
+                            eval_top1=outcome.epoch_top1 or [outcome.final_top1],
+                            eval_top5=outcome.epoch_top5 or [outcome.final_top5],
+                        ),
+                    )
+                    append_jsonl(record, Path(config.log_path))
+    return SweepSummary(final_top1=results)

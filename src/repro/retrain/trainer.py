@@ -1,0 +1,148 @@
+"""Training and evaluation loops.
+
+Defaults follow the paper's retraining setup: Adam, batch size 64, and the
+stepped learning-rate schedule (1e-3 / 5e-4 / 2.5e-4 over thirds of the
+run).  Benchmarks shrink ``epochs``/dataset sizes; the schedule compresses
+proportionally via :func:`repro.optim.schedulers.paper_lr_schedule`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, no_grad
+from repro.data.augment import random_crop_flip
+from repro.data.dataset import DataLoader
+from repro.errors import ConfigError
+from repro.nn.losses import cross_entropy
+from repro.nn.module import Module
+from repro.optim.adam import Adam
+from repro.optim.schedulers import paper_lr_schedule
+from repro.optim.sgd import SGD
+
+
+@dataclass
+class TrainConfig:
+    """Hyperparameters for one training run (paper defaults scaled by use)."""
+
+    epochs: int = 30
+    batch_size: int = 64
+    base_lr: float = 1e-3
+    optimizer: str = "adam"  # "adam" | "sgd"
+    momentum: float = 0.9  # sgd only
+    weight_decay: float = 0.0
+    augment: bool = False
+    seed: int = 0
+    log_every: int = 0  # batches; 0 disables prints
+    max_batches_per_epoch: int | None = None  # cap for quick sweeps
+
+
+@dataclass
+class TrainHistory:
+    """Per-epoch records produced by :meth:`Trainer.fit`."""
+
+    train_loss: list[float] = field(default_factory=list)
+    train_top1: list[float] = field(default_factory=list)
+    eval_top1: list[float] = field(default_factory=list)
+    eval_top5: list[float] = field(default_factory=list)
+    lr: list[float] = field(default_factory=list)
+
+
+def topk_correct(logits: np.ndarray, labels: np.ndarray, k: int) -> int:
+    """Number of samples whose label is among the top-k logits."""
+    if k == 1:
+        return int((logits.argmax(axis=1) == labels).sum())
+    topk = np.argpartition(-logits, k - 1, axis=1)[:, :k]
+    return int((topk == labels[:, None]).any(axis=1).sum())
+
+
+def evaluate(
+    model: Module, data, batch_size: int = 128
+) -> tuple[float, float]:
+    """Top-1 and top-5 accuracy of ``model`` on ``data`` (fractions)."""
+    loader = DataLoader(data, batch_size=batch_size, shuffle=False)
+    model.eval()
+    top1 = top5 = total = 0
+    with no_grad():
+        for x, y in loader:
+            logits = model(Tensor(x)).data
+            top1 += topk_correct(logits, y, 1)
+            top5 += topk_correct(logits, y, min(5, logits.shape[1]))
+            total += len(y)
+    model.train()
+    if total == 0:
+        raise ConfigError("evaluate() on an empty dataset")
+    return top1 / total, top5 / total
+
+
+class Trainer:
+    """Gradient-descent training with the paper's schedule."""
+
+    def __init__(self, model: Module, config: TrainConfig | None = None):
+        self.model = model
+        self.config = config or TrainConfig()
+        params = model.parameters()
+        if self.config.optimizer == "adam":
+            self.optimizer = Adam(
+                params,
+                lr=self.config.base_lr,
+                weight_decay=self.config.weight_decay,
+            )
+        elif self.config.optimizer == "sgd":
+            self.optimizer = SGD(
+                params,
+                lr=self.config.base_lr,
+                momentum=self.config.momentum,
+                weight_decay=self.config.weight_decay,
+            )
+        else:
+            raise ConfigError(f"unknown optimizer {self.config.optimizer!r}")
+        self.schedule = paper_lr_schedule(
+            self.optimizer, self.config.epochs, self.config.base_lr
+        )
+
+    def fit(self, train_data, eval_data=None) -> TrainHistory:
+        """Train for ``config.epochs`` epochs; returns per-epoch history."""
+        cfg = self.config
+        history = TrainHistory()
+        augment = random_crop_flip if cfg.augment else None
+        loader = DataLoader(
+            train_data,
+            batch_size=cfg.batch_size,
+            shuffle=True,
+            augment=augment,
+            seed=cfg.seed,
+        )
+        for epoch in range(cfg.epochs):
+            lr = self.schedule.set_epoch(epoch)
+            losses: list[float] = []
+            correct = total = 0
+            for bi, (x, y) in enumerate(loader):
+                if (
+                    cfg.max_batches_per_epoch is not None
+                    and bi >= cfg.max_batches_per_epoch
+                ):
+                    break
+                logits = self.model(Tensor(x))
+                loss = cross_entropy(logits, y)
+                self.optimizer.zero_grad()
+                loss.backward()
+                self.optimizer.step()
+                losses.append(loss.item())
+                correct += topk_correct(logits.data, y, 1)
+                total += len(y)
+                if cfg.log_every and (bi + 1) % cfg.log_every == 0:
+                    print(
+                        f"epoch {epoch + 1} batch {bi + 1}: "
+                        f"loss {np.mean(losses):.4f}"
+                    )
+            history.train_loss.append(float(np.mean(losses)))
+            history.train_top1.append(correct / max(total, 1))
+            history.lr.append(lr)
+            if eval_data is not None:
+                top1, top5 = evaluate(self.model, eval_data)
+                history.eval_top1.append(top1)
+                history.eval_top5.append(top5)
+        return history

@@ -1,0 +1,78 @@
+"""Tests for approximate adder generators."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.adders import lower_or_adder, truncated_adder
+from repro.circuits.cost import estimate_cost
+from repro.circuits.generators import ripple_carry_adder
+from repro.circuits.simulator import simulate
+from repro.errors import CircuitError
+
+
+def _operands(bits):
+    idx = np.arange(1 << (2 * bits))
+    return idx & ((1 << bits) - 1), idx >> bits
+
+
+def test_loa_zero_approx_bits_is_exact():
+    bits = 5
+    out = simulate(lower_or_adder(bits, 0))
+    a, b = _operands(bits)
+    assert np.array_equal(out, a + b)
+
+
+@pytest.mark.parametrize("approx_bits", [1, 2, 3])
+def test_loa_error_bounded(approx_bits):
+    """LOA error is below 2**approx_bits in magnitude."""
+    bits = 6
+    out = simulate(lower_or_adder(bits, approx_bits))
+    a, b = _operands(bits)
+    err = np.abs(out - (a + b))
+    assert err.max() < (1 << approx_bits)
+    assert (err > 0).any()
+
+
+def test_loa_low_bits_are_or():
+    bits = 4
+    out = simulate(lower_or_adder(bits, 2))
+    a, b = _operands(bits)
+    assert np.array_equal(out & 0b11, (a | b) & 0b11)
+
+
+def test_eta_low_bits_forced_one():
+    bits = 5
+    k = 2
+    out = simulate(truncated_adder(bits, k))
+    a, b = _operands(bits)
+    assert np.all(out & 0b11 == 0b11)
+    # high part is the exact sum of the high parts
+    assert np.array_equal(out >> k, (a >> k) + (b >> k))
+
+
+def test_eta_zero_truncation_exact():
+    bits = 4
+    out = simulate(truncated_adder(bits, 0))
+    a, b = _operands(bits)
+    assert np.array_equal(out, a + b)
+
+
+def test_approximate_adders_cheaper():
+    exact = estimate_cost(ripple_carry_adder(8))
+    loa = estimate_cost(lower_or_adder(8, 4))
+    eta = estimate_cost(truncated_adder(8, 4))
+    assert loa.area_um2 < exact.area_um2
+    assert eta.area_um2 < loa.area_um2  # ETA drops the low logic entirely
+    assert loa.delay_ps < exact.delay_ps
+
+
+def test_validation():
+    with pytest.raises(CircuitError):
+        lower_or_adder(4, 5)
+    with pytest.raises(CircuitError):
+        truncated_adder(4, -1)
+
+
+def test_names():
+    assert lower_or_adder(6, 2).name == "add6u_loa2"
+    assert truncated_adder(6, 2).name == "add6u_eta2"

@@ -1,0 +1,62 @@
+"""Property tests for approximate logic synthesis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.als import ApproxSynthesisConfig, approximate_synthesis
+from repro.circuits.cost import area
+from repro.circuits.generators import expected_exact_product, wallace_multiplier
+from repro.circuits.simulator import simulate
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    st.integers(min_value=4, max_value=5),
+    st.floats(min_value=0.0005, max_value=0.02),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_budget_always_respected(bits, budget, seed):
+    res = approximate_synthesis(
+        wallace_multiplier(bits),
+        ApproxSynthesisConfig(nmed_budget=budget, max_moves=12, seed=seed),
+    )
+    out = simulate(res.netlist)
+    exact = expected_exact_product(bits)
+    nmed = np.abs(out - exact).mean() / ((1 << (2 * bits)) - 1)
+    assert nmed <= budget + 1e-12
+    assert res.area_after <= res.area_before
+
+
+@settings(max_examples=6, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+def test_larger_budget_never_larger_area(seed):
+    """More error headroom cannot end with a bigger circuit (greedy is
+    monotone in the budget for identical candidate streams)."""
+    small = approximate_synthesis(
+        wallace_multiplier(4),
+        ApproxSynthesisConfig(nmed_budget=0.001, max_moves=15, seed=seed),
+    )
+    large = approximate_synthesis(
+        wallace_multiplier(4),
+        ApproxSynthesisConfig(nmed_budget=0.02, max_moves=15, seed=seed),
+    )
+    assert large.area_after <= small.area_after + 1e-9
+
+
+def test_resulting_netlist_costs_match_reported():
+    res = approximate_synthesis(
+        wallace_multiplier(5),
+        ApproxSynthesisConfig(nmed_budget=0.005, max_moves=10, seed=2),
+    )
+    assert area(res.netlist) == pytest.approx(res.area_after)
+
+
+def test_moves_log_format():
+    res = approximate_synthesis(
+        wallace_multiplier(4),
+        ApproxSynthesisConfig(nmed_budget=0.01, max_moves=5, seed=1),
+    )
+    for move in res.moves:
+        assert move.startswith(("const0(", "const1(", "subst("))

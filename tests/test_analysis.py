@@ -1,0 +1,116 @@
+"""Tests for gradient fidelity and error propagation analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    gradient_fidelity,
+    layer_error_report,
+    loss_direction_agreement,
+)
+from repro.analysis.propagation import format_error_report
+from repro.core.gradient import gradient_luts
+from repro.data import DataLoader, SyntheticImageDataset
+from repro.errors import ReproError
+from repro.models import LeNet
+from repro.multipliers import get_multiplier
+from repro.multipliers.exact import ExactMultiplier
+from repro.retrain.convert import approximate_model, calibrate, freeze
+from repro.retrain.trainer import TrainConfig, Trainer
+
+
+def test_fidelity_perfect_for_exact_mult_ste():
+    mult = ExactMultiplier(6)
+    pair = gradient_luts(mult, "ste")
+    fid = gradient_fidelity(mult, pair, horizon=4)
+    assert fid.cosine == pytest.approx(1.0)
+    assert fid.mae == pytest.approx(0.0)
+
+
+def test_difference_beats_ste_on_stairlike_appmult():
+    """The paper's premise, quantified: for a large-error truncated
+    multiplier, the difference gradient explains the AppMult's local slope
+    better than STE does."""
+    mult = get_multiplier("mul7u_rm6")
+    diff = gradient_luts(mult, "difference", hws=2)
+    ste = gradient_luts(mult, "ste")
+    f_diff = gradient_fidelity(mult, diff, horizon=2)
+    f_ste = gradient_fidelity(mult, ste, horizon=2)
+    assert f_diff.mae < f_ste.mae
+
+
+def test_fidelity_wrt_w():
+    mult = get_multiplier("mul6u_rm4")
+    pair = gradient_luts(mult, "difference", hws=2)
+    fid = gradient_fidelity(mult, pair, horizon=2, wrt="w")
+    assert -1.0 <= fid.cosine <= 1.0
+
+
+def test_fidelity_horizon_validation():
+    mult = ExactMultiplier(4)
+    pair = gradient_luts(mult, "ste")
+    with pytest.raises(ReproError):
+        gradient_fidelity(mult, pair, horizon=0)
+    with pytest.raises(ReproError):
+        gradient_fidelity(mult, pair, horizon=8)
+
+
+@pytest.fixture(scope="module")
+def trained_setup():
+    train = SyntheticImageDataset(192, 4, 12, seed=5, split="train")
+    model = LeNet(num_classes=4, image_size=12, seed=5)
+    Trainer(model, TrainConfig(epochs=4, batch_size=32, seed=5)).fit(train)
+    return train, model
+
+
+def _approx(model, train, mult, method, hws=None):
+    m = approximate_model(model, mult, gradient_method=method, hws=hws)
+    calibrate(m, DataLoader(train, batch_size=32), batches=3)
+    freeze(m)
+    return m
+
+
+def test_loss_direction_agreement_descent_for_exact(trained_setup):
+    """With the exact multiplier + STE the gradient is a true descent
+    direction.  The quantized loss landscape is piecewise constant, so the
+    realized/predicted ratio is noisy around 1 (steps cross rounding
+    boundaries unevenly) -- assert descent, not exact first-order match."""
+    train, model = trained_setup
+    m = _approx(model, train, ExactMultiplier(7), "ste")
+    ratio = loss_direction_agreement(
+        m, train.images[:32], train.labels[:32], step=1e-4
+    )
+    assert ratio > 0.2
+
+
+def test_loss_direction_agreement_returns_float(trained_setup):
+    train, model = trained_setup
+    mult = get_multiplier("mul7u_rm6")
+    m = _approx(model, train, mult, "difference", hws=2)
+    ratio = loss_direction_agreement(
+        m, train.images[:32], train.labels[:32], step=1e-4
+    )
+    assert np.isfinite(ratio)
+
+
+def test_layer_error_report(trained_setup):
+    train, model = trained_setup
+    mult = get_multiplier("mul7u_rm6")
+    m = _approx(model, train, mult, "ste")
+    stats = layer_error_report(m, mult, train.images[:16])
+    assert [s.layer for s in stats] == ["features.steps.0", "features.steps.3"]
+    for s in stats:
+        assert s.relative_error > 0  # truncation visibly perturbs outputs
+        assert np.isfinite(s.snr_db)
+    report = format_error_report(stats)
+    assert "features.steps.0" in report and "SNR" in report
+
+
+def test_layer_error_zero_for_exact(trained_setup):
+    train, model = trained_setup
+    mult = ExactMultiplier(7)
+    m = _approx(model, train, mult, "ste")
+    stats = layer_error_report(m, mult, train.images[:16])
+    for s in stats:
+        assert s.relative_error == 0
+        assert s.max_abs_error == 0

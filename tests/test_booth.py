@@ -1,0 +1,78 @@
+"""Tests for the radix-4 Booth signed multiplier."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.multipliers.booth import BoothMultiplier, booth_digits
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=3, max_value=8))
+def test_recoding_exact_for_all_values(bits):
+    n = 1 << bits
+    signed = np.arange(n, dtype=np.int64)
+    signed[n // 2 :] -= n
+    digits = booth_digits(signed, bits)
+    recon = sum(
+        digits[:, d] << (2 * d) for d in range(digits.shape[1])
+    )
+    assert np.array_equal(recon, signed)
+    assert digits.min() >= -2 and digits.max() <= 1
+
+
+def test_exact_booth_matches_signed_product():
+    m = BoothMultiplier(6)
+    w = np.repeat(np.arange(-32, 32), 64)
+    x = np.tile(np.arange(-32, 32), 64)
+    assert np.array_equal(m.product(w, x), w * x)
+    assert m.is_signed
+
+
+def test_truncated_booth_error_two_sided():
+    """Booth truncation errs in both directions (digits can be negative),
+    unlike Fig. 2 array truncation which only under-approximates."""
+    m = BoothMultiplier(6, dropped_digits=1)
+    w = np.repeat(np.arange(-32, 32), 64)
+    x = np.tile(np.arange(-32, 32), 64)
+    err = m.product(w, x) - w * x
+    assert err.min() < 0 < err.max()
+
+
+def test_truncated_booth_error_bounded():
+    """One dropped radix-4 digit contributes at most 2*|x| error."""
+    bits = 5
+    m = BoothMultiplier(bits, dropped_digits=1)
+    half = 1 << (bits - 1)
+    w = np.repeat(np.arange(-half, half), 2 * half)
+    x = np.tile(np.arange(-half, half), 2 * half)
+    err = np.abs(m.product(w, x) - w * x)
+    assert np.all(err <= 2 * np.abs(x))
+
+
+def test_more_dropped_digits_more_error():
+    errs = []
+    for k in (0, 1, 2):
+        m = BoothMultiplier(6, dropped_digits=k)
+        errs.append(np.abs(m.error_surface()).mean())
+    assert errs[0] == 0
+    assert errs[0] < errs[1] < errs[2]
+
+
+def test_dropped_digits_validation():
+    with pytest.raises(ReproError):
+        BoothMultiplier(6, dropped_digits=5)
+    with pytest.raises(ReproError):
+        BoothMultiplier(6, dropped_digits=-1)
+
+
+def test_product_range_validation():
+    m = BoothMultiplier(5)
+    with pytest.raises(ReproError):
+        m.product(np.array([16]), np.array([0]))
+
+
+def test_default_name():
+    assert BoothMultiplier(6, 1).name == "mul6s_booth_rd1"

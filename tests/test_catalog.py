@@ -1,0 +1,81 @@
+"""Tests for the multiplier design-space catalog."""
+
+import pytest
+
+from repro.multipliers.catalog import (
+    CandidatePoint,
+    enumerate_candidates,
+    format_catalog,
+    pareto_front,
+)
+
+
+@pytest.fixture(scope="module")
+def space():
+    return enumerate_candidates(
+        6,
+        truncations=(2, 4, 6),
+        compensation_fractions=(0.0, 0.5),
+        drum_ts=(3,),
+    )
+
+
+def test_enumeration_contents(space):
+    names = {p.name for p in space}
+    assert "mul6u_acc" in names
+    assert "mul6u_rm4" in names
+    assert any("rm4c" in n for n in names)
+    assert "mul6u_drum3" in names
+
+
+def test_exact_anchor_point(space):
+    exact = next(p for p in space if p.name == "mul6u_acc")
+    assert exact.metrics.nmed == 0
+    assert exact.power_uw is not None and exact.power_uw > 0
+
+
+def test_drum_has_no_cost(space):
+    drum = next(p for p in space if p.name == "mul6u_drum3")
+    assert drum.power_uw is None
+
+
+def test_compensation_reduces_nmed(space):
+    plain = next(p for p in space if p.name == "mul6u_rm6")
+    comp = next(p for p in space if p.name.startswith("mul6u_rm6c"))
+    assert comp.metrics.nmed < plain.metrics.nmed
+
+
+def test_pareto_front_properties(space):
+    front = pareto_front(space)
+    assert front  # never empty when costed points exist
+    # Sorted by power; NMED must be non-increasing along increasing power.
+    powers = [p.power_uw for p in front]
+    nmeds = [p.metrics.nmed for p in front]
+    assert powers == sorted(powers)
+    assert all(nmeds[i] >= nmeds[i + 1] for i in range(len(nmeds) - 1))
+    # No point in the front dominates another front point.
+    for p in front:
+        assert not any(q.dominates(p) for q in front)
+    # The exact multiplier anchors the zero-error end.
+    assert front[-1].name == "mul6u_acc" or front[-1].metrics.nmed == 0
+
+
+def test_dominance_semantics():
+    a = next(iter(pareto_front(enumerate_candidates(5, truncations=(4,), compensation_fractions=(0.0,)))))
+    # a never dominates itself
+    assert not a.dominates(a)
+
+
+def test_uncosted_points_never_dominate(space):
+    drum = next(p for p in space if p.power_uw is None)
+    exact = next(p for p in space if p.name == "mul6u_acc")
+    assert not drum.dominates(exact)
+    assert not exact.dominates(drum)
+
+
+def test_format_catalog(space):
+    front = pareto_front(space)
+    text = format_catalog(space, front)
+    assert "mul6u_acc" in text
+    assert "*" in text  # at least one Pareto flag
+    assert "n/a" in text  # the DRUM row

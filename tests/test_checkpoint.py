@@ -1,0 +1,70 @@
+"""Tests for training checkpoints."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.data import DataLoader, SyntheticImageDataset
+from repro.errors import ReproError
+from repro.models import LeNet
+from repro.multipliers import get_multiplier
+from repro.retrain.checkpoint import load_checkpoint, save_checkpoint
+from repro.retrain.convert import approximate_model, calibrate, freeze
+from repro.retrain.trainer import TrainConfig, Trainer
+
+
+@pytest.fixture(scope="module")
+def trained_approx():
+    train = SyntheticImageDataset(128, 4, 12, seed=9, split="train")
+    model = LeNet(num_classes=4, image_size=12, seed=9)
+    Trainer(model, TrainConfig(epochs=2, batch_size=32, seed=9)).fit(train)
+    approx = approximate_model(
+        model, get_multiplier("mul6u_rm4"), gradient_method="difference", hws=2
+    )
+    calibrate(approx, DataLoader(train, batch_size=32), batches=2)
+    freeze(approx)
+    Trainer(approx, TrainConfig(epochs=1, batch_size=32, seed=9)).fit(train)
+    return train, model, approx
+
+
+def test_checkpoint_roundtrip_float_model(tmp_path, trained_approx):
+    _train, model, _approx = trained_approx
+    path = tmp_path / "float.npz"
+    save_checkpoint(model, path)
+    fresh = LeNet(num_classes=4, image_size=12, seed=123)
+    load_checkpoint(fresh, path)
+    for (n1, p1), (_, p2) in zip(
+        model.named_parameters(), fresh.named_parameters()
+    ):
+        assert np.array_equal(p1.data, p2.data), n1
+
+
+def test_checkpoint_roundtrip_approx_model(tmp_path, trained_approx):
+    train, model, approx = trained_approx
+    path = tmp_path / "approx.npz"
+    save_checkpoint(approx, path)
+
+    # Fresh conversion WITHOUT calibration: checkpoint supplies quant state.
+    fresh = approximate_model(
+        model, get_multiplier("mul6u_rm4"), gradient_method="difference", hws=2
+    )
+    load_checkpoint(fresh, path)
+    x = Tensor(train.images[:8])
+    out_orig = approx.eval()(x)
+    out_loaded = fresh.eval()(x)
+    assert np.allclose(out_orig.data, out_loaded.data)
+
+
+def test_checkpoint_missing_file():
+    model = LeNet(num_classes=4, image_size=12)
+    with pytest.raises(ReproError):
+        load_checkpoint(model, "/nonexistent.npz")
+
+
+def test_checkpoint_unknown_quant_layer(tmp_path, trained_approx):
+    _train, model, approx = trained_approx
+    path = tmp_path / "a.npz"
+    save_checkpoint(approx, path)
+    # load into the FLOAT model: state keys mismatch -> load_state_dict error
+    with pytest.raises(ReproError):
+        load_checkpoint(model, path)

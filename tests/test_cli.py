@@ -1,0 +1,56 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_characterize_subset(capsys):
+    assert main(["characterize", "mul6u_acc", "mul6u_rm4"]) == 0
+    out = capsys.readouterr().out
+    assert "mul6u_rm4" in out and "mul6u_acc" in out
+    assert "mul8u_acc" not in out
+
+
+def test_hws_command(capsys):
+    rc = main(["hws", "--multiplier", "mul6u_rm4", "--epochs", "1",
+               "--n-train", "64"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "selected" in out
+
+
+def test_export_verilog(tmp_path, capsys):
+    out_file = tmp_path / "m.v"
+    rc = main(["export", "--multiplier", "mul6u_rm4",
+               "--output", str(out_file)])
+    assert rc == 0
+    text = out_file.read_text()
+    assert text.startswith("module")
+
+
+def test_export_blif_stdout(capsys):
+    assert main(["export", "--multiplier", "mul6u_acc", "--format", "blif"]) == 0
+    assert capsys.readouterr().out.startswith(".model")
+
+
+def test_export_no_netlist(capsys):
+    rc = main(["export", "--multiplier", "mul8u_1DMU"])
+    assert rc == 1
+    assert "no structural netlist" in capsys.readouterr().err
+
+
+def test_retrain_command_tiny(capsys):
+    rc = main([
+        "retrain", "--multiplier", "mul6u_rm4", "--arch", "lenet",
+        "--epochs", "1", "--pretrain-epochs", "1", "--n-train", "96",
+        "--image-size", "12",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "mul6u_rm4" in out and "lenet" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

@@ -1,0 +1,61 @@
+"""Tests for convergence-rate metrics."""
+
+import pytest
+
+from repro.analysis.convergence import (
+    ConvergenceStats,
+    convergence_stats,
+    faster_convergence,
+)
+from repro.errors import ReproError
+
+
+def test_basic_stats():
+    stats = convergence_stats([0.2, 0.5, 0.8, 0.9], fraction=0.9)
+    assert stats.final == 0.9
+    assert stats.best == 0.9
+    assert stats.auc == pytest.approx(0.6)
+    # 0.9 * 0.9 = 0.81 first reached at epoch 4? 0.8 < 0.81 so epoch 4.
+    assert stats.epochs_to_fraction == 4
+
+
+def test_fraction_reached_early():
+    stats = convergence_stats([0.85, 0.86, 0.9], fraction=0.9)
+    assert stats.epochs_to_fraction == 1  # 0.85 >= 0.81 immediately
+
+
+def test_never_reached_when_curve_collapses():
+    stats = convergence_stats([0.1, 0.9], fraction=1.0)
+    assert stats.epochs_to_fraction == 2
+    declining = convergence_stats([0.0, 0.0, 0.5], fraction=1.0)
+    assert declining.epochs_to_fraction == 3
+
+
+def test_validation():
+    with pytest.raises(ReproError):
+        convergence_stats([])
+    with pytest.raises(ReproError):
+        convergence_stats([0.1], fraction=0.0)
+    with pytest.raises(ReproError):
+        faster_convergence([0.1], [0.1, 0.2])
+
+
+def test_faster_convergence_clear_case():
+    fast = [0.5, 0.8, 0.9, 0.9]
+    slow = [0.1, 0.3, 0.6, 0.9]
+    assert faster_convergence(fast, slow)
+    assert not faster_convergence(slow, fast)
+
+
+def test_faster_convergence_fig6_shape():
+    """The paper's Fig. 6a description: ours pulls ahead after epoch 4."""
+    ste = [0.60, 0.70, 0.78, 0.82, 0.85, 0.87, 0.879]
+    ours = [0.58, 0.69, 0.80, 0.86, 0.88, 0.89, 0.895]
+    assert faster_convergence(ours, ste)
+
+
+def test_stats_is_frozen():
+    stats = convergence_stats([0.5])
+    assert isinstance(stats, ConvergenceStats)
+    with pytest.raises(Exception):
+        stats.final = 1.0

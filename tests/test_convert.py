@@ -1,0 +1,104 @@
+"""Tests for model conversion to approximate layers."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.core.gradient import gradient_luts
+from repro.data import DataLoader, SyntheticImageDataset
+from repro.errors import ConfigError
+from repro.models import LeNet, resnet18
+from repro.multipliers import get_multiplier
+from repro.nn import ApproxConv2d, ApproxLinear
+from repro.nn.layers import Conv2d, Linear
+from repro.retrain.convert import (
+    approx_layers,
+    approximate_model,
+    calibrate,
+    freeze,
+    set_gradient_method,
+)
+
+MULT = get_multiplier("mul6u_rm4")
+
+
+def _count(model, cls):
+    return sum(1 for m in model.modules() if isinstance(m, cls))
+
+
+def test_all_convs_converted():
+    model = LeNet(num_classes=4, image_size=12)
+    n_convs = _count(model, Conv2d) - _count(model, ApproxConv2d)
+    converted = approximate_model(model, MULT, gradient_method="ste")
+    assert _count(converted, ApproxConv2d) == n_convs == 2
+    # Linear layers untouched by default (paper approximates convs only).
+    assert _count(converted, ApproxLinear) == 0
+
+
+def test_original_model_untouched():
+    model = LeNet(num_classes=4, image_size=12)
+    approximate_model(model, MULT, gradient_method="ste")
+    assert _count(model, ApproxConv2d) == 0
+
+
+def test_weights_copied():
+    model = LeNet(num_classes=4, image_size=12)
+    converted = approximate_model(model, MULT, gradient_method="ste")
+    src = dict(model.named_parameters())
+    for name, p in converted.named_parameters():
+        assert np.array_equal(p.data, src[name].data), name
+
+
+def test_include_linear():
+    model = LeNet(num_classes=4, image_size=12)
+    converted = approximate_model(
+        model, MULT, gradient_method="ste", include_linear=True
+    )
+    assert _count(converted, ApproxLinear) == 3
+    # every plain Linear got replaced (ApproxLinear is not a Linear subclass)
+    assert _count(converted, Linear) == 0
+
+
+def test_resnet_converts_all_convs_including_shortcuts():
+    model = resnet18(num_classes=4, width_mult=0.0625)
+    n_convs = _count(model, Conv2d)
+    converted = approximate_model(model, MULT, gradient_method="ste")
+    assert _count(converted, ApproxConv2d) == n_convs
+
+
+def test_calibrate_freeze_flow():
+    data = SyntheticImageDataset(32, 4, 12, seed=0)
+    model = LeNet(num_classes=4, image_size=12)
+    converted = approximate_model(model, MULT, gradient_method="ste")
+    for layer in approx_layers(converted):
+        assert layer.calibrating
+    calibrate(converted, DataLoader(data, batch_size=16), batches=2)
+    freeze(converted)
+    for layer in approx_layers(converted):
+        assert not layer.calibrating
+        assert layer.quant.frozen
+    out = converted(Tensor(data.images[:4]))
+    assert out.shape == (4, 4)
+
+
+def test_shared_gradient_pair_across_layers():
+    model = LeNet(num_classes=4, image_size=12)
+    pair = gradient_luts(MULT, "difference", hws=2)
+    converted = approximate_model(model, MULT, gradients=pair)
+    layers = list(approx_layers(converted))
+    assert all(l.gradients is pair for l in layers)
+
+
+def test_set_gradient_method_swaps_all():
+    model = LeNet(num_classes=4, image_size=12)
+    converted = approximate_model(model, MULT, gradient_method="ste")
+    set_gradient_method(converted, MULT, "difference", hws=2)
+    for layer in approx_layers(converted):
+        assert "difference" in layer.gradients.method
+
+
+def test_unconvertible_model_raises():
+    from repro.nn.layers import ReLU, Sequential
+
+    with pytest.raises(ConfigError):
+        approximate_model(Sequential(ReLU()), MULT, gradient_method="ste")

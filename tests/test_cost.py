@@ -1,0 +1,93 @@
+"""Tests for the hardware cost model."""
+
+import pytest
+
+from repro.circuits.cost import (
+    area,
+    critical_path_delay,
+    estimate_cost,
+    switching_power,
+)
+from repro.circuits.generators import (
+    truncated_array_multiplier,
+    wallace_multiplier,
+)
+from repro.circuits.netlist import Netlist
+
+# Paper Table I accurate-multiplier rows (DC + ASAP7): area, delay, power.
+PAPER_ACC = {8: (25.6, 730.1, 22.93), 7: (19.0, 695.0, 15.72), 6: (14.1, 680.1, 10.47)}
+
+
+def test_empty_netlist_costs_zero():
+    nl = Netlist()
+    nl.add_inputs(2)
+    cost = estimate_cost(nl)
+    assert cost.area_um2 == 0
+    assert cost.delay_ps == 0
+    assert cost.power_uw == 0
+
+
+def test_single_gate_costs():
+    nl = Netlist()
+    a, b = nl.add_inputs(2)
+    nl.outputs = [nl.and2(a, b)]
+    cost = estimate_cost(nl)
+    assert cost.n_gates == 1
+    assert cost.area_um2 > 0
+    # AND of uniform inputs: p=1/4, alpha = 2*(1/4)*(3/4) = 3/8.
+    assert cost.power_uw == pytest.approx(0.375 * 0.126, rel=1e-9)
+
+
+def test_delay_is_longest_path():
+    nl = Netlist()
+    a, b = nl.add_inputs(2)
+    g1 = nl.and2(a, b)      # 20 ps
+    g2 = nl.xor2(g1, b)     # +32 ps -> 52
+    short = nl.inv(a)       # 8 ps
+    nl.outputs = [g2, short]
+    assert critical_path_delay(nl) == pytest.approx(52.0)
+
+
+@pytest.mark.parametrize("bits", [6, 7, 8])
+def test_calibration_close_to_paper_acc_rows(bits):
+    """Exact Wallace multipliers land near the Table I _acc rows."""
+    cost = estimate_cost(wallace_multiplier(bits))
+    pa, pd, pp = PAPER_ACC[bits]
+    assert cost.area_um2 == pytest.approx(pa, rel=0.15)
+    assert cost.power_uw == pytest.approx(pp, rel=0.15)
+    # Delay model is coarser (tree depth changes in bigger steps).
+    assert cost.delay_ps == pytest.approx(pd, rel=0.35)
+
+
+def test_truncated_cheaper_than_exact():
+    full = estimate_cost(wallace_multiplier(7))
+    trunc = estimate_cost(truncated_array_multiplier(7, 6))
+    assert trunc.area_um2 < full.area_um2
+    assert trunc.power_uw < full.power_uw
+
+
+def test_more_truncation_means_less_area():
+    a4 = area(truncated_array_multiplier(8, 4))
+    a8 = area(truncated_array_multiplier(8, 8))
+    assert a8 < a4
+
+
+def test_normalized_to():
+    full = estimate_cost(wallace_multiplier(6))
+    ratios = full.normalized_to(full)
+    assert ratios == {"area": 1.0, "delay": 1.0, "power": 1.0}
+
+
+def test_switching_power_reuses_values():
+    nl = wallace_multiplier(4)
+    from repro.circuits.simulator import simulate_words
+
+    words = simulate_words(nl)
+    assert switching_power(nl, words) == pytest.approx(switching_power(nl))
+
+
+def test_power_scales_with_clock():
+    nl = wallace_multiplier(4)
+    assert switching_power(nl, clock_ghz=2.0) == pytest.approx(
+        2 * switching_power(nl, clock_ghz=1.0)
+    )

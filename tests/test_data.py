@@ -1,0 +1,137 @@
+"""Tests for the synthetic datasets and loaders."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ArrayDataset,
+    DataLoader,
+    SyntheticImageDataset,
+    random_crop_flip,
+    synthetic_cifar10,
+    synthetic_cifar100,
+)
+from repro.errors import ReproError
+
+
+def test_dataset_shapes_and_labels():
+    ds = SyntheticImageDataset(64, 10, 16, seed=0)
+    assert ds.images.shape == (64, 3, 16, 16)
+    assert ds.images.dtype == np.float32
+    assert ds.labels.shape == (64,)
+    assert set(np.unique(ds.labels)) <= set(range(10))
+
+
+def test_dataset_deterministic():
+    a = SyntheticImageDataset(32, 10, 12, seed=3)
+    b = SyntheticImageDataset(32, 10, 12, seed=3)
+    assert np.array_equal(a.images, b.images)
+    assert np.array_equal(a.labels, b.labels)
+
+
+def test_different_seeds_differ():
+    a = SyntheticImageDataset(32, 10, 12, seed=3)
+    b = SyntheticImageDataset(32, 10, 12, seed=4)
+    assert not np.array_equal(a.images, b.images)
+
+
+def test_splits_share_class_structure_but_not_samples():
+    tr = SyntheticImageDataset(64, 10, 12, seed=0, split="train")
+    te = SyntheticImageDataset(64, 10, 12, seed=0, split="test")
+    assert not np.array_equal(tr.images, te.images)
+
+
+def test_class_balance():
+    ds = SyntheticImageDataset(100, 10, 12, seed=0)
+    counts = np.bincount(ds.labels, minlength=10)
+    assert counts.min() == counts.max() == 10
+
+
+def test_validation():
+    with pytest.raises(ReproError):
+        SyntheticImageDataset(10, 10, 12, split="val")
+    with pytest.raises(ReproError):
+        SyntheticImageDataset(0, 10)
+    with pytest.raises(ReproError):
+        SyntheticImageDataset(10, 1)
+
+
+def test_getitem():
+    ds = SyntheticImageDataset(8, 4, 12)
+    x, y = ds[3]
+    assert x.shape == (3, 12, 12)
+    assert 0 <= y < 4
+    assert len(ds) == 8
+
+
+def test_cifar_factories():
+    tr, te = synthetic_cifar10(n_train=32, n_test=16, image_size=12)
+    assert len(tr) == 32 and len(te) == 16
+    tr100, _ = synthetic_cifar100(n_train=200, n_test=16, image_size=12)
+    assert tr100.n_classes == 100
+
+
+def test_array_dataset_validation():
+    with pytest.raises(ReproError):
+        ArrayDataset(np.zeros((3, 1)), np.zeros(2))
+
+
+def test_loader_batches_and_len():
+    ds = SyntheticImageDataset(50, 5, 12)
+    loader = DataLoader(ds, batch_size=16)
+    batches = list(loader)
+    assert len(batches) == len(loader) == 4
+    assert batches[0][0].shape == (16, 3, 12, 12)
+    assert batches[-1][0].shape == (2, 3, 12, 12)
+
+
+def test_loader_drop_last():
+    ds = SyntheticImageDataset(50, 5, 12)
+    loader = DataLoader(ds, batch_size=16, drop_last=True)
+    assert len(loader) == 3
+    assert all(len(y) == 16 for _, y in loader)
+
+
+def test_loader_shuffle_changes_order_but_not_content():
+    ds = SyntheticImageDataset(64, 8, 12)
+    plain = np.concatenate([y for _, y in DataLoader(ds, batch_size=16)])
+    shuffled = np.concatenate(
+        [y for _, y in DataLoader(ds, batch_size=16, shuffle=True, seed=1)]
+    )
+    assert not np.array_equal(plain, shuffled)
+    assert np.array_equal(np.sort(plain), np.sort(shuffled))
+
+
+def test_loader_batch_size_validation():
+    with pytest.raises(ReproError):
+        DataLoader(SyntheticImageDataset(8, 4, 12), batch_size=0)
+
+
+def test_augmentation_applied_by_loader():
+    ds = SyntheticImageDataset(16, 4, 12)
+    loader = DataLoader(ds, batch_size=16, augment=random_crop_flip, seed=0)
+    (x, _y), = list(loader)
+    assert x.shape == ds.images.shape
+    assert not np.array_equal(x, ds.images)
+
+
+def test_random_crop_flip_preserves_shape_and_values_subset():
+    rng = np.random.default_rng(0)
+    imgs = np.arange(2 * 3 * 8 * 8, dtype=np.float32).reshape(2, 3, 8, 8)
+    out = random_crop_flip(imgs, rng, pad=1, flip_prob=0.0)
+    assert out.shape == imgs.shape
+    # With pad=1 the center crop region still contains original pixels.
+    assert np.isin(out[:, :, 1:-1, 1:-1], imgs).all()
+
+
+def test_learnable_signal_present():
+    """A trivial nearest-class-mean classifier beats chance easily."""
+    tr = SyntheticImageDataset(400, 4, 12, seed=0, split="train")
+    te = SyntheticImageDataset(100, 4, 12, seed=0, split="test")
+    means = np.stack([
+        tr.images[tr.labels == c].mean(axis=0).ravel() for c in range(4)
+    ])
+    feats = te.images.reshape(len(te), -1)
+    dists = ((feats[:, None, :] - means[None]) ** 2).sum(axis=2)
+    acc = (dists.argmin(axis=1) == te.labels).mean()
+    assert acc > 0.5  # chance is 0.25

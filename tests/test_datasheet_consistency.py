@@ -1,0 +1,67 @@
+"""Consistency checks between the paper datasheet and the cost model."""
+
+import pytest
+
+from repro.circuits.cost import estimate_cost
+from repro.multipliers.registry import (
+    TABLE1_NAMES,
+    accurate_counterpart,
+    get_multiplier,
+    multiplier_info,
+)
+
+
+def test_every_appmult_cheaper_than_its_accmult_in_datasheet():
+    for name in TABLE1_NAMES:
+        info = multiplier_info(name)
+        if info.category == "exact":
+            continue
+        acc = multiplier_info(accurate_counterpart(name)).datasheet
+        assert info.datasheet.power_uw < acc.power_uw, name
+        assert info.datasheet.area_um2 < acc.area_um2, name
+
+
+def test_datasheet_error_metrics_zero_iff_exact():
+    for name in TABLE1_NAMES:
+        info = multiplier_info(name)
+        is_exact = info.category == "exact"
+        assert (info.datasheet.nmed_percent == 0) == is_exact, name
+        assert (info.datasheet.maxed == 0) == is_exact, name
+
+
+def test_datasheet_maxed_within_representable_range():
+    for name in TABLE1_NAMES:
+        info = multiplier_info(name)
+        assert info.datasheet.maxed < (1 << (2 * info.bits)), name
+
+
+def test_accmult_power_ordering_by_width():
+    p6 = multiplier_info("mul6u_acc").datasheet.power_uw
+    p7 = multiplier_info("mul7u_acc").datasheet.power_uw
+    p8 = multiplier_info("mul8u_acc").datasheet.power_uw
+    assert p6 < p7 < p8
+
+
+def test_cost_model_tracks_datasheet_ratios_for_truncated():
+    """Model power ratio rm/acc within 25pp of the datasheet ratio for the
+    structurally faithful truncated multipliers."""
+    for name in ("mul6u_rm4", "mul8u_rm8"):
+        info = multiplier_info(name)
+        acc_info = multiplier_info(accurate_counterpart(name))
+        mult = get_multiplier(name)
+        acc = get_multiplier(acc_info.name)
+        model_ratio = (
+            estimate_cost(mult.build_netlist()).power_uw
+            / estimate_cost(acc.build_netlist()).power_uw
+        )
+        sheet_ratio = info.datasheet.power_uw / acc_info.datasheet.power_uw
+        assert model_ratio == pytest.approx(sheet_ratio, abs=0.25), name
+
+
+def test_hws_only_for_approximate_rows():
+    for name in TABLE1_NAMES:
+        info = multiplier_info(name)
+        if info.category == "exact":
+            assert info.default_hws is None
+        else:
+            assert info.default_hws in (1, 2, 4, 8, 16, 32, 64), name

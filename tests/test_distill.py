@@ -1,0 +1,102 @@
+"""Tests for knowledge-distillation retraining."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.errors import ConfigError
+from repro.retrain.distill import distillation_loss, teacher_logits_for
+
+rng = np.random.default_rng(41)
+
+
+def test_alpha_one_equals_cross_entropy():
+    from repro.nn.losses import cross_entropy
+
+    logits = rng.normal(size=(4, 5))
+    labels = np.array([0, 1, 2, 3])
+    teacher = rng.normal(size=(4, 5))
+    l1 = distillation_loss(Tensor(logits), teacher, labels, alpha=1.0)
+    l2 = cross_entropy(Tensor(logits), labels)
+    assert l1.item() == pytest.approx(l2.item())
+
+
+def test_soft_term_zero_at_perfect_match():
+    logits = rng.normal(size=(3, 4))
+    labels = np.array([0, 1, 2])
+    loss_match = distillation_loss(
+        Tensor(logits), logits.copy(), labels, alpha=0.0, temperature=3.0
+    )
+    assert loss_match.item() == pytest.approx(0.0, abs=1e-9)
+
+
+def test_soft_term_positive_for_mismatch():
+    logits = rng.normal(size=(3, 4))
+    labels = np.array([0, 1, 2])
+    loss = distillation_loss(
+        Tensor(logits), rng.normal(size=(3, 4)), labels, alpha=0.0
+    )
+    assert loss.item() > 0
+
+
+def test_gradient_flows_to_student():
+    student = Tensor(rng.normal(size=(4, 5)), requires_grad=True)
+    loss = distillation_loss(
+        student, rng.normal(size=(4, 5)), np.array([0, 1, 2, 3]), alpha=0.3
+    )
+    loss.backward()
+    assert student.grad is not None
+    assert np.abs(student.grad).sum() > 0
+
+
+def test_gradcheck_distillation():
+    from repro.autograd import gradcheck
+
+    teacher = rng.normal(size=(3, 4))
+    labels = np.array([1, 2, 0])
+    gradcheck(
+        lambda s: distillation_loss(s, teacher, labels, temperature=2.5, alpha=0.4),
+        [rng.normal(size=(3, 4))],
+    )
+
+
+def test_validation():
+    s = Tensor(np.zeros((2, 3)))
+    t = np.zeros((2, 3))
+    y = np.array([0, 1])
+    with pytest.raises(ConfigError):
+        distillation_loss(s, t, y, alpha=1.5)
+    with pytest.raises(ConfigError):
+        distillation_loss(s, t, y, temperature=0)
+    with pytest.raises(ConfigError):
+        distillation_loss(s, np.zeros((2, 4)), y)
+
+
+def test_teacher_logits_for():
+    from repro.models import LeNet
+
+    teacher = LeNet(num_classes=4, image_size=12)
+    x = rng.normal(size=(2, 3, 12, 12)).astype(np.float32)
+    out = teacher_logits_for(teacher, x)
+    assert out.shape == (2, 4)
+    assert teacher.training  # mode restored
+
+
+def test_distillation_improves_student_loss():
+    """A few distilled steps move the student toward the teacher."""
+    from repro.optim import Adam
+
+    teacher = rng.normal(size=(8, 5))
+    labels = teacher.argmax(axis=1)
+    from repro.nn.module import Parameter
+
+    student = Parameter(rng.normal(size=(8, 5)))
+    opt = Adam([student], lr=0.1)
+    losses = []
+    for _ in range(30):
+        loss = distillation_loss(student, teacher, labels, alpha=0.5)
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+        losses.append(loss.item())
+    assert losses[-1] < losses[0] * 0.5

@@ -1,0 +1,149 @@
+"""Edge-case coverage across modules."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad
+from repro.circuits.netlist import Netlist
+from repro.circuits.simulator import simulate, simulate_words
+from repro.errors import ConfigError, ReproError
+
+
+def test_single_input_netlist():
+    nl = Netlist()
+    (a,) = nl.add_inputs(1)
+    nl.outputs = [nl.inv(a)]
+    assert list(simulate(nl)) == [1, 0]
+
+
+def test_zero_input_constant_netlist():
+    nl = Netlist()
+    nl.outputs = [nl.const1(), nl.const0()]
+    out = simulate(nl)
+    assert list(out) == [1]
+
+
+def test_simulate_words_shape():
+    nl = Netlist()
+    nl.add_inputs(7)  # 128 combos -> 2 words
+    words = simulate_words(nl)
+    assert words.shape == (7, 2)
+
+
+def test_no_grad_restored_after_exception():
+    from repro.autograd import is_grad_enabled
+
+    with pytest.raises(RuntimeError):
+        with no_grad():
+            raise RuntimeError("boom")
+    assert is_grad_enabled()
+
+
+def test_tensor_getitem_fancy_index_gradient():
+    a = Tensor(np.arange(6, dtype=float), requires_grad=True)
+    idx = np.array([0, 0, 3])
+    out = a[idx]
+    out.sum().backward()
+    expected = np.zeros(6)
+    expected[0] = 2  # picked twice
+    expected[3] = 1
+    assert np.array_equal(a.grad, expected)
+
+
+def test_vgg_rejects_too_small_image():
+    from repro.models import VGG
+
+    with pytest.raises(ConfigError):
+        VGG("VGG19", image_size=4, width_mult=0.0625)
+
+
+def test_resnet_minimum_width_floor():
+    from repro.models import resnet18
+    from repro.nn.layers import Conv2d
+
+    model = resnet18(width_mult=0.001)
+    convs = [m for m in model.modules() if isinstance(m, Conv2d)]
+    assert all(c.out_channels >= 4 for c in convs)
+
+
+def test_experiment_scale_is_frozen():
+    from repro.retrain.experiment import ExperimentScale
+
+    scale = ExperimentScale()
+    with pytest.raises(Exception):
+        scale.n_train = 10
+
+
+def test_multiplier_info_is_frozen():
+    from repro.multipliers import multiplier_info
+
+    info = multiplier_info("mul6u_rm4")
+    with pytest.raises(Exception):
+        info.bits = 9
+
+
+def test_smoothing_window_equals_domain():
+    """2*HWS + 1 == n is allowed: one fully-valid center point."""
+    from repro.core.smoothing import smooth_function
+
+    vals = np.arange(9, dtype=float)
+    out = smooth_function(vals, 4)
+    assert np.isfinite(out[4])
+    assert np.isnan(out[:4]).all() and np.isnan(out[5:]).all()
+
+
+def test_difference_gradient_when_eq5_range_empty():
+    """Large HWS leaves no Eq. 5 interior; Eq. 6 covers everything."""
+    from repro.core.gradient import difference_gradient_lut
+    from repro.multipliers.exact import ExactMultiplier
+
+    lut = ExactMultiplier(4).lut()  # 16 levels
+    g = difference_gradient_lut(lut, hws=7, wrt="x")
+    # every entry is the Eq. 6 row-range value
+    w = np.arange(16)
+    expected = (w * 15 - 0) / 16
+    assert np.allclose(g, expected[:, None])
+
+
+def test_dataloader_single_sample_dataset():
+    from repro.data import ArrayDataset, DataLoader
+
+    ds = ArrayDataset(np.zeros((1, 3, 4, 4), dtype=np.float32), np.zeros(1))
+    batches = list(DataLoader(ds, batch_size=8))
+    assert len(batches) == 1
+    assert batches[0][0].shape == (1, 3, 4, 4)
+
+
+def test_trainer_rejects_empty_eval():
+    from repro.data import ArrayDataset
+    from repro.models import LeNet
+    from repro.retrain.trainer import evaluate
+
+    empty = ArrayDataset(
+        np.zeros((0, 3, 12, 12), dtype=np.float32), np.zeros(0)
+    )
+    with pytest.raises(ConfigError):
+        evaluate(LeNet(num_classes=4, image_size=12), empty)
+
+
+def test_lutgemm_shape_mismatch():
+    from repro.core.gradient import gradient_luts
+    from repro.multipliers.exact import ExactMultiplier
+    from repro.nn.approx import LutGemm
+
+    mult = ExactMultiplier(4)
+    engine = LutGemm(mult, gradient_luts(mult, "ste"))
+    with pytest.raises(ReproError):
+        engine.product_sums(
+            np.zeros((2, 3), dtype=np.int32), np.zeros((4, 5), dtype=np.int32)
+        )
+
+
+def test_signed_multiplier_call_uses_unsigned_indexing():
+    """__call__ (unsigned index view) and product (signed values) agree."""
+    from repro.multipliers.exact import ExactMultiplier
+    from repro.multipliers.signed import SignedMultiplier
+
+    m = SignedMultiplier(ExactMultiplier(4))
+    w, x = np.array([13]), np.array([2])  # 13 == -3 in 4-bit
+    assert m(w, x)[0] == m.product(np.array([-3]), np.array([2]))[0] == -6

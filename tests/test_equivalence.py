@@ -1,0 +1,65 @@
+"""Tests for the exhaustive equivalence checker."""
+
+import pytest
+
+from repro.circuits.equivalence import check_equivalence
+from repro.circuits.generators import (
+    array_multiplier,
+    truncated_array_multiplier,
+    wallace_multiplier,
+)
+from repro.circuits.netlist import Netlist
+from repro.errors import CircuitError
+
+
+def test_array_equals_wallace():
+    res = check_equivalence(array_multiplier(5), wallace_multiplier(5))
+    assert res.equivalent
+    assert res.counterexample is None
+    assert res.max_distance == 0
+
+
+def test_truncated_differs_with_counterexample():
+    exact = wallace_multiplier(5)
+    trunc = truncated_array_multiplier(5, 3)
+    res = check_equivalence(exact, trunc)
+    assert not res.equivalent
+    assert res.counterexample is not None
+    assert res.value_a != res.value_b
+    assert res.max_distance > 0
+    # counterexample expands to a concrete input assignment
+    assign = res.assignment(exact.n_inputs)
+    assert set(assign) == set(range(10))
+    w = sum(assign[k] << k for k in range(5))
+    x = sum(assign[k + 5] << k for k in range(5))
+    assert res.value_a == w * x
+
+
+def test_assignment_requires_counterexample():
+    res = check_equivalence(wallace_multiplier(3), array_multiplier(3))
+    with pytest.raises(CircuitError):
+        res.assignment(6)
+
+
+def test_structural_mismatches_rejected():
+    with pytest.raises(CircuitError):
+        check_equivalence(wallace_multiplier(3), wallace_multiplier(4))
+    a = Netlist()
+    (x,) = a.add_inputs(1)
+    a.outputs = [x]
+    b = Netlist()
+    (y,) = b.add_inputs(1)
+    b.outputs = [y, y]
+    with pytest.raises(CircuitError):
+        check_equivalence(a, b)
+
+
+def test_demorgan_equivalence():
+    """~(a & b) == ~a | ~b checked formally."""
+    lhs = Netlist()
+    a, b = lhs.add_inputs(2)
+    lhs.outputs = [lhs.nand2(a, b)]
+    rhs = Netlist()
+    a2, b2 = rhs.add_inputs(2)
+    rhs.outputs = [rhs.or2(rhs.inv(a2), rhs.inv(b2))]
+    assert check_equivalence(lhs, rhs).equivalent

@@ -1,0 +1,132 @@
+"""Tests for the EvoApprox-style behavioral stand-ins."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.multipliers.base import NetlistMultiplier
+from repro.multipliers.evoapprox import (
+    DrumMultiplier,
+    MitchellLogMultiplier,
+    PartialProductMultiplier,
+    drum_approximate_operand,
+    mul7u_06Q,
+    mul7u_073,
+    mul7u_081,
+    mul7u_08E,
+    mul8u_17C8,
+    mul8u_17R6,
+    mul8u_1DMU,
+    mul8u_2NDH,
+)
+from repro.multipliers.metrics import error_metrics
+from repro.multipliers.registry import multiplier_info
+
+NAMED = {
+    "mul8u_2NDH": mul8u_2NDH,
+    "mul8u_17C8": mul8u_17C8,
+    "mul8u_1DMU": mul8u_1DMU,
+    "mul8u_17R6": mul8u_17R6,
+    "mul7u_06Q": mul7u_06Q,
+    "mul7u_073": mul7u_073,
+    "mul7u_081": mul7u_081,
+    "mul7u_08E": mul7u_08E,
+}
+
+
+@pytest.mark.parametrize("name", sorted(NAMED))
+def test_named_standins_close_to_table1_nmed(name):
+    """Measured NMED lands within 0.15 percentage points of the paper."""
+    m = NAMED[name]()
+    assert m.name == name
+    em = error_metrics(m)
+    paper = multiplier_info(name).datasheet
+    assert em.nmed_percent == pytest.approx(paper.nmed_percent, abs=0.15)
+
+
+@pytest.mark.parametrize("name", sorted(NAMED))
+def test_named_standins_lut_in_output_range(name):
+    m = NAMED[name]()
+    lut = m.lut()
+    assert lut.min() >= 0
+    assert lut.max() < 1 << (2 * m.bits)
+
+
+def test_partial_product_multiplier_matches_netlist():
+    m = PartialProductMultiplier(
+        "pp_test", 5, dropped={(0, 0), (1, 1), (0, 3)}, compensation=9
+    )
+    structural = NetlistMultiplier("pp_net", 5, m.build_netlist())
+    assert np.array_equal(m.lut(), structural.lut())
+
+
+def test_named_pp_standins_match_their_netlists():
+    for name in ("mul7u_081", "mul8u_17C8"):
+        m = NAMED[name]()
+        structural = NetlistMultiplier(name, m.bits, m.build_netlist())
+        assert np.array_equal(m.lut(), structural.lut())
+
+
+def test_partial_product_validates_drop_pairs():
+    with pytest.raises(ReproError):
+        PartialProductMultiplier("bad", 4, dropped={(4, 0)})
+    with pytest.raises(ReproError):
+        PartialProductMultiplier("bad", 4, dropped=set(), compensation=-1)
+
+
+def test_drum_operand_small_values_exact():
+    v = np.arange(32)
+    approx = drum_approximate_operand(v, 8, 5)
+    assert np.array_equal(approx, v)
+
+
+def test_drum_operand_keeps_leading_bits():
+    # 0b11001010: keep the top 4 bits (1100), force the lowest kept bit to 1
+    # (-> 1101), zero the rest: 0b11010000.
+    approx = drum_approximate_operand(np.array([0b11001010]), 8, 4)
+    assert approx[0] == 0b11010000
+    # A value whose kept LSB is already 1 passes through that region intact.
+    approx2 = drum_approximate_operand(np.array([0b11011010]), 8, 4)
+    assert approx2[0] == 0b11010000
+
+
+def test_drum_zero_maps_to_zero():
+    assert drum_approximate_operand(np.array([0]), 8, 4)[0] == 0
+
+
+def test_drum_multiplier_exact_for_small_operands():
+    m = DrumMultiplier(8, t=4)
+    lut = m.lut()
+    w = np.arange(16)[:, None]
+    x = np.arange(16)[None, :]
+    assert np.array_equal(lut[:16, :16], (w * x).astype(np.int32))
+
+
+def test_drum_t_validation():
+    with pytest.raises(ReproError):
+        DrumMultiplier(8, t=0)
+    with pytest.raises(ReproError):
+        DrumMultiplier(8, t=9)
+
+
+def test_mitchell_relative_error_bounded():
+    """Mitchell's method under-approximates by at most ~3.9% relatively."""
+    m = MitchellLogMultiplier(7)
+    lut = m.lut().astype(np.float64)
+    n = 1 << 7
+    w = np.arange(n)[:, None].astype(np.float64)
+    x = np.arange(n)[None, :].astype(np.float64)
+    exact = w * x
+    # Mitchell's classic worst-case relative error is 1/9 ~= 11.1%
+    # (attained when both mantissa fractions are 0.5); mean error ~3.9%.
+    big = exact >= 100
+    rel = (exact[big] - lut[big]) / exact[big]
+    assert rel.max() <= 1 / 9 + 1e-6
+    assert rel.min() >= -0.01  # never significantly over-approximates
+    assert rel.mean() <= 0.05
+
+
+def test_mitchell_zero_rows():
+    lut = MitchellLogMultiplier(6).lut()
+    assert not lut[0].any()
+    assert not lut[:, 0].any()

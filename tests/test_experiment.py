@@ -1,0 +1,91 @@
+"""Tests for the experiment pipelines (scaled way down)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.retrain.experiment import (
+    ExperimentScale,
+    build_model,
+    load_data,
+    pretrain_float_model,
+    quantized_reference_accuracy,
+    retrain_comparison,
+)
+from repro.retrain.results import format_table2, format_tradeoff
+
+TINY = ExperimentScale(
+    image_size=12,
+    n_train=128,
+    n_test=64,
+    n_classes=4,
+    width_mult=0.0625,
+    pretrain_epochs=2,
+    qat_epochs=1,
+    retrain_epochs=1,
+    batch_size=32,
+    seed=0,
+)
+
+
+def test_build_model_archs():
+    for arch in ("lenet", "vgg19", "resnet18", "resnet34", "resnet50"):
+        model = build_model(arch, TINY)
+        assert model.count_parameters() > 0
+    with pytest.raises(ConfigError):
+        build_model("alexnet", TINY)
+
+
+def test_load_data_shapes():
+    train, test = load_data(TINY)
+    assert len(train) == 128 and len(test) == 64
+    assert train.images.shape[1:] == (3, 12, 12)
+
+
+def test_pretrain_and_reference():
+    train, test = load_data(TINY)
+    model, top1 = pretrain_float_model("lenet", TINY, train, test)
+    assert 0.0 <= top1 <= 1.0
+    qat_model, ref = quantized_reference_accuracy(model, 6, TINY, train, test)
+    assert 0.0 <= ref <= 1.0
+
+
+def test_retrain_comparison_structure():
+    rows, refs = retrain_comparison(
+        "lenet", ["mul6u_rm4"], TINY, methods=("ste", "difference")
+    )
+    assert len(rows) == 1
+    row = rows[0]
+    assert row.multiplier == "mul6u_rm4"
+    assert row.bits == 6
+    assert set(row.outcomes) == {"ste", "difference"}
+    assert 6 in refs
+    assert row.reference_top1 == refs[6]
+    assert row.norm_power == pytest.approx(7.06 / 22.93)
+    # improvement property wired to outcomes
+    assert row.improvement == pytest.approx(
+        row.outcomes["difference"].final_top1 - row.outcomes["ste"].final_top1
+    )
+
+
+def test_format_table2_and_tradeoff():
+    rows, refs = retrain_comparison(
+        "lenet", ["mul6u_rm4"], TINY, methods=("ste", "difference")
+    )
+    table = format_table2(rows, refs, title="tiny table")
+    assert "mul6u_rm4" in table
+    assert "tiny table" in table
+    assert "mean" in table
+    assert "6-bit AccMult reference" in table
+    tradeoff = format_tradeoff(rows, refs)
+    assert "NormPower" in tradeoff
+    assert "reference (6-bit AccMult)" in tradeoff
+
+
+def test_track_epochs_records_curves():
+    rows, _ = retrain_comparison(
+        "lenet", ["mul6u_rm4"], TINY, methods=("difference",),
+        track_epochs=True,
+    )
+    outcome = rows[0].outcomes["difference"]
+    assert len(outcome.epoch_top1) == TINY.retrain_epochs
+    assert len(outcome.epoch_top5) == TINY.retrain_epochs

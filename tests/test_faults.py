@@ -1,0 +1,100 @@
+"""Failure-injection tests: LUT corruption and model robustness."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.faults import (
+    accuracy_under_faults,
+    inject_bitflips,
+    inject_stuck_output_bit,
+)
+from repro.data import DataLoader, SyntheticImageDataset
+from repro.errors import ReproError
+from repro.models import LeNet
+from repro.multipliers import error_metrics, get_multiplier
+from repro.multipliers.exact import ExactMultiplier
+from repro.retrain.convert import approximate_model, calibrate, freeze
+from repro.retrain.trainer import TrainConfig, Trainer, evaluate
+
+
+def test_zero_flips_is_identity():
+    m = ExactMultiplier(5)
+    faulty = inject_bitflips(m, 0)
+    assert np.array_equal(faulty.lut(), m.lut())
+
+
+def test_bitflips_change_at_most_n_entries():
+    m = ExactMultiplier(6)
+    faulty = inject_bitflips(m, 10, seed=1)
+    diff = (faulty.lut() != m.lut()).sum()
+    assert 1 <= diff <= 10  # collisions may reduce the count
+
+
+def test_bitflips_deterministic():
+    m = ExactMultiplier(6)
+    a = inject_bitflips(m, 5, seed=3)
+    b = inject_bitflips(m, 5, seed=3)
+    assert np.array_equal(a.lut(), b.lut())
+    c = inject_bitflips(m, 5, seed=4)
+    assert not np.array_equal(a.lut(), c.lut())
+
+
+def test_bitflips_validation():
+    with pytest.raises(ReproError):
+        inject_bitflips(ExactMultiplier(4), -1)
+
+
+def test_stuck_at_one_sets_bit_everywhere():
+    m = ExactMultiplier(5)
+    faulty = inject_stuck_output_bit(m, bit=3, value=1)
+    assert np.all(faulty.lut() & 8 == 8)
+    # entries that already had the bit set are unchanged
+    had = (m.lut() & 8) == 8
+    assert np.array_equal(faulty.lut()[had], m.lut()[had])
+
+
+def test_stuck_at_zero_clears_bit():
+    m = ExactMultiplier(5)
+    faulty = inject_stuck_output_bit(m, bit=0, value=0)
+    assert np.all(faulty.lut() & 1 == 0)
+
+
+def test_stuck_validation():
+    m = ExactMultiplier(4)
+    with pytest.raises(ReproError):
+        inject_stuck_output_bit(m, bit=8, value=1)
+    with pytest.raises(ReproError):
+        inject_stuck_output_bit(m, bit=0, value=2)
+
+
+def test_high_bit_fault_worse_than_low_bit():
+    m = get_multiplier("mul6u_rm4")
+    low = error_metrics(inject_stuck_output_bit(m, 0, 1))
+    high = error_metrics(inject_stuck_output_bit(m, 10, 1))
+    assert high.med > low.med
+
+
+def test_fault_names():
+    m = ExactMultiplier(4)
+    assert inject_bitflips(m, 3).name == "mul4u_acc_flip3"
+    assert inject_stuck_output_bit(m, 2, 1).name == "mul4u_acc_sa1b2"
+
+
+def test_accuracy_degrades_with_fault_count():
+    train = SyntheticImageDataset(192, 4, 12, seed=11, split="train")
+    test = SyntheticImageDataset(96, 4, 12, seed=11, split="test")
+    model = LeNet(num_classes=4, image_size=12, seed=11)
+    Trainer(model, TrainConfig(epochs=4, batch_size=32, seed=11)).fit(train)
+    mult = ExactMultiplier(6)
+    approx = approximate_model(model, mult, gradient_method="ste")
+    calibrate(approx, DataLoader(train, batch_size=32), batches=2)
+    freeze(approx)
+    clean, _ = evaluate(approx, test)
+
+    results = accuracy_under_faults(
+        approx, mult, test, fault_counts=[0, 2048], seed=0
+    )
+    assert results[0] == pytest.approx(clean, abs=1e-9)
+    # Half of all LUT entries corrupted in a random output bit: accuracy
+    # must visibly drop below the clean model.
+    assert results[2048] < clean

@@ -1,0 +1,57 @@
+"""The HWS-horizon matching fact behind the benches' mechanism check.
+
+The difference-based gradient is (by construction) the slope of the
+moving-average-smoothed AppMult, i.e. an estimator of the secant over a
+~HWS-sized neighborhood.  Its fidelity advantage over STE is therefore
+measured at horizon == HWS; at mismatched horizons STE can win (stair
+periods aliasing against the window), which is also why the paper selects
+HWS per multiplier.
+"""
+
+import pytest
+
+from repro.analysis.fidelity import gradient_fidelity
+from repro.core.gradient import gradient_luts
+from repro.multipliers.registry import (
+    TABLE1_NAMES,
+    get_multiplier,
+    multiplier_info,
+)
+
+APPROX_NAMES = [
+    n for n in TABLE1_NAMES if multiplier_info(n).default_hws is not None
+]
+
+
+@pytest.mark.parametrize("name", APPROX_NAMES)
+def test_difference_beats_ste_at_matched_horizon(name):
+    """At horizon == Table-I HWS, the difference tables predict the
+    AppMult's secant at least as well as STE for every Table I multiplier
+    (<= 10% slack covers stair-period aliasing, e.g. mul7u_081)."""
+    info = multiplier_info(name)
+    mult = get_multiplier(name)
+    h = min(info.default_hws, (1 << info.bits) // 2 - 1)
+    diff = gradient_fidelity(mult, gradient_luts(mult, "difference"), horizon=h)
+    ste = gradient_fidelity(mult, gradient_luts(mult, "ste"), horizon=h)
+    assert diff.mae <= ste.mae * 1.1, (name, diff.mae, ste.mae)
+
+
+def test_mismatched_horizon_can_favor_ste():
+    """Documented counterpoint: for mul7u_rm6 (HWS=2, stair period 32),
+    STE wins at horizon 4 even though it loses at the matched horizon 2."""
+    mult = get_multiplier("mul7u_rm6")
+    diff2 = gradient_fidelity(mult, gradient_luts(mult, "difference"), horizon=2)
+    ste2 = gradient_fidelity(mult, gradient_luts(mult, "ste"), horizon=2)
+    assert diff2.mae < ste2.mae
+    diff4 = gradient_fidelity(mult, gradient_luts(mult, "difference"), horizon=4)
+    ste4 = gradient_fidelity(mult, gradient_luts(mult, "ste"), horizon=4)
+    assert diff4.mae > ste4.mae  # the aliasing effect
+
+
+def test_cosine_similarity_high_for_both_methods():
+    """Both estimators point in roughly the right direction; the MAE gap
+    is about magnitude precision."""
+    mult = get_multiplier("mul8u_rm8")
+    for method in ("difference", "ste"):
+        fid = gradient_fidelity(mult, gradient_luts(mult, method), horizon=16)
+        assert fid.cosine > 0.95

@@ -1,0 +1,155 @@
+"""Tests for functional NN ops."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradcheck
+from repro.errors import ReproError
+from repro.nn import functional as F
+
+rng = np.random.default_rng(3)
+
+
+def _conv_bruteforce(x, w, b, stride, pad):
+    n, c, h, ww = x.shape
+    oc, _, kh, kw = w.shape
+    oh, ow = F.conv_output_size(h, ww, kh, kw, stride, pad)
+    xp = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    out = np.zeros((n, oc, oh, ow))
+    for ni in range(n):
+        for oi in range(oc):
+            for yy in range(oh):
+                for xx in range(ow):
+                    patch = xp[
+                        ni, :, yy * stride : yy * stride + kh,
+                        xx * stride : xx * stride + kw,
+                    ]
+                    out[ni, oi, yy, xx] = (patch * w[oi]).sum() + b[oi]
+    return out
+
+
+@pytest.mark.parametrize("stride,pad", [(1, 0), (1, 1), (2, 1), (2, 0)])
+def test_conv2d_matches_bruteforce(stride, pad):
+    x = rng.normal(size=(2, 3, 6, 6))
+    w = rng.normal(size=(4, 3, 3, 3))
+    b = rng.normal(size=4)
+    out = F.conv2d(Tensor(x), Tensor(w), Tensor(b), stride, pad)
+    ref = _conv_bruteforce(x, w, b, stride, pad)
+    assert np.allclose(out.data, ref)
+
+
+def test_conv2d_gradcheck():
+    gradcheck(
+        lambda x, w, b: F.conv2d(x, w, b, 2, 1),
+        [rng.normal(size=(1, 2, 5, 5)), rng.normal(size=(3, 2, 3, 3)), rng.normal(size=3)],
+    )
+
+
+def test_conv2d_channel_mismatch():
+    with pytest.raises(ReproError):
+        F.conv2d(Tensor(np.zeros((1, 3, 4, 4))), Tensor(np.zeros((2, 4, 3, 3))), None)
+
+
+def test_conv_output_size_validation():
+    with pytest.raises(ReproError):
+        F.conv_output_size(2, 2, 5, 5, 1, 0)
+
+
+def test_im2col_col2im_adjoint():
+    """<im2col(x), y> == <x, col2im(y)> (linear-operator adjointness)."""
+    x = rng.normal(size=(2, 3, 6, 6))
+    kh = kw = 3
+    stride, pad = 2, 1
+    cols = F.im2col(x, kh, kw, stride, pad)
+    y = rng.normal(size=cols.shape)
+    lhs = (cols * y).sum()
+    rhs = (x * F.col2im(y, x.shape, kh, kw, stride, pad)).sum()
+    assert lhs == pytest.approx(rhs)
+
+
+def test_max_pool_values_and_grad():
+    x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+    t = Tensor(x, requires_grad=True)
+    out = F.max_pool2d(t, 2)
+    assert np.array_equal(out.data[0, 0], [[5, 7], [13, 15]])
+    out.sum().backward()
+    expected = np.zeros((4, 4))
+    expected[1, 1] = expected[1, 3] = expected[3, 1] = expected[3, 3] = 1
+    assert np.array_equal(t.grad[0, 0], expected)
+
+
+def test_max_pool_gradcheck_distinct_values():
+    x = rng.permutation(36).astype(float).reshape(1, 1, 6, 6)
+    gradcheck(lambda t: F.max_pool2d(t, 2), [x])
+
+
+def test_avg_pool_values_and_gradcheck():
+    x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+    out = F.avg_pool2d(Tensor(x), 2)
+    assert np.array_equal(out.data[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+    gradcheck(lambda t: F.avg_pool2d(t, 2), [rng.normal(size=(2, 2, 4, 4))])
+
+
+def test_global_avg_pool():
+    x = rng.normal(size=(2, 3, 4, 4))
+    out = F.global_avg_pool2d(Tensor(x))
+    assert out.shape == (2, 3)
+    assert np.allclose(out.data, x.mean(axis=(2, 3)))
+
+
+def test_batch_norm_normalizes_in_training():
+    x = rng.normal(loc=5, scale=3, size=(8, 4, 5, 5))
+    gamma = Tensor(np.ones(4), requires_grad=True)
+    beta = Tensor(np.zeros(4), requires_grad=True)
+    rmean = np.zeros(4)
+    rvar = np.ones(4)
+    out = F.batch_norm2d(Tensor(x), gamma, beta, rmean, rvar, training=True)
+    assert np.allclose(out.data.mean(axis=(0, 2, 3)), 0, atol=1e-7)
+    assert np.allclose(out.data.std(axis=(0, 2, 3)), 1, atol=1e-2)
+    # running stats moved toward batch stats
+    assert np.allclose(rmean, 0.1 * x.mean(axis=(0, 2, 3)))
+
+
+def test_batch_norm_eval_uses_running_stats():
+    x = rng.normal(size=(4, 2, 3, 3))
+    gamma = Tensor(np.ones(2), requires_grad=True)
+    beta = Tensor(np.zeros(2), requires_grad=True)
+    rmean = np.array([1.0, -1.0])
+    rvar = np.array([4.0, 9.0])
+    out = F.batch_norm2d(Tensor(x), gamma, beta, rmean, rvar, training=False)
+    expected = (x - rmean.reshape(1, 2, 1, 1)) / np.sqrt(
+        rvar.reshape(1, 2, 1, 1) + 1e-5
+    )
+    assert np.allclose(out.data, expected)
+
+
+def test_batch_norm_gradcheck_training():
+    x = rng.normal(size=(4, 2, 3, 3))
+
+    def f(t, g, b):
+        return F.batch_norm2d(
+            t, g, b, np.zeros(2), np.ones(2), training=True
+        )
+
+    gradcheck(f, [x, rng.normal(size=2) + 1.5, rng.normal(size=2)], atol=1e-3)
+
+
+def test_dropout_train_and_eval():
+    x = Tensor(np.ones((100, 100)), requires_grad=True)
+    r = np.random.default_rng(0)
+    out = F.dropout(x, 0.5, training=True, rng=r)
+    kept = out.data != 0
+    assert 0.4 < kept.mean() < 0.6
+    assert np.allclose(out.data[kept], 2.0)  # inverted scaling
+    assert F.dropout(x, 0.5, training=False, rng=r) is x
+    assert F.dropout(x, 0.0, training=True, rng=r) is x
+
+
+def test_log_softmax_values_and_gradcheck():
+    x = rng.normal(size=(3, 5))
+    out = F.log_softmax(Tensor(x), axis=1)
+    assert np.allclose(np.exp(out.data).sum(axis=1), 1.0)
+    # invariance to shifts
+    out2 = F.log_softmax(Tensor(x + 100), axis=1)
+    assert np.allclose(out.data, out2.data)
+    gradcheck(lambda t: F.log_softmax(t, axis=1), [x])

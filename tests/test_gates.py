@@ -1,0 +1,57 @@
+"""Tests for the cell library."""
+
+import pytest
+
+from repro.circuits.gates import (
+    BINARY_GATES,
+    CONST_GATES,
+    GATE_LIBRARY,
+    UNARY_GATES,
+    gate_spec,
+    is_known_gate,
+)
+
+
+def test_library_covers_expected_cells():
+    for name in ("INV", "BUF", "AND2", "OR2", "NAND2", "NOR2", "XOR2", "XNOR2"):
+        assert name in GATE_LIBRARY
+
+
+def test_fanin_matches_category():
+    for name in UNARY_GATES:
+        assert GATE_LIBRARY[name].fanin == 1
+    for name in BINARY_GATES:
+        assert GATE_LIBRARY[name].fanin == 2
+    for name in CONST_GATES:
+        assert GATE_LIBRARY[name].fanin == 0
+
+
+def test_costs_positive_for_real_cells():
+    for name, spec in GATE_LIBRARY.items():
+        if name in CONST_GATES:
+            continue
+        assert spec.area_um2 > 0
+        assert spec.delay_ps > 0
+        assert spec.energy_fj > 0
+
+
+def test_xor_more_expensive_than_nand():
+    assert GATE_LIBRARY["XOR2"].area_um2 > GATE_LIBRARY["NAND2"].area_um2
+    assert GATE_LIBRARY["XOR2"].delay_ps > GATE_LIBRARY["NAND2"].delay_ps
+
+
+def test_const_cells_are_free():
+    for name in CONST_GATES:
+        spec = GATE_LIBRARY[name]
+        assert spec.area_um2 == 0 and spec.energy_fj == 0
+
+
+def test_gate_spec_lookup():
+    assert gate_spec("AND2").name == "AND2"
+    with pytest.raises(KeyError):
+        gate_spec("AND3")
+
+
+def test_is_known_gate():
+    assert is_known_gate("XNOR2")
+    assert not is_known_gate("MUX2")

@@ -1,0 +1,126 @@
+"""Tests for arithmetic circuit generators."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.generators import (
+    array_multiplier,
+    custom_array_multiplier,
+    expected_exact_product,
+    ripple_carry_adder,
+    truncated_array_multiplier,
+    truncation_drop_set,
+    truncation_error_bound,
+    wallace_multiplier,
+)
+from repro.circuits.simulator import simulate
+from repro.errors import CircuitError
+
+
+@pytest.mark.parametrize("bits", [1, 2, 3, 4])
+def test_ripple_carry_adder_exhaustive(bits):
+    nl = ripple_carry_adder(bits)
+    out = simulate(nl)
+    idx = np.arange(1 << (2 * bits))
+    a = idx & ((1 << bits) - 1)
+    b = idx >> bits
+    assert np.array_equal(out, a + b)
+
+
+def test_adder_rejects_zero_bits():
+    with pytest.raises(CircuitError):
+        ripple_carry_adder(0)
+
+
+@pytest.mark.parametrize("bits", [1, 2, 3, 4, 5, 6, 7, 8])
+def test_array_multiplier_exact(bits):
+    assert np.array_equal(
+        simulate(array_multiplier(bits)), expected_exact_product(bits)
+    )
+
+
+@pytest.mark.parametrize("bits", [2, 4, 6, 8])
+def test_wallace_multiplier_exact(bits):
+    assert np.array_equal(
+        simulate(wallace_multiplier(bits)), expected_exact_product(bits)
+    )
+
+
+def test_multiplier_output_width_is_2b():
+    for bits in (3, 7):
+        assert len(wallace_multiplier(bits).outputs) == 2 * bits
+        assert len(array_multiplier(bits).outputs) == 2 * bits
+
+
+def test_multiplier_rejects_bad_width():
+    with pytest.raises(CircuitError):
+        array_multiplier(0)
+    with pytest.raises(CircuitError):
+        array_multiplier(11)
+
+
+@pytest.mark.parametrize("bits,k", [(4, 2), (6, 4), (7, 6), (8, 8)])
+def test_truncated_multiplier_error_semantics(bits, k):
+    """Error equals the sum of removed partial products (Fig. 2)."""
+    out = simulate(truncated_array_multiplier(bits, k))
+    exact = expected_exact_product(bits)
+    err = exact - out
+    assert err.min() >= 0  # truncation only under-approximates
+    assert err.max() == truncation_error_bound(bits, k)
+    idx = np.arange(1 << (2 * bits))
+    w = idx & ((1 << bits) - 1)
+    x = idx >> bits
+    removed = np.zeros_like(idx)
+    for i in range(bits):
+        for j in range(bits):
+            if i + j < k:
+                removed += (((w >> i) & 1) & ((x >> j) & 1)) << (i + j)
+    assert np.array_equal(err, removed)
+
+
+def test_truncation_rejects_bad_columns():
+    with pytest.raises(CircuitError):
+        truncated_array_multiplier(4, 9)
+
+
+def test_truncation_error_bound_matches_table1_mul6u_rm4():
+    # The paper lists MaxED=49 for mul6u_rm4; the bound formula agrees.
+    assert truncation_error_bound(6, 4) == 49
+    assert truncation_error_bound(8, 8) == 1793
+
+
+def test_custom_multiplier_with_compensation():
+    comp = 5
+    nl = custom_array_multiplier(4, dropped=set(), compensation=comp)
+    out = simulate(nl)
+    assert np.array_equal(out, expected_exact_product(4) + comp)
+
+
+def test_custom_multiplier_perforation():
+    dropped = {(0, 0), (1, 2)}
+    nl = custom_array_multiplier(4, dropped=dropped)
+    out = simulate(nl)
+    idx = np.arange(1 << 8)
+    w = idx & 15
+    x = idx >> 4
+    removed = ((w & 1) & (x & 1)) + ((((w >> 1) & 1) & ((x >> 2) & 1)) << 3)
+    assert np.array_equal(out, w * x - removed)
+
+
+def test_custom_multiplier_rejects_bad_compensation():
+    with pytest.raises(CircuitError):
+        custom_array_multiplier(4, compensation=-1)
+    with pytest.raises(CircuitError):
+        custom_array_multiplier(4, compensation=1 << 8)
+
+
+def test_truncation_drop_set_contents():
+    drop = truncation_drop_set(4, 2)
+    assert drop == {(0, 0), (0, 1), (1, 0)}
+
+
+def test_array_and_wallace_same_function_different_structure():
+    a = array_multiplier(5)
+    w = wallace_multiplier(5)
+    assert np.array_equal(simulate(a), simulate(w))
+    assert a.gate_counts() != {} and w.gate_counts() != {}

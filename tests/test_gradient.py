@@ -1,0 +1,141 @@
+"""Tests for the difference-based gradient approximation (Eqs. 5-6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.gradient import (
+    GradientPair,
+    difference_gradient_lut,
+    gradient_luts,
+    raw_difference_gradient_lut,
+    ste_gradient_lut,
+)
+from repro.errors import ReproError
+from repro.multipliers.exact import ExactMultiplier
+from repro.multipliers.registry import get_multiplier
+from repro.multipliers.truncated import TruncatedMultiplier
+
+
+def test_ste_gradient_values():
+    gx = ste_gradient_lut(4, "x")  # dAM/dX ~= W
+    gw = ste_gradient_lut(4, "w")  # dAM/dW ~= X
+    assert gx[10, 3] == 10
+    assert gw[10, 3] == 3
+    with pytest.raises(ReproError):
+        ste_gradient_lut(4, "y")
+
+
+def test_difference_gradient_of_exact_multiplier_is_ste_inside():
+    """For AM = W*X the smoothed central difference returns exactly W."""
+    lut = ExactMultiplier(6).lut()
+    hws = 4
+    g = difference_gradient_lut(lut, hws, "x")
+    n = 64
+    inner = slice(hws + 1, n - 1 - hws)
+    w = np.arange(n)[:, None]
+    assert np.allclose(g[:, inner], np.broadcast_to(w, (n, n))[:, inner])
+
+
+def test_boundary_uses_eq6_range_rule():
+    lut = ExactMultiplier(6).lut()
+    hws = 4
+    g = difference_gradient_lut(lut, hws, "x")
+    # Eq. 6: (max - min)/2**B = (w*63 - 0)/64 per row.
+    w = 10
+    expected = w * 63 / 64
+    assert g[w, 0] == pytest.approx(expected)
+    assert g[w, hws] == pytest.approx(expected)  # X = HWS uses Eq. 6
+    assert g[w, 63] == pytest.approx(expected)
+    assert g[w, 63 - hws] == pytest.approx(expected)
+
+
+def test_wrt_w_is_transpose_relation():
+    lut = TruncatedMultiplier(6, 4).lut()
+    gx = difference_gradient_lut(lut, 2, "x")
+    gw = difference_gradient_lut(lut.T, 2, "x").T
+    assert np.allclose(difference_gradient_lut(lut, 2, "w"), gw)
+    del gx
+
+
+def test_fig3_stair_peaks():
+    """Fig. 3: for mul7u_rm6 at W_f=10, the AppMult jumps at X=31,63,95 and
+    the difference gradient peaks near those stairs while STE stays at 10."""
+    mult = get_multiplier("mul7u_rm6")
+    lut = mult.lut()
+    row = lut[10].astype(np.int64)
+    jumps = np.abs(np.diff(row))
+    for edge in (31, 63, 95):
+        assert jumps[edge] > jumps.mean() * 3
+
+    hws = 4
+    g = difference_gradient_lut(lut, hws=hws, wrt="x")[10]
+    inner = np.arange(5, 122)
+    near_peak = max(g[e] for e in (31, 63, 95))
+    flat = np.median(g[inner])
+    assert near_peak > 1.5 * flat
+    # The global maximum sits within HWS of one of the stair edges
+    # (smoothing spreads each jump over the window).
+    argmax = inner[np.argmax(g[inner])]
+    assert min(abs(argmax - e) for e in (31, 63, 95)) <= hws
+    ste = ste_gradient_lut(7, "x")[10]
+    assert np.all(ste == 10)
+
+
+def test_raw_difference_zero_on_stairs():
+    """Without smoothing the gradient is zero on flat stair treads."""
+    lut = get_multiplier("mul7u_rm6").lut()
+    g = raw_difference_gradient_lut(lut, "x")
+    row = g[10]
+    assert (row[2:60] == 0).mean() > 0.5  # mostly flat
+
+
+def test_gradient_luts_methods():
+    mult = TruncatedMultiplier(6, 4)
+    for method in ("ste", "difference", "raw-difference"):
+        pair = gradient_luts(mult, method, hws=2)
+        assert isinstance(pair, GradientPair)
+        assert pair.grad_w.shape == (64, 64)
+        assert pair.grad_w.dtype == np.float32
+
+
+def test_gradient_luts_registry_default_hws():
+    mult = get_multiplier("mul7u_rm6")
+    pair = gradient_luts(mult, "difference")  # hws from Table I (2)
+    assert "hws=2" in pair.method
+
+
+def test_gradient_luts_custom_callable():
+    mult = TruncatedMultiplier(5, 2)
+
+    def custom(m):
+        n = 1 << m.bits
+        ones = np.ones((n, n), dtype=np.float32)
+        return GradientPair(ones, 2 * ones, "custom")
+
+    pair = gradient_luts(mult, custom)
+    assert pair.method == "custom"
+    assert pair.grad_x[0, 0] == 2.0
+
+    def bad(m):
+        return 42
+
+    with pytest.raises(ReproError):
+        gradient_luts(mult, bad)
+
+
+def test_gradient_luts_unknown_method():
+    with pytest.raises(ReproError):
+        gradient_luts(TruncatedMultiplier(5, 2), "fancy")
+
+
+def test_gradient_pair_shape_check():
+    with pytest.raises(ReproError):
+        GradientPair(np.zeros((4, 4)), np.zeros((8, 8)), "bad")
+
+
+def test_difference_gradient_nonnegative_for_monotone_appmult():
+    """Truncated multipliers are monotone in X per row; with smoothing the
+    difference gradient should never be negative."""
+    lut = TruncatedMultiplier(7, 6).lut()
+    g = difference_gradient_lut(lut, 2, "x")
+    assert g.min() >= -1e-9

@@ -1,0 +1,37 @@
+"""Tests for hardware characterization reporting."""
+
+import pytest
+
+from repro.hw.report import characterize, characterize_all, format_table1
+
+
+def test_characterize_exact_multiplier():
+    row = characterize("mul6u_acc")
+    assert row.has_netlist
+    assert row.metrics.er == 0
+    assert row.model_cost.area_um2 == pytest.approx(
+        row.info.datasheet.area_um2, rel=0.2
+    )
+
+
+def test_characterize_truncated_has_netlist_and_cheaper():
+    acc = characterize("mul6u_acc")
+    rm4 = characterize("mul6u_rm4")
+    assert rm4.has_netlist
+    assert rm4.model_cost.power_uw < acc.model_cost.power_uw
+    assert rm4.metrics.maxed == 49
+
+
+def test_characterize_drum_has_no_netlist():
+    row = characterize("mul8u_1DMU")
+    assert not row.has_netlist
+
+
+def test_characterize_subset_and_format():
+    rows = characterize_all(("mul6u_acc", "mul6u_rm4", "mul8u_1DMU"))
+    table = format_table1(rows)
+    assert "mul6u_rm4" in table
+    assert "n/a" in table  # the DRUM row has no model cost
+    assert "N/A" in table  # accurate rows have no HWS
+    # header present
+    assert "NMED" in table and "HWS" in table

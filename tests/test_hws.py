@@ -1,0 +1,45 @@
+"""Tests for the HWS selection procedure (Section V-A)."""
+
+import pytest
+
+from repro.core.hws import select_hws
+from repro.errors import ReproError
+from repro.multipliers import get_multiplier
+from repro.multipliers.truncated import TruncatedMultiplier
+
+
+def test_select_hws_tiny_sweep():
+    mult = get_multiplier("mul6u_rm4")
+    result = select_hws(
+        mult,
+        candidates=(2, 8),
+        epochs=1,
+        train_size=64,
+        batch_size=32,
+        image_size=12,
+        seed=0,
+    )
+    assert result.best_hws in (2, 8)
+    assert set(result.losses) == {2, 8}
+    assert result.candidates == (2, 8)
+    assert result.losses[result.best_hws] == min(result.losses.values())
+
+
+def test_unusable_candidates_filtered():
+    """HWS=64 would need a 129-wide window; a 6-bit operand has 64 values."""
+    mult = TruncatedMultiplier(6, 4)
+    result = select_hws(
+        mult,
+        candidates=(2, 64),
+        epochs=1,
+        train_size=64,
+        batch_size=32,
+        image_size=12,
+    )
+    assert result.candidates == (2,)
+
+
+def test_no_usable_candidates_raises():
+    mult = TruncatedMultiplier(4, 2)
+    with pytest.raises(ReproError):
+        select_hws(mult, candidates=(64,), epochs=1, train_size=32)

@@ -1,0 +1,91 @@
+"""End-to-end integration tests across the whole stack.
+
+Mirrors the paper's Fig. 1 flow at miniature scale: pretrain -> quantize ->
+approximate -> retrain, asserting the qualitative shape of the paper's
+results (accuracy collapses under a large-error AppMult, retraining
+recovers it, and forward behavior is identical between gradient methods).
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.data import DataLoader, SyntheticImageDataset
+from repro.models import LeNet
+from repro.multipliers import get_multiplier
+from repro.retrain.convert import (
+    approximate_model,
+    calibrate,
+    freeze,
+)
+from repro.retrain.trainer import TrainConfig, Trainer, evaluate
+
+
+@pytest.fixture(scope="module")
+def setup():
+    train = SyntheticImageDataset(384, 4, 12, seed=1, split="train")
+    test = SyntheticImageDataset(128, 4, 12, seed=1, split="test")
+    model = LeNet(num_classes=4, image_size=12, seed=1)
+    trainer = Trainer(model, TrainConfig(epochs=6, batch_size=32, seed=1))
+    trainer.fit(train)
+    float_top1, _ = evaluate(model, test)
+    return train, test, model, float_top1
+
+
+def _converted(model, train, mult, method, hws=None):
+    m = approximate_model(model, mult, gradient_method=method, hws=hws)
+    calibrate(m, DataLoader(train, batch_size=32), batches=3)
+    freeze(m)
+    return m
+
+
+def test_float_model_learns(setup):
+    _train, _test, _model, float_top1 = setup
+    assert float_top1 > 0.6  # chance = 0.25
+
+
+def test_appmult_degrades_then_retraining_recovers(setup):
+    train, test, model, float_top1 = setup
+    mult = get_multiplier("mul6u_rm4")
+    approx = _converted(model, train, mult, "difference", hws=2)
+    initial, _ = evaluate(approx, test)
+    assert initial < float_top1  # AppMult hurts
+
+    trainer = Trainer(approx, TrainConfig(epochs=3, batch_size=32, seed=1))
+    trainer.fit(train)
+    final, _ = evaluate(approx, test)
+    assert final > initial  # retraining recovers accuracy
+
+
+def test_gradient_method_changes_training_not_forward(setup):
+    train, test, model, _ = setup
+    mult = get_multiplier("mul6u_rm4")
+    m_ste = _converted(model, train, mult, "ste")
+    m_diff = _converted(model, train, mult, "difference", hws=2)
+    x = Tensor(test.images[:16])
+    assert np.allclose(m_ste(x).data, m_diff(x).data)
+
+    Trainer(m_ste, TrainConfig(epochs=1, batch_size=32, seed=1)).fit(train)
+    Trainer(m_diff, TrainConfig(epochs=1, batch_size=32, seed=1)).fit(train)
+    w_ste = next(iter(m_ste.parameters())).data
+    w_diff = next(iter(m_diff.parameters())).data
+    assert not np.array_equal(w_ste, w_diff)
+
+
+def test_quantization_with_exact_mult_close_to_float(setup):
+    train, test, model, float_top1 = setup
+    mult = get_multiplier("mul6u_acc")
+    qmodel = _converted(model, train, mult, "ste")
+    q_top1, _ = evaluate(qmodel, test)
+    assert q_top1 >= float_top1 - 0.25  # 6-bit quantization costs little
+
+
+def test_retraining_determinism(setup):
+    train, _test, model, _ = setup
+    mult = get_multiplier("mul6u_rm4")
+    results = []
+    for _ in range(2):
+        m = _converted(model, train, mult, "difference", hws=2)
+        Trainer(m, TrainConfig(epochs=1, batch_size=32, seed=7)).fit(train)
+        results.append(next(iter(m.parameters())).data.copy())
+    assert np.array_equal(results[0], results[1])

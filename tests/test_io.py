@@ -1,0 +1,74 @@
+"""Tests for multiplier LUT persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.multipliers import get_multiplier
+from repro.multipliers.io import (
+    export_c_header,
+    import_c_header,
+    load_npz,
+    save_npz,
+)
+
+
+def test_npz_roundtrip(tmp_path):
+    mult = get_multiplier("mul6u_rm4")
+    path = tmp_path / "rm4.npz"
+    save_npz(mult, path)
+    loaded = load_npz(path)
+    assert loaded.bits == 6
+    assert loaded.name == "mul6u_rm4"
+    assert np.array_equal(loaded.lut(), mult.lut())
+
+
+def test_npz_missing_file():
+    with pytest.raises(ReproError):
+        load_npz("/nonexistent/file.npz")
+
+
+def test_npz_wrong_contents(tmp_path):
+    path = tmp_path / "junk.npz"
+    np.savez(path, foo=np.zeros(3))
+    with pytest.raises(ReproError):
+        load_npz(path)
+
+
+def test_c_header_roundtrip(tmp_path):
+    mult = get_multiplier("mul6u_rm4")
+    path = tmp_path / "mul6u_rm4.h"
+    export_c_header(mult, path)
+    text = path.read_text()
+    assert "uint32_t lut_mul6u_rm4" in text
+    assert "#ifndef LUT_MUL6U_RM4_H" in text
+    loaded = import_c_header(path, bits=6)
+    assert np.array_equal(loaded.lut(), mult.lut())
+
+
+def test_c_header_wrong_bits(tmp_path):
+    mult = get_multiplier("mul6u_rm4")
+    path = tmp_path / "m.h"
+    export_c_header(mult, path)
+    with pytest.raises(ReproError):
+        import_c_header(path, bits=7)
+
+
+def test_c_header_no_array(tmp_path):
+    path = tmp_path / "empty.h"
+    path.write_text("#define NOTHING 1\n")
+    with pytest.raises(ReproError):
+        import_c_header(path, bits=6)
+
+
+def test_c_header_missing_file():
+    with pytest.raises(ReproError):
+        import_c_header("/nonexistent.h", bits=6)
+
+
+def test_c_header_name_default(tmp_path):
+    mult = get_multiplier("mul6u_acc")
+    path = tmp_path / "custom_table.h"
+    export_c_header(mult, path)
+    loaded = import_c_header(path, bits=6)
+    assert loaded.name == "custom_table"

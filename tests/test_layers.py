@@ -1,0 +1,128 @@
+"""Tests for layer modules."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.errors import ReproError
+from repro.nn import (
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+)
+
+rng = np.random.default_rng(11)
+
+
+def test_conv2d_shapes_and_params():
+    layer = Conv2d(3, 8, 3, stride=2, padding=1)
+    out = layer(Tensor(rng.normal(size=(2, 3, 8, 8))))
+    assert out.shape == (2, 8, 4, 4)
+    names = dict(layer.named_parameters())
+    assert set(names) == {"weight", "bias"}
+    assert layer.count_parameters() == 8 * 3 * 9 + 8
+
+
+def test_conv2d_no_bias():
+    layer = Conv2d(3, 8, 3, bias=False)
+    assert layer.bias is None
+    assert layer.count_parameters() == 8 * 3 * 9
+
+
+def test_linear_shapes():
+    layer = Linear(10, 4)
+    out = layer(Tensor(rng.normal(size=(5, 10))))
+    assert out.shape == (5, 4)
+
+
+def test_batchnorm_validates_shape():
+    bn = BatchNorm2d(4)
+    with pytest.raises(ReproError):
+        bn(Tensor(np.zeros((2, 3, 4, 4))))
+    with pytest.raises(ReproError):
+        bn(Tensor(np.zeros((2, 4))))
+
+
+def test_batchnorm_buffers_in_state_dict():
+    bn = BatchNorm2d(4)
+    state = bn.state_dict()
+    assert "running_mean" in state and "running_var" in state
+    state["running_mean"] = np.full(4, 2.0)
+    bn.load_state_dict(state)
+    assert np.allclose(bn.running_mean, 2.0)
+
+
+def test_sequential_runs_in_order():
+    model = Sequential(
+        Conv2d(1, 2, 3, padding=1), ReLU(), MaxPool2d(2), Flatten()
+    )
+    out = model(Tensor(rng.normal(size=(1, 1, 4, 4))))
+    assert out.shape == (1, 2 * 2 * 2)
+    assert len(model) == 4
+    assert isinstance(model[1], ReLU)
+
+
+def test_train_eval_propagates():
+    model = Sequential(Dropout(0.5), Sequential(Dropout(0.3)))
+    model.eval()
+    assert all(not m.training for m in model.modules())
+    model.train()
+    assert all(m.training for m in model.modules())
+
+
+def test_dropout_validation():
+    with pytest.raises(ReproError):
+        Dropout(1.0)
+
+
+def test_identity_and_global_pool():
+    x = Tensor(rng.normal(size=(2, 3, 4, 4)))
+    assert Identity()(x) is x
+    assert GlobalAvgPool2d()(x).shape == (2, 3)
+
+
+def test_state_dict_roundtrip():
+    model = Sequential(Conv2d(1, 2, 3), ReLU(), Linear(8, 2))
+    state = model.state_dict()
+    model2 = Sequential(Conv2d(1, 2, 3), ReLU(), Linear(8, 2))
+    model2.load_state_dict(state)
+    for (n1, p1), (n2, p2) in zip(
+        model.named_parameters(), model2.named_parameters()
+    ):
+        assert n1 == n2
+        assert np.array_equal(p1.data, p2.data)
+
+
+def test_load_state_dict_errors():
+    model = Sequential(Linear(4, 2))
+    with pytest.raises(ReproError):
+        model.load_state_dict({"bogus": np.zeros(2)})
+    state = model.state_dict()
+    state["steps.0.weight"] = np.zeros((3, 3))
+    with pytest.raises(ReproError):
+        model.load_state_dict(state)
+    with pytest.raises(ReproError):
+        model.load_state_dict({})
+
+
+def test_zero_grad_clears():
+    layer = Linear(3, 2)
+    out = layer(Tensor(rng.normal(size=(4, 3))))
+    out.sum().backward()
+    assert layer.weight.grad is not None
+    layer.zero_grad()
+    assert layer.weight.grad is None
+
+
+def test_named_parameters_dotted_paths():
+    model = Sequential(Conv2d(1, 2, 3), Linear(4, 2))
+    names = [n for n, _ in model.named_parameters()]
+    assert "steps.0.weight" in names
+    assert "steps.1.bias" in names

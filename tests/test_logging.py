@@ -1,0 +1,85 @@
+"""Tests for training-run logging."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.retrain.logging import (
+    RunRecord,
+    append_jsonl,
+    best_runs,
+    history_to_rows,
+    read_jsonl,
+    write_csv,
+)
+from repro.retrain.trainer import TrainHistory
+
+
+def _history():
+    return TrainHistory(
+        train_loss=[2.0, 1.5, 1.0],
+        train_top1=[0.2, 0.4, 0.6],
+        eval_top1=[0.25, 0.45, 0.55],
+        eval_top5=[0.6, 0.8, 0.9],
+        lr=[1e-3, 5e-4, 2.5e-4],
+    )
+
+
+def test_history_to_rows():
+    rows = history_to_rows(_history())
+    assert len(rows) == 3
+    assert rows[0]["epoch"] == 1
+    assert rows[2]["train_loss"] == 1.0
+    assert rows[1]["eval_top5"] == 0.8
+
+
+def test_history_to_rows_handles_missing_eval():
+    h = TrainHistory(train_loss=[1.0], train_top1=[0.5], lr=[1e-3])
+    rows = history_to_rows(h)
+    assert rows[0]["eval_top1"] is None
+
+
+def test_write_csv(tmp_path):
+    rec = RunRecord("r1", arch="lenet", multiplier="mul6u_rm4",
+                    method="difference", history=_history())
+    path = tmp_path / "run.csv"
+    write_csv(rec, path)
+    text = path.read_text()
+    assert text.startswith("# run_id=r1")
+    assert "epoch,train_loss" in text
+    assert text.count("\n") == 5  # comment + header + 3 rows
+
+
+def test_jsonl_roundtrip(tmp_path):
+    path = tmp_path / "runs.jsonl"
+    for i, method in enumerate(("ste", "difference")):
+        rec = RunRecord(
+            f"r{i}", arch="lenet", multiplier="mul6u_rm4",
+            method=method, seed=i, extra={"hws": 2}, history=_history(),
+        )
+        append_jsonl(rec, path)
+    records = read_jsonl(path)
+    assert len(records) == 2
+    assert records[0].run_id == "r0"
+    assert records[1].method == "difference"
+    assert records[1].extra == {"hws": 2}
+    assert records[0].history.train_loss == [2.0, 1.5, 1.0]
+
+
+def test_read_missing_log():
+    with pytest.raises(ReproError):
+        read_jsonl("/nonexistent.jsonl")
+
+
+def test_best_runs(tmp_path):
+    low = RunRecord("a", multiplier="m", method="ste", history=TrainHistory(
+        train_loss=[1], eval_top1=[0.3]))
+    high = RunRecord("b", multiplier="m", method="ste", history=TrainHistory(
+        train_loss=[1], eval_top1=[0.7]))
+    other = RunRecord("c", multiplier="m", method="difference",
+                      history=TrainHistory(train_loss=[1], eval_top1=[0.5]))
+    empty = RunRecord("d", multiplier="m", method="x",
+                      history=TrainHistory())
+    best = best_runs([low, high, other, empty])
+    assert best["m/ste"].run_id == "b"
+    assert best["m/difference"].run_id == "c"
+    assert "m/x" not in best

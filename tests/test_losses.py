@@ -1,0 +1,57 @@
+"""Tests for loss functions."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradcheck
+from repro.errors import ReproError
+from repro.nn.losses import CrossEntropyLoss, cross_entropy
+
+rng = np.random.default_rng(5)
+
+
+def test_cross_entropy_matches_manual():
+    logits = rng.normal(size=(4, 3))
+    targets = np.array([0, 2, 1, 1])
+    loss = cross_entropy(Tensor(logits), targets)
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    logp = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    expected = -logp[np.arange(4), targets].mean()
+    assert loss.item() == pytest.approx(expected)
+
+
+def test_cross_entropy_gradcheck():
+    targets = np.array([1, 0, 2])
+    gradcheck(
+        lambda t: cross_entropy(t, targets), [rng.normal(size=(3, 3))]
+    )
+
+
+def test_cross_entropy_gradient_is_softmax_minus_onehot():
+    logits = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+    targets = np.array([0, 2])
+    cross_entropy(logits, targets).backward()
+    p = np.exp(logits.data) / np.exp(logits.data).sum(axis=1, keepdims=True)
+    onehot = np.zeros((2, 3))
+    onehot[np.arange(2), targets] = 1
+    assert np.allclose(logits.grad, (p - onehot) / 2)
+
+
+def test_uniform_logits_loss_is_log_nclasses():
+    logits = Tensor(np.zeros((5, 10)))
+    loss = cross_entropy(logits, np.zeros(5, dtype=int))
+    assert loss.item() == pytest.approx(np.log(10))
+
+
+def test_shape_validation():
+    with pytest.raises(ReproError):
+        cross_entropy(Tensor(np.zeros((4, 3))), np.zeros((4, 1), dtype=int))
+    with pytest.raises(ReproError):
+        cross_entropy(Tensor(np.zeros(3)), np.zeros(3, dtype=int))
+    with pytest.raises(ReproError):
+        cross_entropy(Tensor(np.zeros((4, 3))), np.zeros(5, dtype=int))
+
+
+def test_module_wrapper():
+    loss = CrossEntropyLoss()(Tensor(np.zeros((2, 4))), np.array([1, 2]))
+    assert loss.item() == pytest.approx(np.log(4))

@@ -1,0 +1,76 @@
+"""Tests for the exhaustive error metrics (Eq. 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.multipliers.base import BehavioralMultiplier, LutMultiplier
+from repro.multipliers.exact import ExactMultiplier
+from repro.multipliers.metrics import error_metrics
+
+
+def test_exact_multiplier_has_zero_errors():
+    em = error_metrics(ExactMultiplier(6))
+    assert em.er == 0
+    assert em.nmed == 0
+    assert em.maxed == 0
+    assert em.med == 0
+    assert em.mred == 0
+    assert em.bias == 0
+
+
+def test_constant_offset_multiplier():
+    m = BehavioralMultiplier("plus1", 3, lambda w, x: w * x + 1)
+    em = error_metrics(m)
+    assert em.er == 1.0
+    assert em.maxed == 1
+    assert em.med == 1.0
+    assert em.bias == 1.0
+    assert em.nmed == pytest.approx(1 / 63)
+
+
+def test_single_wrong_entry():
+    n = 8
+    lut = np.arange(n)[:, None] * np.arange(n)[None, :]
+    lut = lut.copy()
+    lut[3, 3] += 10
+    em = error_metrics(LutMultiplier("one_off", 3, lut))
+    assert em.er == pytest.approx(1 / 64)
+    assert em.maxed == 10
+    assert em.med == pytest.approx(10 / 64)
+
+
+def test_bias_sign_for_truncation_like():
+    m = BehavioralMultiplier("under", 3, lambda w, x: np.maximum(w * x - 2, 0))
+    em = error_metrics(m)
+    assert em.bias < 0
+
+
+def test_percent_properties():
+    m = BehavioralMultiplier("plus1", 3, lambda w, x: w * x + 1)
+    em = error_metrics(m)
+    assert em.er_percent == 100.0
+    assert em.nmed_percent == pytest.approx(100 / 63)
+
+
+def test_str_contains_key_numbers():
+    em = error_metrics(ExactMultiplier(3))
+    assert "ER=0.0%" in str(em)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+def test_metric_invariants_on_random_luts(seed):
+    """ER in [0,1]; MED <= MaxED; NMED normalization consistent with MED."""
+    rng = np.random.default_rng(seed)
+    bits = 4
+    n = 1 << bits
+    exact = np.arange(n)[:, None] * np.arange(n)[None, :]
+    noise = rng.integers(-5, 6, size=(n, n))
+    lut = np.clip(exact + noise, 0, (1 << (2 * bits)) - 1)
+    em = error_metrics(LutMultiplier("rand", bits, lut))
+    assert 0.0 <= em.er <= 1.0
+    assert em.med <= em.maxed
+    assert em.nmed == pytest.approx(em.med / ((1 << (2 * bits)) - 1))
+    assert abs(em.bias) <= em.med + 1e-12

@@ -1,0 +1,120 @@
+"""Tests for per-layer mixed multiplier assignment."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.data import DataLoader, SyntheticImageDataset
+from repro.errors import ConfigError
+from repro.models import LeNet
+from repro.multipliers import get_multiplier
+from repro.retrain.mixed import (
+    assign_multiplier,
+    greedy_mixed_assignment,
+    mixed_model,
+    multiplication_counts,
+    named_approx_layers,
+)
+from repro.retrain.trainer import evaluate
+
+
+@pytest.fixture(scope="module")
+def setup():
+    train = SyntheticImageDataset(256, 4, 12, seed=3, split="train")
+    test = SyntheticImageDataset(96, 4, 12, seed=3, split="test")
+    model = LeNet(num_classes=4, image_size=12, seed=3)
+    from repro.retrain.trainer import TrainConfig, Trainer
+
+    Trainer(model, TrainConfig(epochs=5, batch_size=32, seed=3)).fit(train)
+    return train, test, model
+
+
+def test_named_approx_layers_paths(setup):
+    train, _test, model = setup
+    mixed = mixed_model(
+        model, {}, DataLoader(train, batch_size=32), default_bits=6
+    )
+    names = [n for n, _ in named_approx_layers(mixed)]
+    assert names == ["features.steps.0", "features.steps.3"]
+
+
+def test_mixed_model_assignment(setup):
+    train, test, model = setup
+    rm4 = get_multiplier("mul6u_rm4")
+    mixed = mixed_model(
+        model,
+        {"features.steps.0": rm4},
+        DataLoader(train, batch_size=32),
+    )
+    layers = dict(named_approx_layers(mixed))
+    assert layers["features.steps.0"].multiplier is rm4
+    assert layers["features.steps.3"].multiplier.is_exact
+    top1, _ = evaluate(mixed, test)
+    assert 0.0 <= top1 <= 1.0
+
+
+def test_mixed_model_unknown_layer(setup):
+    train, _test, model = setup
+    rm4 = get_multiplier("mul6u_rm4")
+    with pytest.raises(ConfigError):
+        mixed_model(
+            model, {"bogus": rm4}, DataLoader(train, batch_size=32)
+        )
+
+
+def test_mixed_model_needs_bits_for_empty(setup):
+    train, _test, model = setup
+    with pytest.raises(ConfigError):
+        mixed_model(model, {}, DataLoader(train, batch_size=32))
+
+
+def test_assign_multiplier_bitwidth_check(setup):
+    train, _test, model = setup
+    mixed = mixed_model(
+        model, {}, DataLoader(train, batch_size=32), default_bits=6
+    )
+    layer = dict(named_approx_layers(mixed))["features.steps.0"]
+    with pytest.raises(ConfigError):
+        assign_multiplier(layer, get_multiplier("mul7u_rm6"))
+
+
+def test_partial_approximation_better_than_full(setup):
+    """Approximating one layer degrades accuracy no more than both."""
+    train, test, model = setup
+    rm4 = get_multiplier("mul6u_rm4")
+    loader = DataLoader(train, batch_size=32)
+    one = mixed_model(model, {"features.steps.0": rm4}, loader)
+    both = mixed_model(
+        model, {"features.steps.0": rm4, "features.steps.3": rm4}, loader
+    )
+    acc_one, _ = evaluate(one, test)
+    acc_both, _ = evaluate(both, test)
+    assert acc_one >= acc_both - 0.08
+
+
+def test_greedy_mixed_assignment(setup):
+    train, test, model = setup
+    rm4 = get_multiplier("mul6u_rm4")
+    result = greedy_mixed_assignment(
+        model, rm4, train, test, accuracy_budget=0.5, batch_size=32
+    )
+    # Huge budget -> everything approximated.
+    assert result.approx_fraction == 1.0
+    assert len(result.sensitivities) == 2
+    assert all(s.layer in ("features.steps.0", "features.steps.3") for s in result.sensitivities)
+    # Tight budget -> possibly fewer layers, accuracy within budget.
+    tight = greedy_mixed_assignment(
+        model, rm4, train, test, accuracy_budget=0.0, batch_size=32
+    )
+    assert tight.reference_accuracy - tight.accuracy <= 0.0 + 1e-9
+
+
+def test_multiplication_counts(setup):
+    train, _test, model = setup
+    mixed = mixed_model(
+        model, {}, DataLoader(train, batch_size=32), default_bits=6
+    )
+    counts = multiplication_counts(mixed, (2, 3, 12, 12))
+    # conv1: 2 * 6 out-ch * 12*12 positions * (3*5*5) muls
+    assert counts["features.steps.0"] == 2 * 6 * 12 * 12 * 75
+    assert counts["features.steps.3"] > 0

@@ -1,0 +1,134 @@
+"""Tests for depthwise convolution and the MobileNet-style model."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradcheck
+from repro.errors import ReproError
+from repro.nn import functional as F
+from repro.nn.layers import Conv2d, DepthwiseConv2d
+from repro.models.mobilenet import MobileNetSmall, mobilenet_small
+
+rng = np.random.default_rng(17)
+
+
+def test_depthwise_matches_per_channel_conv():
+    """Depthwise conv equals applying an independent conv per channel."""
+    x = rng.normal(size=(2, 3, 6, 6))
+    w = rng.normal(size=(3, 1, 3, 3))
+    b = rng.normal(size=3)
+    out = F.depthwise_conv2d(Tensor(x), Tensor(w), Tensor(b), 1, 1)
+    for c in range(3):
+        single = F.conv2d(
+            Tensor(x[:, c : c + 1]),
+            Tensor(w[c : c + 1]),
+            Tensor(b[c : c + 1]),
+            1,
+            1,
+        )
+        assert np.allclose(out.data[:, c], single.data[:, 0])
+
+
+def test_depthwise_gradcheck():
+    gradcheck(
+        lambda x, w, b: F.depthwise_conv2d(x, w, b, 2, 1),
+        [
+            rng.normal(size=(1, 2, 5, 5)),
+            rng.normal(size=(2, 1, 3, 3)),
+            rng.normal(size=2),
+        ],
+    )
+
+
+def test_depthwise_shape_validation():
+    with pytest.raises(ReproError):
+        F.depthwise_conv2d(
+            Tensor(np.zeros((1, 3, 4, 4))), Tensor(np.zeros((4, 1, 3, 3))), None
+        )
+    with pytest.raises(ReproError):
+        F.depthwise_conv2d(
+            Tensor(np.zeros((1, 3, 4, 4))), Tensor(np.zeros((3, 2, 3, 3))), None
+        )
+
+
+def test_depthwise_layer_params():
+    layer = DepthwiseConv2d(8, 3, stride=2, padding=1)
+    out = layer(Tensor(rng.normal(size=(2, 8, 8, 8))))
+    assert out.shape == (2, 8, 4, 4)
+    assert layer.count_parameters() == 8 * 9 + 8
+
+
+def test_mobilenet_forward_shape():
+    model = mobilenet_small(num_classes=10, width_mult=0.25)
+    out = model(Tensor(rng.normal(size=(2, 3, 16, 16))))
+    assert out.shape == (2, 10)
+
+
+def test_mobilenet_trains():
+    from repro.nn.losses import cross_entropy
+    from repro.optim import Adam
+
+    model = MobileNetSmall(num_classes=4, width_mult=0.125, seed=1)
+    x = rng.normal(size=(8, 3, 8, 8))
+    y = np.array([0, 1, 2, 3] * 2)
+    opt = Adam(model.parameters(), lr=3e-3)
+    losses = []
+    for _ in range(6):
+        loss = cross_entropy(model(Tensor(x)), y)
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+        losses.append(loss.item())
+    assert losses[-1] < losses[0]
+
+
+def test_mobilenet_conversion_targets_pointwise_only():
+    """The conversion pass approximates the 1x1 (and stem) convs and leaves
+    depthwise layers float."""
+    from repro.multipliers import get_multiplier
+    from repro.nn.approx import ApproxConv2d
+    from repro.retrain.convert import approximate_model
+
+    model = MobileNetSmall(num_classes=4, width_mult=0.125)
+    n_pointwise = sum(1 for m in model.modules() if isinstance(m, Conv2d))
+    n_depthwise = sum(
+        1 for m in model.modules() if isinstance(m, DepthwiseConv2d)
+    )
+    assert n_pointwise == 5  # stem + 4 pointwise
+    assert n_depthwise == 4
+
+    converted = approximate_model(
+        model, get_multiplier("mul6u_rm4"), gradient_method="ste"
+    )
+    assert sum(
+        1 for m in converted.modules() if isinstance(m, ApproxConv2d)
+    ) == 5
+    assert sum(
+        1 for m in converted.modules() if isinstance(m, DepthwiseConv2d)
+    ) == 4
+
+
+def test_mobilenet_retrain_end_to_end():
+    from repro.data import DataLoader, SyntheticImageDataset
+    from repro.multipliers import get_multiplier
+    from repro.retrain import (
+        TrainConfig,
+        Trainer,
+        approximate_model,
+        calibrate,
+        evaluate,
+        freeze,
+    )
+
+    train = SyntheticImageDataset(128, 4, 12, seed=19, split="train")
+    test = SyntheticImageDataset(64, 4, 12, seed=19, split="test")
+    model = MobileNetSmall(num_classes=4, width_mult=0.125, seed=19)
+    Trainer(model, TrainConfig(epochs=2, batch_size=32, base_lr=3e-3)).fit(train)
+    approx = approximate_model(
+        model, get_multiplier("mul6u_rm4"), gradient_method="difference", hws=2
+    )
+    calibrate(approx, DataLoader(train, batch_size=32), batches=2)
+    freeze(approx)
+    Trainer(approx, TrainConfig(epochs=1, batch_size=32)).fit(train)
+    top1, _ = evaluate(approx, test)
+    assert 0.0 <= top1 <= 1.0

@@ -1,0 +1,106 @@
+"""Tests for the model zoo."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.errors import ConfigError
+from repro.models import LeNet, VGG, resnet18, resnet34, resnet50, vgg11, vgg19
+from repro.models.resnet import BasicBlock, Bottleneck
+from repro.nn.layers import Conv2d
+
+rng = np.random.default_rng(2)
+
+
+def test_lenet_forward_shape():
+    model = LeNet(num_classes=10, in_channels=3, image_size=16)
+    out = model(Tensor(rng.normal(size=(2, 3, 16, 16))))
+    assert out.shape == (2, 10)
+
+
+def test_lenet_image_size_check():
+    with pytest.raises(ConfigError):
+        LeNet(image_size=8)
+
+
+def test_vgg19_structure():
+    model = vgg19(num_classes=10, image_size=32, width_mult=0.0625)
+    convs = [m for m in model.modules() if isinstance(m, Conv2d)]
+    assert len(convs) == 16  # VGG19 has 16 conv layers
+    out = model(Tensor(rng.normal(size=(1, 3, 32, 32))))
+    assert out.shape == (1, 10)
+
+
+def test_vgg_max_stages_truncates():
+    model = VGG("VGG19", image_size=8, width_mult=0.125, max_stages=2)
+    out = model(Tensor(rng.normal(size=(1, 3, 8, 8))))
+    assert out.shape == (1, 10)
+
+
+def test_vgg11_fewer_convs_than_vgg19():
+    v11 = vgg11(image_size=32, width_mult=0.0625)
+    v19 = vgg19(image_size=32, width_mult=0.0625)
+    assert v11.count_parameters() < v19.count_parameters()
+
+
+def test_width_mult_scales_params():
+    small = resnet18(width_mult=0.0625)
+    big = resnet18(width_mult=0.125)
+    assert big.count_parameters() > small.count_parameters()
+
+
+def test_resnet18_forward_shape():
+    model = resnet18(num_classes=10, width_mult=0.0625)
+    out = model(Tensor(rng.normal(size=(2, 3, 16, 16))))
+    assert out.shape == (2, 10)
+
+
+def test_resnet34_deeper_than_18():
+    r18 = resnet18(width_mult=0.0625)
+    r34 = resnet34(width_mult=0.0625)
+    c18 = sum(1 for m in r18.modules() if isinstance(m, Conv2d))
+    c34 = sum(1 for m in r34.modules() if isinstance(m, Conv2d))
+    assert c34 > c18
+
+
+def test_resnet50_uses_bottleneck():
+    model = resnet50(num_classes=10, width_mult=0.0625)
+    blocks = [m for m in model.modules() if isinstance(m, Bottleneck)]
+    assert len(blocks) == 16  # 3+4+6+3
+    out = model(Tensor(rng.normal(size=(1, 3, 16, 16))))
+    assert out.shape == (1, 10)
+
+
+def test_basic_block_residual_shortcut_identity_when_possible():
+    block = BasicBlock(8, 8, 1, np.random.default_rng(0))
+    from repro.nn.layers import Identity
+
+    assert isinstance(block.shortcut, Identity)
+    block_strided = BasicBlock(8, 16, 2, np.random.default_rng(0))
+    assert not isinstance(block_strided.shortcut, Identity)
+
+
+def test_models_trainable_end_to_end():
+    """One gradient step decreases the loss on a tiny batch."""
+    from repro.nn.losses import cross_entropy
+    from repro.optim import Adam
+
+    model = resnet18(num_classes=4, width_mult=0.0625)
+    x = rng.normal(size=(8, 3, 8, 8))
+    y = np.array([0, 1, 2, 3] * 2)
+    opt = Adam(model.parameters(), lr=1e-2)
+    losses = []
+    for _ in range(5):
+        loss = cross_entropy(model(Tensor(x)), y)
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+        losses.append(loss.item())
+    assert losses[-1] < losses[0]
+
+
+def test_resnet_seed_reproducible():
+    m1 = resnet18(width_mult=0.0625, seed=5)
+    m2 = resnet18(width_mult=0.0625, seed=5)
+    for (n1, p1), (_, p2) in zip(m1.named_parameters(), m2.named_parameters()):
+        assert np.array_equal(p1.data, p2.data), n1

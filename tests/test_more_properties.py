@@ -1,0 +1,109 @@
+"""Second round of hypothesis property tests across the circuit stack."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.export import to_blif
+from repro.circuits.generators import custom_array_multiplier
+from repro.circuits.netlist import Netlist
+from repro.circuits.parser import from_blif
+from repro.circuits.simulator import simulate, simulate_words, unpack_bits
+from repro.multipliers.evoapprox import PartialProductMultiplier
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=3, max_value=6),
+    st.sets(
+        st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=8
+    ),
+    st.integers(min_value=0, max_value=15),
+)
+def test_structural_equals_behavioral_for_random_perforations(
+    bits, dropped, comp
+):
+    """Random perforated/compensated designs: netlist == formula."""
+    dropped = {(i, j) for i, j in dropped if i < bits and j < bits}
+    m = PartialProductMultiplier("h", bits, dropped, compensation=comp)
+    nl = custom_array_multiplier(bits, dropped=dropped, compensation=comp)
+    n = 1 << bits
+    assert np.array_equal(simulate(nl).reshape(n, n).T, m.lut())
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+def test_substituting_equivalent_signal_preserves_function(seed):
+    """Replacing a net by another net with an identical waveform never
+    changes the circuit function (the soundness fact behind zero-cost ALS
+    moves)."""
+    rng = np.random.default_rng(seed)
+    nl = Netlist()
+    a, b, c = nl.add_inputs(3)
+    g1 = nl.and2(a, b)
+    g2 = nl.and2(b, a)  # equivalent to g1
+    g3 = nl.or2(g1, c)
+    g4 = nl.xor2(g2, g3)
+    nl.outputs = [g3, g4]
+    before = simulate(nl)
+    # g1 and g2 have identical waveforms; swap uses of one for the other.
+    target, repl = (g1, g2) if rng.random() < 0.5 else (g2, g1)
+    if repl < target:  # keep topological id order
+        swapped = nl.substitute(target, repl).dead_code_eliminate()
+        assert np.array_equal(simulate(swapped), before)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=2, max_value=5), st.integers(0, 2**31 - 1))
+def test_blif_roundtrip_random_circuits(n_inputs, seed):
+    rng = np.random.default_rng(seed)
+    nl = Netlist(name="rand")
+    nl.add_inputs(n_inputs)
+    kinds = ["AND2", "OR2", "XOR2", "NAND2", "NOR2", "XNOR2", "INV", "BUF"]
+    for _ in range(10):
+        kind = kinds[rng.integers(0, len(kinds))]
+        if kind in ("INV", "BUF"):
+            nl.add_gate(kind, int(rng.integers(0, nl.n_nets)))
+        else:
+            nl.add_gate(
+                kind,
+                int(rng.integers(0, nl.n_nets)),
+                int(rng.integers(0, nl.n_nets)),
+            )
+    nl.outputs = [nl.n_nets - 1, nl.n_nets - 2]
+    imported = from_blif(to_blif(nl))
+    assert np.array_equal(simulate(imported), simulate(nl))
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=1, max_value=6))
+def test_packed_words_consistent_with_unpack(n_inputs):
+    nl = Netlist()
+    ins = nl.add_inputs(n_inputs)
+    g = ins[0]
+    for other in ins[1:]:
+        g = nl.xor2(g, other)
+    nl.outputs = [g]
+    words = simulate_words(nl)
+    combos = 1 << n_inputs
+    bits = unpack_bits(words[nl.outputs[0]], combos)
+    # XOR of all input bits == parity of the combination index
+    expected = np.array([bin(i).count("1") % 2 for i in range(combos)])
+    if n_inputs == 1:
+        expected = np.arange(2) & 1
+    assert np.array_equal(bits, expected)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    st.integers(min_value=3, max_value=6),
+    st.integers(min_value=1, max_value=10),
+)
+def test_compensation_shifts_lut_uniformly(bits, comp):
+    plain = PartialProductMultiplier("p", bits, set())
+    shifted = PartialProductMultiplier("s", bits, set(), compensation=comp)
+    mask = (1 << (2 * bits)) - 1
+    assert np.array_equal(
+        shifted.lut(),
+        ((plain.lut().astype(np.int64) + comp) & mask).astype(np.int32),
+    )

@@ -1,0 +1,98 @@
+"""Tests for the Multiplier base classes."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.generators import wallace_multiplier
+from repro.errors import ReproError
+from repro.multipliers.base import (
+    BehavioralMultiplier,
+    LutMultiplier,
+    NetlistMultiplier,
+)
+from repro.multipliers.exact import ExactMultiplier
+
+
+def test_lut_shape_and_dtype():
+    m = ExactMultiplier(4)
+    lut = m.lut()
+    assert lut.shape == (16, 16)
+    assert lut.dtype == np.int32
+
+
+def test_lut_cached_and_readonly():
+    m = ExactMultiplier(3)
+    lut1 = m.lut()
+    assert m.lut() is lut1
+    with pytest.raises(ValueError):
+        lut1[0, 0] = 5
+
+
+def test_call_evaluates_elementwise():
+    m = ExactMultiplier(4)
+    w = np.array([[1, 2], [3, 4]])
+    x = np.array([[5, 6], [7, 8]])
+    assert np.array_equal(m(w, x), w * x)
+
+
+def test_call_rejects_out_of_range():
+    m = ExactMultiplier(4)
+    with pytest.raises(ReproError):
+        m(np.array([16]), np.array([0]))
+    with pytest.raises(ReproError):
+        m(np.array([0]), np.array([-1]))
+
+
+def test_is_exact_true_and_false():
+    assert ExactMultiplier(4).is_exact
+    off_by_one = BehavioralMultiplier("b", 4, lambda w, x: w * x + 1)
+    assert not off_by_one.is_exact
+
+
+def test_error_surface():
+    m = BehavioralMultiplier("b", 3, lambda w, x: w * x - (w & 1))
+    err = m.error_surface()
+    assert err.shape == (8, 8)
+    assert np.array_equal(err[1], -np.ones(8, dtype=np.int64))
+    assert np.array_equal(err[2], np.zeros(8, dtype=np.int64))
+
+
+def test_behavioral_broadcasts_scalar_result():
+    m = BehavioralMultiplier("zero", 3, lambda w, x: np.zeros_like(w * x))
+    assert np.array_equal(m.lut(), np.zeros((8, 8), dtype=np.int32))
+
+
+def test_netlist_multiplier_index_order():
+    """lut[w, x]: w comes from the low input bits of the generator."""
+    m = NetlistMultiplier("m", 4, wallace_multiplier(4))
+    lut = m.lut()
+    w = np.arange(16)[:, None]
+    x = np.arange(16)[None, :]
+    assert np.array_equal(lut, (w * x).astype(np.int32))
+
+
+def test_netlist_multiplier_input_count_check():
+    with pytest.raises(ReproError):
+        NetlistMultiplier("m", 5, wallace_multiplier(4))
+
+
+def test_lut_multiplier_roundtrip():
+    data = np.arange(64).reshape(8, 8)
+    m = LutMultiplier("raw", 3, data)
+    assert np.array_equal(m.lut(), data.astype(np.int32))
+
+
+def test_lut_multiplier_shape_check():
+    with pytest.raises(ReproError):
+        LutMultiplier("bad", 3, np.zeros((4, 4))).lut()
+
+
+def test_invalid_bitwidth_rejected():
+    with pytest.raises(ReproError):
+        ExactMultiplier(0)
+    with pytest.raises(ReproError):
+        ExactMultiplier(11)
+
+
+def test_repr_mentions_name():
+    assert "mul4u_acc" in repr(ExactMultiplier(4))

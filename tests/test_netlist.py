@@ -1,0 +1,162 @@
+"""Tests for the netlist IR."""
+
+import pytest
+
+from repro.circuits.netlist import Gate, Netlist
+from repro.circuits.simulator import simulate
+from repro.errors import CircuitError
+
+
+def _xor_circuit() -> Netlist:
+    nl = Netlist(name="xor")
+    a, b = nl.add_inputs(2)
+    nl.outputs = [nl.xor2(a, b)]
+    return nl
+
+
+def test_add_inputs_before_gates_only():
+    nl = Netlist()
+    nl.add_inputs(2)
+    nl.and2(0, 1)
+    with pytest.raises(CircuitError):
+        nl.add_inputs(1)
+
+
+def test_add_gate_validates_type_and_arity():
+    nl = Netlist()
+    a, b = nl.add_inputs(2)
+    with pytest.raises(CircuitError):
+        nl.add_gate("MUX", a, b)
+    with pytest.raises(CircuitError):
+        nl.add_gate("AND2", a)
+    with pytest.raises(CircuitError):
+        nl.add_gate("AND2", a, 99)
+
+
+def test_net_ids_dense_and_increasing():
+    nl = Netlist()
+    a, b = nl.add_inputs(2)
+    g1 = nl.and2(a, b)
+    g2 = nl.or2(g1, a)
+    assert (a, b, g1, g2) == (0, 1, 2, 3)
+    assert nl.n_nets == 4
+
+
+def test_half_adder_truth_table():
+    nl = Netlist()
+    a, b = nl.add_inputs(2)
+    s, c = nl.half_adder(a, b)
+    nl.outputs = [s, c]
+    out = simulate(nl)
+    # combo index packs (a, b) = (bit0, bit1)
+    assert list(out) == [0, 1, 1, 2]
+
+
+def test_full_adder_truth_table():
+    nl = Netlist()
+    a, b, cin = nl.add_inputs(3)
+    s, c = nl.full_adder(a, b, cin)
+    nl.outputs = [s, c]
+    out = simulate(nl)
+    expected = [
+        (i & 1) + ((i >> 1) & 1) + ((i >> 2) & 1) for i in range(8)
+    ]
+    assert list(out) == expected
+
+
+def test_gate_counts():
+    nl = _xor_circuit()
+    nl.and2(0, 1)
+    assert nl.gate_counts() == {"XOR2": 1, "AND2": 1}
+
+
+def test_fanouts():
+    nl = Netlist()
+    a, b = nl.add_inputs(2)
+    g1 = nl.and2(a, b)
+    nl.or2(g1, a)
+    fo = nl.fanouts()
+    assert fo[a] == [0, 1]
+    assert fo[g1] == [1]
+
+
+def test_validate_passes_for_wellformed():
+    _xor_circuit().validate()
+
+
+def test_validate_rejects_forward_reference():
+    nl = _xor_circuit()
+    nl.gates.insert(0, Gate("INV", 99, (98,)))
+    with pytest.raises(CircuitError):
+        nl.validate()
+
+
+def test_substitute_rewrites_uses_and_outputs():
+    nl = Netlist()
+    a, b = nl.add_inputs(2)
+    g1 = nl.and2(a, b)
+    g2 = nl.or2(g1, b)
+    nl.outputs = [g1, g2]
+    sub = nl.substitute(g1, a)
+    assert sub.outputs == [a, g2]
+    assert sub.gates[1].ins == (a, b)
+    # original untouched
+    assert nl.outputs == [g1, g2]
+
+
+def test_dead_code_eliminate_removes_unreachable():
+    nl = Netlist()
+    a, b = nl.add_inputs(2)
+    live = nl.and2(a, b)
+    nl.xor2(a, b)  # dead
+    nl.outputs = [live]
+    dce = nl.dead_code_eliminate()
+    assert len(dce.gates) == 1
+    assert dce.gates[0].out == live
+
+
+def test_prepend_const_keeps_topological_order():
+    nl = Netlist()
+    a, b = nl.add_inputs(2)
+    g = nl.and2(a, b)
+    nl.outputs = [g]
+    c1 = nl.prepend_const(1)
+    nl2 = nl.substitute(g, c1)
+    nl2.validate()
+    out = simulate(nl2.dead_code_eliminate())
+    assert list(out) == [1, 1, 1, 1]
+
+
+def test_topo_sort_restores_order():
+    nl = Netlist()
+    a, b = nl.add_inputs(2)
+    g1 = nl.and2(a, b)
+    g2 = nl.or2(g1, b)
+    nl.outputs = [g2]
+    # scramble
+    nl.gates.reverse()
+    fixed = nl.topo_sort()
+    fixed.validate()
+    # or(and(a,b), b) == b; combo index packs a in bit0, b in bit1.
+    assert list(simulate(fixed)) == [0, 0, 1, 1]
+
+
+def test_topo_sort_detects_missing_driver():
+    nl = Netlist()
+    nl.add_inputs(1)
+    nl.outputs = [5]
+    with pytest.raises(CircuitError):
+        nl.topo_sort()
+
+
+def test_copy_is_independent():
+    nl = _xor_circuit()
+    cp = nl.copy()
+    cp.and2(0, 1)
+    assert len(nl.gates) == 1
+    assert len(cp.gates) == 2
+
+
+def test_stats_mentions_name_and_counts():
+    s = _xor_circuit().stats()
+    assert "xor" in s and "XOR2:1" in s

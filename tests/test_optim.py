@@ -1,0 +1,106 @@
+"""Tests for optimizers and schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.errors import ReproError
+from repro.nn.module import Parameter
+from repro.optim import SGD, Adam, StepSchedule, paper_lr_schedule
+
+
+def _quadratic_steps(optimizer_cls, steps=200, **kw):
+    """Minimize ||p - target||^2; return final parameter."""
+    target = np.array([3.0, -2.0])
+    p = Parameter(np.zeros(2))
+    opt = optimizer_cls([p], **kw)
+    for _ in range(steps):
+        loss = ((p - Tensor(target)) ** 2).sum()
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+    return p.data, target
+
+
+def test_sgd_converges():
+    final, target = _quadratic_steps(SGD, lr=0.1)
+    assert np.allclose(final, target, atol=1e-3)
+
+
+def test_sgd_momentum_converges():
+    final, target = _quadratic_steps(SGD, lr=0.05, momentum=0.9)
+    assert np.allclose(final, target, atol=1e-2)
+
+
+def test_adam_converges():
+    final, target = _quadratic_steps(Adam, lr=0.1, steps=400)
+    assert np.allclose(final, target, atol=1e-2)
+
+
+def test_weight_decay_shrinks_solution():
+    final_wd, target = _quadratic_steps(SGD, lr=0.1, weight_decay=1.0)
+    assert np.all(np.abs(final_wd) < np.abs(target))
+
+
+def test_optimizers_skip_params_without_grad():
+    p = Parameter(np.ones(2))
+    for opt in (SGD([p], lr=0.1), Adam([p], lr=0.1)):
+        opt.step()  # no grad accumulated; should be a no-op
+        assert np.allclose(p.data, 1.0)
+
+
+def test_invalid_lr_rejected():
+    p = Parameter(np.ones(1))
+    with pytest.raises(ReproError):
+        SGD([p], lr=0)
+    with pytest.raises(ReproError):
+        Adam([p], lr=-1)
+
+
+def test_zero_grad():
+    p = Parameter(np.ones(2))
+    opt = SGD([p], lr=0.1)
+    (p * 2).sum().backward()
+    assert p.grad is not None
+    opt.zero_grad()
+    assert p.grad is None
+
+
+class _FakeOpt:
+    lr = 0.0
+
+
+def test_step_schedule_segments():
+    opt = _FakeOpt()
+    sched = StepSchedule(opt, [10, 20], [1e-3, 5e-4, 2.5e-4])
+    assert sched.lr_for_epoch(0) == 1e-3
+    assert sched.lr_for_epoch(9) == 1e-3
+    assert sched.lr_for_epoch(10) == 5e-4
+    assert sched.lr_for_epoch(25) == 2.5e-4
+    sched.set_epoch(15)
+    assert opt.lr == 5e-4
+
+
+def test_step_schedule_validation():
+    with pytest.raises(ReproError):
+        StepSchedule(_FakeOpt(), [10], [1e-3])
+    with pytest.raises(ReproError):
+        StepSchedule(_FakeOpt(), [20, 10], [1, 2, 3])
+
+
+def test_paper_schedule_30_epochs():
+    """Paper: lr 1e-3 epochs 1-10, 5e-4 epochs 11-20, 2.5e-4 epochs 21-30."""
+    opt = _FakeOpt()
+    sched = paper_lr_schedule(opt, 30, 1e-3)
+    assert sched.lr_for_epoch(0) == 1e-3
+    assert sched.lr_for_epoch(9) == 1e-3
+    assert sched.lr_for_epoch(10) == 5e-4
+    assert sched.lr_for_epoch(20) == 2.5e-4
+    assert sched.lr_for_epoch(29) == 2.5e-4
+
+
+def test_paper_schedule_compresses():
+    sched = paper_lr_schedule(_FakeOpt(), 3, 1e-3)
+    assert [sched.lr_for_epoch(e) for e in range(3)] == [1e-3, 5e-4, 2.5e-4]
+    sched1 = paper_lr_schedule(_FakeOpt(), 1, 1e-3)
+    assert sched1.lr_for_epoch(0) == 1e-3

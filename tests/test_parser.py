@@ -1,0 +1,116 @@
+"""Tests for BLIF import."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.export import to_blif
+from repro.circuits.generators import (
+    truncated_array_multiplier,
+    wallace_multiplier,
+)
+from repro.circuits.parser import from_blif
+from repro.circuits.simulator import simulate
+from repro.errors import CircuitError
+
+
+@pytest.mark.parametrize(
+    "make",
+    [
+        lambda: wallace_multiplier(3),
+        lambda: wallace_multiplier(5),
+        lambda: truncated_array_multiplier(4, 3),
+    ],
+)
+def test_export_import_roundtrip_preserves_function(make):
+    nl = make()
+    imported = from_blif(to_blif(nl))
+    assert np.array_equal(simulate(imported), simulate(nl))
+    assert imported.n_inputs == nl.n_inputs
+
+
+def test_handwritten_blif_with_dashes():
+    text = """
+# a 2:1 mux: out = s ? b : a
+.model mux
+.inputs a b s
+.outputs y
+.names a s y_a
+10 1
+.names b s y_b
+11 1
+.names y_a y_b y
+1- 1
+-1 1
+.end
+"""
+    nl = from_blif(text)
+    out = simulate(nl)
+    # combo index packs a=bit0, b=bit1, s=bit2
+    a = np.arange(8) & 1
+    b = (np.arange(8) >> 1) & 1
+    s = (np.arange(8) >> 2) & 1
+    assert np.array_equal(out, np.where(s == 1, b, a))
+
+
+def test_constant_tables():
+    text = """
+.model consts
+.inputs a
+.outputs z o
+.names z
+.names o
+1
+.end
+"""
+    nl = from_blif(text)
+    out = simulate(nl)
+    assert np.array_equal(out, [2, 2])  # z=0 (bit0), o=1 (bit1)
+
+
+def test_line_continuations_and_comments():
+    text = (
+        ".model cont # trailing comment\n"
+        ".inputs a \\\n b\n"
+        ".outputs y\n"
+        ".names a b y\n"
+        "11 1\n"
+        ".end\n"
+    )
+    nl = from_blif(text)
+    assert np.array_equal(simulate(nl), [0, 0, 0, 1])
+
+
+def test_rejects_offset_covers():
+    text = ".model m\n.inputs a\n.outputs y\n.names a y\n0 0\n.end\n"
+    with pytest.raises(CircuitError):
+        from_blif(text)
+
+
+def test_rejects_unknown_construct():
+    with pytest.raises(CircuitError):
+        from_blif(".model m\n.latch a b\n.end\n")
+
+
+def test_rejects_undefined_output():
+    with pytest.raises(CircuitError):
+        from_blif(".model m\n.inputs a\n.outputs ghost\n.end\n")
+
+
+def test_rejects_width_mismatch():
+    text = ".model m\n.inputs a b\n.outputs y\n.names a b y\n111 1\n.end\n"
+    with pytest.raises(CircuitError):
+        from_blif(text)
+
+
+def test_imported_netlist_costable():
+    """Imported circuits plug into the cost model and ALS directly."""
+    from repro.circuits.als import ApproxSynthesisConfig, approximate_synthesis
+    from repro.circuits.cost import estimate_cost
+
+    nl = from_blif(to_blif(wallace_multiplier(4)))
+    cost = estimate_cost(nl)
+    assert cost.area_um2 > 0
+    res = approximate_synthesis(
+        nl, ApproxSynthesisConfig(nmed_budget=0.01, max_moves=5, seed=0)
+    )
+    assert res.area_after <= res.area_before

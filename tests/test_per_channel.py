@@ -1,0 +1,161 @@
+"""Tests for per-channel weight quantization in approximate layers."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.data import DataLoader, SyntheticImageDataset
+from repro.errors import QuantizationError
+from repro.models import LeNet
+from repro.multipliers import get_multiplier
+from repro.multipliers.exact import ExactMultiplier
+from repro.nn import ApproxConv2d
+from repro.nn import functional as F
+from repro.nn.quant import (
+    ChannelQuantParams,
+    compute_channel_qparams,
+    dequantize_array,
+    fake_quantize,
+    quantize_per_channel,
+)
+from repro.retrain.convert import approximate_model, calibrate, freeze
+from repro.retrain.trainer import evaluate
+
+rng = np.random.default_rng(31)
+
+
+def test_channel_qparams_validation():
+    with pytest.raises(QuantizationError):
+        ChannelQuantParams(np.array([1.0, -1.0]), np.array([0, 0]), 8)
+    with pytest.raises(QuantizationError):
+        ChannelQuantParams(np.array([1.0]), np.array([300]), 8)
+    with pytest.raises(QuantizationError):
+        ChannelQuantParams(np.array([[1.0]]), np.array([[0]]), 8)
+    with pytest.raises(QuantizationError):
+        compute_channel_qparams(np.zeros(4), 8)
+
+
+def test_per_channel_quantize_rowwise():
+    wmat = np.array([[0.0, 1.0], [0.0, 100.0]])
+    qp = compute_channel_qparams(wmat, 8)
+    q = quantize_per_channel(wmat, qp)
+    # Each row uses its own scale: both max values map to 255.
+    assert q[0, 1] == 255 and q[1, 1] == 255
+    # Row roundtrip error bounded by half of that row's scale.
+    for r in range(2):
+        recon = dequantize_array(
+            q[r],
+            type(
+                "QP", (), {"zero_point": qp.zero_points[r], "scale": qp.scales[r]},
+            ),
+        )
+        assert np.abs(recon - wmat[r]).max() <= qp.scales[r] / 2 + 1e-12
+
+
+def test_per_channel_finer_than_per_tensor():
+    """With wildly different row magnitudes, per-channel reconstruction of
+    the small row is far more precise."""
+    from repro.nn.quant import compute_qparams, quantize_array
+
+    wmat = np.vstack([rng.uniform(-0.01, 0.01, 16), rng.uniform(-10, 10, 16)])
+    per_tensor = compute_qparams(wmat.min(), wmat.max(), 8)
+    pt_err = np.abs(
+        dequantize_array(quantize_array(wmat[0], per_tensor), per_tensor)
+        - wmat[0]
+    ).max()
+    per_channel = compute_channel_qparams(wmat, 8)
+    q = quantize_per_channel(wmat, per_channel)
+    pc_recon = (
+        q[0].astype(float) - per_channel.zero_points[0]
+    ) * per_channel.scales[0]
+    pc_err = np.abs(pc_recon - wmat[0]).max()
+    assert pc_err < pt_err / 10
+
+
+def _calibrated(per_channel: bool):
+    mult = ExactMultiplier(6)
+    layer = ApproxConv2d(
+        2, 3, 3, multiplier=mult, padding=1, gradient_method="ste",
+        per_channel_weights=per_channel,
+    )
+    # Rows with very different magnitudes make per-channel matter.
+    layer.weight.data = layer.weight.data * np.array(
+        [0.05, 1.0, 5.0]
+    ).reshape(3, 1, 1, 1)
+    x = rng.normal(size=(2, 2, 6, 6))
+    layer.calibrating = True
+    layer(Tensor(x))
+    layer.freeze_quantization()
+    return layer, x
+
+
+def test_per_channel_forward_matches_rowwise_fakequant():
+    layer, x = _calibrated(per_channel=True)
+    out = layer(Tensor(x))
+    qp = layer.quant.w_qparams
+    assert isinstance(qp, ChannelQuantParams)
+    # Reference: fake-quantize each output channel's weights with its own
+    # params, then run a float conv.
+    wq = np.empty_like(layer.weight.data)
+    for m in range(3):
+        row_qp = type(
+            "QP",
+            (),
+            {
+                "scale": qp.scales[m],
+                "zero_point": int(qp.zero_points[m]),
+                "qmin": 0,
+                "qmax": qp.qmax,
+            },
+        )
+        from repro.nn.quant import quantize_array
+
+        q = quantize_array(layer.weight.data[m], row_qp)
+        wq[m] = (q - row_qp.zero_point) * row_qp.scale
+    xq = fake_quantize(Tensor(x), layer.quant.x_qparams)
+    ref = F.conv2d(xq, Tensor(wq), layer.bias, 1, 1)
+    assert np.allclose(out.data, ref.data, atol=1e-10)
+
+
+def test_per_channel_more_accurate_than_per_tensor():
+    layer_pc, x = _calibrated(per_channel=True)
+    layer_pt, _ = _calibrated(per_channel=False)
+    layer_pt.weight.data = layer_pc.weight.data.copy()
+    # float reference
+    ref = F.conv2d(
+        Tensor(x), Tensor(layer_pc.weight.data), layer_pc.bias, 1, 1
+    )
+    err_pc = np.abs(layer_pc(Tensor(x)).data - ref.data).mean()
+    err_pt = np.abs(layer_pt(Tensor(x)).data - ref.data).mean()
+    assert err_pc < err_pt
+
+
+def test_per_channel_backward_runs_and_masks():
+    layer, x = _calibrated(per_channel=True)
+    xt = Tensor(x, requires_grad=True)
+    out = layer(xt)
+    out.sum().backward()
+    assert layer.weight.grad.shape == layer.weight.shape
+    assert np.isfinite(layer.weight.grad).all()
+    assert np.isfinite(xt.grad).all()
+
+
+def test_per_channel_through_conversion_and_retraining():
+    train = SyntheticImageDataset(128, 4, 12, seed=13, split="train")
+    test = SyntheticImageDataset(64, 4, 12, seed=13, split="test")
+    model = LeNet(num_classes=4, image_size=12, seed=13)
+    mult = get_multiplier("mul6u_rm4")
+    approx = approximate_model(
+        model, mult, gradient_method="difference", per_channel_weights=True
+    )
+    calibrate(approx, DataLoader(train, batch_size=32), batches=2)
+    freeze(approx)
+    from repro.retrain.trainer import TrainConfig, Trainer
+
+    Trainer(approx, TrainConfig(epochs=1, batch_size=32)).fit(train)
+    top1, _ = evaluate(approx, test)
+    assert 0.0 <= top1 <= 1.0
+    from repro.retrain.convert import approx_layers
+
+    for layer in approx_layers(approx):
+        assert isinstance(layer.quant.w_qparams, ChannelQuantParams)

@@ -1,0 +1,116 @@
+"""Cross-module property-based tests (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.gradient import difference_gradient_lut
+from repro.core.smoothing import smooth_lut
+from repro.multipliers.base import LutMultiplier
+from repro.multipliers.evoapprox import PartialProductMultiplier
+from repro.multipliers.metrics import error_metrics
+from repro.multipliers.truncated import TruncatedMultiplier
+from repro.nn.quant import compute_qparams, dequantize_array, quantize_array
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=4, max_value=7),
+    st.integers(min_value=1, max_value=6),
+)
+def test_truncation_nmed_bounded_by_quarter_worstcase(bits, k):
+    """E[err] = worst_case/4 exactly (each pp is 1 w.p. 1/4, independent)."""
+    k = min(k, 2 * bits - 1)
+    m = TruncatedMultiplier(bits, k)
+    em = error_metrics(m)
+    expected_med = m.worst_case_error / 4
+    assert em.med == pytest.approx(expected_med)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=2**31 - 1),
+    st.integers(min_value=1, max_value=8),
+)
+def test_smoothing_is_contraction_in_range(seed, hws):
+    """max|S| <= max|AM| and smoothing preserves row means approximately."""
+    rng = np.random.default_rng(seed)
+    lut = rng.integers(0, 4096, size=(32, 32))
+    if 2 * hws + 1 > 32:
+        return
+    s = smooth_lut(lut, hws, axis=1)
+    valid = s[:, hws : 32 - hws]
+    assert valid.max() <= lut.max() + 1e-9
+    assert valid.min() >= lut.min() - 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+def test_difference_gradient_bounded_by_max_jump(seed):
+    """|Eq.5 gradient| <= max adjacent jump of the raw function."""
+    rng = np.random.default_rng(seed)
+    lut = np.cumsum(rng.integers(0, 50, size=(16, 64)), axis=1)
+    hws = 3
+    g = difference_gradient_lut(lut, hws, "x")
+    max_jump = np.abs(np.diff(lut, axis=1)).max()
+    inner = g[:, hws + 1 : 64 - 1 - hws]
+    assert np.abs(inner).max() <= max_jump + 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+def test_monotone_rows_give_nonnegative_gradient(seed):
+    rng = np.random.default_rng(seed)
+    lut = np.cumsum(rng.integers(0, 20, size=(8, 64)), axis=1)
+    g = difference_gradient_lut(lut, 2, "x")
+    assert g.min() >= -1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=2**31 - 1),
+    st.integers(min_value=4, max_value=8),
+)
+def test_quantization_order_preserving(seed, bits):
+    """Q is monotone: v1 <= v2 implies Q(v1) <= Q(v2)."""
+    rng = np.random.default_rng(seed)
+    vals = np.sort(rng.uniform(-4, 4, size=64))
+    qp = compute_qparams(vals.min(), vals.max(), bits)
+    q = quantize_array(vals, qp)
+    assert np.all(np.diff(q) >= 0)
+    recon = dequantize_array(q, qp)
+    assert np.all(np.diff(recon) >= 0)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+def test_perforation_error_additive(seed):
+    """Dropping pp set A∪B errs exactly err(A) + err(B) for disjoint A, B."""
+    rng = np.random.default_rng(seed)
+    bits = 5
+    all_pairs = [(i, j) for i in range(bits) for j in range(bits)]
+    rng.shuffle(all_pairs)
+    a = set(map(tuple, all_pairs[:3]))
+    b = set(map(tuple, all_pairs[3:6]))
+    ea = PartialProductMultiplier("a", bits, a).error_surface()
+    eb = PartialProductMultiplier("b", bits, b).error_surface()
+    eab = PartialProductMultiplier("ab", bits, a | b).error_surface()
+    assert np.array_equal(eab, ea + eb)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+def test_ste_reduction_identity_via_gradient_luts(seed):
+    """For an arbitrary LUT, the difference gradient of the *exact* product
+    table equals the STE gradient strictly inside the valid range."""
+    del seed
+    bits = 5
+    n = 1 << bits
+    exact = np.arange(n)[:, None] * np.arange(n)[None, :]
+    m = LutMultiplier("exact5", bits, exact)
+    hws = 2
+    g = difference_gradient_lut(m.lut(), hws, "x")
+    inner = slice(hws + 1, n - 1 - hws)
+    w = np.arange(n, dtype=float)[:, None]
+    assert np.allclose(g[:, inner], np.broadcast_to(w, (n, n))[:, inner])

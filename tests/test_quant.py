@@ -1,0 +1,101 @@
+"""Tests for fake quantization (Eqs. 7-8)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autograd import Tensor
+from repro.errors import QuantizationError
+from repro.nn.quant import (
+    MinMaxObserver,
+    QuantParams,
+    compute_qparams,
+    dequantize_array,
+    fake_quantize,
+    quantize_array,
+)
+
+rng = np.random.default_rng(9)
+
+
+def test_qparams_validation():
+    with pytest.raises(QuantizationError):
+        QuantParams(scale=0.0, zero_point=0, bits=8)
+    with pytest.raises(QuantizationError):
+        QuantParams(scale=1.0, zero_point=300, bits=8)
+    qp = QuantParams(scale=0.5, zero_point=10, bits=7)
+    assert qp.qmin == 0 and qp.qmax == 127
+
+
+def test_compute_qparams_includes_zero():
+    qp = compute_qparams(0.5, 2.0, 8)  # range expanded to [0, 2]
+    assert qp.zero_point == 0
+    q0 = quantize_array(np.array([0.0]), qp)
+    assert dequantize_array(q0, qp)[0] == 0.0
+
+
+def test_compute_qparams_symmetric_range():
+    qp = compute_qparams(-1.0, 1.0, 8)
+    assert qp.zero_point == pytest.approx(128, abs=1)
+    assert qp.scale == pytest.approx(2 / 255)
+
+
+def test_degenerate_range_handled():
+    qp = compute_qparams(0.0, 0.0, 8)
+    assert qp.scale > 0
+
+
+def test_quantize_clips_to_range():
+    qp = compute_qparams(-1.0, 1.0, 4)
+    q = quantize_array(np.array([-100.0, 100.0]), qp)
+    assert q[0] == 0 and q[1] == 15
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=4, max_value=8),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_roundtrip_error_bounded_by_half_scale(bits, seed):
+    """|DQ(Q(v)) - v| <= scale/2 for in-range values."""
+    r = np.random.default_rng(seed)
+    vals = r.uniform(-3, 3, size=100)
+    qp = compute_qparams(vals.min(), vals.max(), bits)
+    recon = dequantize_array(quantize_array(vals, qp), qp)
+    assert np.abs(recon - vals).max() <= qp.scale / 2 + 1e-12
+
+
+def test_observer_tracks_min_max():
+    obs = MinMaxObserver()
+    assert not obs.calibrated
+    with pytest.raises(QuantizationError):
+        obs.qparams(8)
+    obs.update(np.array([1.0, 2.0]))
+    obs.update(np.array([-3.0]))
+    obs.update(np.array([]))  # ignored
+    assert obs.vmin == -3.0 and obs.vmax == 2.0
+    qp = obs.qparams(8)
+    assert qp.scale == pytest.approx(5 / 255)
+
+
+def test_fake_quantize_forward_matches_arrays():
+    qp = compute_qparams(-1.0, 1.0, 6)
+    x = rng.uniform(-1, 1, size=(4, 4))
+    out = fake_quantize(Tensor(x), qp)
+    expected = dequantize_array(quantize_array(x, qp), qp)
+    assert np.allclose(out.data, expected)
+
+
+def test_fake_quantize_ste_mask():
+    qp = compute_qparams(-1.0, 1.0, 6)
+    x = Tensor(np.array([-5.0, 0.0, 0.5, 5.0]), requires_grad=True)
+    fake_quantize(x, qp).sum().backward()
+    assert np.array_equal(x.grad, [0.0, 1.0, 1.0, 0.0])
+
+
+def test_quantized_values_integer_range():
+    qp = compute_qparams(-2.0, 3.0, 7)
+    q = quantize_array(rng.uniform(-5, 5, size=1000), qp)
+    assert q.dtype == np.int32
+    assert q.min() >= 0 and q.max() <= 127

@@ -1,0 +1,76 @@
+"""Tests for the multiplier registry (Table I names)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.multipliers.registry import (
+    TABLE1_NAMES,
+    accurate_counterpart,
+    get_multiplier,
+    list_multipliers,
+    multiplier_info,
+)
+
+
+def test_all_18_table1_names_registered():
+    assert len(TABLE1_NAMES) == 18
+    for name in (
+        "mul8u_acc", "mul8u_rm8", "mul8u_1DMU", "mul7u_acc",
+        "mul7u_rm6", "mul7u_syn1", "mul6u_acc", "mul6u_rm4",
+    ):
+        assert name in TABLE1_NAMES
+
+
+@pytest.mark.parametrize("name", [n for n in TABLE1_NAMES if "syn" not in n])
+def test_every_nonsyn_multiplier_builds_with_right_bits(name):
+    info = multiplier_info(name)
+    m = get_multiplier(name)
+    assert m.bits == info.bits
+    assert m.name == name
+    assert m.lut().shape == (1 << info.bits, 1 << info.bits)
+
+
+def test_exact_rows_have_no_hws():
+    for name in ("mul8u_acc", "mul7u_acc", "mul6u_acc"):
+        info = multiplier_info(name)
+        assert info.default_hws is None
+        assert info.category == "exact"
+        assert get_multiplier(name).is_exact
+
+
+def test_hws_values_match_table1():
+    assert multiplier_info("mul8u_2NDH").default_hws == 32
+    assert multiplier_info("mul7u_rm6").default_hws == 2
+    assert multiplier_info("mul7u_081").default_hws == 16
+    assert multiplier_info("mul6u_rm4").default_hws == 2
+
+
+def test_datasheet_values_present():
+    d = multiplier_info("mul8u_rm8").datasheet
+    assert d.power_uw == 9.19
+    assert d.nmed_percent == 0.68
+    assert d.maxed == 1793
+
+
+def test_get_multiplier_caches():
+    assert get_multiplier("mul6u_rm4") is get_multiplier("mul6u_rm4")
+
+
+def test_unknown_name_raises():
+    with pytest.raises(ReproError):
+        multiplier_info("mul9u_nope")
+    with pytest.raises(ReproError):
+        get_multiplier("mul9u_nope")
+
+
+def test_list_filters():
+    assert set(list_multipliers(bits=6)) == {"mul6u_acc", "mul6u_rm4"}
+    assert "mul7u_rm6" in list_multipliers(category="truncated")
+    assert "mul8u_acc" not in list_multipliers(category="truncated")
+    sevens = list_multipliers(bits=7, category="evoapprox")
+    assert set(sevens) == {"mul7u_06Q", "mul7u_073", "mul7u_081", "mul7u_08E"}
+
+
+def test_accurate_counterpart():
+    assert accurate_counterpart("mul8u_rm8") == "mul8u_acc"
+    assert accurate_counterpart("mul6u_rm4") == "mul6u_acc"

@@ -1,0 +1,67 @@
+"""Tests for results-table formatting."""
+
+import math
+
+from repro.retrain.experiment import ComparisonRow, RetrainOutcome
+from repro.retrain.results import format_table2, format_tradeoff
+
+
+def _row(name, bits, methods=("ste", "difference"), power=0.4):
+    outcomes = {}
+    vals = {"ste": 0.5, "difference": 0.6}
+    for m in methods:
+        outcomes[m] = RetrainOutcome(
+            method=m, final_top1=vals[m], final_top5=vals[m] + 0.2
+        )
+    return ComparisonRow(
+        multiplier=name,
+        bits=bits,
+        initial_top1=0.1,
+        outcomes=outcomes,
+        reference_top1=0.7,
+        norm_power=power,
+        norm_delay=0.8,
+        nmed_percent=0.3,
+    )
+
+
+def test_table2_groups_by_bitwidth():
+    rows = [_row("m8a", 8), _row("m8b", 8), _row("m7a", 7)]
+    text = format_table2(rows, {8: 0.72, 7: 0.68})
+    assert text.index("8-bit AccMult") < text.index("m8a")
+    assert text.index("m8b") < text.index("7-bit AccMult")
+    assert "72.00%" in text and "68.00%" in text
+
+
+def test_table2_mean_line():
+    rows = [_row("a", 8), _row("b", 8)]
+    text = format_table2(rows, {8: 0.7})
+    mean_line = [ln for ln in text.splitlines() if ln.startswith("mean")][0]
+    assert "+10.00" in mean_line  # 60 - 50
+
+
+def test_table2_handles_missing_method():
+    rows = [_row("only_ste", 8, methods=("ste",))]
+    text = format_table2(rows, {8: 0.7})
+    assert "n/a" in text
+    # no mean line when no row has both methods
+    assert not any(ln.startswith("mean") for ln in text.splitlines())
+
+
+def test_table2_missing_reference():
+    text = format_table2([_row("a", 8)], {})
+    assert "reference accuracy: n/a" in text
+
+
+def test_tradeoff_sorted_by_power():
+    rows = [_row("expensive", 7, power=0.9), _row("cheap", 7, power=0.2)]
+    text = format_tradeoff(rows, {7: 0.69})
+    assert text.index("cheap") < text.index("expensive")
+    assert "reference (7-bit AccMult): 69.00%" in text
+
+
+def test_tradeoff_handles_missing_method():
+    rows = [_row("partial", 7, methods=("difference",))]
+    text = format_tradeoff(rows, {7: 0.69})
+    assert "partial" in text
+    assert math.isnan(float("nan"))  # sanity for the nan path used

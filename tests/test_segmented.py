@@ -1,0 +1,69 @@
+"""Tests for static segment multipliers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.multipliers.metrics import error_metrics
+from repro.multipliers.segmented import (
+    SegmentMultiplier,
+    ssm_approximate_operand,
+)
+
+
+def test_operand_low_segment_passthrough():
+    v = np.arange(16)
+    val, shift = ssm_approximate_operand(v, 8, 4)
+    assert np.array_equal(val, v)
+    assert np.all(shift == 0)
+
+
+def test_operand_high_segment_selection():
+    val, shift = ssm_approximate_operand(np.array([0b10110011]), 8, 4)
+    assert val[0] == 0b1011
+    assert shift[0] == 4
+
+
+def test_exact_for_small_operands():
+    m = SegmentMultiplier(8, 4)
+    lut = m.lut()
+    w = np.arange(16)[:, None]
+    x = np.arange(16)[None, :]
+    assert np.array_equal(lut[:16, :16], (w * x).astype(np.int32))
+
+
+def test_exact_fraction():
+    m = SegmentMultiplier(8, 4)
+    assert m.exact_fraction == pytest.approx((16 / 256) ** 2)
+    err = m.error_surface()
+    exact_cells = (err == 0).mean()
+    # at least the guaranteed-exact region is exact (plus coincidences)
+    assert exact_cells >= m.exact_fraction
+
+
+def test_error_grows_as_segment_shrinks():
+    nmeds = [
+        error_metrics(SegmentMultiplier(8, s)).nmed for s in (7, 5, 3)
+    ]
+    assert nmeds[0] < nmeds[1] < nmeds[2]
+
+
+def test_full_segment_is_exact():
+    assert SegmentMultiplier(6, 6).is_exact
+
+
+def test_truncation_of_low_bits_only_under_approximates():
+    """SSM drops low bits of large operands: products never overshoot."""
+    m = SegmentMultiplier(7, 3)
+    assert m.error_surface().max() <= 0
+
+
+def test_validation():
+    with pytest.raises(ReproError):
+        SegmentMultiplier(8, 0)
+    with pytest.raises(ReproError):
+        SegmentMultiplier(8, 9)
+
+
+def test_default_name():
+    assert SegmentMultiplier(8, 4).name == "mul8u_ssm4"

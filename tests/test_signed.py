@@ -1,0 +1,49 @@
+"""Tests for the signed multiplier extension."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.multipliers.exact import ExactMultiplier
+from repro.multipliers.signed import SignedMultiplier
+from repro.multipliers.truncated import TruncatedMultiplier
+
+
+def test_signed_exact_matches_true_product():
+    m = SignedMultiplier(ExactMultiplier(5))
+    w = np.repeat(np.arange(-16, 16), 32)
+    x = np.tile(np.arange(-16, 16), 32)
+    assert np.array_equal(m.product(w, x), w * x)
+
+
+def test_signed_lut_index_is_twos_complement():
+    m = SignedMultiplier(ExactMultiplier(4))
+    lut = m.lut()
+    # index 15 == -1, index 1 == +1: (-1) * (+1) = -1
+    assert lut[15, 1] == -1
+    assert lut[15, 15] == 1
+    assert lut[8, 1] == -8  # index 8 == -8 in 4-bit two's complement
+
+
+def test_signed_wraps_approximate_inner():
+    inner = TruncatedMultiplier(5, 3)
+    m = SignedMultiplier(inner)
+    inner_lut = inner.lut()
+    # sign symmetry: AM_s(-w, x) == -AM_s(w, x)
+    w, x = 5, 9
+    pos = m.product(np.array([w]), np.array([x]))[0]
+    neg = m.product(np.array([-w]), np.array([x]))[0]
+    assert pos == inner_lut[w, x]
+    assert neg == -pos
+
+
+def test_signed_range_validation():
+    m = SignedMultiplier(ExactMultiplier(4))
+    with pytest.raises(ReproError):
+        m.product(np.array([8]), np.array([0]))
+    with pytest.raises(ReproError):
+        m.product(np.array([0]), np.array([-9]))
+
+
+def test_signed_name():
+    assert SignedMultiplier(ExactMultiplier(4)).name == "mul4u_acc_signed"

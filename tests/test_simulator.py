@@ -1,0 +1,140 @@
+"""Tests for exhaustive bit-packed simulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.netlist import Netlist
+from repro.circuits.simulator import (
+    input_patterns,
+    n_words,
+    output_values,
+    signal_probabilities,
+    simulate,
+    simulate_words,
+    unpack_bits,
+)
+from repro.errors import CircuitError
+
+
+def test_n_words():
+    assert n_words(1) == 1
+    assert n_words(64) == 1
+    assert n_words(65) == 2
+    assert n_words(1 << 16) == 1024
+
+
+@pytest.mark.parametrize("n_inputs", [1, 2, 3, 5, 6, 7, 8])
+def test_input_patterns_match_definition(n_inputs):
+    pats = input_patterns(n_inputs)
+    combos = 1 << n_inputs
+    for k in range(n_inputs):
+        bits = unpack_bits(pats[k], combos)
+        expected = (np.arange(combos) >> k) & 1
+        assert np.array_equal(bits, expected)
+
+
+def test_input_patterns_rejects_bad_counts():
+    with pytest.raises(CircuitError):
+        input_patterns(-1)
+    with pytest.raises(CircuitError):
+        input_patterns(30)
+
+
+def test_simulate_all_gate_types():
+    nl = Netlist()
+    a, b = nl.add_inputs(2)
+    ops = {
+        "AND2": lambda x, y: x & y,
+        "OR2": lambda x, y: x | y,
+        "XOR2": lambda x, y: x ^ y,
+        "NAND2": lambda x, y: 1 - (x & y),
+        "NOR2": lambda x, y: 1 - (x | y),
+        "XNOR2": lambda x, y: 1 - (x ^ y),
+    }
+    nets = {name: nl.add_gate(name, a, b) for name in ops}
+    inv = nl.inv(a)
+    buf = nl.buf(b)
+    c0, c1 = nl.const0(), nl.const1()
+    values = simulate_words(nl)
+    combos = 4
+    av = (np.arange(combos)) & 1
+    bv = (np.arange(combos) >> 1) & 1
+    for name, func in ops.items():
+        got = unpack_bits(values[nets[name]], combos)
+        assert np.array_equal(got, func(av, bv)), name
+    assert np.array_equal(unpack_bits(values[inv], combos), 1 - av)
+    assert np.array_equal(unpack_bits(values[buf], combos), bv)
+    assert np.array_equal(unpack_bits(values[c0], combos), np.zeros(4, int))
+    assert np.array_equal(unpack_bits(values[c1], combos), np.ones(4, int))
+
+
+def test_output_values_weights_lsb_first():
+    nl = Netlist()
+    a, b = nl.add_inputs(2)
+    nl.outputs = [a, b]  # value = a + 2b
+    out = simulate(nl)
+    assert list(out) == [0, 1, 2, 3]
+
+
+def test_signal_probabilities_exact():
+    nl = Netlist()
+    a, b = nl.add_inputs(2)
+    g = nl.and2(a, b)
+    nl.outputs = [g]
+    probs = signal_probabilities(nl)
+    assert probs[a] == 0.5
+    assert probs[g] == 0.25
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=2, max_value=6), st.integers(min_value=0, max_value=2**31 - 1))
+def test_random_netlists_match_reference_eval(n_inputs, seed):
+    """Packed simulation agrees with a direct per-combination evaluation."""
+    rng = np.random.default_rng(seed)
+    nl = Netlist()
+    nl.add_inputs(n_inputs)
+    binary = ["AND2", "OR2", "XOR2", "NAND2", "NOR2", "XNOR2"]
+    for _ in range(12):
+        kind = rng.choice(binary + ["INV"])
+        if kind == "INV":
+            nl.inv(int(rng.integers(0, nl.n_nets)))
+        else:
+            nl.add_gate(
+                kind,
+                int(rng.integers(0, nl.n_nets)),
+                int(rng.integers(0, nl.n_nets)),
+            )
+    nl.outputs = [nl.n_nets - 1, nl.n_nets - 2]
+    got = simulate(nl)
+
+    combos = 1 << n_inputs
+    ref_vals = np.zeros((nl.n_nets, combos), dtype=np.int64)
+    for k in range(n_inputs):
+        ref_vals[k] = (np.arange(combos) >> k) & 1
+    funcs = {
+        "AND2": lambda x, y: x & y,
+        "OR2": lambda x, y: x | y,
+        "XOR2": lambda x, y: x ^ y,
+        "NAND2": lambda x, y: 1 - (x & y),
+        "NOR2": lambda x, y: 1 - (x | y),
+        "XNOR2": lambda x, y: 1 - (x ^ y),
+    }
+    for g in nl.gates:
+        if g.gtype == "INV":
+            ref_vals[g.out] = 1 - ref_vals[g.ins[0]]
+        else:
+            ref_vals[g.out] = funcs[g.gtype](
+                ref_vals[g.ins[0]], ref_vals[g.ins[1]]
+            )
+    expected = ref_vals[nl.outputs[0]] + 2 * ref_vals[nl.outputs[1]]
+    assert np.array_equal(got, expected)
+
+
+def test_output_values_accepts_precomputed_words():
+    nl = Netlist()
+    a, b = nl.add_inputs(2)
+    nl.outputs = [nl.xor2(a, b)]
+    words = simulate_words(nl)
+    assert np.array_equal(output_values(nl, words), simulate(nl))

@@ -1,0 +1,87 @@
+"""Tests for Eq. 4 moving-average smoothing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.smoothing import smooth_function, smooth_lut
+from repro.errors import ReproError
+from repro.multipliers.truncated import TruncatedMultiplier
+
+
+def test_smooth_constant_is_identity_in_valid_range():
+    vals = np.full(32, 7.0)
+    out = smooth_function(vals, hws=3)
+    assert np.allclose(out[3:-3], 7.0)
+    assert np.isnan(out[:3]).all()
+    assert np.isnan(out[-3:]).all()
+
+
+def test_smooth_matches_bruteforce():
+    rng = np.random.default_rng(1)
+    vals = rng.normal(size=64)
+    hws = 4
+    out = smooth_function(vals, hws)
+    for x in range(hws, 64 - hws):
+        assert out[x] == pytest.approx(vals[x - hws : x + hws + 1].mean())
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=7),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_smooth_bounds_property(hws, seed):
+    """Smoothed values lie within [min, max] of the window (hence of all)."""
+    rng = np.random.default_rng(seed)
+    vals = rng.integers(0, 100, size=32).astype(float)
+    out = smooth_function(vals, hws)
+    valid = out[hws : 32 - hws]
+    assert valid.min() >= vals.min() - 1e-9
+    assert valid.max() <= vals.max() + 1e-9
+
+
+def test_smooth_linear_function_preserved():
+    """Moving average of a linear function is the function itself."""
+    vals = 3.0 * np.arange(64) + 2.0
+    out = smooth_function(vals, hws=5)
+    assert np.allclose(out[5:-5], vals[5:-5])
+
+
+def test_smooth_reduces_total_variation_on_stairs():
+    lut = TruncatedMultiplier(7, 6).lut()
+    row = lut[10].astype(float)
+    smoothed = smooth_function(row, hws=4)
+    valid = slice(4, 128 - 4)
+    tv_raw = np.abs(np.diff(row[valid])).sum()
+    tv_smooth = np.abs(np.diff(smoothed[valid])).sum()
+    assert tv_smooth < tv_raw
+
+
+def test_smooth_lut_axis1_matches_rowwise():
+    lut = TruncatedMultiplier(6, 4).lut()
+    full = smooth_lut(lut, hws=2, axis=1)
+    for w in (0, 7, 63):
+        row = smooth_function(lut[w].astype(float), 2)
+        assert np.allclose(full[w], row, equal_nan=True)
+
+
+def test_smooth_lut_axis0_is_transpose_of_axis1():
+    lut = TruncatedMultiplier(6, 4).lut()
+    a0 = smooth_lut(lut, hws=2, axis=0)
+    a1 = smooth_lut(lut.T, hws=2, axis=1).T
+    assert np.allclose(a0, a1, equal_nan=True)
+
+
+def test_validation_errors():
+    with pytest.raises(ReproError):
+        smooth_function(np.zeros(8), hws=0)
+    with pytest.raises(ReproError):
+        smooth_function(np.zeros(8), hws=4)  # window 9 > 8
+    with pytest.raises(ReproError):
+        smooth_function(np.zeros((4, 4)), hws=1)
+    with pytest.raises(ReproError):
+        smooth_lut(np.zeros(8), hws=1)
+    with pytest.raises(ReproError):
+        smooth_lut(np.zeros((8, 8)), hws=1, axis=2)

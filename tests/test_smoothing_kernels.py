@@ -1,0 +1,77 @@
+"""Tests for the alternative smoothing kernels (extension of Eq. 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.gradient import difference_gradient_lut, gradient_luts
+from repro.core.smoothing import (
+    smooth_function,
+    smooth_function_kernel,
+    smoothing_kernel,
+)
+from repro.errors import ReproError
+from repro.multipliers import get_multiplier
+
+
+@pytest.mark.parametrize("kind", ["uniform", "triangular", "gaussian"])
+def test_kernels_normalized_and_symmetric(kind):
+    k = smoothing_kernel(5, kind)
+    assert len(k) == 11
+    assert k.sum() == pytest.approx(1.0)
+    assert np.allclose(k, k[::-1])
+    assert np.all(k > 0)
+
+
+def test_uniform_kernel_is_flat():
+    k = smoothing_kernel(3, "uniform")
+    assert np.allclose(k, 1 / 7)
+
+
+def test_triangular_and_gaussian_peak_at_center():
+    for kind in ("triangular", "gaussian"):
+        k = smoothing_kernel(4, kind)
+        assert k[4] == k.max()
+        assert k[0] == k.min()
+
+
+def test_unknown_kernel_rejected():
+    with pytest.raises(ReproError):
+        smoothing_kernel(2, "box3")
+
+
+def test_uniform_kernel_matches_eq4():
+    rng = np.random.default_rng(3)
+    vals = rng.normal(size=48)
+    a = smooth_function(vals, 3)
+    b = smooth_function_kernel(vals, 3, "uniform")
+    assert np.allclose(a, b, equal_nan=True)
+
+
+def test_kernel_smoothing_valid_range_and_nan():
+    vals = np.arange(32, dtype=float)
+    out = smooth_function_kernel(vals, 4, "gaussian")
+    assert np.isnan(out[:4]).all() and np.isnan(out[-4:]).all()
+    # linear function preserved by any symmetric kernel
+    assert np.allclose(out[4:-4], vals[4:-4])
+
+
+def test_gradient_luts_with_kernel_option():
+    mult = get_multiplier("mul6u_rm4")
+    uni = gradient_luts(mult, "difference", hws=2)
+    gau = gradient_luts(mult, "difference", hws=2, kernel="gaussian")
+    assert "kernel=gaussian" in gau.method
+    assert not np.array_equal(uni.grad_x, gau.grad_x)
+
+
+def test_kernel_gradient_same_boundary_rule():
+    """Eq. 6 boundary values are kernel-independent (range-based)."""
+    lut = get_multiplier("mul6u_rm4").lut()
+    g_u = difference_gradient_lut(lut, 2, "x", "uniform")
+    g_g = difference_gradient_lut(lut, 2, "x", "gaussian")
+    assert np.allclose(g_u[:, :3], g_g[:, :3])
+    assert np.allclose(g_u[:, -3:], g_g[:, -3:])
+
+
+def test_kernel_validation_window_too_big():
+    with pytest.raises(ReproError):
+        smooth_function_kernel(np.zeros(8), 4, "gaussian")

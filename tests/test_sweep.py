@@ -1,0 +1,61 @@
+"""Tests for sweep orchestration."""
+
+from repro.retrain.experiment import ExperimentScale
+from repro.retrain.logging import read_jsonl
+from repro.retrain.sweep import SweepConfig, SweepSummary, run_sweep
+
+TINY = ExperimentScale(
+    image_size=12,
+    n_train=96,
+    n_test=48,
+    n_classes=4,
+    width_mult=0.0625,
+    pretrain_epochs=1,
+    qat_epochs=1,
+    retrain_epochs=1,
+    batch_size=32,
+)
+
+
+def test_run_sweep_grid_and_log(tmp_path):
+    log = tmp_path / "sweep.jsonl"
+    config = SweepConfig(
+        arch="lenet",
+        multipliers=["mul6u_rm4"],
+        methods=("ste", "difference"),
+        seeds=(0, 1),
+        scale=TINY,
+        log_path=str(log),
+    )
+    summary = run_sweep(config)
+    assert set(summary.final_top1) == {
+        ("mul6u_rm4", "ste"),
+        ("mul6u_rm4", "difference"),
+    }
+    for vals in summary.final_top1.values():
+        assert len(vals) == 2  # one per seed
+        assert all(0.0 <= v <= 1.0 for v in vals)
+    # improvement is mean(diff) - mean(ste)
+    imp = summary.improvement("mul6u_rm4")
+    assert imp == (
+        summary.mean("mul6u_rm4", "difference")
+        - summary.mean("mul6u_rm4", "ste")
+    )
+    # log contains 2 methods x 2 seeds
+    records = read_jsonl(log)
+    assert len(records) == 4
+    assert {r.seed for r in records} == {0, 1}
+    assert all("initial_top1" in r.extra for r in records)
+
+
+def test_sweep_without_log():
+    config = SweepConfig(
+        arch="lenet",
+        multipliers=["mul6u_rm4"],
+        methods=("ste",),
+        seeds=(0,),
+        scale=TINY,
+    )
+    summary = run_sweep(config)
+    assert isinstance(summary, SweepSummary)
+    assert len(summary.final_top1[("mul6u_rm4", "ste")]) == 1

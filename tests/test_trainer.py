@@ -1,0 +1,86 @@
+"""Tests for training/eval loops."""
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticImageDataset
+from repro.errors import ConfigError
+from repro.models import LeNet
+from repro.retrain.trainer import (
+    TrainConfig,
+    Trainer,
+    evaluate,
+    topk_correct,
+)
+
+
+def test_topk_correct():
+    logits = np.array([
+        [0.1, 0.9, 0.0, 0.0],   # top1 = 1
+        [0.5, 0.4, 0.3, 0.2],   # top1 = 0
+        [0.0, 0.1, 0.2, 0.9],   # top1 = 3
+    ])
+    labels = np.array([1, 1, 0])
+    assert topk_correct(logits, labels, 1) == 1
+    assert topk_correct(logits, labels, 2) == 2
+    assert topk_correct(logits, labels, 4) == 3
+
+
+def test_training_reduces_loss_and_reaches_signal():
+    train = SyntheticImageDataset(256, 4, 12, seed=0, split="train")
+    test = SyntheticImageDataset(96, 4, 12, seed=0, split="test")
+    model = LeNet(num_classes=4, image_size=12, seed=0)
+    trainer = Trainer(model, TrainConfig(epochs=4, batch_size=32, seed=0))
+    history = trainer.fit(train, eval_data=test)
+    assert len(history.train_loss) == 4
+    assert len(history.eval_top1) == 4
+    assert history.train_loss[-1] < history.train_loss[0]
+    assert history.eval_top1[-1] > 0.4  # chance = 0.25
+    assert history.lr[0] == 1e-3
+
+
+def test_history_lr_follows_paper_schedule():
+    train = SyntheticImageDataset(32, 4, 12, seed=0)
+    model = LeNet(num_classes=4, image_size=12)
+    trainer = Trainer(model, TrainConfig(epochs=3, batch_size=32))
+    history = trainer.fit(train)
+    assert history.lr == [1e-3, 5e-4, 2.5e-4]
+
+
+def test_max_batches_cap():
+    train = SyntheticImageDataset(128, 4, 12, seed=0)
+    model = LeNet(num_classes=4, image_size=12)
+    trainer = Trainer(
+        model,
+        TrainConfig(epochs=1, batch_size=16, max_batches_per_epoch=2),
+    )
+    history = trainer.fit(train)
+    assert len(history.train_loss) == 1  # ran, capped silently
+
+
+def test_evaluate_returns_top1_top5():
+    test = SyntheticImageDataset(64, 10, 12, seed=0)
+    model = LeNet(num_classes=10, image_size=12)
+    top1, top5 = evaluate(model, test)
+    assert 0.0 <= top1 <= top5 <= 1.0
+
+
+def test_evaluate_top5_equals_top1_for_few_classes():
+    test = SyntheticImageDataset(32, 3, 12, seed=0)
+    model = LeNet(num_classes=3, image_size=12)
+    top1, topk = evaluate(model, test)
+    # with 3 classes, "top5" is capped at top-3 accuracy
+    assert topk >= top1
+
+
+def test_sgd_option_and_bad_optimizer():
+    model = LeNet(num_classes=4, image_size=12)
+    Trainer(model, TrainConfig(optimizer="sgd"))
+    with pytest.raises(ConfigError):
+        Trainer(model, TrainConfig(optimizer="rmsprop"))
+
+
+def test_evaluate_restores_training_mode():
+    model = LeNet(num_classes=4, image_size=12).train()
+    evaluate(model, SyntheticImageDataset(16, 4, 12))
+    assert model.training

@@ -1,0 +1,66 @@
+"""Additional trainer coverage: augmentation path, SGD training, logging."""
+
+import numpy as np
+
+from repro.data import SyntheticImageDataset
+from repro.models import LeNet
+from repro.retrain.trainer import TrainConfig, Trainer
+
+
+def test_training_with_augmentation():
+    train = SyntheticImageDataset(96, 4, 12, seed=21)
+    model = LeNet(num_classes=4, image_size=12, seed=21)
+    trainer = Trainer(
+        model, TrainConfig(epochs=2, batch_size=32, augment=True, seed=21)
+    )
+    history = trainer.fit(train)
+    assert len(history.train_loss) == 2
+    assert np.isfinite(history.train_loss).all()
+
+
+def test_training_with_sgd_momentum():
+    train = SyntheticImageDataset(96, 4, 12, seed=22)
+    model = LeNet(num_classes=4, image_size=12, seed=22)
+    trainer = Trainer(
+        model,
+        TrainConfig(
+            epochs=3, batch_size=32, optimizer="sgd", base_lr=0.02,
+            momentum=0.9, seed=22,
+        ),
+    )
+    history = trainer.fit(train)
+    assert history.train_loss[-1] < history.train_loss[0]
+
+
+def test_log_every_prints(capsys):
+    train = SyntheticImageDataset(64, 4, 12, seed=23)
+    model = LeNet(num_classes=4, image_size=12, seed=23)
+    Trainer(
+        model, TrainConfig(epochs=1, batch_size=32, log_every=1, seed=23)
+    ).fit(train)
+    out = capsys.readouterr().out
+    assert "epoch 1 batch 1" in out
+
+
+def test_weight_decay_applied():
+    train = SyntheticImageDataset(64, 4, 12, seed=24)
+    model_wd = LeNet(num_classes=4, image_size=12, seed=24)
+    model_plain = LeNet(num_classes=4, image_size=12, seed=24)
+    Trainer(
+        model_wd,
+        TrainConfig(epochs=1, batch_size=32, weight_decay=0.5, seed=24),
+    ).fit(train)
+    Trainer(
+        model_plain, TrainConfig(epochs=1, batch_size=32, seed=24)
+    ).fit(train)
+    norm_wd = sum(np.abs(p.data).sum() for p in model_wd.parameters())
+    norm_plain = sum(np.abs(p.data).sum() for p in model_plain.parameters())
+    assert norm_wd < norm_plain
+
+
+def test_train_top1_recorded():
+    train = SyntheticImageDataset(64, 4, 12, seed=25)
+    model = LeNet(num_classes=4, image_size=12, seed=25)
+    history = Trainer(model, TrainConfig(epochs=2, batch_size=32)).fit(train)
+    assert len(history.train_top1) == 2
+    assert all(0.0 <= a <= 1.0 for a in history.train_top1)

@@ -1,0 +1,86 @@
+"""Tests for the _rmk truncated multiplier family."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.simulator import simulate
+from repro.errors import ReproError
+from repro.multipliers.base import NetlistMultiplier
+from repro.multipliers.metrics import error_metrics
+from repro.multipliers.truncated import TruncatedMultiplier, truncation_error
+
+
+@pytest.mark.parametrize("bits,k", [(4, 2), (6, 4), (7, 6), (8, 8)])
+def test_behavioral_matches_structural_netlist(bits, k):
+    m = TruncatedMultiplier(bits, k)
+    structural = NetlistMultiplier(m.name, bits, m.build_netlist())
+    assert np.array_equal(m.lut(), structural.lut())
+
+
+def test_zero_truncation_is_exact():
+    m = TruncatedMultiplier(5, 0)
+    assert m.is_exact
+
+
+def test_worst_case_error_attained():
+    m = TruncatedMultiplier(6, 4)
+    err = -m.error_surface()  # truncation under-approximates
+    assert err.max() == m.worst_case_error == 49
+
+
+def test_mul6u_rm4_matches_paper_exactly():
+    """Table I row mul6u_rm4: ER 81.3%, NMED 0.30%, MaxED 49."""
+    em = error_metrics(TruncatedMultiplier(6, 4))
+    assert em.maxed == 49
+    assert em.nmed_percent == pytest.approx(0.30, abs=0.01)
+    assert em.er_percent == pytest.approx(81.3, abs=0.2)
+
+
+def test_mul8u_rm8_matches_paper_exactly():
+    """Table I row mul8u_rm8: ER 98.0%, NMED 0.68%, MaxED 1793."""
+    em = error_metrics(TruncatedMultiplier(8, 8))
+    assert em.maxed == 1793
+    assert em.nmed_percent == pytest.approx(0.68, abs=0.01)
+    assert em.er_percent == pytest.approx(98.0, abs=0.2)
+
+
+def test_truncation_error_vectorized_formula():
+    bits, k = 5, 3
+    n = 1 << bits
+    w = np.arange(n)[:, None]
+    x = np.arange(n)[None, :]
+    err = truncation_error(w, x, bits, k)
+    brute = np.zeros((n, n), dtype=np.int64)
+    for wv in range(n):
+        for xv in range(n):
+            s = 0
+            for i in range(bits):
+                for j in range(bits):
+                    if i + j < k and (wv >> i) & 1 and (xv >> j) & 1:
+                        s += 1 << (i + j)
+            brute[wv, xv] = s
+    assert np.array_equal(err, brute)
+
+
+def test_error_grows_with_truncation():
+    meds = [
+        error_metrics(TruncatedMultiplier(7, k)).med for k in (2, 4, 6, 8)
+    ]
+    assert meds == sorted(meds)
+    assert meds[0] < meds[-1]
+
+
+def test_invalid_dropped_columns():
+    with pytest.raises(ReproError):
+        TruncatedMultiplier(4, 8)
+
+
+def test_default_name():
+    assert TruncatedMultiplier(7, 6).name == "mul7u_rm6"
+
+
+def test_netlist_function_matches_lut_after_simulation():
+    m = TruncatedMultiplier(5, 3)
+    out = simulate(m.build_netlist())
+    n = 1 << 5
+    assert np.array_equal(out.reshape(n, n).T, m.lut())

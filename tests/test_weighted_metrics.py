@@ -1,0 +1,98 @@
+"""Tests for distribution-weighted error metrics (Eq. 2 with general p_i)."""
+
+import numpy as np
+import pytest
+
+from repro.multipliers import error_metrics, get_multiplier
+from repro.multipliers.exact import ExactMultiplier
+from repro.multipliers.metrics import operand_histogram
+from repro.multipliers.truncated import TruncatedMultiplier
+
+
+def test_uniform_weights_match_default():
+    m = get_multiplier("mul6u_rm4")
+    uniform = np.full(64, 1 / 64)
+    a = error_metrics(m)
+    b = error_metrics(m, w_probs=uniform, x_probs=uniform)
+    assert a.nmed == pytest.approx(b.nmed)
+    assert a.er == pytest.approx(b.er)
+    assert a.maxed == b.maxed
+
+
+def test_exact_multiplier_zero_under_any_distribution():
+    rng = np.random.default_rng(0)
+    p = rng.random(64)
+    em = error_metrics(ExactMultiplier(6), w_probs=p, x_probs=p)
+    assert em.nmed == 0 and em.er == 0
+
+
+def test_point_mass_selects_single_entry():
+    m = TruncatedMultiplier(4, 3)
+    w = np.zeros(16)
+    w[7] = 1.0
+    x = np.zeros(16)
+    x[7] = 1.0
+    em = error_metrics(m, w_probs=w, x_probs=x)
+    expected = abs(int(m.error_surface()[7, 7]))
+    assert em.med == pytest.approx(expected)
+    assert em.maxed == expected  # support-restricted MaxED
+
+
+def test_small_operand_distribution_reduces_truncation_error():
+    """Truncation errors grow with operand magnitude, so a mass-at-small
+    values distribution yields lower NMED than uniform."""
+    m = get_multiplier("mul6u_rm4")
+    small = np.zeros(64)
+    small[:8] = 1 / 8
+    uniform_nmed = error_metrics(m).nmed
+    small_nmed = error_metrics(m, w_probs=small, x_probs=small).nmed
+    assert small_nmed < uniform_nmed
+
+
+def test_marginals_normalized_automatically():
+    m = TruncatedMultiplier(4, 2)
+    unnorm = np.ones(16) * 5.0
+    a = error_metrics(m)
+    b = error_metrics(m, w_probs=unnorm)
+    assert a.nmed == pytest.approx(b.nmed)
+
+
+def test_marginal_validation():
+    m = TruncatedMultiplier(4, 2)
+    with pytest.raises(ValueError):
+        error_metrics(m, w_probs=np.ones(8))
+    with pytest.raises(ValueError):
+        error_metrics(m, w_probs=-np.ones(16))
+    with pytest.raises(ValueError):
+        error_metrics(m, w_probs=np.zeros(16))
+
+
+def test_operand_histogram():
+    values = np.array([0, 0, 1, 3, 3, 3])
+    h = operand_histogram(values, bits=2)
+    assert np.allclose(h, [2 / 6, 1 / 6, 0, 3 / 6])
+    with pytest.raises(ValueError):
+        operand_histogram(np.array([4]), bits=2)
+    with pytest.raises(ValueError):
+        operand_histogram(np.array([-1]), bits=2)
+
+
+def test_workload_aware_characterization_pipeline():
+    """End-to-end: harvest quantized activation values from a calibrated
+    layer, build a histogram, and characterize the multiplier under it."""
+    from repro.autograd import Tensor
+    from repro.nn import ApproxConv2d
+    from repro.nn.quant import quantize_array
+
+    rng = np.random.default_rng(4)
+    mult = get_multiplier("mul6u_rm4")
+    layer = ApproxConv2d(2, 3, 3, multiplier=mult, gradient_method="ste")
+    x = rng.normal(size=(2, 2, 8, 8))
+    layer.calibrating = True
+    layer(Tensor(x))
+    layer.freeze_quantization()
+    xq = quantize_array(x, layer.quant.x_qparams)
+    hist = operand_histogram(xq, bits=6)
+    em = error_metrics(mult, x_probs=hist)
+    assert 0 <= em.er <= 1
+    assert em.med >= 0
