@@ -54,16 +54,15 @@ def main() -> None:
 
     print("\n== hard defects: one stuck-at-1 output bit ==")
     import copy
-    import numpy as np
 
     for bit in (1, 6, 12):
         faulty = inject_stuck_output_bit(mult, bit=bit, value=1)
         em = error_metrics(faulty)
         trial = copy.deepcopy(approx)
         for _name, layer in named_approx_layers(trial):
+            # Never mutate the shared cached engine: derive a private one.
             layer.multiplier = faulty
-            layer.engine.lut_flat = np.ascontiguousarray(faulty.lut().ravel())
-            layer.engine.exact_fast_path = False
+            layer.engine = layer.engine.clone_with_multiplier(faulty)
         top1, _ = evaluate(trial, test)
         print(f"  product bit {bit:2d} stuck at 1 (NMED {em.nmed_percent:.2f}%): "
               f"{100 * top1:.2f}%")

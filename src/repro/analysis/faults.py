@@ -80,7 +80,9 @@ def accuracy_under_faults(
 
     The model's approximate layers are re-pointed at corrupted copies of
     ``multiplier`` (quantization untouched); gradients are irrelevant for
-    evaluation so existing tables are kept.
+    evaluation so existing tables are kept.  Each trial gets a *private*
+    engine via :meth:`LutGemm.clone_with_multiplier` -- the shared cached
+    engine is never mutated in place.
 
     Returns:
         Mapping from flip count to top-1 accuracy.
@@ -97,10 +99,14 @@ def accuracy_under_faults(
         )
         faulty.lut()  # build once
         trial = copy.deepcopy(model)
+        engines: dict[int, object] = {}  # one clone per distinct engine
         for _name, layer in named_approx_layers(trial):
+            clone = engines.get(id(layer.engine))
+            if clone is None:
+                clone = layer.engine.clone_with_multiplier(faulty)
+                engines[id(layer.engine)] = clone
             layer.multiplier = faulty
-            layer.engine.lut_flat = np.ascontiguousarray(faulty.lut().ravel())
-            layer.engine.exact_fast_path = faulty.is_exact
+            layer.engine = clone
         top1, _ = evaluate(trial, eval_data)
         results[count] = top1
     return results

@@ -25,6 +25,7 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
 
 
 def _cmd_retrain(args: argparse.Namespace) -> int:
+    from repro.core.lutgemm import format_engine_stats
     from repro.retrain.experiment import ExperimentScale, retrain_comparison
     from repro.retrain.results import format_table2
 
@@ -42,6 +43,8 @@ def _cmd_retrain(args: argparse.Namespace) -> int:
         args.arch, [args.multiplier], scale, methods=("ste", "difference")
     )
     print(format_table2(rows, refs, title=f"{args.arch} / {args.multiplier}"))
+    print()
+    print(format_engine_stats())
     return 0
 
 

@@ -6,6 +6,9 @@
   Fig. 3b), the STE baseline, and user-defined gradient hooks.
 - :mod:`repro.core.hws` -- the half-window-size selection procedure of
   Section V-A (short LeNet trainings over HWS in {1, 2, 4, ..., 64}).
+- :mod:`repro.core.lutgemm` -- the shared LUT-GEMM engine (cached per
+  multiplier/gradient-method, fused gather backward, optional
+  ``REPRO_LUTGEMM_WORKERS`` column parallelism).
 """
 
 from repro.core.smoothing import (
@@ -23,8 +26,24 @@ from repro.core.gradient import (
     GRADIENT_METHODS,
 )
 from repro.core.hws import select_hws, HwsSelectionResult
+from repro.core.lutgemm import (
+    DEFAULT_CHUNK,
+    LutGemm,
+    EngineCacheStats,
+    clear_engine_cache,
+    engine_cache_stats,
+    format_engine_stats,
+    get_engine,
+)
 
 __all__ = [
+    "DEFAULT_CHUNK",
+    "LutGemm",
+    "EngineCacheStats",
+    "clear_engine_cache",
+    "engine_cache_stats",
+    "format_engine_stats",
+    "get_engine",
     "smooth_lut",
     "smooth_function",
     "smooth_function_kernel",

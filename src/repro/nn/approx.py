@@ -25,7 +25,8 @@ import numpy as np
 
 from repro.autograd.tensor import Tensor
 from repro.core.gradient import GradientPair, gradient_luts
-from repro.errors import QuantizationError, ReproError
+from repro.core.lutgemm import DEFAULT_CHUNK, LutGemm, get_engine
+from repro.errors import QuantizationError
 from repro.multipliers.base import Multiplier
 from repro.nn import functional as F
 from repro.nn.init import conv_fan_in, kaiming_normal
@@ -39,126 +40,12 @@ from repro.nn.quant import (
     quantize_per_channel,
 )
 
-#: Columns processed per LUT-GEMM chunk; bounds peak memory at
-#: roughly ``M * K * chunk`` int32 elements.
-DEFAULT_CHUNK = 1024
-
-
-class LutGemm:
-    """Chunked LUT-based integer GEMM with gradient-LUT backward.
-
-    Computes ``acc[m, c] = sum_k AM(Wq[m, k], Xq[k, c])`` through a flat
-    product LUT, plus the Eq. 8 zero-point corrections; the backward method
-    applies the gradient LUTs.
-    """
-
-    def __init__(
-        self,
-        multiplier: Multiplier,
-        gradients: GradientPair,
-        chunk: int = DEFAULT_CHUNK,
-    ):
-        self.multiplier = multiplier
-        self.bits = multiplier.bits
-        self.levels = 1 << self.bits
-        self.lut_flat = np.ascontiguousarray(multiplier.lut().ravel())
-        self.grad_w_flat = np.ascontiguousarray(
-            gradients.grad_w.astype(np.float32).ravel()
-        )
-        self.grad_x_flat = np.ascontiguousarray(
-            gradients.grad_x.astype(np.float32).ravel()
-        )
-        self.chunk = chunk
-        self.exact_fast_path = multiplier.is_exact
-        # STE tables are gradW == X and gradX == W; in that case the
-        # gather-free matmul below is mathematically identical and much
-        # faster (this is what makes the AccMult QAT reference cheap).
-        n = self.levels
-        idx = np.arange(n, dtype=np.float32)
-        self.ste_fast_path = bool(
-            np.array_equal(
-                gradients.grad_w, np.broadcast_to(idx[None, :], (n, n))
-            )
-            and np.array_equal(
-                gradients.grad_x, np.broadcast_to(idx[:, None], (n, n))
-            )
-        )
-
-    # ------------------------------------------------------------------
-    def product_sums(self, wq: np.ndarray, xq: np.ndarray) -> np.ndarray:
-        """``sum_k AM(wq[m,k], xq[k,c])`` as int64, shape (M, C)."""
-        m, k = wq.shape
-        k2, c = xq.shape
-        if k != k2:
-            raise ReproError(f"LutGemm shapes: {wq.shape} x {xq.shape}")
-        if self.exact_fast_path:
-            # AM == exact product: a float matmul is bit-exact here because
-            # operands are < 2**10 and K is small enough for float64.
-            return np.rint(
-                wq.astype(np.float64) @ xq.astype(np.float64)
-            ).astype(np.int64)
-        wrow = wq.astype(np.int32) * self.levels  # (M, K)
-        out = np.empty((m, c), dtype=np.int64)
-        for c0 in range(0, c, self.chunk):
-            idx = wrow[:, :, None] + xq[None, :, c0 : c0 + self.chunk]
-            out[:, c0 : c0 + self.chunk] = self.lut_flat[idx].sum(
-                axis=1, dtype=np.int64
-            )
-        return out
-
-    def backward_grads(
-        self,
-        wq: np.ndarray,
-        xq: np.ndarray,
-        gout: np.ndarray,
-        zw: int,
-        zx: int,
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Apply the gradient LUTs (Eq. 9 inner part).
-
-        Args:
-            wq: (M, K) quantized weights.
-            xq: (K, C) quantized activations.
-            gout: (M, C) upstream gradient ``dL/d(acc)``.
-            zw, zx: Zero points of weights / activations.
-
-        Returns:
-            ``(gw, gx)`` with shapes (M, K) and (K, C):
-            ``gw[m,k] = sum_c gout[m,c] * (gradW(W,X) - zx)`` and
-            ``gx[k,c] = sum_m gout[m,c] * (gradX(W,X) - zw)``.
-        """
-        m, k = wq.shape
-        _, c = xq.shape
-        gout = np.ascontiguousarray(gout, dtype=np.float32)
-        zw_vec = np.atleast_1d(np.asarray(zw, dtype=np.float64))
-        if self.ste_fast_path:
-            gf = gout.astype(np.float64)
-            gw = gf @ xq.astype(np.float64).T
-            gx = wq.astype(np.float64).T @ gf
-            gw -= zx * gf.sum(axis=1)[:, None]
-            # zw may be scalar (per-tensor) or per-output-channel (M,).
-            gx -= (zw_vec[:, None] * gf).sum(axis=0)[None, :] if zw_vec.size > 1 \
-                else zw_vec[0] * gf.sum(axis=0)[None, :]
-            return gw, gx
-        gw = np.zeros((m, k), dtype=np.float64)
-        gx = np.empty((k, c), dtype=np.float64)
-        wrow = wq.astype(np.int32) * self.levels
-        for c0 in range(0, c, self.chunk):
-            sl = slice(c0, min(c0 + self.chunk, c))
-            idx = wrow[:, :, None] + xq[None, :, sl]
-            g = gout[:, None, sl]  # (M, 1, Cc), broadcast over K
-            # Broadcast-multiply beats einsum here (~1.7x, measured): the
-            # contraction dims are small and memory-bound.
-            gw += (g * self.grad_w_flat[idx]).sum(axis=2)
-            gx[:, sl] = (g * self.grad_x_flat[idx]).sum(axis=0)
-        # Zero-point cross terms of Eq. 8, applied in closed form.
-        gsum_c = gout.sum(axis=1, dtype=np.float64)  # (M,)
-        gw -= zx * gsum_c[:, None]
-        if zw_vec.size > 1:
-            gx -= (zw_vec[:, None] * gout.astype(np.float64)).sum(axis=0)[None, :]
-        else:
-            gx -= zw_vec[0] * gout.sum(axis=0, dtype=np.float64)[None, :]
-        return gw, gx
+__all__ = [
+    "DEFAULT_CHUNK",
+    "LutGemm",  # re-exported from repro.core.lutgemm (historical home)
+    "ApproxConv2d",
+    "ApproxLinear",
+]
 
 
 class _QuantState:
@@ -217,7 +104,9 @@ class _ApproxBase(Module):
             gradients = gradient_luts(multiplier, gradient_method, hws=hws)
         self.multiplier = multiplier
         self.gradients = gradients
-        self.engine = LutGemm(multiplier, gradients, chunk=chunk)
+        # Shared per (multiplier, gradient method, chunk): all converted
+        # layers of a model run through one engine and one set of flat LUTs.
+        self.engine = get_engine(multiplier, gradients, chunk=chunk)
         self.quant = _QuantState(
             multiplier.bits, per_channel_weights=per_channel_weights
         )
@@ -234,7 +123,7 @@ class _ApproxBase(Module):
     def set_gradients(self, gradients: GradientPair) -> None:
         """Swap in different gradient LUTs (e.g. for STE-vs-ours sweeps)."""
         self.gradients = gradients
-        self.engine = LutGemm(
+        self.engine = get_engine(
             self.multiplier, gradients, chunk=self.engine.chunk
         )
 

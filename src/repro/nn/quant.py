@@ -79,9 +79,33 @@ class MinMaxObserver:
         self.count = 0
 
     def update(self, arr: np.ndarray) -> None:
+        """Fold ``arr``'s range into the running min/max.
+
+        Raises:
+            QuantizationError: If ``arr`` contains NaN/inf.  Rejecting bad
+                batches here (with the offending tensor's stats) beats the
+                alternative -- a poisoned ``vmin``/``vmax`` that only
+                surfaces much later as an opaque ``invalid scale nan`` when
+                the layer is frozen.
+        """
         arr = np.asarray(arr)
         if arr.size == 0:
             return
+        finite = np.isfinite(arr)
+        if not finite.all():
+            n_nan = int(np.isnan(arr).sum())
+            n_inf = int(np.isinf(arr).sum())
+            finite_vals = arr[finite]
+            finite_range = (
+                f"finite range [{finite_vals.min():.6g}, {finite_vals.max():.6g}]"
+                if finite_vals.size
+                else "no finite values"
+            )
+            raise QuantizationError(
+                f"observer got a non-finite tensor: shape {arr.shape}, "
+                f"{n_nan} NaN, {n_inf} inf, {finite_range}; calibration "
+                "batches must be finite"
+            )
         self.vmin = min(self.vmin, float(arr.min()))
         self.vmax = max(self.vmax, float(arr.max()))
         self.count += 1

@@ -4,6 +4,16 @@ A checkpoint stores every parameter and buffer (via ``state_dict``) plus,
 for approximate layers, the frozen quantization parameters -- enough to
 resume retraining or to re-evaluate a retrained model without re-running
 calibration.
+
+Format (``.npz`` keys):
+
+- ``state/<param>``: every parameter/buffer array.
+- ``quant/<layer>``: per-tensor quantization, packed as
+  ``[w_scale, w_zero_point, x_scale, x_zero_point, bits]``.
+- ``quantpc/<layer>/scales`` + ``quantpc/<layer>/zero_points`` +
+  ``quantpc/<layer>/meta`` (``[x_scale, x_zero_point, bits]``): layers
+  frozen with ``per_channel_weights=True`` (one weight scale/zero point
+  per output channel; activations stay per-tensor).
 """
 
 from __future__ import annotations
@@ -15,7 +25,7 @@ import numpy as np
 from repro.errors import ReproError
 from repro.nn.approx import _ApproxBase
 from repro.nn.module import Module
-from repro.nn.quant import QuantParams
+from repro.nn.quant import ChannelQuantParams, QuantParams
 
 
 def _approx_layers_named(model: Module):
@@ -33,16 +43,28 @@ def save_checkpoint(model: Module, path: str | Path) -> None:
         qs = layer.quant
         if not qs.frozen:
             continue
-        payload[f"quant/{name}"] = np.array(
-            [
-                qs.w_qparams.scale,
-                qs.w_qparams.zero_point,
-                qs.x_qparams.scale,
-                qs.x_qparams.zero_point,
-                qs.bits,
-            ],
-            dtype=np.float64,
-        )
+        if isinstance(qs.w_qparams, ChannelQuantParams):
+            payload[f"quantpc/{name}/scales"] = np.asarray(
+                qs.w_qparams.scales, dtype=np.float64
+            )
+            payload[f"quantpc/{name}/zero_points"] = np.asarray(
+                qs.w_qparams.zero_points, dtype=np.int64
+            )
+            payload[f"quantpc/{name}/meta"] = np.array(
+                [qs.x_qparams.scale, qs.x_qparams.zero_point, qs.bits],
+                dtype=np.float64,
+            )
+        else:
+            payload[f"quant/{name}"] = np.array(
+                [
+                    qs.w_qparams.scale,
+                    qs.w_qparams.zero_point,
+                    qs.x_qparams.scale,
+                    qs.x_qparams.zero_point,
+                    qs.bits,
+                ],
+                dtype=np.float64,
+            )
     np.savez_compressed(Path(path), **payload)
 
 
@@ -66,6 +88,12 @@ def load_checkpoint(model: Module, path: str | Path) -> None:
             for key in data.files
             if key.startswith("quant/")
         }
+        quant_pc: dict[str, dict[str, np.ndarray]] = {}
+        for key in data.files:
+            if not key.startswith("quantpc/"):
+                continue
+            name, field = key[len("quantpc/"):].rsplit("/", 1)
+            quant_pc.setdefault(name, {})[field] = data[key]
     model.load_state_dict(state)
     layers = dict(_approx_layers_named(model))
     for name, packed in quant.items():
@@ -75,4 +103,22 @@ def load_checkpoint(model: Module, path: str | Path) -> None:
         bits = int(packed[4])
         layer.quant.w_qparams = QuantParams(float(packed[0]), int(packed[1]), bits)
         layer.quant.x_qparams = QuantParams(float(packed[2]), int(packed[3]), bits)
+        layer.calibrating = False
+    for name, fields in quant_pc.items():
+        if name not in layers:
+            raise ReproError(f"checkpoint has quant state for unknown layer {name!r}")
+        missing = {"scales", "zero_points", "meta"} - set(fields)
+        if missing:
+            raise ReproError(
+                f"per-channel quant entry for {name!r} is missing {sorted(missing)}"
+            )
+        layer = layers[name]
+        meta = fields["meta"]
+        bits = int(meta[2])
+        layer.quant.w_qparams = ChannelQuantParams(
+            scales=np.asarray(fields["scales"], dtype=np.float64),
+            zero_points=np.asarray(fields["zero_points"], dtype=np.int64),
+            bits=bits,
+        )
+        layer.quant.x_qparams = QuantParams(float(meta[0]), int(meta[1]), bits)
         layer.calibrating = False

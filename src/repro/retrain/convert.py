@@ -2,8 +2,10 @@
 
 Following the paper (and [13], [16]), only convolutional layers are
 approximated by default -- they dominate the multiply count.  Converted
-layers share one precomputed :class:`GradientPair`, mirroring the paper's
-single gradient LUT in GPU memory.
+layers share one precomputed :class:`GradientPair` *and* one cached
+:class:`~repro.core.lutgemm.LutGemm` engine (see
+:func:`repro.core.lutgemm.get_engine`), mirroring the paper's single
+product/gradient LUT in GPU memory.
 """
 
 from __future__ import annotations
@@ -11,6 +13,7 @@ from __future__ import annotations
 import copy
 
 from repro.core.gradient import GradientPair, gradient_luts
+from repro.core.lutgemm import get_engine
 from repro.errors import ConfigError
 from repro.multipliers.base import Multiplier
 from repro.nn.approx import ApproxConv2d, ApproxLinear, _ApproxBase
@@ -116,6 +119,9 @@ def approximate_model(
     """
     if gradients is None:
         gradients = gradient_luts(multiplier, gradient_method, hws=hws)
+    # Warm the process-level engine cache so every converted layer binds to
+    # the same LutGemm instance (one flat LUT set per model, not per layer).
+    get_engine(multiplier, gradients, chunk=chunk)
     converted = copy.deepcopy(model)
     _convert_inplace(
         converted, multiplier, gradients, chunk, include_linear,

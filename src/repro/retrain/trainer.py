@@ -61,17 +61,26 @@ def topk_correct(logits: np.ndarray, labels: np.ndarray, k: int) -> int:
 def evaluate(
     model: Module, data, batch_size: int = 128
 ) -> tuple[float, float]:
-    """Top-1 and top-5 accuracy of ``model`` on ``data`` (fractions)."""
+    """Top-1 and top-5 accuracy of ``model`` on ``data`` (fractions).
+
+    The model's training/eval mode is restored on exit -- a model that was
+    deliberately in eval mode stays there (dropout and BN running-stat
+    updates are not silently re-enabled).
+    """
     loader = DataLoader(data, batch_size=batch_size, shuffle=False)
+    was_training = model.training
     model.eval()
     top1 = top5 = total = 0
-    with no_grad():
-        for x, y in loader:
-            logits = model(Tensor(x)).data
-            top1 += topk_correct(logits, y, 1)
-            top5 += topk_correct(logits, y, min(5, logits.shape[1]))
-            total += len(y)
-    model.train()
+    try:
+        with no_grad():
+            for x, y in loader:
+                logits = model(Tensor(x)).data
+                top1 += topk_correct(logits, y, 1)
+                top5 += topk_correct(logits, y, min(5, logits.shape[1]))
+                total += len(y)
+    finally:
+        if was_training:
+            model.train()
     if total == 0:
         raise ConfigError("evaluate() on an empty dataset")
     return top1 / total, top5 / total
@@ -138,6 +147,14 @@ class Trainer:
                         f"epoch {epoch + 1} batch {bi + 1}: "
                         f"loss {np.mean(losses):.4f}"
                     )
+            if not losses:
+                # np.mean([]) would record NaN (plus a RuntimeWarning) and
+                # poison the history; fail loudly at the source instead.
+                raise ConfigError(
+                    f"epoch {epoch + 1} processed zero batches (empty "
+                    "training data or max_batches_per_epoch="
+                    f"{cfg.max_batches_per_epoch}); nothing to train on"
+                )
             history.train_loss.append(float(np.mean(losses)))
             history.train_top1.append(correct / max(total, 1))
             history.lr.append(lr)

@@ -68,3 +68,41 @@ def test_checkpoint_unknown_quant_layer(tmp_path, trained_approx):
     # load into the FLOAT model: state keys mismatch -> load_state_dict error
     with pytest.raises(ReproError):
         load_checkpoint(model, path)
+
+
+def test_checkpoint_roundtrip_per_channel(tmp_path, trained_approx):
+    from repro.nn.quant import ChannelQuantParams
+    from repro.retrain.mixed import named_approx_layers
+
+    train, model, _approx = trained_approx
+    approx = approximate_model(
+        model,
+        get_multiplier("mul6u_rm4"),
+        gradient_method="difference",
+        hws=2,
+        per_channel_weights=True,
+    )
+    calibrate(approx, DataLoader(train, batch_size=32), batches=2)
+    freeze(approx)
+    path = tmp_path / "pc.npz"
+    save_checkpoint(approx, path)
+
+    fresh = approximate_model(
+        model,
+        get_multiplier("mul6u_rm4"),
+        gradient_method="difference",
+        hws=2,
+        per_channel_weights=True,
+    )
+    load_checkpoint(fresh, path)
+    saved = dict(named_approx_layers(approx))
+    for name, layer in named_approx_layers(fresh):
+        qp, qp0 = layer.quant.w_qparams, saved[name].quant.w_qparams
+        assert isinstance(qp, ChannelQuantParams)
+        assert np.array_equal(qp.scales, qp0.scales)
+        assert np.array_equal(qp.zero_points, qp0.zero_points)
+        assert qp.bits == qp0.bits
+        assert layer.quant.x_qparams == saved[name].quant.x_qparams
+        assert not layer.calibrating
+    x = Tensor(train.images[:8])
+    assert np.array_equal(approx.eval()(x).data, fresh.eval()(x).data)

@@ -99,3 +99,15 @@ def test_quantized_values_integer_range():
     q = quantize_array(rng.uniform(-5, 5, size=1000), qp)
     assert q.dtype == np.int32
     assert q.min() >= 0 and q.max() <= 127
+
+
+def test_observer_rejects_non_finite():
+    obs = MinMaxObserver()
+    obs.update(np.array([1.0, 2.0]))
+    bad = np.array([1.0, np.nan, np.inf, -np.inf])
+    with pytest.raises(QuantizationError, match=r"1 NaN, 2 inf"):
+        obs.update(bad)
+    with pytest.raises(QuantizationError, match="non-finite"):
+        obs.update(np.full((3, 3), np.nan))
+    # A rejected batch must leave the running range untouched.
+    assert obs.vmin == 1.0 and obs.vmax == 2.0 and obs.count == 1

@@ -84,3 +84,20 @@ def test_evaluate_restores_training_mode():
     model = LeNet(num_classes=4, image_size=12).train()
     evaluate(model, SyntheticImageDataset(16, 4, 12))
     assert model.training
+
+
+def test_evaluate_preserves_eval_mode():
+    model = LeNet(num_classes=4, image_size=12).eval()
+    evaluate(model, SyntheticImageDataset(16, 4, 12))
+    assert not model.training
+    assert all(not m.training for m in model.modules())
+
+
+def test_fit_zero_batches_raises():
+    model = LeNet(num_classes=4, image_size=12)
+    train = SyntheticImageDataset(32, 4, 12, seed=0)
+    trainer = Trainer(
+        model, TrainConfig(epochs=1, batch_size=16, max_batches_per_epoch=0)
+    )
+    with pytest.raises(ConfigError, match="zero batches"):
+        trainer.fit(train)
