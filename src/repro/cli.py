@@ -6,6 +6,7 @@ Three subcommands mirror the main workflows::
     python -m repro.cli retrain --multiplier NAME   # one STE-vs-ours run
     python -m repro.cli hws --multiplier NAME       # HWS sweep
     python -m repro.cli export --multiplier NAME    # Verilog/BLIF dump
+    python -m repro.cli serve --checkpoint CKPT --multiplier NAME  # HTTP server
 """
 
 from __future__ import annotations
@@ -13,6 +14,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import __version__
 from repro.multipliers.registry import TABLE1_NAMES
 
 
@@ -86,9 +88,64 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.multipliers.registry import get_multiplier
+    from repro.retrain.checkpoint import load_checkpoint
+    from repro.retrain.convert import approximate_model
+    from repro.retrain.experiment import ExperimentScale, build_model
+    from repro.serve import ServeMetrics, WorkerPool, compile_plan, make_server
+
+    scale = ExperimentScale(
+        image_size=args.image_size,
+        n_classes=args.n_classes,
+        width_mult=args.width_mult,
+        chunk=args.chunk,
+    )
+    # gradient_method="none": forward-only layers, no gradient LUTs built.
+    model = approximate_model(
+        build_model(args.arch, scale),
+        get_multiplier(args.multiplier),
+        gradient_method="none",
+        include_linear=args.include_linear,
+        chunk=args.chunk,
+        per_channel_weights=args.per_channel,
+    )
+    load_checkpoint(model, args.checkpoint)
+    model.eval()
+
+    metrics = ServeMetrics()
+    pool = WorkerPool(
+        plan_factory=lambda: compile_plan(model, private_engines=True),
+        workers=args.workers,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        queue_size=args.queue_size,
+        metrics=metrics,
+    ).start()
+    server = make_server(
+        pool, metrics, host=args.host, port=args.port,
+        model_name=f"{args.arch}/{args.multiplier}",
+    )
+    host, port = server.server_address[:2]
+    print(f"serving {args.arch}/{args.multiplier} on http://{host}:{port}")
+    print("endpoints: POST /predict, GET /healthz, GET /metrics")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.server_close()
+        pool.shutdown()
+        print(metrics.format_report())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="AppMult-aware retraining toolkit"
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -121,6 +178,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--format", choices=["verilog", "blif"], default="verilog")
     p.add_argument("--output", default=None)
     p.set_defaults(func=_cmd_export)
+
+    p = sub.add_parser("serve", help="serve a checkpoint over HTTP")
+    p.add_argument("--checkpoint", required=True, help="path to a .npz checkpoint")
+    p.add_argument("--multiplier", required=True)
+    p.add_argument("--arch", default="lenet",
+                   choices=["lenet", "vgg19", "resnet18", "resnet34", "resnet50"])
+    p.add_argument("--image-size", type=int, default=16)
+    p.add_argument("--n-classes", type=int, default=10)
+    p.add_argument("--width-mult", type=float, default=0.125)
+    p.add_argument("--include-linear", action="store_true",
+                   help="checkpoint was trained with approximate linear layers")
+    p.add_argument("--per-channel", action="store_true",
+                   help="checkpoint uses per-channel weight quantization")
+    p.add_argument("--chunk", type=int, default=1024)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080,
+                   help="TCP port (0 picks a free one)")
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--max-batch", type=int, default=8)
+    p.add_argument("--max-wait-ms", type=float, default=2.0)
+    p.add_argument("--queue-size", type=int, default=64)
+    p.set_defaults(func=_cmd_serve)
     return parser
 
 

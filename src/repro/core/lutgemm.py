@@ -27,6 +27,13 @@ things make the engine fast enough for retraining sweeps:
    Column blocks align with the chunk grid and per-chunk partial sums are
    accumulated in global chunk order, so results stay bit-identical to the
    serial path.  Any pool failure permanently falls back to serial.
+
+4. **Fused C gather for forward-only engines.**  Serving engines (built
+   with ``gradients=None``) route large forwards through the JIT-compiled
+   single-pass kernel in :mod:`repro.core.lutkernel` when a C compiler is
+   available, eliminating the three-pass index/gather/reduce pipeline.
+   The kernel is integer-exact, so results stay bit-identical; without a
+   compiler the numpy path below runs unchanged.
 """
 
 from __future__ import annotations
@@ -47,6 +54,10 @@ DEFAULT_CHUNK = 1024
 
 #: Environment variable selecting the number of worker processes.
 WORKERS_ENV = "REPRO_LUTGEMM_WORKERS"
+
+#: Minimum ``M * K * C`` before the fused C kernel beats the numpy path
+#: (below this the ctypes call overhead dominates; measured crossover).
+FUSED_MIN_ELEMS = 24_576
 
 
 class _Scratch:
@@ -88,7 +99,7 @@ class LutGemm:
     def __init__(
         self,
         multiplier: Multiplier,
-        gradients: GradientPair,
+        gradients: GradientPair | None,
         chunk: int = DEFAULT_CHUNK,
     ):
         self.multiplier = multiplier
@@ -96,27 +107,41 @@ class LutGemm:
         self.bits = multiplier.bits
         self.levels = 1 << self.bits
         self.lut_flat = np.ascontiguousarray(multiplier.lut().ravel())
-        self.grad_w_flat = np.ascontiguousarray(
-            gradients.grad_w.astype(np.float32).ravel()
-        )
-        self.grad_x_flat = np.ascontiguousarray(
-            gradients.grad_x.astype(np.float32).ravel()
-        )
+        # Forward-only mode (``gradients is None``): the serving path never
+        # runs a backward pass, so the float32 gradient tables (two
+        # ``(2^B)^2`` arrays) are never materialized and the forward skips
+        # its backward-support bookkeeping.
+        self.forward_only = gradients is None
         self.chunk = chunk
         self.exact_fast_path = multiplier.is_exact
-        # STE tables are gradW == X and gradX == W; in that case the
-        # gather-free matmul below is mathematically identical and much
-        # faster (this is what makes the AccMult QAT reference cheap).
-        n = self.levels
-        idx = np.arange(n, dtype=np.float32)
-        self.ste_fast_path = bool(
-            np.array_equal(
-                gradients.grad_w, np.broadcast_to(idx[None, :], (n, n))
+        if self.forward_only:
+            self.grad_w_flat = None
+            self.grad_x_flat = None
+            self.ste_fast_path = False
+            # int32 LUT for the fused C kernel (8-bit operand products
+            # always fit; most multipliers already store int32).
+            self._lut_i32 = np.ascontiguousarray(self.lut_flat, dtype=np.int32)
+        else:
+            self._lut_i32 = None
+            self.grad_w_flat = np.ascontiguousarray(
+                gradients.grad_w.astype(np.float32).ravel()
             )
-            and np.array_equal(
-                gradients.grad_x, np.broadcast_to(idx[:, None], (n, n))
+            self.grad_x_flat = np.ascontiguousarray(
+                gradients.grad_x.astype(np.float32).ravel()
             )
-        )
+            # STE tables are gradW == X and gradX == W; in that case the
+            # gather-free matmul below is mathematically identical and much
+            # faster (this is what makes the AccMult QAT reference cheap).
+            n = self.levels
+            idx = np.arange(n, dtype=np.float32)
+            self.ste_fast_path = bool(
+                np.array_equal(
+                    gradients.grad_w, np.broadcast_to(idx[None, :], (n, n))
+                )
+                and np.array_equal(
+                    gradients.grad_x, np.broadcast_to(idx[:, None], (n, n))
+                )
+            )
         self._scratch = _Scratch()
         # Operands of the last single-chunk forward whose index tensor is
         # still resident in scratch (lets the backward skip rebuilding it).
@@ -127,13 +152,19 @@ class LutGemm:
         self.parallel_calls = 0
 
     # ------------------------------------------------------------------
-    def matches(self, multiplier: Multiplier, gradients: GradientPair) -> bool:
+    def matches(
+        self, multiplier: Multiplier, gradients: GradientPair | None
+    ) -> bool:
         """Whether this engine's tables equal the given multiplier/gradients."""
         same_lut = self.multiplier is multiplier or np.array_equal(
             self.lut_flat, np.asarray(multiplier.lut()).ravel()
         )
         if not same_lut:
             return False
+        if self.forward_only or gradients is None:
+            # A forward-only engine only serves forward-only requests (and
+            # vice versa): gradient-table equality is undefined otherwise.
+            return self.forward_only and gradients is None
         if self.gradients is gradients:
             return True
         return np.array_equal(
@@ -181,6 +212,16 @@ class LutGemm:
         out = self._parallel_product_sums(wq, xq)
         if out is not None:
             return out
+        if self.forward_only and m * k * c >= FUSED_MIN_ELEMS:
+            from repro.core.lutkernel import fused_product_sums
+
+            out = fused_product_sums(
+                self._lut_i32,
+                (wq * self.levels).astype(np.int64),
+                np.ascontiguousarray(xq, dtype=np.int32),
+            )
+            if out is not None:
+                return out
         wrow = (wq * self.levels).astype(np.intp)
         out = np.empty((m, c), dtype=np.int64)
         lut_dtype = self.lut_flat.dtype
@@ -191,8 +232,12 @@ class LutGemm:
             np.take(self.lut_flat, idx, out=prod, mode="clip")
             out[:, c0:hi] = prod.sum(axis=1, dtype=np.int64)
         # The index tensor of a single-chunk GEMM stays valid in scratch;
-        # remember the operands so the backward can reuse it.
-        self._fwd_operands = (wq.copy(), xq.copy()) if c <= self.chunk else None
+        # remember the operands so the backward can reuse it.  Forward-only
+        # engines skip the operand copies -- there is no backward to serve.
+        if not self.forward_only:
+            self._fwd_operands = (
+                (wq.copy(), xq.copy()) if c <= self.chunk else None
+            )
         return out
 
     def backward_grads(
@@ -216,6 +261,11 @@ class LutGemm:
             ``gw[m,k] = sum_c gout[m,c] * (gradW(W,X) - zx)`` and
             ``gx[k,c] = sum_m gout[m,c] * (gradX(W,X) - zw)``.
         """
+        if self.forward_only:
+            raise ReproError(
+                "this LutGemm engine is forward-only (no gradient LUTs); "
+                "build it with a GradientPair to run backward passes"
+            )
         m, k = wq.shape
         _, c = xq.shape
         self.backward_calls += 1
@@ -276,8 +326,13 @@ class LutGemm:
 
     # ------------------------------------------------------------------
     # Optional multiprocessing over the column dimension.
-    def _column_blocks(self, c: int, workers: int) -> list[tuple[int, int]] | None:
+    def _column_blocks(self, c: int) -> list[tuple[int, int]] | None:
         """Chunk-aligned contiguous column blocks, or None if not worth it."""
+        # Any eligible split needs workers >= 2, hence c >= 2 * chunk; check
+        # that first so small GEMMs skip the per-call environment read.
+        if c < 2 * self.chunk:
+            return None
+        workers = _workers_requested()
         if workers < 2 or c < workers * self.chunk:
             return None
         n_chunks = -(-c // self.chunk)
@@ -287,7 +342,7 @@ class LutGemm:
     def _parallel_product_sums(
         self, wq: np.ndarray, xq: np.ndarray
     ) -> np.ndarray | None:
-        blocks = self._column_blocks(xq.shape[1], _workers_requested())
+        blocks = self._column_blocks(xq.shape[1])
         if blocks is None:
             return None
         tasks = [
@@ -312,7 +367,7 @@ class LutGemm:
         gw: np.ndarray,
         gx: np.ndarray,
     ) -> bool:
-        blocks = self._column_blocks(xq.shape[1], _workers_requested())
+        blocks = self._column_blocks(xq.shape[1])
         if blocks is None:
             return False
         tasks = [
@@ -434,9 +489,13 @@ _cache_hits = 0
 _cache_misses = 0
 
 
+#: Cache-key stand-in for ``gradients.method`` of forward-only engines.
+FORWARD_ONLY_METHOD = "<forward-only>"
+
+
 def get_engine(
     multiplier: Multiplier,
-    gradients: GradientPair,
+    gradients: GradientPair | None,
     chunk: int = DEFAULT_CHUNK,
 ) -> LutGemm:
     """The shared engine for ``(multiplier, gradients, chunk)``.
@@ -445,9 +504,14 @@ def get_engine(
     hit the cached engine's tables are verified against the requested ones
     (cheap: one pass over the ``(2^B)^2`` LUTs) so distinct tables that
     happen to share a label rebuild instead of aliasing.
+
+    Pass ``gradients=None`` for a forward-only engine (inference serving):
+    it skips gradient-LUT materialization entirely and raises on
+    :meth:`LutGemm.backward_grads`.
     """
     global _cache_hits, _cache_misses
-    key = (multiplier.name, multiplier.bits, gradients.method, chunk)
+    method = FORWARD_ONLY_METHOD if gradients is None else gradients.method
+    key = (multiplier.name, multiplier.bits, method, chunk)
     engine = _ENGINE_CACHE.get(key)
     if engine is not None and engine.matches(multiplier, gradients):
         _cache_hits += 1

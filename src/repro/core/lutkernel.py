@@ -1,0 +1,155 @@
+"""Optional fused C kernel for the forward LUT-GEMM gather.
+
+The numpy forward path in :mod:`repro.core.lutgemm` needs three full
+passes over an ``(M, K, C)`` temporary (index build, ``np.take`` gather,
+strided reduction).  For single-sample serving latency those temporaries
+dominate, so this module JIT-compiles a single-pass C kernel at first use::
+
+    acc[m, c] = sum_k lut[wrow[m, k] + xq[k, c]]
+
+with the accumulator row and the ``levels``-wide LUT rows staying
+L1-resident.  The arithmetic is pure integer, so results are *bit-identical*
+to the numpy path by construction.
+
+Compilation uses the system ``cc``/``gcc`` (no third-party packages); the
+shared object is cached in a per-user temp directory keyed by a source
+hash.  Everything degrades gracefully: if no compiler is available or the
+build fails, :func:`fused_product_sums` returns ``None`` and callers fall
+back to the numpy path.  Set ``REPRO_NO_CCKERNEL=1`` to disable.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import getpass
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+import threading
+
+import numpy as np
+
+_KERNEL_SOURCE = r"""
+#include <stdint.h>
+
+void product_sums(const int32_t *lut,
+                  const int64_t *wrow,   /* (M, K) row offsets: wq * levels */
+                  const int32_t *xq,     /* (K, C) quantized activations */
+                  int64_t *out,          /* (M, C) accumulator, overwritten */
+                  long M, long K, long C)
+{
+    for (long m = 0; m < M; m++) {
+        const int64_t *wr = wrow + m * K;
+        int64_t *acc = out + m * C;
+        for (long c = 0; c < C; c++)
+            acc[c] = 0;
+        for (long k = 0; k < K; k++) {
+            const int32_t *lrow = lut + wr[k];
+            const int32_t *xrow = xq + k * C;
+            for (long c = 0; c < C; c++)
+                acc[c] += lrow[xrow[c]];
+        }
+    }
+}
+"""
+
+_lock = threading.Lock()
+_kernel = None
+_kernel_failed = False
+
+
+def _cache_dir() -> str:
+    try:
+        user = getpass.getuser()
+    except Exception:
+        user = "unknown"
+    path = os.path.join(tempfile.gettempdir(), f"repro-lutkernel-{user}")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def _compile() -> "ctypes.CDLL | None":
+    compiler = shutil.which("cc") or shutil.which("gcc")
+    if compiler is None:
+        return None
+    digest = hashlib.sha256(_KERNEL_SOURCE.encode()).hexdigest()[:16]
+    cache = _cache_dir()
+    so_path = os.path.join(cache, f"lutkernel-{digest}.so")
+    if not os.path.exists(so_path):
+        src_path = os.path.join(cache, f"lutkernel-{digest}.c")
+        with open(src_path, "w") as fh:
+            fh.write(_KERNEL_SOURCE)
+        tmp_so = so_path + f".{os.getpid()}.tmp"
+        cmd = [compiler, "-O3", "-march=native", "-shared", "-fPIC",
+               src_path, "-o", tmp_so]
+        try:
+            subprocess.run(
+                cmd, check=True, capture_output=True, timeout=120
+            )
+            os.replace(tmp_so, so_path)
+        except (OSError, subprocess.SubprocessError):
+            return None
+    try:
+        lib = ctypes.CDLL(so_path)
+    except OSError:
+        return None
+    fn = lib.product_sums
+    fn.restype = None
+    fn.argtypes = [
+        np.ctypeslib.ndpointer(np.int32, flags="C_CONTIGUOUS"),
+        np.ctypeslib.ndpointer(np.int64, flags="C_CONTIGUOUS"),
+        np.ctypeslib.ndpointer(np.int32, flags="C_CONTIGUOUS"),
+        np.ctypeslib.ndpointer(np.int64, flags="C_CONTIGUOUS"),
+        ctypes.c_long, ctypes.c_long, ctypes.c_long,
+    ]
+    return lib
+
+
+def _get_kernel():
+    global _kernel, _kernel_failed
+    if _kernel is not None or _kernel_failed:
+        return _kernel
+    with _lock:
+        if _kernel is None and not _kernel_failed:
+            if os.environ.get("REPRO_NO_CCKERNEL"):
+                _kernel_failed = True
+            else:
+                _kernel = _compile()
+                _kernel_failed = _kernel is None
+    return _kernel
+
+
+def kernel_available() -> bool:
+    """Whether the fused C gather kernel compiled and loaded."""
+    return _get_kernel() is not None
+
+
+def fused_product_sums(
+    lut_flat: np.ndarray, wrow: np.ndarray, xq: np.ndarray
+) -> np.ndarray | None:
+    """``out[m, c] = sum_k lut_flat[wrow[m, k] + xq[k, c]]`` as int64.
+
+    Args:
+        lut_flat: Flat int32 product LUT of size ``levels**2``.
+        wrow: (M, K) int64 precomputed row offsets (``wq * levels``).
+        xq: (K, C) int32 quantized activations, values in ``[0, levels)``.
+
+    Returns:
+        The (M, C) int64 accumulator, or ``None`` when the kernel is
+        unavailable (callers must fall back to the numpy path).
+    """
+    lib = _get_kernel()
+    if lib is None:
+        return None
+    m, k = wrow.shape
+    k2, c = xq.shape
+    out = np.empty((m, c), dtype=np.int64)
+    lib.product_sums(
+        np.ascontiguousarray(lut_flat, dtype=np.int32),
+        np.ascontiguousarray(wrow, dtype=np.int64),
+        np.ascontiguousarray(xq, dtype=np.int32),
+        out, m, k2, c,
+    )
+    return out

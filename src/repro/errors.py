@@ -15,3 +15,11 @@ class QuantizationError(ReproError):
 
 class ConfigError(ReproError):
     """Raised for invalid experiment or model configurations."""
+
+
+class ServeError(ReproError):
+    """Raised for inference-serving failures (plan compilation, pool use)."""
+
+
+class ServerBusyError(ServeError):
+    """Raised when the serving queue is full (maps to HTTP 503)."""

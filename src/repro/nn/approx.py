@@ -45,6 +45,7 @@ __all__ = [
     "LutGemm",  # re-exported from repro.core.lutgemm (historical home)
     "ApproxConv2d",
     "ApproxLinear",
+    "FrozenAffine",
 ]
 
 
@@ -87,6 +88,81 @@ class _QuantState:
             )
 
 
+class FrozenAffine:
+    """Precomputed tape-free inference state of one approximate layer.
+
+    Snapshots everything the eval-mode forward recomputes on every call --
+    the quantized weight matrix, the Eq. 8 zero-point correction terms, and
+    the combined dequantization scale -- so a compiled inference plan only
+    pays for the input-dependent work (quantize activations, LUT-GEMM,
+    activation-sum correction).  :meth:`apply` reproduces the eval-mode
+    float operations in the exact same order, so outputs are bit-identical
+    to the training-graph forward.
+
+    The snapshot is taken at construction time; recompile (take a new
+    ``FrozenAffine``) after any weight or quantization update.
+    """
+
+    def __init__(self, layer: "_ApproxBase", private_engine: bool = False):
+        qs = layer.quant
+        qs.require_frozen(type(layer).__name__)
+        wmat = layer._weight_matrix()
+        if isinstance(qs.w_qparams, ChannelQuantParams):
+            wq = quantize_per_channel(wmat, qs.w_qparams)
+            sw_col = qs.w_qparams.scales[:, None]
+            zw_col = qs.w_qparams.zero_points.astype(np.float64)[:, None]
+        else:
+            wq = quantize_array(wmat, qs.w_qparams)
+            sw_col = qs.w_qparams.scale
+            zw_col = float(qs.w_qparams.zero_point)
+        # Always a forward-only engine, even when the layer was trained with
+        # gradient LUTs: product sums are integer-exact across engines with
+        # the same LUT, and only forward-only engines skip the backward
+        # bookkeeping (and can use the fused C gather).  Per-worker serving
+        # plans need *private* engines: the shared engine's scratch buffers
+        # are not safe under concurrent forwards.
+        self.engine = (
+            LutGemm(layer.multiplier, None, chunk=layer.engine.chunk)
+            if private_engine
+            else get_engine(layer.multiplier, None, chunk=layer.engine.chunk)
+        )
+        self.wq = wq
+        self.m, self.k = wq.shape
+        self.x_qparams = qs.x_qparams
+        zx = qs.x_qparams.zero_point
+        self.zw_col = zw_col
+        # Input-independent Eq. 8 terms, computed with the same expressions
+        # (and therefore the same float rounding) as the eval-mode forward.
+        self.w_corr = zx * wq.sum(axis=1, dtype=np.int64)  # (M,)
+        self.const_corr = self.k * zw_col * zx
+        self.scale = sw_col * qs.x_qparams.scale
+        self.bias = None if layer.bias is None else layer.bias.data.copy()
+
+    def apply(self, cols: np.ndarray) -> np.ndarray:
+        """Quantize, LUT-multiply, dequantize: ``(N, K, L) -> (N, M, L)``.
+
+        Every float step reproduces :func:`quantize_array` / the eval-mode
+        forward value-for-value (same operations, same order); the in-place
+        ufuncs only avoid temporaries, they never change the arithmetic.
+        """
+        n, k, l = cols.shape
+        qp = self.x_qparams
+        buf = cols / qp.scale
+        buf += qp.zero_point
+        np.rint(buf, out=buf)
+        np.clip(buf, qp.qmin, qp.qmax, out=buf)
+        xq = buf.astype(np.int32).transpose(1, 0, 2).reshape(k, n * l)
+        acc = self.engine.product_sums(self.wq, xq).astype(np.float64)
+        acc -= self.w_corr[:, None]
+        acc -= self.zw_col * xq.sum(axis=0, dtype=np.int64)[None, :]
+        acc += self.const_corr
+        np.multiply(acc, self.scale, out=acc)
+        y = acc.reshape(self.m, n, l).transpose(1, 0, 2)
+        if self.bias is not None:
+            y = y + self.bias.reshape(1, self.m, 1)
+        return y
+
+
 class _ApproxBase(Module):
     """Common machinery of ApproxConv2d / ApproxLinear."""
 
@@ -100,7 +176,10 @@ class _ApproxBase(Module):
         per_channel_weights: bool = False,
     ):
         super().__init__()
-        if gradients is None:
+        # ``gradient_method`` None/"none" selects forward-only layers for
+        # inference serving: no gradient LUTs are computed and the shared
+        # engine skips gradient-table materialization entirely.
+        if gradients is None and gradient_method not in (None, "none"):
             gradients = gradient_luts(multiplier, gradient_method, hws=hws)
         self.multiplier = multiplier
         self.gradients = gradients
@@ -126,6 +205,15 @@ class _ApproxBase(Module):
         self.engine = get_engine(
             self.multiplier, gradients, chunk=self.engine.chunk
         )
+
+    def frozen_affine(self, private_engine: bool = False) -> FrozenAffine:
+        """Snapshot the frozen-quant fast path for tape-free inference.
+
+        Used by :mod:`repro.serve.plan`; requires frozen quantization.  Set
+        ``private_engine=True`` for a dedicated forward-only engine (needed
+        when several worker threads run compiled plans concurrently).
+        """
+        return FrozenAffine(self, private_engine=private_engine)
 
     # ------------------------------------------------------------------
     def _approx_affine(

@@ -18,6 +18,9 @@ Format (``.npz`` keys):
 
 from __future__ import annotations
 
+import contextlib
+import os
+import tempfile
 from pathlib import Path
 
 import numpy as np
@@ -35,7 +38,13 @@ def _approx_layers_named(model: Module):
 
 
 def save_checkpoint(model: Module, path: str | Path) -> None:
-    """Write parameters, buffers, and quantization state to ``path`` (.npz)."""
+    """Write parameters, buffers, and quantization state to ``path`` (.npz).
+
+    The write is atomic: the payload goes to a temporary file in the same
+    directory which is then ``os.replace``d into place, so a crash (or a
+    serialization error) mid-save can never leave ``path`` truncated or
+    corrupt an existing checkpoint.
+    """
     payload: dict[str, np.ndarray] = {}
     for key, value in model.state_dict().items():
         payload[f"state/{key}"] = value
@@ -65,7 +74,18 @@ def save_checkpoint(model: Module, path: str | Path) -> None:
                 ],
                 dtype=np.float64,
             )
-    np.savez_compressed(Path(path), **payload)
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.savez_compressed(fh, **payload)
+        os.replace(tmp_name, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_name)
+        raise
 
 
 def load_checkpoint(model: Module, path: str | Path) -> None:

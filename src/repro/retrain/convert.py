@@ -22,6 +22,10 @@ from repro.nn.module import Module
 
 
 def _convert_layer(layer, multiplier, gradients, chunk, per_channel):
+    # ``gradients is None`` here means forward-only conversion (the caller
+    # already resolved any gradient method); "none" stops the layer ctor
+    # from rebuilding gradient LUTs with its default method.
+    method = None if gradients is not None else "none"
     if isinstance(layer, Conv2d):
         new = ApproxConv2d(
             layer.in_channels,
@@ -32,6 +36,7 @@ def _convert_layer(layer, multiplier, gradients, chunk, per_channel):
             padding=layer.padding,
             bias=layer.bias is not None,
             gradients=gradients,
+            gradient_method=method,
             chunk=chunk,
             per_channel_weights=per_channel,
         )
@@ -42,6 +47,7 @@ def _convert_layer(layer, multiplier, gradients, chunk, per_channel):
             multiplier=multiplier,
             bias=layer.bias is not None,
             gradients=gradients,
+            gradient_method=method,
             chunk=chunk,
             per_channel_weights=per_channel,
         )
@@ -109,7 +115,9 @@ def approximate_model(
         model: Source float model (left untouched).
         multiplier: The AppMult to install everywhere.
         gradient_method: ``"difference"`` / ``"ste"`` / ``"raw-difference"``
-            or a callable (see :mod:`repro.core.gradient`).
+            or a callable (see :mod:`repro.core.gradient`), or ``"none"`` /
+            ``None`` for forward-only layers (inference serving: skips
+            gradient-LUT construction entirely; backward passes raise).
         hws: Half window size override for the difference method.
         gradients: Precomputed :class:`GradientPair` (skips recomputation).
         include_linear: Also convert fully connected layers.
@@ -117,7 +125,8 @@ def approximate_model(
         per_channel_weights: Use per-output-channel weight quantization
             (finer grids, usually higher accuracy at the same bitwidth).
     """
-    if gradients is None:
+    forward_only = gradients is None and gradient_method in (None, "none")
+    if gradients is None and not forward_only:
         gradients = gradient_luts(multiplier, gradient_method, hws=hws)
     # Warm the process-level engine cache so every converted layer binds to
     # the same LutGemm instance (one flat LUT set per model, not per layer).

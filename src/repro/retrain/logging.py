@@ -44,6 +44,8 @@ def history_to_rows(history: TrainHistory) -> list[dict]:
             "eval_top1": get(history.eval_top1, i),
             "eval_top5": get(history.eval_top5, i),
             "lr": get(history.lr, i),
+            "epoch_time": get(history.epoch_time, i),
+            "samples_per_sec": get(history.samples_per_sec, i),
         }
         for i in range(n)
     ]
@@ -62,7 +64,8 @@ def write_csv(record: RunRecord, path: str | Path) -> None:
         writer = csv.DictWriter(
             fh,
             fieldnames=["epoch", "train_loss", "train_top1",
-                        "eval_top1", "eval_top5", "lr"],
+                        "eval_top1", "eval_top5", "lr",
+                        "epoch_time", "samples_per_sec"],
         )
         writer.writeheader()
         writer.writerows(rows)

@@ -8,6 +8,7 @@ proportionally via :func:`repro.optim.schedulers.paper_lr_schedule`.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -48,6 +49,11 @@ class TrainHistory:
     eval_top1: list[float] = field(default_factory=list)
     eval_top5: list[float] = field(default_factory=list)
     lr: list[float] = field(default_factory=list)
+    # Wall-clock seconds spent in the training loop of each epoch, and the
+    # corresponding samples/sec throughput (training batches only, eval
+    # excluded) -- lets serving-vs-training perf be read side by side.
+    epoch_time: list[float] = field(default_factory=list)
+    samples_per_sec: list[float] = field(default_factory=list)
 
 
 def topk_correct(logits: np.ndarray, labels: np.ndarray, k: int) -> int:
@@ -128,6 +134,7 @@ class Trainer:
             lr = self.schedule.set_epoch(epoch)
             losses: list[float] = []
             correct = total = 0
+            epoch_start = time.perf_counter()
             for bi, (x, y) in enumerate(loader):
                 if (
                     cfg.max_batches_per_epoch is not None
@@ -155,9 +162,18 @@ class Trainer:
                     "training data or max_batches_per_epoch="
                     f"{cfg.max_batches_per_epoch}); nothing to train on"
                 )
+            elapsed = time.perf_counter() - epoch_start
+            throughput = total / elapsed if elapsed > 0 else 0.0
             history.train_loss.append(float(np.mean(losses)))
             history.train_top1.append(correct / max(total, 1))
             history.lr.append(lr)
+            history.epoch_time.append(elapsed)
+            history.samples_per_sec.append(throughput)
+            if cfg.log_every:
+                print(
+                    f"epoch {epoch + 1}: loss {np.mean(losses):.4f}, "
+                    f"{elapsed:.2f}s, {throughput:.1f} samples/s"
+                )
             if eval_data is not None:
                 top1, top5 = evaluate(self.model, eval_data)
                 history.eval_top1.append(top1)

@@ -1,0 +1,38 @@
+"""Compiled inference serving runtime.
+
+Turns a trained (calibrated + frozen) approximate model into a production
+inference stack, with no autograd tape and no gradient LUTs:
+
+- :mod:`repro.serve.plan` -- compiles a model into an
+  :class:`~repro.serve.plan.InferencePlan`, a flat list of numpy/LUT-GEMM
+  ops that is bit-identical to the eval-mode training-graph forward.
+- :mod:`repro.serve.scheduler` -- micro-batching request queue
+  (:class:`~repro.serve.scheduler.MicroBatcher`) that coalesces concurrent
+  single-sample requests and sheds load when full.
+- :mod:`repro.serve.pool` -- :class:`~repro.serve.pool.WorkerPool` threads,
+  each reusing its own compiled plan.
+- :mod:`repro.serve.metrics` -- counters, latency percentiles, batch-size
+  distribution, engine cache statistics.
+- :mod:`repro.serve.http` -- stdlib JSON endpoint
+  (``/predict``, ``/healthz``, ``/metrics``) behind ``repro serve``.
+"""
+
+from repro.serve.metrics import LatencyHistogram, ServeMetrics
+from repro.serve.plan import InferencePlan, compile_plan, register_compiler, verify_plan
+from repro.serve.scheduler import MicroBatcher, PendingRequest
+from repro.serve.pool import WorkerPool
+from repro.serve.http import ServingHTTPServer, make_server
+
+__all__ = [
+    "InferencePlan",
+    "LatencyHistogram",
+    "MicroBatcher",
+    "PendingRequest",
+    "ServeMetrics",
+    "ServingHTTPServer",
+    "WorkerPool",
+    "compile_plan",
+    "make_server",
+    "register_compiler",
+    "verify_plan",
+]

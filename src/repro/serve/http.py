@@ -1,0 +1,150 @@
+"""Stdlib HTTP front-end for the serving stack.
+
+Endpoints (JSON in, JSON out, no dependencies beyond ``http.server``):
+
+- ``GET  /healthz`` -- liveness probe with model name and worker count.
+- ``GET  /metrics`` -- metrics snapshot; ``?format=text`` returns the
+  human-readable report instead of JSON.
+- ``POST /predict`` -- body ``{"inputs": <sample or batch>}``.  A batch is
+  split into single-sample requests so the micro-batching scheduler can
+  coalesce them with other traffic; a full queue returns **503** with a
+  ``Retry-After`` header (backpressure), malformed input returns **400**.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+from repro.errors import ServeError, ServerBusyError
+from repro.serve.metrics import ServeMetrics
+from repro.serve.pool import WorkerPool
+
+
+class ServingHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the serving context for its handlers."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        pool: WorkerPool,
+        metrics: ServeMetrics,
+        model_name: str = "model",
+        input_ndim: int = 3,
+        request_timeout: float = 30.0,
+    ):
+        super().__init__(address, _Handler)
+        self.pool = pool
+        self.metrics = metrics
+        self.model_name = model_name
+        self.input_ndim = input_ndim
+        self.request_timeout = request_timeout
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: ServingHTTPServer
+
+    # ------------------------------------------------------------------
+    def _send_json(self, status: int, payload: dict, headers: dict | None = None) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str) -> None:
+        body = text.encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "text/plain; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, fmt, *args):  # keep test/CI output clean
+        pass
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:
+        path, _, query = self.path.partition("?")
+        if path == "/healthz":
+            self._send_json(200, {
+                "status": "ok",
+                "model": self.server.model_name,
+                "queue_depth": self.server.pool.batcher.depth,
+            })
+        elif path == "/metrics":
+            if "format=text" in query:
+                self._send_text(200, self.server.metrics.format_report() + "\n")
+            else:
+                self._send_json(200, self.server.metrics.as_dict())
+        else:
+            self._send_json(404, {"error": f"no such endpoint: {path}"})
+
+    def do_POST(self) -> None:
+        if self.path.partition("?")[0] != "/predict":
+            self._send_json(404, {"error": f"no such endpoint: {self.path}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            payload = json.loads(self.rfile.read(length) or b"{}")
+            samples = self._parse_inputs(payload)
+        except (ValueError, TypeError, KeyError) as exc:
+            self._send_json(400, {"error": f"bad request: {exc}"})
+            return
+        try:
+            # One submission per sample: the scheduler coalesces them (and
+            # any concurrent traffic) back into micro-batches.
+            futures = [self.server.pool.submit(s) for s in samples]
+            outputs = [f.result(self.server.request_timeout) for f in futures]
+        except ServerBusyError as exc:
+            self._send_json(503, {"error": str(exc)}, headers={"Retry-After": "1"})
+            return
+        except ServeError as exc:
+            self._send_json(500, {"error": str(exc)})
+            return
+        self._send_json(200, {
+            "model": self.server.model_name,
+            "outputs": [out.tolist() for out in outputs],
+            "predictions": [int(np.argmax(out)) for out in outputs],
+        })
+
+    def _parse_inputs(self, payload: dict) -> list[np.ndarray]:
+        if "inputs" not in payload:
+            raise KeyError('missing "inputs" field')
+        arr = np.asarray(payload["inputs"], dtype=np.float64)
+        ndim = self.server.input_ndim
+        if arr.ndim == ndim:
+            return [arr]
+        if arr.ndim == ndim + 1:
+            if arr.shape[0] == 0:
+                raise ValueError("empty batch")
+            return list(arr)
+        raise ValueError(
+            f"expected a {ndim}-d sample or {ndim + 1}-d batch, "
+            f"got shape {arr.shape}"
+        )
+
+
+def make_server(
+    pool: WorkerPool,
+    metrics: ServeMetrics,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    model_name: str = "model",
+    input_ndim: int = 3,
+    request_timeout: float = 30.0,
+) -> ServingHTTPServer:
+    """Build (but do not start) the HTTP server; ``port=0`` picks a free one."""
+    return ServingHTTPServer(
+        (host, port), pool, metrics,
+        model_name=model_name,
+        input_ndim=input_ndim,
+        request_timeout=request_timeout,
+    )

@@ -1,0 +1,165 @@
+"""Serving metrics: counters, latency histograms, batch-size distribution.
+
+One :class:`ServeMetrics` instance is shared by the scheduler, the worker
+pool, and the HTTP endpoint.  Everything is exportable two ways:
+
+- :meth:`ServeMetrics.as_dict` -- a plain nested dict (JSON-friendly, what
+  ``GET /metrics`` returns), and
+- :meth:`ServeMetrics.format_report` -- a human-readable text report.
+
+Latency histograms keep a bounded reservoir of recent samples plus exact
+count/sum/min/max, so p50/p95/p99 stay cheap at any traffic volume.  Engine
+cache hit statistics are pulled live from
+:func:`repro.core.lutgemm.engine_cache_stats`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+import numpy as np
+
+#: Samples retained per latency histogram (newest overwrite oldest).
+RESERVOIR_SIZE = 4096
+
+
+class LatencyHistogram:
+    """Streaming latency statistics with percentile estimates.
+
+    Keeps a fixed-size ring buffer of the most recent observations (so the
+    percentiles track current behavior, not the whole process lifetime)
+    alongside exact cumulative count/sum/min/max.
+    """
+
+    def __init__(self, reservoir_size: int = RESERVOIR_SIZE):
+        self._samples = np.empty(reservoir_size, dtype=np.float64)
+        self._next = 0
+        self._filled = 0
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def observe(self, value_ms: float) -> None:
+        self._samples[self._next] = value_ms
+        self._next = (self._next + 1) % self._samples.size
+        self._filled = min(self._filled + 1, self._samples.size)
+        self.count += 1
+        self.total += value_ms
+        self.min = min(self.min, value_ms)
+        self.max = max(self.max, value_ms)
+
+    def percentile(self, q: float) -> float:
+        if self._filled == 0:
+            return 0.0
+        return float(np.percentile(self._samples[: self._filled], q))
+
+    def as_dict(self) -> dict:
+        mean = self.total / self.count if self.count else 0.0
+        return {
+            "count": self.count,
+            "mean_ms": mean,
+            "min_ms": self.min if self.count else 0.0,
+            "max_ms": self.max,
+            "p50_ms": self.percentile(50),
+            "p95_ms": self.percentile(95),
+            "p99_ms": self.percentile(99),
+        }
+
+
+class ServeMetrics:
+    """Thread-safe metrics registry for one serving deployment."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self._latencies: dict[str, LatencyHistogram] = {}
+        self._batch_sizes: dict[int, int] = {}
+        self._gauges: dict[str, Callable[[], float]] = {}
+
+    # ------------------------------------------------------------------
+    def inc(self, name: str, n: int = 1) -> None:
+        """Increment counter ``name`` by ``n``."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + n
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def observe_latency(self, name: str, value_ms: float) -> None:
+        """Record one latency sample (milliseconds) in histogram ``name``."""
+        with self._lock:
+            hist = self._latencies.get(name)
+            if hist is None:
+                hist = self._latencies[name] = LatencyHistogram()
+            hist.observe(value_ms)
+
+    def observe_batch(self, size: int) -> None:
+        """Record the size of one executed micro-batch."""
+        with self._lock:
+            self._batch_sizes[size] = self._batch_sizes.get(size, 0) + 1
+            self._counters["batches_total"] = (
+                self._counters.get("batches_total", 0) + 1
+            )
+
+    def register_gauge(self, name: str, fn: Callable[[], float]) -> None:
+        """Register a live-sampled gauge (e.g. current queue depth)."""
+        with self._lock:
+            self._gauges[name] = fn
+
+    @property
+    def batch_size_histogram(self) -> dict[int, int]:
+        with self._lock:
+            return dict(self._batch_sizes)
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict:
+        """Snapshot every metric as a plain (JSON-serializable) dict."""
+        from repro.core.lutgemm import engine_cache_stats
+
+        with self._lock:
+            counters = dict(self._counters)
+            latencies = {k: h.as_dict() for k, h in self._latencies.items()}
+            batch_sizes = {str(k): v for k, v in sorted(self._batch_sizes.items())}
+            gauges = {name: fn() for name, fn in self._gauges.items()}
+        cache = engine_cache_stats()
+        return {
+            "counters": counters,
+            "latency": latencies,
+            "batch_size_histogram": batch_sizes,
+            "gauges": gauges,
+            "engine_cache": {
+                "entries": cache.entries,
+                "hits": cache.hits,
+                "misses": cache.misses,
+            },
+        }
+
+    def format_report(self) -> str:
+        """Multi-line human-readable report of the current snapshot."""
+        snap = self.as_dict()
+        lines = ["serve metrics"]
+        for name, value in sorted(snap["counters"].items()):
+            lines.append(f"  {name}: {value}")
+        for name, value in sorted(snap["gauges"].items()):
+            lines.append(f"  {name}: {value}")
+        for name, hist in sorted(snap["latency"].items()):
+            lines.append(
+                f"  {name}: n={hist['count']} mean={hist['mean_ms']:.3f}ms "
+                f"p50={hist['p50_ms']:.3f}ms p95={hist['p95_ms']:.3f}ms "
+                f"p99={hist['p99_ms']:.3f}ms max={hist['max_ms']:.3f}ms"
+            )
+        if snap["batch_size_histogram"]:
+            dist = " ".join(
+                f"{size}x{count}"
+                for size, count in snap["batch_size_histogram"].items()
+            )
+            lines.append(f"  batch sizes: {dist}")
+        cache = snap["engine_cache"]
+        lines.append(
+            f"  engine cache: {cache['entries']} engine(s), "
+            f"{cache['hits']} hit(s), {cache['misses']} miss(es)"
+        )
+        return "\n".join(lines)

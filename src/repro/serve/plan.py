@@ -1,0 +1,430 @@
+"""Inference plan compiler: Module graph -> tape-free op list.
+
+:func:`compile_plan` walks a (calibrated, frozen) model and emits an
+:class:`InferencePlan`: an ordered list of closures over raw numpy arrays.
+No :class:`~repro.autograd.tensor.Tensor` tape is recorded, no gradient
+LUTs are touched, and every input-independent quantity (quantized weights,
+Eq. 8 zero-point corrections, BN eval-mode scale/shift) is precomputed once
+at compile time via :class:`repro.nn.approx.FrozenAffine`.
+
+Every op replicates the eval-mode float operations of the training graph in
+the same order, so plan outputs are **bit-identical** to
+``model.eval()(Tensor(x)).data`` -- the property the serve tests and
+``benchmarks/bench_serve.py`` assert.
+
+Supported modules: all :mod:`repro.nn.layers` leaves, the approximate
+layers, and the model-zoo blocks (residual ``BasicBlock``/``Bottleneck``,
+MobileNet ``SeparableBlock``).  Composite modules without a registered
+handler are compiled by walking their children in definition order (correct
+for every linear-pipeline model in :mod:`repro.models`); pass
+``example_input`` to verify the compiled plan against the training graph
+when compiling an architecture the compiler has not seen before.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+from numpy.lib.stride_tricks import as_strided
+
+from repro.errors import ServeError
+from repro.nn import functional as F
+from repro.nn.approx import ApproxConv2d, ApproxLinear
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    DepthwiseConv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+)
+from repro.nn.module import Module
+
+
+class PlanOp:
+    """One compiled step: a named closure ``(ndarray) -> ndarray``."""
+
+    __slots__ = ("name", "kind", "fn")
+
+    def __init__(self, name: str, kind: str, fn: Callable[[np.ndarray], np.ndarray]):
+        self.name = name
+        self.kind = kind
+        self.fn = fn
+
+    def __repr__(self) -> str:
+        return f"PlanOp({self.name!r}, kind={self.kind!r})"
+
+
+class InferencePlan:
+    """An ordered, tape-free op list compiled from a frozen model."""
+
+    def __init__(self, ops: list[PlanOp], model_name: str = ""):
+        self.ops = ops
+        self.model_name = model_name
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        """Execute the plan on a batch; returns the output array."""
+        out = np.asarray(x, dtype=np.float64)
+        for op in self.ops:
+            out = op.fn(out)
+        return out
+
+    __call__ = run
+
+    @property
+    def lutgemm_ops(self) -> int:
+        """Number of LUT-GEMM (approximate) ops in the plan."""
+        return sum(1 for op in self.ops if op.kind == "lutgemm")
+
+    def describe(self) -> str:
+        """Numbered op listing for logs and ``repro serve`` startup."""
+        header = f"InferencePlan({self.model_name or 'model'}): " \
+                 f"{len(self.ops)} ops, {self.lutgemm_ops} LUT-GEMM"
+        lines = [header] + [
+            f"  {i:3d}. [{op.kind}] {op.name}" for i, op in enumerate(self.ops)
+        ]
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Per-module compilation handlers.
+_COMPILERS: dict[type, Callable] = {}
+
+
+def register_compiler(module_type: type):
+    """Register a compile handler for ``module_type`` (extension point)."""
+
+    def deco(fn):
+        _COMPILERS[module_type] = fn
+        return fn
+
+    return deco
+
+
+def _compile_into(
+    module: Module, ops: list[PlanOp], prefix: str, private_engines: bool
+) -> None:
+    for klass in type(module).__mro__:
+        handler = _COMPILERS.get(klass)
+        if handler is not None:
+            handler(module, ops, prefix, private_engines)
+            return
+    # Composite fallback: children execute in definition order.  Every
+    # linear-pipeline model (LeNet, VGG, MobileNet, ResNet top level)
+    # satisfies this; blocks with non-linear dataflow need a registered
+    # handler (see BasicBlock/Bottleneck below).
+    children = list(module._children())
+    if not children:
+        raise ServeError(
+            f"cannot compile {type(module).__name__} at {prefix or '<root>'}: "
+            "no handler registered and no children to recurse into"
+        )
+    for name, child in children:
+        _compile_into(child, ops, f"{prefix}{name}.", private_engines)
+
+
+def _subplan(module: Module, prefix: str, private_engines: bool) -> list[PlanOp]:
+    ops: list[PlanOp] = []
+    _compile_into(module, ops, prefix, private_engines)
+    return ops
+
+
+def _run_ops(ops: list[PlanOp], x: np.ndarray) -> np.ndarray:
+    for op in ops:
+        x = op.fn(x)
+    return x
+
+
+@register_compiler(Sequential)
+def _compile_sequential(module, ops, prefix, private_engines):
+    for i, step in enumerate(module.steps):
+        _compile_into(step, ops, f"{prefix}{i}.", private_engines)
+
+
+@register_compiler(Identity)
+def _compile_identity(module, ops, prefix, private_engines):
+    pass  # no-op
+
+
+@register_compiler(Dropout)
+def _compile_dropout(module, ops, prefix, private_engines):
+    pass  # identity in eval mode
+
+
+@register_compiler(ReLU)
+def _compile_relu(module, ops, prefix, private_engines):
+    # Matches Tensor.relu: multiply by the bool mask.
+    ops.append(PlanOp(f"{prefix}relu", "act", lambda x: x * (x > 0)))
+
+
+@register_compiler(Flatten)
+def _compile_flatten(module, ops, prefix, private_engines):
+    ops.append(
+        PlanOp(f"{prefix}flatten", "shape", lambda x: x.reshape((x.shape[0], -1)))
+    )
+
+
+def _pool_patches(x, kernel, stride, oh, ow):
+    n, c = x.shape[:2]
+    sn, sc, sh, sw = x.strides
+    return as_strided(
+        x,
+        shape=(n, c, oh, ow, kernel, kernel),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+
+
+@register_compiler(MaxPool2d)
+def _compile_maxpool(module, ops, prefix, private_engines):
+    kernel = module.kernel_size
+    stride = module.stride or kernel
+
+    def fn(x):
+        n, c, h, w = x.shape
+        oh, ow = F.conv_output_size(h, w, kernel, kernel, stride, 0)
+        # The selected value equals the tape's argmax/take_along_axis pick,
+        # so a direct windowed max is bit-identical (and much cheaper).
+        return _pool_patches(x, kernel, stride, oh, ow).max(axis=(-1, -2))
+
+    ops.append(PlanOp(f"{prefix}maxpool{kernel}", "pool", fn))
+
+
+@register_compiler(AvgPool2d)
+def _compile_avgpool(module, ops, prefix, private_engines):
+    kernel = module.kernel_size
+    stride = module.stride or kernel
+
+    def fn(x):
+        n, c, h, w = x.shape
+        oh, ow = F.conv_output_size(h, w, kernel, kernel, stride, 0)
+        return _pool_patches(x, kernel, stride, oh, ow).mean(axis=(-1, -2))
+
+    ops.append(PlanOp(f"{prefix}avgpool{kernel}", "pool", fn))
+
+
+@register_compiler(GlobalAvgPool2d)
+def _compile_gap(module, ops, prefix, private_engines):
+    # Matches Tensor.mean: sum then multiply by the reciprocal count.
+    def fn(x):
+        return x.sum(axis=(2, 3)) * (1.0 / float(x.shape[2] * x.shape[3]))
+
+    ops.append(PlanOp(f"{prefix}gap", "pool", fn))
+
+
+@register_compiler(BatchNorm2d)
+def _compile_batchnorm(module, ops, prefix, private_engines):
+    # Eval-mode BN with running statistics, frozen at compile time.
+    mean = module.running_mean.copy().reshape(1, -1, 1, 1)
+    inv_std = (1.0 / np.sqrt(module.running_var + module.eps)).reshape(1, -1, 1, 1)
+    gamma = module.gamma.data.copy().reshape(1, -1, 1, 1)
+    beta = module.beta.data.copy().reshape(1, -1, 1, 1)
+
+    def fn(x):
+        return ((x - mean) * inv_std) * gamma + beta
+
+    ops.append(PlanOp(f"{prefix}bn", "float", fn))
+
+
+@register_compiler(Conv2d)
+def _compile_conv2d(module, ops, prefix, private_engines):
+    kh = kw = module.kernel_size
+    stride, pad = module.stride, module.padding
+    oc = module.out_channels
+    wmat = module.weight.data.copy().reshape(oc, -1)
+    bias = None if module.bias is None else module.bias.data.copy()
+
+    def fn(x):
+        n, c, h, w = x.shape
+        oh, ow = F.conv_output_size(h, w, kh, kw, stride, pad)
+        cols = F.im2col(x, kh, kw, stride, pad)
+        out = np.matmul(wmat, cols)
+        if bias is not None:
+            out = out + bias.reshape(1, oc, 1)
+        return out.reshape(n, oc, oh, ow)
+
+    ops.append(PlanOp(f"{prefix}conv{kh}x{kw}", "float", fn))
+
+
+@register_compiler(DepthwiseConv2d)
+def _compile_depthwise(module, ops, prefix, private_engines):
+    kh = kw = module.kernel_size
+    stride, pad = module.stride, module.padding
+    ch = module.channels
+    wmat = module.weight.data.copy().reshape(ch, kh * kw)
+    bias = None if module.bias is None else module.bias.data.copy()
+
+    def fn(x):
+        n, c, h, w = x.shape
+        oh, ow = F.conv_output_size(h, w, kh, kw, stride, pad)
+        cols = F.im2col(x, kh, kw, stride, pad).reshape(n, c, kh * kw, oh * ow)
+        out = np.einsum("cj,ncjl->ncl", wmat, cols)
+        if bias is not None:
+            out = out + bias.reshape(1, c, 1)
+        return out.reshape(n, c, oh, ow)
+
+    ops.append(PlanOp(f"{prefix}dwconv{kh}x{kw}", "float", fn))
+
+
+@register_compiler(Linear)
+def _compile_linear(module, ops, prefix, private_engines):
+    weight = module.weight.data.copy()
+    bias = None if module.bias is None else module.bias.data.copy()
+
+    def fn(x):
+        out = x @ weight.T
+        if bias is not None:
+            out = out + bias
+        return out
+
+    ops.append(PlanOp(f"{prefix}linear", "float", fn))
+
+
+@register_compiler(ApproxConv2d)
+def _compile_approx_conv(module, ops, prefix, private_engines):
+    fa = module.frozen_affine(private_engine=private_engines)
+    kh = kw = module.kernel_size
+    stride, pad = module.stride, module.padding
+
+    def fn(x):
+        n, c, h, w = x.shape
+        oh, ow = F.conv_output_size(h, w, kh, kw, stride, pad)
+        cols = F.im2col(x, kh, kw, stride, pad)
+        return fa.apply(cols).reshape(n, fa.m, oh, ow)
+
+    ops.append(
+        PlanOp(
+            f"{prefix}approx_conv{kh}x{kw}[{module.multiplier.name}]",
+            "lutgemm",
+            fn,
+        )
+    )
+
+
+@register_compiler(ApproxLinear)
+def _compile_approx_linear(module, ops, prefix, private_engines):
+    fa = module.frozen_affine(private_engine=private_engines)
+    in_features = module.in_features
+
+    def fn(x):
+        n = x.shape[0]
+        cols = x.reshape(n, in_features, 1)
+        return fa.apply(cols).reshape(n, fa.m)
+
+    ops.append(
+        PlanOp(
+            f"{prefix}approx_linear[{module.multiplier.name}]", "lutgemm", fn
+        )
+    )
+
+
+def _compile_residual(module, ops, prefix, private_engines, main_attrs):
+    """Shared handler for residual blocks: main path + shortcut + relu."""
+    main: list[PlanOp] = []
+    for attr, with_relu in main_attrs:
+        _compile_into(getattr(module, attr), main, f"{prefix}{attr}.", private_engines)
+        if with_relu:
+            main.append(PlanOp(f"{prefix}{attr}.relu", "act", lambda x: x * (x > 0)))
+    short = _subplan(module.shortcut, f"{prefix}shortcut.", private_engines)
+
+    def fn(x):
+        out = _run_ops(main, x) + _run_ops(short, x)
+        return out * (out > 0)
+
+    ops.append(PlanOp(f"{prefix}residual", "block", fn))
+
+
+def _compile_separable(module, ops, prefix, private_engines):
+    for attr in ("depthwise", "bn1"):
+        _compile_into(getattr(module, attr), ops, f"{prefix}{attr}.", private_engines)
+    ops.append(PlanOp(f"{prefix}relu1", "act", lambda x: x * (x > 0)))
+    for attr in ("pointwise", "bn2"):
+        _compile_into(getattr(module, attr), ops, f"{prefix}{attr}.", private_engines)
+    ops.append(PlanOp(f"{prefix}relu2", "act", lambda x: x * (x > 0)))
+
+
+def _register_model_blocks() -> None:
+    """Handlers for model-zoo blocks whose forward is not child-order."""
+    from repro.models.mobilenet import SeparableBlock
+    from repro.models.resnet import BasicBlock, Bottleneck
+
+    _COMPILERS[SeparableBlock] = _compile_separable
+    _COMPILERS[BasicBlock] = lambda m, o, p, pe: _compile_residual(
+        m, o, p, pe, [("conv1", False), ("bn1", True), ("conv2", False), ("bn2", False)]
+    )
+    _COMPILERS[Bottleneck] = lambda m, o, p, pe: _compile_residual(
+        m, o, p, pe,
+        [("conv1", False), ("bn1", True), ("conv2", False), ("bn2", True),
+         ("conv3", False), ("bn3", False)],
+    )
+
+
+_register_model_blocks()
+
+
+# ----------------------------------------------------------------------
+def compile_plan(
+    model: Module,
+    example_input: np.ndarray | None = None,
+    private_engines: bool = False,
+) -> InferencePlan:
+    """Compile ``model`` into a tape-free :class:`InferencePlan`.
+
+    Approximate layers must have frozen quantization (calibrated + frozen,
+    or restored from a checkpoint).  The plan snapshots all weights and
+    quantization state: recompile after any parameter update.
+
+    Args:
+        model: The (frozen) model to compile.
+        example_input: Optional batch; when given, the compiled plan is run
+            on it and verified bit-identical against the eval-mode training
+            graph (raises :class:`ServeError` on any mismatch).
+        private_engines: Give each approximate op its own forward-only
+            LUT-GEMM engine.  Required when multiple threads run plans
+            concurrently (the shared engine's scratch buffers are not
+            thread-safe); costs one extra engine per approximate layer.
+    """
+    ops: list[PlanOp] = []
+    _compile_into(model, ops, "", private_engines)
+    if not ops:
+        raise ServeError("model compiled to an empty plan")
+    plan = InferencePlan(ops, model_name=type(model).__name__)
+    if example_input is not None:
+        verify_plan(plan, model, example_input)
+    return plan
+
+
+def verify_plan(
+    plan: InferencePlan, model: Module, x: np.ndarray
+) -> np.ndarray:
+    """Assert ``plan`` matches the eval-mode training graph on ``x``.
+
+    Returns the (shared) output array on success; raises
+    :class:`ServeError` with the worst absolute deviation otherwise.
+    """
+    from repro.autograd.tensor import Tensor, no_grad
+
+    x = np.asarray(x, dtype=np.float64)
+    was_training = model.training
+    model.eval()
+    try:
+        with no_grad():
+            ref = model(Tensor(x)).data
+    finally:
+        if was_training:
+            model.train()
+    got = plan.run(x)
+    if not np.array_equal(ref, got):
+        diff = float(np.max(np.abs(ref - got))) if ref.shape == got.shape else float("nan")
+        raise ServeError(
+            f"compiled plan diverges from the training graph: shapes "
+            f"{got.shape} vs {ref.shape}, max |delta| = {diff:.3e}"
+        )
+    return got

@@ -1,0 +1,144 @@
+"""Thread-based inference worker pool with backpressure and graceful drain.
+
+Each worker owns its own compiled :class:`~repro.serve.plan.InferencePlan`
+(compiled once at thread start and reused for every batch -- plans built
+with ``private_engines=True`` so the LUT-GEMM scratch buffers are never
+shared across threads).  Work arrives pre-coalesced from the
+:class:`~repro.serve.scheduler.MicroBatcher`; a full queue rejects with
+:class:`~repro.errors.ServerBusyError` (HTTP 503) instead of queueing
+without bound, and :meth:`WorkerPool.shutdown` drains in-flight work before
+joining the threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ServeError
+from repro.serve.metrics import ServeMetrics
+from repro.serve.plan import InferencePlan
+from repro.serve.scheduler import MicroBatcher, PendingRequest
+
+
+class WorkerPool:
+    """Runs compiled plans over micro-batches on ``workers`` threads."""
+
+    def __init__(
+        self,
+        plan_factory: Callable[[], InferencePlan],
+        workers: int = 2,
+        max_batch: int = 8,
+        max_wait_ms: float = 2.0,
+        queue_size: int = 64,
+        metrics: ServeMetrics | None = None,
+    ):
+        if workers < 1:
+            raise ServeError(f"workers must be >= 1, got {workers}")
+        self.metrics = metrics or ServeMetrics()
+        self.batcher = MicroBatcher(
+            max_batch=max_batch,
+            max_wait_ms=max_wait_ms,
+            capacity=queue_size,
+            metrics=self.metrics,
+        )
+        self.metrics.register_gauge("queue_depth", lambda: self.batcher.depth)
+        self.metrics.register_gauge("workers", lambda: len(self._threads))
+        self._plan_factory = plan_factory
+        self._stopping = False
+        self._started = False
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-serve-worker-{i}",
+                daemon=True,
+            )
+            for i in range(workers)
+        ]
+
+    # ------------------------------------------------------------------
+    def start(self) -> "WorkerPool":
+        """Start the worker threads (idempotent)."""
+        if not self._started:
+            self._started = True
+            for t in self._threads:
+                t.start()
+        return self
+
+    def __enter__(self) -> "WorkerPool":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    def submit(self, x: np.ndarray) -> PendingRequest:
+        """Enqueue one sample for inference; returns a future.
+
+        Raises:
+            ServerBusyError: When the bounded queue is full (the caller
+                should shed load / return HTTP 503).
+            ServeError: When the pool is not running.
+        """
+        if not self._started or self._stopping:
+            raise ServeError("worker pool is not running")
+        return self.batcher.submit(x)
+
+    def infer(self, x: np.ndarray, timeout: float | None = 30.0) -> np.ndarray:
+        """Blocking convenience wrapper: submit one sample, wait, return."""
+        return self.submit(x).result(timeout)
+
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        plan = self._plan_factory()  # compiled once, reused per worker
+        while True:
+            batch = self.batcher.next_batch(timeout=0.05)
+            if batch is None:
+                if self._stopping:
+                    return
+                continue
+            self._execute(plan, batch)
+
+    def _execute(self, plan: InferencePlan, batch: list[PendingRequest]) -> None:
+        try:
+            try:
+                xs = np.stack([p.payload for p in batch])
+                t0 = time.perf_counter()
+                ys = plan.run(xs)
+                exec_ms = (time.perf_counter() - t0) * 1000.0
+                done = time.perf_counter()
+                for pending, y in zip(batch, ys):
+                    pending.set_result(np.ascontiguousarray(y))
+                    self.metrics.observe_latency(
+                        "request_ms", (done - pending.enqueued_at) * 1000.0
+                    )
+                self.metrics.observe_latency("batch_exec_ms", exec_ms)
+                self.metrics.inc("predictions_total", len(batch))
+            except Exception as exc:  # propagate to every waiting caller
+                self.metrics.inc("errors_total")
+                for pending in batch:
+                    pending.set_error(exc)
+        finally:
+            self.batcher.task_done()
+
+    # ------------------------------------------------------------------
+    def shutdown(self, drain: bool = True, timeout: float = 30.0) -> None:
+        """Stop the pool.
+
+        With ``drain=True`` (default) the queue stops accepting new work,
+        already-queued requests finish, and workers exit once idle; with
+        ``drain=False`` queued requests fail immediately with
+        :class:`ServeError`.
+        """
+        self._stopping = True
+        self.batcher.close()
+        if drain:
+            self.batcher.drain(timeout)
+        else:
+            self.batcher.cancel_pending()
+        for t in self._threads:
+            if t.is_alive():
+                t.join(timeout)

@@ -1,0 +1,426 @@
+"""Tests for the repro.serve inference runtime.
+
+Covers the full stack: plan compilation bit-identity against the eval-mode
+training-graph forward, the forward-only engine mode, micro-batch
+coalescing, worker-pool backpressure, the HTTP endpoint, metrics, the
+atomic checkpoint save, and the CLI additions.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.autograd.tensor import no_grad
+from repro.data import DataLoader, SyntheticImageDataset
+from repro.errors import ReproError, ServeError, ServerBusyError
+from repro.models import LeNet
+from repro.multipliers import get_multiplier
+from repro.retrain.checkpoint import load_checkpoint, save_checkpoint
+from repro.retrain.convert import approximate_model, calibrate, freeze
+from repro.retrain.trainer import TrainConfig, Trainer
+from repro.serve import (
+    MicroBatcher,
+    ServeMetrics,
+    WorkerPool,
+    compile_plan,
+    make_server,
+    verify_plan,
+)
+from repro.serve.metrics import LatencyHistogram
+
+
+@pytest.fixture(scope="module")
+def retrained(tmp_path_factory):
+    """Retrained approximate LeNet + checkpoint + eval-mode reference."""
+    train = SyntheticImageDataset(96, 4, 12, seed=11, split="train")
+    model = LeNet(num_classes=4, image_size=12, seed=11)
+    Trainer(model, TrainConfig(epochs=1, batch_size=32, seed=11)).fit(train)
+    approx = approximate_model(
+        model, get_multiplier("mul6u_rm4"),
+        gradient_method="difference", hws=2, include_linear=True,
+    )
+    calibrate(approx, DataLoader(train, batch_size=32), batches=2)
+    freeze(approx)
+    Trainer(approx, TrainConfig(epochs=1, batch_size=32, seed=11)).fit(train)
+    approx.eval()
+    path = tmp_path_factory.mktemp("ckpt") / "lenet.npz"
+    save_checkpoint(approx, path)
+    x = np.random.default_rng(3).standard_normal((6, 3, 12, 12))
+    with no_grad():
+        ref = approx(Tensor(x)).data
+    return approx, path, x, ref
+
+
+@pytest.fixture(scope="module")
+def served_model(retrained):
+    """Fresh forward-only model loaded from the checkpoint."""
+    _approx, path, _x, _ref = retrained
+    fresh = approximate_model(
+        LeNet(num_classes=4, image_size=12, seed=0),
+        get_multiplier("mul6u_rm4"),
+        gradient_method="none", include_linear=True,
+    )
+    load_checkpoint(fresh, path)
+    fresh.eval()
+    return fresh
+
+
+# ---------------------------------------------------------------------------
+# Plan compilation / bit-identity
+# ---------------------------------------------------------------------------
+
+def test_plan_bit_identical_to_eval_forward(retrained):
+    approx, _path, x, ref = retrained
+    plan = compile_plan(approx, example_input=x)
+    assert np.array_equal(plan.run(x), ref)
+
+
+def test_plan_bit_identical_single_sample(retrained):
+    approx, _path, x, ref = retrained
+    plan = compile_plan(approx)
+    assert np.array_equal(plan.run(x[:1]), ref[:1])
+
+
+def test_forward_only_checkpoint_load_bit_identical(retrained, served_model):
+    _approx, _path, x, ref = retrained
+    plan = compile_plan(served_model, example_input=x)
+    assert np.array_equal(plan.run(x), ref)
+
+
+def test_forward_only_layers_reject_backward(served_model):
+    x = Tensor(np.random.default_rng(0).standard_normal((2, 3, 12, 12)))
+    out = served_model(x)
+    with pytest.raises(ReproError, match="forward-only"):
+        out.sum().backward()
+
+
+def test_private_engines_are_separate_instances(served_model):
+    plan_a = compile_plan(served_model, private_engines=True)
+    plan_b = compile_plan(served_model, private_engines=True)
+    shared = compile_plan(served_model)
+    x = np.random.default_rng(4).standard_normal((2, 3, 12, 12))
+    assert np.array_equal(plan_a.run(x), shared.run(x))
+    assert np.array_equal(plan_b.run(x), shared.run(x))
+
+
+def test_verify_plan_accepts_and_describe(served_model):
+    x = np.random.default_rng(5).standard_normal((2, 3, 12, 12))
+    plan = compile_plan(served_model)
+    verify_plan(plan, served_model, x)
+    text = plan.describe()
+    assert "lutgemm" in text and "LeNet" in text
+
+
+def test_plan_bit_identical_without_c_kernel(retrained, monkeypatch):
+    """With the fused C kernel unavailable the numpy fallback must match."""
+    import repro.core.lutkernel as lutkernel
+
+    approx, _path, x, ref = retrained
+    monkeypatch.setattr(lutkernel, "fused_product_sums", lambda *a: None)
+    plan = compile_plan(approx, private_engines=True)
+    assert np.array_equal(plan.run(x), ref)
+
+
+def test_compile_requires_frozen_quant():
+    approx = approximate_model(
+        LeNet(num_classes=4, image_size=12, seed=0),
+        get_multiplier("mul6u_rm4"), gradient_method="none",
+    )
+    with pytest.raises(ReproError):
+        compile_plan(approx)
+
+
+# ---------------------------------------------------------------------------
+# Micro-batching scheduler
+# ---------------------------------------------------------------------------
+
+def test_microbatcher_coalesces_under_load():
+    metrics = ServeMetrics()
+    batcher = MicroBatcher(max_batch=4, max_wait_ms=50.0, capacity=16,
+                           metrics=metrics)
+    for i in range(6):
+        batcher.submit(np.array([float(i)]))
+    first = batcher.next_batch(timeout=1.0)
+    batcher.task_done()
+    second = batcher.next_batch(timeout=1.0)
+    batcher.task_done()
+    assert [len(first), len(second)] == [4, 2]
+    assert metrics.batch_size_histogram == {4: 1, 2: 1}
+    # FIFO order is preserved through coalescing.
+    values = [p.payload[0] for p in first + second]
+    assert values == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0]
+
+
+def test_microbatcher_idle_fast_path():
+    batcher = MicroBatcher(max_batch=8, max_wait_ms=10_000.0, capacity=16)
+    batcher.submit(np.zeros(1))
+    start = time.perf_counter()
+    batch = batcher.next_batch(timeout=1.0)
+    elapsed = time.perf_counter() - start
+    batcher.task_done()
+    assert len(batch) == 1
+    assert elapsed < 1.0  # did not sit out the 10s coalescing window
+
+
+def test_microbatcher_capacity_rejects():
+    metrics = ServeMetrics()
+    batcher = MicroBatcher(max_batch=4, capacity=2, metrics=metrics)
+    batcher.submit(np.zeros(1))
+    batcher.submit(np.zeros(1))
+    with pytest.raises(ServerBusyError):
+        batcher.submit(np.zeros(1))
+    assert metrics.counter("rejected_total") == 1
+    assert metrics.counter("requests_total") == 2
+
+
+def test_microbatcher_close_rejects_submit_and_unblocks_workers():
+    batcher = MicroBatcher()
+    batcher.close()
+    with pytest.raises(ServeError):
+        batcher.submit(np.zeros(1))
+    assert batcher.next_batch(timeout=0.5) is None
+
+
+def test_pending_request_timeout_and_error():
+    batcher = MicroBatcher()
+    pending = batcher.submit(np.zeros(1))
+    with pytest.raises(ServeError, match="timed out"):
+        pending.result(timeout=0.01)
+    pending.set_error(ValueError("boom"))
+    with pytest.raises(ValueError, match="boom"):
+        pending.result(timeout=1.0)
+
+
+# ---------------------------------------------------------------------------
+# Worker pool
+# ---------------------------------------------------------------------------
+
+def test_pool_results_bit_identical(retrained, served_model):
+    _approx, _path, x, ref = retrained
+    with WorkerPool(
+        lambda: compile_plan(served_model, private_engines=True), workers=2
+    ) as pool:
+        futures = [pool.submit(x[i]) for i in range(len(x))]
+        for i, fut in enumerate(futures):
+            assert np.array_equal(fut.result(timeout=30.0), ref[i])
+        assert pool.metrics.counter("predictions_total") == len(x)
+
+
+def test_pool_backpressure_sheds_load():
+    release = threading.Event()
+
+    class BlockingPlan:
+        def run(self, xs):
+            release.wait(10.0)
+            return xs
+
+    pool = WorkerPool(BlockingPlan, workers=1, max_batch=1,
+                      queue_size=2, max_wait_ms=0.0)
+    pool.start()
+    try:
+        futures = [pool.submit(np.zeros(1))]
+        # Wait until the worker picks up the first request, then fill the
+        # queue behind it.
+        deadline = time.perf_counter() + 5.0
+        while pool.batcher.depth > 0 and time.perf_counter() < deadline:
+            time.sleep(0.005)
+        futures += [pool.submit(np.zeros(1)) for _ in range(2)]
+        with pytest.raises(ServerBusyError):
+            pool.submit(np.zeros(1))
+        assert pool.metrics.counter("rejected_total") == 1
+    finally:
+        release.set()
+        for fut in futures:
+            fut.result(timeout=10.0)
+        pool.shutdown()
+
+
+def test_pool_propagates_plan_errors():
+    class FailingPlan:
+        def run(self, xs):
+            raise RuntimeError("kaboom")
+
+    with WorkerPool(FailingPlan, workers=1) as pool:
+        with pytest.raises(RuntimeError, match="kaboom"):
+            pool.infer(np.zeros(1), timeout=10.0)
+        assert pool.metrics.counter("errors_total") == 1
+
+
+def test_pool_shutdown_drains_queued_work():
+    class SlowPlan:
+        def run(self, xs):
+            time.sleep(0.01)
+            return xs * 2.0
+
+    pool = WorkerPool(SlowPlan, workers=1, max_batch=1).start()
+    futures = [pool.submit(np.full(1, float(i))) for i in range(5)]
+    pool.shutdown(drain=True)
+    for i, fut in enumerate(futures):
+        assert fut.result(timeout=1.0)[0] == 2.0 * i
+
+
+# ---------------------------------------------------------------------------
+# HTTP endpoint
+# ---------------------------------------------------------------------------
+
+@pytest.fixture()
+def http_server(retrained, served_model):
+    metrics = ServeMetrics()
+    pool = WorkerPool(
+        lambda: compile_plan(served_model, private_engines=True),
+        workers=1, metrics=metrics,
+    ).start()
+    server = make_server(pool, metrics, port=0, model_name="lenet-test")
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://127.0.0.1:{server.server_address[1]}"
+    server.shutdown()
+    server.server_close()
+    pool.shutdown()
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def _post(url, payload):
+    req = urllib.request.Request(
+        url, data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(req, timeout=30) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def test_http_healthz(http_server):
+    status, body = _get(http_server + "/healthz")
+    assert status == 200
+    assert body["status"] == "ok"
+    assert body["model"] == "lenet-test"
+
+
+def test_http_predict_single_and_batch(retrained, http_server):
+    _approx, _path, x, ref = retrained
+    status, body = _post(http_server + "/predict", {"inputs": x[0].tolist()})
+    assert status == 200
+    assert np.array_equal(np.asarray(body["outputs"][0]), ref[0])
+    assert body["predictions"] == [int(np.argmax(ref[0]))]
+
+    status, body = _post(http_server + "/predict", {"inputs": x[:3].tolist()})
+    assert status == 200
+    assert np.array_equal(np.asarray(body["outputs"]), ref[:3])
+
+
+def test_http_predict_bad_input(http_server):
+    with pytest.raises(urllib.error.HTTPError) as exc_info:
+        _post(http_server + "/predict", {"wrong": 1})
+    assert exc_info.value.code == 400
+    with pytest.raises(urllib.error.HTTPError) as exc_info:
+        _post(http_server + "/predict", {"inputs": [1.0, 2.0]})
+    assert exc_info.value.code == 400
+
+
+def test_http_unknown_path_404(http_server):
+    with pytest.raises(urllib.error.HTTPError) as exc_info:
+        _get(http_server + "/nope")
+    assert exc_info.value.code == 404
+
+
+def test_http_metrics_json_and_text(retrained, http_server):
+    _approx, _path, x, _ref = retrained
+    _post(http_server + "/predict", {"inputs": x[0].tolist()})
+    status, body = _get(http_server + "/metrics")
+    assert status == 200
+    assert body["counters"]["predictions_total"] >= 1
+    assert "request_ms" in body["latency"]
+    assert "engine_cache" in body
+    with urllib.request.urlopen(http_server + "/metrics?format=text") as resp:
+        text = resp.read().decode()
+    assert "serve metrics" in text and "batch sizes" in text
+
+
+# ---------------------------------------------------------------------------
+# Metrics
+# ---------------------------------------------------------------------------
+
+def test_latency_histogram_percentiles():
+    hist = LatencyHistogram()
+    for v in range(1, 101):
+        hist.observe(float(v))
+    snap = hist.as_dict()
+    assert snap["count"] == 100
+    assert snap["min_ms"] == 1.0 and snap["max_ms"] == 100.0
+    assert 49.0 <= snap["p50_ms"] <= 52.0
+    assert 94.0 <= snap["p95_ms"] <= 96.0
+
+
+def test_latency_histogram_reservoir_wraps():
+    hist = LatencyHistogram(reservoir_size=8)
+    for v in range(100):
+        hist.observe(float(v))
+    assert hist.count == 100  # exact count survives the ring buffer
+    assert hist.percentile(50) >= 92.0  # percentiles track recent samples
+
+
+def test_metrics_report_and_gauges():
+    metrics = ServeMetrics()
+    metrics.inc("requests_total", 3)
+    metrics.observe_latency("request_ms", 1.5)
+    metrics.observe_batch(4)
+    metrics.register_gauge("queue_depth", lambda: 7)
+    snap = metrics.as_dict()
+    assert snap["counters"]["requests_total"] == 3
+    assert snap["counters"]["batches_total"] == 1
+    assert snap["gauges"]["queue_depth"] == 7
+    assert snap["batch_size_histogram"] == {"4": 1}
+    assert "queue_depth: 7" in metrics.format_report()
+
+
+# ---------------------------------------------------------------------------
+# Satellites: atomic checkpoint save, CLI --version, trainer timing
+# ---------------------------------------------------------------------------
+
+def test_save_checkpoint_atomic_on_failure(tmp_path, retrained, monkeypatch):
+    approx, _path, _x, _ref = retrained
+    path = tmp_path / "model.npz"
+    save_checkpoint(approx, path)
+    original = path.read_bytes()
+
+    def explode(*args, **kwargs):
+        raise OSError("disk on fire")
+
+    monkeypatch.setattr(np, "savez_compressed", explode)
+    with pytest.raises(OSError, match="disk on fire"):
+        save_checkpoint(approx, path)
+    assert path.read_bytes() == original  # existing checkpoint untouched
+    leftovers = [p for p in tmp_path.iterdir() if p.name != "model.npz"]
+    assert leftovers == []  # no stray temp files
+
+
+def test_cli_version(capsys):
+    from repro import __version__
+    from repro.cli import main
+
+    with pytest.raises(SystemExit) as exc_info:
+        main(["--version"])
+    assert exc_info.value.code == 0
+    assert __version__ in capsys.readouterr().out
+
+
+def test_trainer_records_epoch_timing():
+    train = SyntheticImageDataset(64, 4, 12, seed=2, split="train")
+    model = LeNet(num_classes=4, image_size=12, seed=2)
+    history = Trainer(
+        model, TrainConfig(epochs=2, batch_size=32, seed=2)
+    ).fit(train)
+    assert len(history.epoch_time) == 2
+    assert len(history.samples_per_sec) == 2
+    assert all(t > 0 for t in history.epoch_time)
+    assert all(s > 0 for s in history.samples_per_sec)
