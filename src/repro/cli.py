@@ -4,6 +4,7 @@ Three subcommands mirror the main workflows::
 
     python -m repro.cli characterize [names...]     # Table I rows
     python -m repro.cli retrain --multiplier NAME   # one STE-vs-ours run
+    python -m repro.cli sweep --multipliers NAMES   # resumable parallel grid
     python -m repro.cli hws --multiplier NAME       # HWS sweep
     python -m repro.cli export --multiplier NAME    # Verilog/BLIF dump
     python -m repro.cli serve --checkpoint CKPT --multiplier NAME  # HTTP server
@@ -47,6 +48,74 @@ def _cmd_retrain(args: argparse.Namespace) -> int:
     print(format_table2(rows, refs, title=f"{args.arch} / {args.multiplier}"))
     print()
     print(format_engine_stats())
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.retrain.experiment import ExperimentScale
+    from repro.retrain.runner import SweepRunner
+    from repro.retrain.sweep import SweepConfig
+    from repro.serve.metrics import ServeMetrics
+
+    scale = ExperimentScale(
+        image_size=args.image_size,
+        n_train=args.n_train,
+        n_test=max(args.n_train // 4, 64),
+        width_mult=args.width_mult,
+        pretrain_epochs=args.pretrain_epochs,
+        qat_epochs=args.qat_epochs,
+        retrain_epochs=args.epochs,
+        batch_size=args.batch_size,
+    )
+    config = SweepConfig(
+        arch=args.arch,
+        multipliers=list(args.multipliers),
+        methods=tuple(args.methods),
+        seeds=tuple(args.seeds),
+        scale=scale,
+        log_path=args.log,
+    )
+
+    def printer(event):
+        line = f"[{event.kind:>9}] {event.run_id} attempt={event.attempt}"
+        if event.elapsed_s:
+            line += f" {event.elapsed_s:.1f}s"
+        if event.samples_per_sec:
+            line += f" {event.samples_per_sec:.1f} samples/s"
+        if event.error:
+            line += f" error={event.error}"
+        print(line, flush=True)
+
+    metrics = ServeMetrics()
+    result = SweepRunner(
+        config,
+        workers=args.workers,
+        resume=args.resume,
+        max_retries=args.max_retries,
+        metrics=metrics,
+        on_event=printer,
+    ).run()
+    print()
+    for mult in config.multipliers:
+        for method in config.methods:
+            vals = result.summary.final_top1.get((mult, method), [])
+            if vals:
+                print(
+                    f"{mult:>16} / {method:<10} "
+                    f"mean top-1 {result.summary.mean(mult, method):.4f} "
+                    f"({len(vals)} seed(s))"
+                )
+            else:
+                print(f"{mult:>16} / {method:<10} no completed runs")
+    print()
+    print(metrics.format_report())
+    if result.failed:
+        print(
+            f"\n{len(result.failed)} cell(s) failed: "
+            + ", ".join(st.run_id for st in result.failed),
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -165,6 +234,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch-size", type=int, default=32)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_retrain)
+
+    p = sub.add_parser(
+        "sweep", help="run a resumable (multiplier, method, seed) grid"
+    )
+    p.add_argument("--multipliers", nargs="+", required=True)
+    p.add_argument("--methods", nargs="+", default=["ste", "difference"])
+    p.add_argument("--seeds", nargs="+", type=int, default=[0])
+    p.add_argument("--arch", default="lenet",
+                   choices=["lenet", "vgg19", "resnet18", "resnet34", "resnet50"])
+    p.add_argument("--log", default=None,
+                   help="JSONL journal (required for --resume to matter)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="process-pool size (default: $REPRO_SWEEP_WORKERS or 1)")
+    p.add_argument("--resume", action=argparse.BooleanOptionalAction, default=True,
+                   help="skip cells already in --log (--no-resume re-runs all)")
+    p.add_argument("--max-retries", type=int, default=2,
+                   help="retries per cell on transient failures")
+    p.add_argument("--epochs", type=int, default=3)
+    p.add_argument("--pretrain-epochs", type=int, default=8)
+    p.add_argument("--qat-epochs", type=int, default=2)
+    p.add_argument("--n-train", type=int, default=512)
+    p.add_argument("--image-size", type=int, default=16)
+    p.add_argument("--width-mult", type=float, default=0.125)
+    p.add_argument("--batch-size", type=int, default=32)
+    p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("hws", help="sweep half window sizes")
     p.add_argument("--multiplier", required=True)

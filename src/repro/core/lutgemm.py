@@ -539,6 +539,15 @@ class EngineCacheStats:
     misses: int
     engines: list[dict] = field(default_factory=list)
 
+    def as_dict(self) -> dict:
+        """JSON-serializable snapshot (sweep run events, metrics exports)."""
+        return {
+            "entries": self.entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "engines": [dict(e) for e in self.engines],
+        }
+
 
 def engine_cache_stats() -> EngineCacheStats:
     """Cache counters plus per-engine call statistics, for run reports."""

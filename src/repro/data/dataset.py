@@ -56,6 +56,18 @@ class DataLoader:
         self.drop_last = drop_last
         self._rng = np.random.default_rng(seed)
 
+    def rng_state(self) -> dict:
+        """JSON-serializable snapshot of the shuffle/augment RNG.
+
+        Needed for bit-for-bit training resume: the shuffle order of
+        epoch N+1 depends on how many epochs already consumed the RNG.
+        """
+        return self._rng.bit_generator.state
+
+    def set_rng_state(self, state: dict) -> None:
+        """Restore a :meth:`rng_state` snapshot."""
+        self._rng.bit_generator.state = state
+
     def __len__(self) -> int:
         n = len(self.dataset)
         if self.drop_last:

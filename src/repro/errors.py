@@ -17,6 +17,12 @@ class ConfigError(ReproError):
     """Raised for invalid experiment or model configurations."""
 
 
+class TransientRunError(ReproError):
+    """Raised for retryable failures inside one sweep cell (e.g. a
+    non-finite loss or an injected fault); the sweep runner retries these
+    with capped exponential backoff before declaring the run failed."""
+
+
 class ServeError(ReproError):
     """Raised for inference-serving failures (plan compilation, pool use)."""
 

@@ -57,3 +57,29 @@ class Adam:
     def zero_grad(self) -> None:
         for p in self.params:
             p.zero_grad()
+
+    def state_dict(self) -> dict:
+        """Snapshot resumable state: step count and both moment vectors."""
+        return {
+            "t": self._t,
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (shape-validated)."""
+        m, v = state["m"], state["v"]
+        if len(m) != len(self.params) or len(v) != len(self.params):
+            raise ReproError(
+                f"optimizer state holds {len(m)} moment vectors for "
+                f"{len(self.params)} parameters"
+            )
+        for i, (p, mi, vi) in enumerate(zip(self.params, m, v)):
+            if mi.shape != p.data.shape or vi.shape != p.data.shape:
+                raise ReproError(
+                    f"optimizer state shape mismatch at parameter {i}: "
+                    f"{mi.shape} vs {p.data.shape}"
+                )
+        self._t = int(state["t"])
+        self._m = [np.array(mi, dtype=p.data.dtype) for p, mi in zip(self.params, m)]
+        self._v = [np.array(vi, dtype=p.data.dtype) for p, vi in zip(self.params, v)]

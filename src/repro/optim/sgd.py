@@ -50,3 +50,26 @@ class SGD:
     def zero_grad(self) -> None:
         for p in self.params:
             p.zero_grad()
+
+    def state_dict(self) -> dict:
+        """Snapshot resumable state: the momentum velocity buffers."""
+        return {"velocity": [v.copy() for v in self._velocity]}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (shape-validated)."""
+        velocity = state["velocity"]
+        if len(velocity) != len(self.params):
+            raise ReproError(
+                f"optimizer state holds {len(velocity)} velocity buffers "
+                f"for {len(self.params)} parameters"
+            )
+        for i, (p, vi) in enumerate(zip(self.params, velocity)):
+            if vi.shape != p.data.shape:
+                raise ReproError(
+                    f"optimizer state shape mismatch at parameter {i}: "
+                    f"{vi.shape} vs {p.data.shape}"
+                )
+        self._velocity = [
+            np.array(vi, dtype=p.data.dtype)
+            for p, vi in zip(self.params, velocity)
+        ]

@@ -6,6 +6,8 @@
   schedule (Adam, stepped lr).
 - :mod:`repro.retrain.experiment` -- full STE-vs-difference comparison
   pipelines (the Table II / Fig. 5 / Fig. 6 workloads).
+- :mod:`repro.retrain.runner` -- fault-tolerant parallel sweep execution
+  (crash-safe resume, retries with backoff, worker pools).
 """
 
 from repro.retrain.convert import (
@@ -21,11 +23,25 @@ from repro.retrain.experiment import (
     RetrainOutcome,
     ComparisonRow,
     retrain_comparison,
+    run_cell,
     pretrain_float_model,
     quantized_reference_accuracy,
 )
-from repro.retrain.checkpoint import save_checkpoint, load_checkpoint
+from repro.retrain.checkpoint import (
+    save_checkpoint,
+    load_checkpoint,
+    save_training_state,
+    load_training_state,
+)
 from repro.retrain.sweep import SweepConfig, SweepSummary, run_sweep
+from repro.retrain.runner import (
+    RunSpec,
+    RunStatus,
+    RunEvent,
+    SweepResult,
+    SweepRunner,
+    execute_cell,
+)
 from repro.retrain.mixed import (
     mixed_model,
     greedy_mixed_assignment,
@@ -46,13 +62,22 @@ __all__ = [
     "RetrainOutcome",
     "ComparisonRow",
     "retrain_comparison",
+    "run_cell",
     "pretrain_float_model",
     "quantized_reference_accuracy",
     "save_checkpoint",
     "load_checkpoint",
+    "save_training_state",
+    "load_training_state",
     "SweepConfig",
     "SweepSummary",
     "run_sweep",
+    "RunSpec",
+    "RunStatus",
+    "RunEvent",
+    "SweepResult",
+    "SweepRunner",
+    "execute_cell",
     "mixed_model",
     "greedy_mixed_assignment",
     "named_approx_layers",

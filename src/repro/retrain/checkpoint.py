@@ -14,11 +14,24 @@ Format (``.npz`` keys):
   ``quantpc/<layer>/meta`` (``[x_scale, x_zero_point, bits]``): layers
   frozen with ``per_channel_weights=True`` (one weight scale/zero point
   per output channel; activations stay per-tensor).
+
+:func:`save_training_state` writes a superset with everything a
+*bit-for-bit* mid-run resume needs on top of the model itself:
+
+- ``train/epochs_done``: epochs completed when the snapshot was taken.
+- ``train/optimizer``: optimizer class name (``Adam`` / ``SGD``), checked
+  against the resuming trainer so moments are never misapplied.
+- ``opt/t`` + ``opt/m/NNNN`` / ``opt/v/NNNN``: Adam step count and
+  per-parameter moment vectors (``opt/velocity/NNNN`` for SGD).
+- ``train/loader_rng``: the DataLoader shuffle RNG state (JSON in a 0-d
+  unicode array) -- epoch N+1's shuffle order depends on it.
+- ``train/dropout_rng/<module>``: per-``Dropout`` RNG states.
 """
 
 from __future__ import annotations
 
 import contextlib
+import json
 import os
 import tempfile
 from pathlib import Path
@@ -27,6 +40,7 @@ import numpy as np
 
 from repro.errors import ReproError
 from repro.nn.approx import _ApproxBase
+from repro.nn.layers import Dropout
 from repro.nn.module import Module
 from repro.nn.quant import ChannelQuantParams, QuantParams
 
@@ -37,14 +51,18 @@ def _approx_layers_named(model: Module):
     return list(named_approx_layers(model))
 
 
-def save_checkpoint(model: Module, path: str | Path) -> None:
-    """Write parameters, buffers, and quantization state to ``path`` (.npz).
+def _named_modules(model: Module, prefix: str = ""):
+    """Yield ``(dotted_name, module)`` for the model and every submodule
+    (the root model's name is the empty string)."""
+    yield prefix, model
+    for cname, child in model._children():
+        yield from _named_modules(
+            child, f"{prefix}.{cname}" if prefix else cname
+        )
 
-    The write is atomic: the payload goes to a temporary file in the same
-    directory which is then ``os.replace``d into place, so a crash (or a
-    serialization error) mid-save can never leave ``path`` truncated or
-    corrupt an existing checkpoint.
-    """
+
+def _model_payload(model: Module) -> dict[str, np.ndarray]:
+    """Parameters/buffers/quantization arrays keyed in checkpoint format."""
     payload: dict[str, np.ndarray] = {}
     for key, value in model.state_dict().items():
         payload[f"state/{key}"] = value
@@ -74,7 +92,13 @@ def save_checkpoint(model: Module, path: str | Path) -> None:
                 ],
                 dtype=np.float64,
             )
-    path = Path(path)
+    return payload
+
+
+def _write_npz_atomic(payload: dict[str, np.ndarray], path: Path) -> None:
+    """Write ``payload`` to ``path`` via a same-directory temp file +
+    ``os.replace``, so a crash mid-save can never leave ``path`` truncated
+    or corrupt an existing file."""
     fd, tmp_name = tempfile.mkstemp(
         dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
     )
@@ -88,32 +112,24 @@ def save_checkpoint(model: Module, path: str | Path) -> None:
         raise
 
 
-def load_checkpoint(model: Module, path: str | Path) -> None:
-    """Restore a checkpoint written by :func:`save_checkpoint` in place.
-
-    The model must have the same architecture (and, for quantization
-    entries, the same approximate layers) as the one saved.
-    """
-    path = Path(path)
-    if not path.exists():
-        raise ReproError(f"no such checkpoint: {path}")
-    with np.load(path) as data:
-        state = {
-            key[len("state/"):]: data[key]
-            for key in data.files
-            if key.startswith("state/")
-        }
-        quant = {
-            key[len("quant/"):]: data[key]
-            for key in data.files
-            if key.startswith("quant/")
-        }
-        quant_pc: dict[str, dict[str, np.ndarray]] = {}
-        for key in data.files:
-            if not key.startswith("quantpc/"):
-                continue
-            name, field = key[len("quantpc/"):].rsplit("/", 1)
-            quant_pc.setdefault(name, {})[field] = data[key]
+def _apply_model_state(model: Module, data) -> None:
+    """Restore the model-side keys of a loaded ``.npz`` onto ``model``."""
+    state = {
+        key[len("state/"):]: data[key]
+        for key in data.files
+        if key.startswith("state/")
+    }
+    quant = {
+        key[len("quant/"):]: data[key]
+        for key in data.files
+        if key.startswith("quant/")
+    }
+    quant_pc: dict[str, dict[str, np.ndarray]] = {}
+    for key in data.files:
+        if not key.startswith("quantpc/"):
+            continue
+        name, field = key[len("quantpc/"):].rsplit("/", 1)
+        quant_pc.setdefault(name, {})[field] = data[key]
     model.load_state_dict(state)
     layers = dict(_approx_layers_named(model))
     for name, packed in quant.items():
@@ -142,3 +158,130 @@ def load_checkpoint(model: Module, path: str | Path) -> None:
         )
         layer.quant.x_qparams = QuantParams(float(meta[0]), int(meta[1]), bits)
         layer.calibrating = False
+
+
+def save_checkpoint(model: Module, path: str | Path) -> None:
+    """Write parameters, buffers, and quantization state to ``path`` (.npz).
+
+    The write is atomic (temp file + ``os.replace``); see
+    :func:`_write_npz_atomic`.
+    """
+    _write_npz_atomic(_model_payload(model), Path(path))
+
+
+def load_checkpoint(model: Module, path: str | Path) -> None:
+    """Restore a checkpoint written by :func:`save_checkpoint` in place.
+
+    The model must have the same architecture (and, for quantization
+    entries, the same approximate layers) as the one saved.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ReproError(f"no such checkpoint: {path}")
+    with np.load(path) as data:
+        _apply_model_state(model, data)
+
+
+def _json_scalar(value) -> np.ndarray:
+    """Pack a JSON-serializable value into a 0-d unicode array."""
+    return np.array(json.dumps(value))
+
+
+def save_training_state(model: Module, trainer, path: str | Path) -> None:
+    """Atomically snapshot a mid-run training state to ``path`` (.npz).
+
+    On top of :func:`save_checkpoint`'s model payload this captures the
+    epoch counter, the optimizer's moment/velocity state, the DataLoader
+    shuffle RNG, and every ``Dropout`` layer's RNG -- the complete set of
+    state a resumed run needs to reproduce the uninterrupted run's loss
+    curve bit-for-bit (the LR schedule itself is stateless: it is a pure
+    function of the epoch index).
+    """
+    payload = _model_payload(model)
+    payload["train/epochs_done"] = np.array(int(trainer.epochs_done))
+    payload["train/optimizer"] = np.array(type(trainer.optimizer).__name__)
+    opt_state = trainer.optimizer.state_dict()
+    if "t" in opt_state:  # Adam
+        payload["opt/t"] = np.array(int(opt_state["t"]))
+        for i, m in enumerate(opt_state["m"]):
+            payload[f"opt/m/{i:04d}"] = m
+        for i, v in enumerate(opt_state["v"]):
+            payload[f"opt/v/{i:04d}"] = v
+    else:  # SGD
+        for i, v in enumerate(opt_state["velocity"]):
+            payload[f"opt/velocity/{i:04d}"] = v
+    loader_rng = trainer.loader_rng_state()
+    if loader_rng is not None:
+        payload["train/loader_rng"] = _json_scalar(loader_rng)
+    for name, module in _named_modules(model):
+        if isinstance(module, Dropout):
+            payload[f"train/dropout_rng/{name}"] = _json_scalar(
+                module.rng.bit_generator.state
+            )
+    _write_npz_atomic(payload, Path(path))
+
+
+def load_training_state(model: Module, trainer, path: str | Path) -> int:
+    """Restore a :func:`save_training_state` snapshot; returns the number
+    of epochs already completed.
+
+    The model is restored in place; the trainer's optimizer state and
+    epoch counter are restored, and its *next* ``fit()`` call continues
+    from the saved epoch with the saved shuffle-RNG state (one-shot: a
+    subsequent ``fit()`` starts fresh from epoch 0 as usual).
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ReproError(f"no such checkpoint: {path}")
+    with np.load(path) as data:
+        if "train/epochs_done" not in data.files:
+            raise ReproError(
+                f"{path} is a model-only checkpoint (no training state); "
+                "use load_checkpoint()"
+            )
+        _apply_model_state(model, data)
+        saved_opt = str(data["train/optimizer"].item())
+        have_opt = type(trainer.optimizer).__name__
+        if saved_opt != have_opt:
+            raise ReproError(
+                f"checkpoint was written with optimizer {saved_opt}, "
+                f"but the trainer uses {have_opt}"
+            )
+
+        def _indexed(prefix: str) -> list[np.ndarray]:
+            keys = sorted(k for k in data.files if k.startswith(prefix))
+            return [data[k] for k in keys]
+
+        if saved_opt == "Adam":
+            trainer.optimizer.load_state_dict(
+                {
+                    "t": int(data["opt/t"]),
+                    "m": _indexed("opt/m/"),
+                    "v": _indexed("opt/v/"),
+                }
+            )
+        else:
+            trainer.optimizer.load_state_dict(
+                {"velocity": _indexed("opt/velocity/")}
+            )
+        epochs_done = int(data["train/epochs_done"])
+        if "train/loader_rng" in data.files:
+            trainer._pending_loader_rng = json.loads(
+                data["train/loader_rng"].item()
+            )
+        dropout_states = {
+            key[len("train/dropout_rng/"):]: json.loads(data[key].item())
+            for key in data.files
+            if key.startswith("train/dropout_rng/")
+        }
+    modules = dict(_named_modules(model))
+    for name, state in dropout_states.items():
+        module = modules.get(name)
+        if not isinstance(module, Dropout):
+            raise ReproError(
+                f"checkpoint has dropout RNG state for unknown module {name!r}"
+            )
+        module.rng.bit_generator.state = state
+    trainer.epochs_done = epochs_done
+    trainer._start_epoch = epochs_done
+    return epochs_done

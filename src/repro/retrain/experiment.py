@@ -110,6 +110,7 @@ class RetrainOutcome:
     epoch_top1: list[float] = field(default_factory=list)
     epoch_top5: list[float] = field(default_factory=list)
     train_loss: list[float] = field(default_factory=list)
+    samples_per_sec: float = 0.0
 
 
 @dataclass
@@ -204,6 +205,141 @@ def _float_weights_from(qat_model, float_model):
     return model
 
 
+# ----------------------------------------------------------------------
+# Process-level cache of the deterministic shared stages (pretrain, QAT).
+#
+# Steps 1-2 of Fig. 1 depend only on ``(arch, scale)`` / ``(arch, scale,
+# bits)`` -- every randomness source is seeded by ``scale.seed`` -- so grid
+# cells executed one at a time (the sweep runner's unit of work) reuse the
+# trained float model and the per-bitwidth QAT seed weights instead of
+# re-running them per cell.  Cached models are treated as immutable:
+# every consumer deep-copies before training (``approximate_model``,
+# ``_float_weights_from``).
+_STAGE_CACHE: dict[tuple, tuple] = {}
+
+
+def clear_stage_cache() -> None:
+    """Drop cached pretrain/QAT stages (frees the retained models)."""
+    _STAGE_CACHE.clear()
+
+
+def _float_stage(arch: str, scale: ExperimentScale, train, test):
+    """Cached step 1: ``(float_model, float_top1)`` for ``(arch, scale)``."""
+    key = ("float", arch, scale)
+    hit = _STAGE_CACHE.get(key)
+    if hit is None:
+        hit = _STAGE_CACHE[key] = pretrain_float_model(arch, scale, train, test)
+    return hit
+
+
+def _seed_stage(arch: str, scale: ExperimentScale, bits: int, train, test):
+    """Cached step 2: ``(seed_model, reference_top1)`` for a bitwidth."""
+    key = ("seed", arch, scale, bits)
+    hit = _STAGE_CACHE.get(key)
+    if hit is None:
+        float_model, _ = _float_stage(arch, scale, train, test)
+        qat_model, ref_top1 = quantized_reference_accuracy(
+            float_model, bits, scale, train, test
+        )
+        seed_model = _float_weights_from(qat_model, float_model)
+        hit = _STAGE_CACHE[key] = (seed_model, ref_top1)
+    return hit
+
+
+def _retrain_outcome(
+    seed_model,
+    mult,
+    method: str,
+    scale: ExperimentScale,
+    train,
+    test,
+    hws: int | None,
+    track_epochs: bool,
+) -> RetrainOutcome:
+    """Steps 3-5 of Fig. 1 for one (multiplier, method) cell."""
+    model = _calibrated_approx_model(
+        seed_model,
+        mult,
+        scale,
+        train,
+        gradient_method=method,
+        hws=hws if method == "difference" else None,
+    )
+    trainer = Trainer(
+        model,
+        TrainConfig(
+            epochs=scale.retrain_epochs,
+            batch_size=scale.batch_size,
+            base_lr=scale.retrain_lr,
+            augment=scale.augment,
+            seed=scale.seed,
+        ),
+    )
+    history = trainer.fit(train, eval_data=test if track_epochs else None)
+    top1, top5 = evaluate(model, test)
+    throughput = (
+        sum(history.samples_per_sec) / len(history.samples_per_sec)
+        if history.samples_per_sec
+        else 0.0
+    )
+    return RetrainOutcome(
+        method=method,
+        final_top1=top1,
+        final_top5=top5,
+        epoch_top1=history.eval_top1,
+        epoch_top5=history.eval_top5,
+        train_loss=history.train_loss,
+        samples_per_sec=throughput,
+    )
+
+
+def run_cell(
+    arch: str,
+    multiplier_name: str,
+    method: str,
+    scale: ExperimentScale,
+    hws: int | None = None,
+    track_epochs: bool = False,
+) -> ComparisonRow:
+    """Run one independent (multiplier, method) grid cell.
+
+    The sweep runner's unit of work: produces exactly the values
+    :func:`retrain_comparison` would for this cell (shared pretrain/QAT
+    stages are deterministic and cached per process), but each call is
+    self-contained, so cells can execute in any order and in parallel
+    worker processes.
+
+    Returns a :class:`ComparisonRow` whose ``outcomes`` holds just
+    ``method``.
+    """
+    train, test = load_data(scale)
+    info = multiplier_info(multiplier_name)
+    seed_model, ref_top1 = _seed_stage(arch, scale, info.bits, train, test)
+    mult = get_multiplier(multiplier_name)
+
+    base = _calibrated_approx_model(
+        seed_model, mult, scale, train, gradient_method="ste"
+    )
+    initial_top1, _ = evaluate(base, test)
+    outcome = _retrain_outcome(
+        seed_model, mult, method, scale, train, test, hws, track_epochs
+    )
+
+    sheet = info.datasheet
+    ref_power = multiplier_info("mul8u_acc").datasheet.power_uw
+    ref_delay = multiplier_info("mul8u_acc").datasheet.delay_ps
+    return ComparisonRow(
+        multiplier=multiplier_name,
+        bits=info.bits,
+        initial_top1=initial_top1,
+        outcomes={method: outcome},
+        reference_top1=ref_top1,
+        norm_power=sheet.power_uw / ref_power,
+        norm_delay=sheet.delay_ps / ref_delay,
+        nmed_percent=sheet.nmed_percent,
+    )
+
+
 def retrain_comparison(
     arch: str,
     multiplier_names: list[str],
@@ -226,17 +362,14 @@ def retrain_comparison(
         ``(rows, reference_acc_by_bits)``.
     """
     train, test = load_data(scale)
-    float_model, float_top1 = pretrain_float_model(arch, scale, train, test)
 
     bit_widths = sorted({multiplier_info(n).bits for n in multiplier_names})
     references: dict[int, float] = {}
     seeds: dict[int, object] = {}
     for bits in bit_widths:
-        qat_model, ref_top1 = quantized_reference_accuracy(
-            float_model, bits, scale, train, test
+        seeds[bits], references[bits] = _seed_stage(
+            arch, scale, bits, train, test
         )
-        references[bits] = ref_top1
-        seeds[bits] = _float_weights_from(qat_model, float_model)
 
     ref_power = multiplier_info("mul8u_acc").datasheet.power_uw
     ref_delay = multiplier_info("mul8u_acc").datasheet.delay_ps
@@ -253,33 +386,8 @@ def retrain_comparison(
 
         outcomes: dict[str, RetrainOutcome] = {}
         for method in methods:
-            model = _calibrated_approx_model(
-                seed_model,
-                mult,
-                scale,
-                train,
-                gradient_method=method,
-                hws=hws if method == "difference" else None,
-            )
-            trainer = Trainer(
-                model,
-                TrainConfig(
-                    epochs=scale.retrain_epochs,
-                    batch_size=scale.batch_size,
-                    base_lr=scale.retrain_lr,
-                    augment=scale.augment,
-                    seed=scale.seed,
-                ),
-            )
-            history = trainer.fit(train, eval_data=test if track_epochs else None)
-            top1, top5 = evaluate(model, test)
-            outcomes[method] = RetrainOutcome(
-                method=method,
-                final_top1=top1,
-                final_top5=top5,
-                epoch_top1=history.eval_top1,
-                epoch_top5=history.eval_top5,
-                train_loss=history.train_loss,
+            outcomes[method] = _retrain_outcome(
+                seed_model, mult, method, scale, train, test, hws, track_epochs
             )
 
         sheet = info.datasheet
@@ -295,5 +403,4 @@ def retrain_comparison(
                 nmed_percent=sheet.nmed_percent,
             )
         )
-    del float_top1
     return rows, references

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import csv
 import json
+import warnings
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
@@ -86,16 +87,38 @@ def append_jsonl(record: RunRecord, path: str | Path) -> None:
         fh.write(json.dumps(payload) + "\n")
 
 
-def read_jsonl(path: str | Path) -> list[RunRecord]:
-    """Load every run from a JSONL log."""
+def read_jsonl(path: str | Path, dedupe: bool = False) -> list[RunRecord]:
+    """Load every run from a JSONL log.
+
+    A log written by a process that was killed mid-append may end in a
+    truncated (undecodable) final line; that line is skipped with a warning
+    so crash-safe resume can still read everything that completed.  Corrupt
+    *interior* lines still raise -- appends only ever damage the tail, so
+    anything else indicates real corruption.
+
+    Args:
+        path: JSONL log path.
+        dedupe: Collapse duplicate ``run_id``s, keeping the most recent
+            record for each (the order of first occurrence is preserved).
+    """
     path = Path(path)
     if not path.exists():
         raise ReproError(f"no such log: {path}")
+    lines = [ln for ln in path.read_text().splitlines() if ln.strip()]
     records: list[RunRecord] = []
-    for line in path.read_text().splitlines():
-        if not line.strip():
-            continue
-        raw = json.loads(line)
+    for i, line in enumerate(lines):
+        try:
+            raw = json.loads(line)
+        except json.JSONDecodeError:
+            if i == len(lines) - 1:
+                warnings.warn(
+                    f"skipping truncated final line of {path} "
+                    "(interrupted append)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                continue
+            raise ReproError(f"corrupt JSONL record at {path}:{i + 1}")
         records.append(
             RunRecord(
                 run_id=raw["run_id"],
@@ -107,7 +130,20 @@ def read_jsonl(path: str | Path) -> list[RunRecord]:
                 history=TrainHistory(**raw.get("history", {})),
             )
         )
-    return records
+    return dedupe_records(records) if dedupe else records
+
+
+def dedupe_records(records: list[RunRecord]) -> list[RunRecord]:
+    """Collapse duplicate ``run_id``s, keeping the most recent record.
+
+    Restarted sweeps used to append completed cells again, double-counting
+    them on analysis; deduplication keeps the last (newest) record per
+    ``run_id`` at the position of its first occurrence.
+    """
+    by_id: dict[str, RunRecord] = {}
+    for rec in records:
+        by_id[rec.run_id] = rec  # later records overwrite earlier ones
+    return list(by_id.values())
 
 
 def best_runs(records: list[RunRecord], by: str = "eval_top1") -> dict[str, RunRecord]:

@@ -1,0 +1,599 @@
+"""Fault-tolerant parallel sweep execution (the ``repro sweep`` engine).
+
+Replaces the bare loop that used to live in :mod:`repro.retrain.sweep`:
+every (multiplier, method, seed) grid cell becomes an independent
+:class:`RunSpec` with a deterministic ``run_id``, executed either
+in-process (``workers=1``, the default -- preserves the historical JSONL
+log ordering bit-for-bit) or across a ``fork``-based process pool
+(``REPRO_SWEEP_WORKERS`` / ``workers > 1``).
+
+Fault tolerance has three layers:
+
+- **Crash-safe resume.** Completed cells are journaled to the sweep's
+  JSONL log from the *parent* process the moment they finish; a restarted
+  sweep reloads the log (tolerating a truncated final line from a killed
+  append, deduping by ``run_id``) and skips every cell already recorded,
+  so no work is repeated and no duplicate records are written.
+- **Retries.** A cell that raises :class:`repro.errors.TransientRunError`
+  (non-finite losses, injected engine faults) is retried with capped
+  exponential backoff (``backoff_base * 2**(attempt-1)``, capped at
+  ``backoff_cap``) up to ``max_retries`` times; every attempt is counted
+  in the cell's :class:`RunStatus`.
+- **Degradation.** If the process pool itself fails (sandboxed
+  environments that forbid fork, broken workers), the remaining cells run
+  sequentially in-process instead of failing the sweep.
+
+Observability: lifecycle events (``started`` / ``heartbeat`` /
+``retried`` / ``finished`` / ``failed`` / ``skipped``) flow through an
+``on_event`` callback, and counters / latency histograms / an in-flight
+gauge report through :class:`repro.serve.metrics.ServeMetrics` -- the same
+metrics surface the serving stack uses -- including live engine cache
+statistics from :func:`repro.core.lutgemm.engine_cache_stats`.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+import time
+import warnings
+from collections import deque
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Callable
+
+from repro.errors import TransientRunError
+from repro.retrain.experiment import ExperimentScale, run_cell
+from repro.retrain.logging import RunRecord, append_jsonl, read_jsonl
+from repro.retrain.sweep import SweepConfig, SweepSummary
+from repro.retrain.trainer import TrainHistory
+
+#: Environment variable read when ``workers`` is not passed explicitly.
+WORKERS_ENV = "REPRO_SWEEP_WORKERS"
+
+
+def workers_requested() -> int:
+    """Worker-pool size from ``REPRO_SWEEP_WORKERS`` (default / invalid: 1)."""
+    raw = os.environ.get(WORKERS_ENV, "")
+    try:
+        return max(int(raw), 1)
+    except ValueError:
+        return 1
+
+
+# ----------------------------------------------------------------------
+# Run specs and per-run records.
+@dataclass(frozen=True)
+class RunSpec:
+    """One independent grid cell: a single (arch, multiplier, method, seed)
+    retraining run at a given scale."""
+
+    arch: str
+    multiplier: str
+    method: str
+    seed: int
+    scale: ExperimentScale = field(default_factory=ExperimentScale)
+
+    @property
+    def run_id(self) -> str:
+        """Deterministic identifier; doubles as the JSONL journal key."""
+        return f"{self.arch}-{self.multiplier}-{self.method}-s{self.seed}"
+
+
+@dataclass
+class CellResult:
+    """What one executed cell returns to the parent process."""
+
+    run_id: str
+    final_top1: float
+    final_top5: float
+    initial_top1: float
+    train_loss: list[float] = field(default_factory=list)
+    epoch_top1: list[float] = field(default_factory=list)
+    epoch_top5: list[float] = field(default_factory=list)
+    wall_time_s: float = 0.0
+    samples_per_sec: float = 0.0
+    engine_cache: dict = field(default_factory=dict)
+    pid: int = 0
+
+
+@dataclass
+class RunStatus:
+    """Parent-side lifecycle record for one cell."""
+
+    run_id: str
+    state: str = "pending"  # pending|running|completed|failed|resumed
+    attempts: int = 0
+    retries: int = 0
+    wall_time_s: float = 0.0
+    samples_per_sec: float = 0.0
+    error: str | None = None
+    final_top1: float | None = None
+    final_top5: float | None = None
+
+
+@dataclass
+class RunEvent:
+    """One entry of the run-level event stream (``on_event`` callback)."""
+
+    kind: str  # started|heartbeat|retried|finished|failed|skipped
+    run_id: str
+    attempt: int = 1
+    elapsed_s: float = 0.0
+    error: str | None = None
+    samples_per_sec: float | None = None
+    engine_cache: dict | None = None
+
+
+@dataclass
+class SweepResult:
+    """Everything :meth:`SweepRunner.run` produces."""
+
+    summary: SweepSummary
+    statuses: dict[str, RunStatus]
+    failed: list[RunStatus] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# Cell execution.  Top-level functions so they pickle under fork/spawn.
+def execute_cell(spec: RunSpec) -> CellResult:
+    """Execute one grid cell (the default ``cell_fn``).
+
+    Runs :func:`repro.retrain.experiment.run_cell` with the spec's seed
+    substituted into its scale (every randomness source keys off
+    ``scale.seed``, which is what makes per-seed cells independent).
+    Non-finite results raise :class:`TransientRunError` so the parent
+    retries instead of journaling garbage.
+    """
+    from repro.core.lutgemm import engine_cache_stats
+
+    scale = replace(spec.scale, seed=spec.seed)
+    t0 = time.monotonic()
+    row = run_cell(spec.arch, spec.multiplier, spec.method, scale)
+    wall = time.monotonic() - t0
+    outcome = row.outcomes[spec.method]
+    checked = [outcome.final_top1, outcome.final_top5, *outcome.train_loss]
+    if not all(math.isfinite(v) for v in checked):
+        raise TransientRunError(f"non-finite training result in {spec.run_id}")
+    return CellResult(
+        run_id=spec.run_id,
+        final_top1=outcome.final_top1,
+        final_top5=outcome.final_top5,
+        initial_top1=row.initial_top1,
+        train_loss=outcome.train_loss,
+        epoch_top1=outcome.epoch_top1,
+        epoch_top5=outcome.epoch_top5,
+        wall_time_s=wall,
+        samples_per_sec=outcome.samples_per_sec,
+        engine_cache=engine_cache_stats().as_dict(),
+        pid=os.getpid(),
+    )
+
+
+def _pool_call(fn: Callable[[RunSpec], CellResult], spec: RunSpec) -> CellResult:
+    """Worker-side shim (keeps custom ``cell_fn``s picklable as args)."""
+    return fn(spec)
+
+
+# ----------------------------------------------------------------------
+class SweepRunner:
+    """Fault-tolerant executor for one :class:`SweepConfig` grid.
+
+    Args:
+        config: The grid (arch, multipliers, methods, seeds, scale, log).
+        workers: Pool size; ``None`` reads ``REPRO_SWEEP_WORKERS``
+            (default 1 = sequential, historical log order).
+        resume: Skip cells already journaled in ``config.log_path``.
+        max_retries: Retries per cell after a :class:`TransientRunError`
+            (so a cell executes at most ``max_retries + 1`` times).
+        backoff_base / backoff_cap: Exponential retry backoff, seconds.
+        heartbeat_s: Interval of ``heartbeat`` events for in-flight runs
+            (0 disables the heartbeat thread).
+        metrics: Optional :class:`repro.serve.metrics.ServeMetrics`.
+        on_event: Optional :class:`RunEvent` callback (called under a lock,
+            possibly from the heartbeat thread).
+        cell_fn: Cell executor override (tests / custom workloads); must
+            be a picklable top-level callable when ``workers > 1``.
+        sleep: Injectable sleep (tests).
+    """
+
+    def __init__(
+        self,
+        config: SweepConfig,
+        *,
+        workers: int | None = None,
+        resume: bool = True,
+        max_retries: int = 2,
+        backoff_base: float = 0.5,
+        backoff_cap: float = 30.0,
+        heartbeat_s: float = 5.0,
+        metrics=None,
+        on_event: Callable[[RunEvent], None] | None = None,
+        cell_fn: Callable[[RunSpec], CellResult] | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        self.config = config
+        self.workers = max(workers if workers is not None else workers_requested(), 1)
+        self.resume = resume
+        self.max_retries = max(max_retries, 0)
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.heartbeat_s = heartbeat_s
+        self.metrics = metrics
+        self.on_event = on_event
+        self._cell_fn = cell_fn or execute_cell
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self._inflight: dict[str, tuple[float, int]] = {}
+        self._hb_stop: threading.Event | None = None
+
+    # ------------------------------------------------------------------
+    def specs(self) -> list[RunSpec]:
+        """Grid cells in canonical order (seed-major, then multiplier,
+        then method) -- the order the historical sequential sweep wrote
+        its JSONL log in."""
+        cfg = self.config
+        return [
+            RunSpec(cfg.arch, mult, method, seed, cfg.scale)
+            for seed in cfg.seeds
+            for mult in cfg.multipliers
+            for method in cfg.methods
+        ]
+
+    def run(self) -> SweepResult:
+        specs = self.specs()
+        statuses = {s.run_id: RunStatus(run_id=s.run_id) for s in specs}
+        if self.metrics is not None:
+            self.metrics.inc("sweep_cells_total", len(specs))
+            self.metrics.register_gauge(
+                "sweep_inflight", lambda: float(len(self._inflight))
+            )
+
+        pending: list[RunSpec] = []
+        completed = self._load_completed({s.run_id for s in specs})
+        for spec in specs:
+            record = completed.get(spec.run_id)
+            if record is None:
+                pending.append(spec)
+                continue
+            self._mark_resumed(statuses[spec.run_id], record)
+
+        hb = self._start_heartbeat()
+        try:
+            if self.workers <= 1:
+                self._run_sequential(pending, statuses)
+            else:
+                self._run_pool(pending, statuses)
+        finally:
+            self._stop_heartbeat(hb)
+
+        results: dict[tuple[str, str], list[float]] = {
+            (m, meth): []
+            for m in self.config.multipliers
+            for meth in self.config.methods
+        }
+        for spec in specs:
+            st = statuses[spec.run_id]
+            if st.state in ("completed", "resumed") and st.final_top1 is not None:
+                results[(spec.multiplier, spec.method)].append(st.final_top1)
+        failed = [
+            statuses[s.run_id] for s in specs if statuses[s.run_id].state == "failed"
+        ]
+        return SweepResult(
+            summary=SweepSummary(final_top1=results),
+            statuses=statuses,
+            failed=failed,
+        )
+
+    # ------------------------------------------------------------------
+    # Resume.
+    def _load_completed(self, valid_ids: set[str]) -> dict[str, RunRecord]:
+        path = self.config.log_path
+        if not self.resume or not path or not Path(path).exists():
+            return {}
+        records = read_jsonl(path, dedupe=True)
+        return {r.run_id: r for r in records if r.run_id in valid_ids}
+
+    def _mark_resumed(self, status: RunStatus, record: RunRecord) -> None:
+        status.state = "resumed"
+        extra = record.extra or {}
+        if record.history.eval_top1:
+            status.final_top1 = record.history.eval_top1[-1]
+        elif "final_top1" in extra:
+            status.final_top1 = extra["final_top1"]
+        if record.history.eval_top5:
+            status.final_top5 = record.history.eval_top5[-1]
+        elif "final_top5" in extra:
+            status.final_top5 = extra["final_top5"]
+        status.attempts = extra.get("attempts", status.attempts)
+        status.retries = extra.get("retries", status.retries)
+        status.wall_time_s = extra.get("wall_time_s", status.wall_time_s)
+        status.samples_per_sec = extra.get(
+            "samples_per_sec", status.samples_per_sec
+        )
+        if self.metrics is not None:
+            self.metrics.inc("sweep_cells_resumed")
+        self._emit(RunEvent(kind="skipped", run_id=status.run_id))
+
+    # ------------------------------------------------------------------
+    # Sequential path (workers == 1): canonical order, bit-identical to
+    # the historical loop.
+    def _run_sequential(
+        self, pending: list[RunSpec], statuses: dict[str, RunStatus]
+    ) -> None:
+        for spec in pending:
+            status = statuses[spec.run_id]
+            attempt = 0
+            while True:
+                attempt += 1
+                self._begin(spec, status, attempt)
+                t0 = time.monotonic()
+                try:
+                    result = self._cell_fn(spec)
+                except TransientRunError as exc:
+                    elapsed = time.monotonic() - t0
+                    self._end(spec)
+                    if attempt > self.max_retries:
+                        self._fail(status, exc, elapsed, attempt)
+                        break
+                    self._retry(status, exc, elapsed, attempt)
+                    self._sleep(self._backoff(attempt))
+                    continue
+                except Exception as exc:  # permanent: config errors etc.
+                    elapsed = time.monotonic() - t0
+                    self._end(spec)
+                    self._fail(status, exc, elapsed, attempt)
+                    break
+                elapsed = time.monotonic() - t0
+                self._end(spec)
+                self._complete(spec, status, result, elapsed)
+                break
+
+    # ------------------------------------------------------------------
+    # Parallel path (workers > 1): fork-based process pool with an event
+    # loop that interleaves completions and due retries.  Pool-level
+    # failures degrade to the sequential path for whatever is left.
+    def _run_pool(
+        self, pending: list[RunSpec], statuses: dict[str, RunStatus]
+    ) -> None:
+        try:
+            self._pool_loop(pending, statuses)
+        except Exception as exc:
+            leftovers = [
+                spec
+                for spec in pending
+                if statuses[spec.run_id].state not in ("completed", "failed")
+            ]
+            with self._lock:
+                self._inflight.clear()
+            if not leftovers:
+                return
+            warnings.warn(
+                f"sweep worker pool failed ({exc!r}); running "
+                f"{len(leftovers)} remaining cell(s) sequentially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self._run_sequential(leftovers, statuses)
+
+    def _pool_loop(
+        self, pending: list[RunSpec], statuses: dict[str, RunStatus]
+    ) -> None:
+        import multiprocessing as mp
+        from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
+        from concurrent.futures import wait as futures_wait
+
+        ctx = (
+            mp.get_context("fork")
+            if "fork" in mp.get_all_start_methods()
+            else None
+        )
+        queue: deque[tuple[RunSpec, int]] = deque((s, 1) for s in pending)
+        retry_at: list[tuple[float, RunSpec, int]] = []
+        running: dict = {}  # future -> (spec, attempt, t0)
+        with ProcessPoolExecutor(max_workers=self.workers, mp_context=ctx) as pool:
+            while queue or retry_at or running:
+                now = time.monotonic()
+                due = [item for item in retry_at if item[0] <= now]
+                retry_at = [item for item in retry_at if item[0] > now]
+                for _, spec, attempt in due:
+                    queue.append((spec, attempt))
+
+                while queue and len(running) < self.workers:
+                    spec, attempt = queue.popleft()
+                    self._begin(spec, statuses[spec.run_id], attempt)
+                    fut = pool.submit(_pool_call, self._cell_fn, spec)
+                    running[fut] = (spec, attempt, time.monotonic())
+
+                if not running:
+                    next_due = min(item[0] for item in retry_at)
+                    self._sleep(max(next_due - time.monotonic(), 0.0))
+                    continue
+
+                timeout = None
+                if retry_at:
+                    next_due = min(item[0] for item in retry_at)
+                    timeout = max(next_due - time.monotonic(), 0.0)
+                done, _ = futures_wait(
+                    set(running), timeout=timeout, return_when=FIRST_COMPLETED
+                )
+                for fut in done:
+                    spec, attempt, t0 = running.pop(fut)
+                    status = statuses[spec.run_id]
+                    elapsed = time.monotonic() - t0
+                    self._end(spec)
+                    try:
+                        result = fut.result()
+                    except TransientRunError as exc:
+                        if attempt > self.max_retries:
+                            self._fail(status, exc, elapsed, attempt)
+                        else:
+                            self._retry(status, exc, elapsed, attempt)
+                            retry_at.append(
+                                (
+                                    time.monotonic() + self._backoff(attempt),
+                                    spec,
+                                    attempt + 1,
+                                )
+                            )
+                        continue
+                    except Exception as exc:
+                        self._fail(status, exc, elapsed, attempt)
+                        continue
+                    self._complete(spec, status, result, elapsed)
+
+    # ------------------------------------------------------------------
+    # Lifecycle bookkeeping shared by both paths.
+    def _backoff(self, attempt: int) -> float:
+        return min(self.backoff_base * (2 ** (attempt - 1)), self.backoff_cap)
+
+    def _begin(self, spec: RunSpec, status: RunStatus, attempt: int) -> None:
+        status.state = "running"
+        status.attempts = attempt
+        with self._lock:
+            self._inflight[spec.run_id] = (time.monotonic(), attempt)
+        self._emit(RunEvent(kind="started", run_id=spec.run_id, attempt=attempt))
+
+    def _end(self, spec: RunSpec) -> None:
+        with self._lock:
+            self._inflight.pop(spec.run_id, None)
+
+    def _retry(
+        self, status: RunStatus, exc: Exception, elapsed: float, attempt: int
+    ) -> None:
+        status.retries += 1
+        status.error = str(exc)
+        if self.metrics is not None:
+            self.metrics.inc("sweep_retries_total")
+        self._emit(
+            RunEvent(
+                kind="retried",
+                run_id=status.run_id,
+                attempt=attempt,
+                elapsed_s=elapsed,
+                error=str(exc),
+            )
+        )
+
+    def _fail(
+        self, status: RunStatus, exc: Exception, elapsed: float, attempt: int
+    ) -> None:
+        status.state = "failed"
+        status.error = str(exc)
+        status.wall_time_s += elapsed
+        if self.metrics is not None:
+            self.metrics.inc("sweep_cells_failed")
+        self._emit(
+            RunEvent(
+                kind="failed",
+                run_id=status.run_id,
+                attempt=attempt,
+                elapsed_s=elapsed,
+                error=str(exc),
+            )
+        )
+
+    def _complete(
+        self,
+        spec: RunSpec,
+        status: RunStatus,
+        result: CellResult,
+        elapsed: float,
+    ) -> None:
+        status.state = "completed"
+        status.final_top1 = result.final_top1
+        status.final_top5 = result.final_top5
+        status.wall_time_s = result.wall_time_s or elapsed
+        status.samples_per_sec = result.samples_per_sec
+        if self.metrics is not None:
+            self.metrics.inc("sweep_cells_completed")
+            self.metrics.observe_latency(
+                "sweep_cell_wall_ms", status.wall_time_s * 1000.0
+            )
+        self._journal(spec, status, result)
+        self._emit(
+            RunEvent(
+                kind="finished",
+                run_id=spec.run_id,
+                attempt=status.attempts,
+                elapsed_s=status.wall_time_s,
+                samples_per_sec=result.samples_per_sec,
+                engine_cache=result.engine_cache or None,
+            )
+        )
+
+    def _journal(
+        self, spec: RunSpec, status: RunStatus, result: CellResult
+    ) -> None:
+        """Append the completed cell to the JSONL log (parent-side, so a
+        record only ever exists for a fully-finished run)."""
+        if not self.config.log_path:
+            return
+        record = RunRecord(
+            run_id=spec.run_id,
+            arch=spec.arch,
+            multiplier=spec.multiplier,
+            method=spec.method,
+            seed=spec.seed,
+            extra={
+                "initial_top1": result.initial_top1,
+                "final_top1": result.final_top1,
+                "final_top5": result.final_top5,
+                "attempts": status.attempts,
+                "retries": status.retries,
+                "wall_time_s": status.wall_time_s,
+                "samples_per_sec": result.samples_per_sec,
+                "status": status.state,
+            },
+            history=TrainHistory(
+                train_loss=result.train_loss,
+                eval_top1=result.epoch_top1 or [result.final_top1],
+                eval_top5=result.epoch_top5 or [result.final_top5],
+            ),
+        )
+        append_jsonl(record, Path(self.config.log_path))
+
+    # ------------------------------------------------------------------
+    # Event stream + heartbeat.
+    def _emit(self, event: RunEvent) -> None:
+        if self.on_event is None:
+            return
+        with self._lock:
+            self.on_event(event)
+
+    def _start_heartbeat(self) -> threading.Thread | None:
+        if self.heartbeat_s <= 0 or (
+            self.on_event is None and self.metrics is None
+        ):
+            return None
+        self._hb_stop = threading.Event()
+        thread = threading.Thread(
+            target=self._heartbeat_loop, name="sweep-heartbeat", daemon=True
+        )
+        thread.start()
+        return thread
+
+    def _stop_heartbeat(self, thread: threading.Thread | None) -> None:
+        if thread is None:
+            return
+        assert self._hb_stop is not None
+        self._hb_stop.set()
+        thread.join(timeout=5.0)
+
+    def _heartbeat_loop(self) -> None:
+        assert self._hb_stop is not None
+        while not self._hb_stop.wait(self.heartbeat_s):
+            with self._lock:
+                snapshot = list(self._inflight.items())
+            for run_id, (t0, attempt) in snapshot:
+                if self.metrics is not None:
+                    self.metrics.inc("sweep_heartbeats_total")
+                self._emit(
+                    RunEvent(
+                        kind="heartbeat",
+                        run_id=run_id,
+                        attempt=attempt,
+                        elapsed_s=time.monotonic() - t0,
+                    )
+                )

@@ -4,16 +4,24 @@ Ties :mod:`repro.retrain.experiment` and :mod:`repro.retrain.logging`
 together: run every (multiplier, method, seed) combination of a grid,
 append each run to a JSONL log, and summarize means across seeds -- the
 way Table II-style results are produced with error bars.
+
+Execution is delegated to :class:`repro.retrain.runner.SweepRunner`, the
+fault-tolerant parallel execution layer: grid cells are independent run
+specs, completed cells are journaled to the JSONL log, a restarted sweep
+skips cells already in the log (no duplicate records), and transient cell
+failures are retried with capped exponential backoff.  ``workers=1`` (the
+default) preserves the historical sequential behavior and log ordering;
+set ``workers`` (or ``REPRO_SWEEP_WORKERS``) > 1 to execute cells across
+a process pool.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from pathlib import Path
+import warnings
+from dataclasses import dataclass, field
+from typing import Callable
 
-from repro.retrain.experiment import ExperimentScale, retrain_comparison
-from repro.retrain.logging import RunRecord, append_jsonl
-from repro.retrain.trainer import TrainHistory
+from repro.retrain.experiment import ExperimentScale
 
 
 @dataclass
@@ -35,40 +43,78 @@ class SweepSummary:
     final_top1: dict[tuple[str, str], list[float]]  # (mult, method) -> per-seed
 
     def mean(self, multiplier: str, method: str) -> float:
-        vals = self.final_top1[(multiplier, method)]
+        """Mean final top-1 across seeds; NaN (with a warning) for cells
+        with no completed runs (failed cells, unknown keys)."""
+        vals = self.final_top1.get((multiplier, method))
+        if not vals:
+            warnings.warn(
+                f"no completed runs for ({multiplier!r}, {method!r}); "
+                "mean is NaN",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return float("nan")
         return sum(vals) / len(vals)
 
     def improvement(self, multiplier: str) -> float:
-        """Mean (difference - ste) across seeds."""
+        """Mean (difference - ste) across seeds.
+
+        NaN when either method has no completed runs (the per-method
+        :meth:`mean` warning identifies which).
+        """
         return self.mean(multiplier, "difference") - self.mean(multiplier, "ste")
 
 
-def run_sweep(config: SweepConfig) -> SweepSummary:
-    """Execute the grid; returns per-cell accuracies and logs each run."""
-    results: dict[tuple[str, str], list[float]] = {
-        (m, meth): [] for m in config.multipliers for meth in config.methods
-    }
-    for seed in config.seeds:
-        scale = replace(config.scale, seed=seed)
-        rows, _refs = retrain_comparison(
-            config.arch, config.multipliers, scale, methods=config.methods
+def run_sweep(
+    config: SweepConfig,
+    *,
+    resume: bool = True,
+    workers: int | None = None,
+    max_retries: int = 2,
+    metrics=None,
+    on_event: Callable | None = None,
+    cell_fn: Callable | None = None,
+) -> SweepSummary:
+    """Execute the grid; returns per-cell accuracies and logs each run.
+
+    Args:
+        config: The grid to run.
+        resume: Skip cells already journaled in ``config.log_path``
+            (crash-safe restart; no duplicate JSONL records).  Pass
+            ``False`` to re-run everything (completed cells are then
+            re-appended, superseding the old records on deduped reads).
+        workers: Process-pool size (``None`` reads ``REPRO_SWEEP_WORKERS``,
+            default 1 = sequential in-process execution with the
+            historical log ordering).
+        max_retries: Retries per cell for transient failures.
+        metrics: Optional :class:`repro.serve.metrics.ServeMetrics` to
+            report counters/latencies into.
+        on_event: Optional callback receiving
+            :class:`repro.retrain.runner.RunEvent` lifecycle events.
+        cell_fn: Override the per-cell execution function (testing /
+            custom workloads); must be picklable when ``workers > 1``.
+
+    Cells that fail permanently are reported via a warning and simply
+    absent from the summary (their :meth:`SweepSummary.mean` is NaN); use
+    :class:`repro.retrain.runner.SweepRunner` directly for per-run status
+    records.
+    """
+    from repro.retrain.runner import SweepRunner
+
+    result = SweepRunner(
+        config,
+        resume=resume,
+        workers=workers,
+        max_retries=max_retries,
+        metrics=metrics,
+        on_event=on_event,
+        cell_fn=cell_fn,
+    ).run()
+    if result.failed:
+        failed = ", ".join(sorted(st.run_id for st in result.failed))
+        warnings.warn(
+            f"{len(result.failed)} sweep cell(s) failed permanently: {failed}",
+            RuntimeWarning,
+            stacklevel=2,
         )
-        for row in rows:
-            for method, outcome in row.outcomes.items():
-                results[(row.multiplier, method)].append(outcome.final_top1)
-                if config.log_path:
-                    record = RunRecord(
-                        run_id=f"{config.arch}-{row.multiplier}-{method}-s{seed}",
-                        arch=config.arch,
-                        multiplier=row.multiplier,
-                        method=method,
-                        seed=seed,
-                        extra={"initial_top1": row.initial_top1},
-                        history=TrainHistory(
-                            train_loss=outcome.train_loss,
-                            eval_top1=outcome.epoch_top1 or [outcome.final_top1],
-                            eval_top5=outcome.epoch_top5 or [outcome.final_top5],
-                        ),
-                    )
-                    append_jsonl(record, Path(config.log_path))
-    return SweepSummary(final_top1=results)
+    return result.summary

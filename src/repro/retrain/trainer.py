@@ -117,9 +117,36 @@ class Trainer:
         self.schedule = paper_lr_schedule(
             self.optimizer, self.config.epochs, self.config.base_lr
         )
+        # Resume bookkeeping (see repro.retrain.checkpoint): epochs already
+        # trained, the epoch the next fit() starts from (consumed once, so a
+        # fresh fit() after a completed one retrains from scratch as before),
+        # and a loader RNG snapshot to install into the next fit()'s loader.
+        self.epochs_done = 0
+        self._start_epoch = 0
+        self._pending_loader_rng: dict | None = None
+        self._loader: DataLoader | None = None
 
-    def fit(self, train_data, eval_data=None) -> TrainHistory:
-        """Train for ``config.epochs`` epochs; returns per-epoch history."""
+    def loader_rng_state(self) -> dict | None:
+        """Shuffle-RNG snapshot of the most recent :meth:`fit` loader."""
+        if self._loader is None:
+            return None
+        return self._loader.rng_state()
+
+    def fit(self, train_data, eval_data=None, on_epoch_end=None) -> TrainHistory:
+        """Train for ``config.epochs`` epochs; returns per-epoch history.
+
+        Args:
+            train_data: Training dataset.
+            eval_data: Optional eval dataset (records per-epoch accuracy).
+            on_epoch_end: Optional ``f(epoch, history)`` hook called after
+                each epoch's bookkeeping (checkpoint-on-epoch, kill
+                injection in tests); ``epoch`` is 0-based.
+
+        A trainer restored via
+        :func:`repro.retrain.checkpoint.load_training_state` continues from
+        the saved epoch instead of epoch 0 (the restore is consumed by the
+        next ``fit`` call only).
+        """
         cfg = self.config
         history = TrainHistory()
         augment = random_crop_flip if cfg.augment else None
@@ -130,7 +157,12 @@ class Trainer:
             augment=augment,
             seed=cfg.seed,
         )
-        for epoch in range(cfg.epochs):
+        self._loader = loader
+        start_epoch, self._start_epoch = self._start_epoch, 0
+        if self._pending_loader_rng is not None:
+            loader.set_rng_state(self._pending_loader_rng)
+            self._pending_loader_rng = None
+        for epoch in range(start_epoch, cfg.epochs):
             lr = self.schedule.set_epoch(epoch)
             losses: list[float] = []
             correct = total = 0
@@ -178,4 +210,7 @@ class Trainer:
                 top1, top5 = evaluate(self.model, eval_data)
                 history.eval_top1.append(top1)
                 history.eval_top5.append(top5)
+            self.epochs_done = epoch + 1
+            if on_epoch_end is not None:
+                on_epoch_end(epoch, history)
         return history

@@ -51,17 +51,20 @@ class LatencyHistogram:
         self.max = max(self.max, value_ms)
 
     def percentile(self, q: float) -> float:
+        # NaN, not 0.0, on zero samples: a 0ms percentile reads as "very
+        # fast", NaN reads as "no data" (and survives the JSON path --
+        # json.dumps emits NaN by default).
         if self._filled == 0:
-            return 0.0
+            return float("nan")
         return float(np.percentile(self._samples[: self._filled], q))
 
     def as_dict(self) -> dict:
-        mean = self.total / self.count if self.count else 0.0
+        empty = float("nan")
         return {
             "count": self.count,
-            "mean_ms": mean,
-            "min_ms": self.min if self.count else 0.0,
-            "max_ms": self.max,
+            "mean_ms": self.total / self.count if self.count else empty,
+            "min_ms": self.min if self.count else empty,
+            "max_ms": self.max if self.count else empty,
             "p50_ms": self.percentile(50),
             "p95_ms": self.percentile(95),
             "p99_ms": self.percentile(99),

@@ -29,6 +29,21 @@ from repro.errors import ServeError, ServerBusyError
 from repro.serve.metrics import ServeMetrics
 
 
+def _remaining(deadline: float | None) -> float | None:
+    """Seconds left until ``deadline``, clamped to >= 0 (``None`` = wait
+    forever).
+
+    The clamp closes a race: the clock can advance past the deadline
+    between a caller's "expired yet?" check and this computation, and
+    ``Condition.wait`` must never receive a negative timeout (CPython
+    happens to tolerate one today via a non-blocking acquire, but that is
+    an implementation detail, not a contract).
+    """
+    if deadline is None:
+        return None
+    return max(deadline - time.monotonic(), 0.0)
+
+
 class PendingRequest:
     """Future for one submitted sample."""
 
@@ -121,10 +136,9 @@ class MicroBatcher:
             while not self._queue:
                 if self._closed:
                     return None
-                remaining = None if deadline is None else deadline - time.monotonic()
-                if remaining is not None and remaining <= 0:
+                if deadline is not None and time.monotonic() >= deadline:
                     return None
-                self._cond.wait(remaining)
+                self._cond.wait(_remaining(deadline))
             batch = [self._queue.popleft()]
             # Idle fast path: nothing else queued and no batch in flight --
             # execute immediately rather than paying the coalescing wait.
@@ -134,10 +148,9 @@ class MicroBatcher:
                     if self._queue:
                         batch.append(self._queue.popleft())
                         continue
-                    remaining = wait_deadline - time.monotonic()
-                    if remaining <= 0:
+                    if time.monotonic() >= wait_deadline:
                         break
-                    self._cond.wait(remaining)
+                    self._cond.wait(_remaining(wait_deadline))
             self._inflight += 1
         if self.metrics is not None:
             self.metrics.observe_batch(len(batch))
@@ -172,8 +185,7 @@ class MicroBatcher:
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
             while self._queue or self._inflight > 0:
-                remaining = None if deadline is None else deadline - time.monotonic()
-                if remaining is not None and remaining <= 0:
+                if deadline is not None and time.monotonic() >= deadline:
                     return False
-                self._cond.wait(remaining)
+                self._cond.wait(_remaining(deadline))
             return True

@@ -106,3 +106,123 @@ def test_checkpoint_roundtrip_per_channel(tmp_path, trained_approx):
         assert not layer.calibrating
     x = Tensor(train.images[:8])
     assert np.array_equal(approx.eval()(x).data, fresh.eval()(x).data)
+
+
+# ----------------------------------------------------------------------
+# Mid-run training-state snapshots (bit-for-bit kill-and-resume).
+from repro.retrain.checkpoint import (  # noqa: E402
+    load_training_state,
+    save_training_state,
+)
+
+
+def _fresh_run(optimizer="adam", epochs=4):
+    model = LeNet(num_classes=4, image_size=12, seed=0)
+    trainer = Trainer(
+        model,
+        TrainConfig(
+            epochs=epochs, batch_size=32, seed=0, optimizer=optimizer,
+            momentum=0.9,
+        ),
+    )
+    return model, trainer
+
+
+@pytest.fixture(scope="module")
+def resume_data():
+    return SyntheticImageDataset(96, 4, 12, seed=0, split="train")
+
+
+@pytest.mark.parametrize("optimizer", ["adam", "sgd"])
+def test_kill_and_resume_bit_for_bit(tmp_path, resume_data, optimizer):
+    """A run killed after epoch 2 and resumed from its snapshot must
+    reproduce the uninterrupted run's loss curve and final weights
+    exactly."""
+    model_full, trainer_full = _fresh_run(optimizer)
+    history_full = trainer_full.fit(resume_data)
+
+    ckpt = tmp_path / "mid.npz"
+    model_killed, trainer_killed = _fresh_run(optimizer)
+
+    class Killed(Exception):
+        pass
+
+    def kill_after_two(epoch, history):
+        if epoch == 1:
+            save_training_state(model_killed, trainer_killed, ckpt)
+            raise Killed
+
+    with pytest.raises(Killed):
+        trainer_killed.fit(resume_data, on_epoch_end=kill_after_two)
+
+    model_res, trainer_res = _fresh_run(optimizer)
+    epochs_done = load_training_state(model_res, trainer_res, ckpt)
+    assert epochs_done == 2
+    history_res = trainer_res.fit(resume_data)
+
+    assert history_res.train_loss == history_full.train_loss[2:]
+    full_state = model_full.state_dict()
+    for key, value in model_res.state_dict().items():
+        assert np.array_equal(value, full_state[key]), key
+
+
+def test_resume_without_loader_rng_diverges(tmp_path, resume_data):
+    """Negative control: dropping the DataLoader RNG state (what the old
+    save_checkpoint lost) breaks bit-for-bit resume -- proving the RNG
+    snapshot is load-bearing, not incidental."""
+    model_full, trainer_full = _fresh_run()
+    history_full = trainer_full.fit(resume_data)
+
+    ckpt = tmp_path / "mid.npz"
+    model_killed, trainer_killed = _fresh_run()
+
+    class Killed(Exception):
+        pass
+
+    def kill_after_two(epoch, history):
+        if epoch == 1:
+            save_training_state(model_killed, trainer_killed, ckpt)
+            raise Killed
+
+    with pytest.raises(Killed):
+        trainer_killed.fit(resume_data, on_epoch_end=kill_after_two)
+
+    model_res, trainer_res = _fresh_run()
+    load_training_state(model_res, trainer_res, ckpt)
+    trainer_res._pending_loader_rng = None  # simulate the old lossy resume
+    history_res = trainer_res.fit(resume_data)
+    assert history_res.train_loss != history_full.train_loss[2:]
+
+
+def test_training_state_optimizer_mismatch(tmp_path, resume_data):
+    model, trainer = _fresh_run("adam")
+    trainer.fit(resume_data)
+    ckpt = tmp_path / "adam.npz"
+    save_training_state(model, trainer, ckpt)
+    model_sgd, trainer_sgd = _fresh_run("sgd")
+    with pytest.raises(ReproError, match="optimizer"):
+        load_training_state(model_sgd, trainer_sgd, ckpt)
+
+
+def test_training_state_rejects_model_only_checkpoint(tmp_path, resume_data):
+    model, trainer = _fresh_run()
+    save_checkpoint(model, tmp_path / "model.npz")
+    fresh_model, fresh_trainer = _fresh_run()
+    with pytest.raises(ReproError, match="model-only"):
+        load_training_state(fresh_model, fresh_trainer, tmp_path / "model.npz")
+
+
+def test_fit_after_resumed_fit_starts_fresh(tmp_path, resume_data):
+    """The resume offset is one-shot: a second fit() call retrains from
+    epoch 0 exactly like an un-resumed trainer would."""
+    model, trainer = _fresh_run(epochs=3)
+    trainer.fit(resume_data)
+    ckpt = tmp_path / "state.npz"
+    save_training_state(model, trainer, ckpt)
+
+    model_res, trainer_res = _fresh_run(epochs=3)
+    load_training_state(model_res, trainer_res, ckpt)
+    resumed = trainer_res.fit(resume_data)
+    assert resumed.train_loss == []  # all 3 epochs were already done
+    again = trainer_res.fit(resume_data)
+    assert len(again.train_loss) == 3

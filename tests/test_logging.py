@@ -7,6 +7,7 @@ from repro.retrain.logging import (
     RunRecord,
     append_jsonl,
     best_runs,
+    dedupe_records,
     history_to_rows,
     read_jsonl,
     write_csv,
@@ -68,6 +69,45 @@ def test_jsonl_roundtrip(tmp_path):
 def test_read_missing_log():
     with pytest.raises(ReproError):
         read_jsonl("/nonexistent.jsonl")
+
+
+def test_dedupe_records_keeps_newest_at_first_position():
+    old = RunRecord("r0", seed=0, extra={"v": 1})
+    other = RunRecord("r1", seed=1)
+    new = RunRecord("r0", seed=0, extra={"v": 2})
+    deduped = dedupe_records([old, other, new])
+    assert [r.run_id for r in deduped] == ["r0", "r1"]
+    assert deduped[0].extra == {"v": 2}
+
+
+def test_read_jsonl_dedupe_flag(tmp_path):
+    path = tmp_path / "runs.jsonl"
+    append_jsonl(RunRecord("r0", extra={"v": 1}, history=_history()), path)
+    append_jsonl(RunRecord("r1", history=_history()), path)
+    append_jsonl(RunRecord("r0", extra={"v": 2}, history=_history()), path)
+    assert len(read_jsonl(path)) == 3
+    deduped = read_jsonl(path, dedupe=True)
+    assert [r.run_id for r in deduped] == ["r0", "r1"]
+    assert deduped[0].extra == {"v": 2}
+
+
+def test_read_jsonl_skips_truncated_final_line(tmp_path):
+    path = tmp_path / "runs.jsonl"
+    append_jsonl(RunRecord("r0", history=_history()), path)
+    with path.open("a") as fh:
+        fh.write('{"run_id": "r1", "arch"')  # killed mid-append
+    with pytest.warns(RuntimeWarning, match="truncated final line"):
+        records = read_jsonl(path)
+    assert [r.run_id for r in records] == ["r0"]
+
+
+def test_read_jsonl_corrupt_interior_line_raises(tmp_path):
+    path = tmp_path / "runs.jsonl"
+    with path.open("w") as fh:
+        fh.write("not json at all\n")
+    append_jsonl(RunRecord("r0", history=_history()), path)
+    with pytest.raises(ReproError, match="corrupt JSONL record"):
+        read_jsonl(path)
 
 
 def test_best_runs(tmp_path):

@@ -104,3 +104,92 @@ def test_paper_schedule_compresses():
     assert [sched.lr_for_epoch(e) for e in range(3)] == [1e-3, 5e-4, 2.5e-4]
     sched1 = paper_lr_schedule(_FakeOpt(), 1, 1e-3)
     assert sched1.lr_for_epoch(0) == 1e-3
+
+
+def test_adam_state_dict_roundtrip():
+    target = np.array([3.0, -2.0])
+    p = Parameter(np.zeros(2))
+    opt = Adam([p], lr=0.1)
+    for _ in range(5):
+        loss = ((p - Tensor(target)) ** 2).sum()
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+    state = opt.state_dict()
+    p_snap = p.data.copy()
+
+    # Two more steps from the snapshot...
+    for _ in range(2):
+        loss = ((p - Tensor(target)) ** 2).sum()
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+    expected = p.data.copy()
+
+    # ...must replay identically after restoring the state.
+    p2 = Parameter(p_snap.copy())
+    opt2 = Adam([p2], lr=0.1)
+    opt2.load_state_dict(state)
+    assert opt2._t == 5
+    for _ in range(2):
+        loss = ((p2 - Tensor(target)) ** 2).sum()
+        opt2.zero_grad()
+        loss.backward()
+        opt2.step()
+    assert np.array_equal(p2.data, expected)
+
+
+def test_sgd_state_dict_roundtrip():
+    target = np.array([1.0, 2.0])
+    p = Parameter(np.zeros(2))
+    opt = SGD([p], lr=0.05, momentum=0.9)
+    for _ in range(5):
+        loss = ((p - Tensor(target)) ** 2).sum()
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+    state = opt.state_dict()
+    p_snap = p.data.copy()
+    for _ in range(2):
+        loss = ((p - Tensor(target)) ** 2).sum()
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+    expected = p.data.copy()
+
+    p2 = Parameter(p_snap.copy())
+    opt2 = SGD([p2], lr=0.05, momentum=0.9)
+    opt2.load_state_dict(state)
+    for _ in range(2):
+        loss = ((p2 - Tensor(target)) ** 2).sum()
+        opt2.zero_grad()
+        loss.backward()
+        opt2.step()
+    assert np.array_equal(p2.data, expected)
+
+
+def test_optimizer_state_dict_isolated_from_later_steps():
+    p = Parameter(np.zeros(2))
+    opt = Adam([p], lr=0.1)
+    loss = (p ** 2).sum()
+    opt.zero_grad(); loss.backward(); opt.step()
+    state = opt.state_dict()
+    m_before = state["m"][0].copy()
+    loss = ((p - Tensor(np.array([5.0, 5.0]))) ** 2).sum()
+    opt.zero_grad(); loss.backward(); opt.step()
+    assert np.array_equal(state["m"][0], m_before)  # snapshot is a copy
+
+
+def test_optimizer_load_state_dict_validates_shapes():
+    p = Parameter(np.zeros(2))
+    opt = Adam([p], lr=0.1)
+    bad = {"t": 1, "m": [np.zeros(3)], "v": [np.zeros(3)]}
+    with pytest.raises(ReproError, match="shape mismatch"):
+        opt.load_state_dict(bad)
+    with pytest.raises(ReproError, match="moment vectors"):
+        opt.load_state_dict({"t": 1, "m": [], "v": []})
+    sgd = SGD([p], lr=0.1, momentum=0.9)
+    with pytest.raises(ReproError, match="shape mismatch"):
+        sgd.load_state_dict({"velocity": [np.zeros((2, 2))]})
+    with pytest.raises(ReproError, match="velocity buffers"):
+        sgd.load_state_dict({"velocity": []})

@@ -1,0 +1,390 @@
+"""Tests for the fault-tolerant sweep runner."""
+
+import json
+import math
+import os
+import time
+
+import pytest
+
+from repro.errors import TransientRunError
+from repro.retrain.experiment import ExperimentScale, clear_stage_cache
+from repro.retrain.logging import read_jsonl
+from repro.retrain.runner import (
+    WORKERS_ENV,
+    CellResult,
+    RunSpec,
+    SweepRunner,
+    execute_cell,
+    workers_requested,
+)
+from repro.retrain.sweep import SweepConfig, run_sweep
+from repro.serve.metrics import ServeMetrics
+
+TINY = ExperimentScale(
+    image_size=12,
+    n_train=96,
+    n_test=48,
+    n_classes=4,
+    width_mult=0.0625,
+    pretrain_epochs=1,
+    qat_epochs=1,
+    retrain_epochs=1,
+    batch_size=32,
+)
+
+
+def _config(methods=("ste", "difference"), seeds=(0, 1), log_path=None):
+    return SweepConfig(
+        arch="lenet",
+        multipliers=["mul6u_rm4"],
+        methods=methods,
+        seeds=seeds,
+        scale=TINY,
+        log_path=log_path,
+    )
+
+
+# Top-level cell functions so they pickle into pool workers.
+def _fake_cell(spec: RunSpec) -> CellResult:
+    return CellResult(
+        run_id=spec.run_id,
+        final_top1=0.5 + spec.seed / 10.0,
+        final_top5=0.9,
+        initial_top1=0.1,
+        train_loss=[1.0, 0.5],
+        samples_per_sec=100.0,
+        pid=os.getpid(),
+    )
+
+
+def _flaky_cell(spec: RunSpec) -> CellResult:
+    """Fails once per run_id (marker dir via env), then succeeds."""
+    marker_dir = os.environ["REPRO_TEST_FAULT_DIR"]
+    marker = os.path.join(marker_dir, spec.run_id)
+    if not os.path.exists(marker):
+        open(marker, "w").close()
+        raise TransientRunError(f"injected fault in {spec.run_id}")
+    return _fake_cell(spec)
+
+
+def _bad_cell(spec: RunSpec) -> CellResult:
+    raise TransientRunError("always fails")
+
+
+def _slow_cell(spec: RunSpec) -> CellResult:
+    time.sleep(0.1)
+    return _fake_cell(spec)
+
+
+# ----------------------------------------------------------------------
+def test_specs_canonical_order_and_run_ids():
+    runner = SweepRunner(_config(), workers=1)
+    specs = runner.specs()
+    assert [s.run_id for s in specs] == [
+        "lenet-mul6u_rm4-ste-s0",
+        "lenet-mul6u_rm4-difference-s0",
+        "lenet-mul6u_rm4-ste-s1",
+        "lenet-mul6u_rm4-difference-s1",
+    ]
+
+
+def test_workers_requested_env(monkeypatch):
+    monkeypatch.delenv(WORKERS_ENV, raising=False)
+    assert workers_requested() == 1
+    monkeypatch.setenv(WORKERS_ENV, "4")
+    assert workers_requested() == 4
+    monkeypatch.setenv(WORKERS_ENV, "not-a-number")
+    assert workers_requested() == 1
+    monkeypatch.setenv(WORKERS_ENV, "-3")
+    assert workers_requested() == 1
+
+
+def test_sequential_journal_order_and_summary(tmp_path):
+    log = tmp_path / "sweep.jsonl"
+    cfg = _config(log_path=str(log))
+    result = SweepRunner(cfg, workers=1, cell_fn=_fake_cell).run()
+
+    records = read_jsonl(log)
+    assert [r.run_id for r in records] == [
+        s.run_id for s in SweepRunner(cfg).specs()
+    ]
+    for rec in records:
+        assert "initial_top1" in rec.extra
+        assert rec.extra["status"] == "completed"
+        assert rec.extra["attempts"] == 1
+    assert result.summary.final_top1[("mul6u_rm4", "ste")] == [0.5, 0.6]
+    assert result.summary.mean("mul6u_rm4", "ste") == pytest.approx(0.55)
+    assert not result.failed
+
+
+def test_resume_skips_completed_cells(tmp_path):
+    log = tmp_path / "sweep.jsonl"
+    cfg = _config(log_path=str(log))
+    first = SweepRunner(cfg, workers=1, cell_fn=_fake_cell).run()
+    executed = []
+
+    def counting(spec):
+        executed.append(spec.run_id)
+        return _fake_cell(spec)
+
+    second = SweepRunner(cfg, workers=1, cell_fn=counting).run()
+    assert executed == []
+    assert second.summary.final_top1 == first.summary.final_top1
+    assert all(st.state == "resumed" for st in second.statuses.values())
+    # No duplicate records were appended.
+    ids = [r.run_id for r in read_jsonl(log)]
+    assert len(ids) == len(set(ids)) == 4
+
+
+def test_resume_false_reruns_everything(tmp_path):
+    log = tmp_path / "sweep.jsonl"
+    cfg = _config(seeds=(0,), methods=("ste",), log_path=str(log))
+    SweepRunner(cfg, workers=1, cell_fn=_fake_cell).run()
+    SweepRunner(cfg, workers=1, resume=False, cell_fn=_fake_cell).run()
+    records = read_jsonl(log)
+    assert len(records) == 2  # appended again ...
+    assert len(read_jsonl(log, dedupe=True)) == 1  # ... deduped on load
+
+
+def test_resume_tolerates_truncated_final_line(tmp_path):
+    log = tmp_path / "sweep.jsonl"
+    cfg = _config(log_path=str(log))
+    SweepRunner(cfg, workers=1, cell_fn=_fake_cell).run()
+    # Simulate a kill mid-append: a torn, undecodable final line.
+    with open(log, "a") as fh:
+        fh.write('{"run_id": "lenet-mul6u_rm4-ste-s0", "arch"')
+    executed = []
+
+    def counting(spec):
+        executed.append(spec.run_id)
+        return _fake_cell(spec)
+
+    with pytest.warns(RuntimeWarning, match="truncated final line"):
+        result = SweepRunner(cfg, workers=1, cell_fn=counting).run()
+    assert executed == []
+    assert all(st.state == "resumed" for st in result.statuses.values())
+
+
+def test_transient_failure_retried(tmp_path, monkeypatch):
+    fault_dir = tmp_path / "faults"
+    fault_dir.mkdir()
+    monkeypatch.setenv("REPRO_TEST_FAULT_DIR", str(fault_dir))
+    cfg = _config(seeds=(0,), methods=("ste",))
+    metrics = ServeMetrics()
+    events = []
+    result = SweepRunner(
+        cfg,
+        workers=1,
+        metrics=metrics,
+        on_event=events.append,
+        cell_fn=_flaky_cell,
+        backoff_base=0.001,
+    ).run()
+    status = result.statuses["lenet-mul6u_rm4-ste-s0"]
+    assert status.state == "completed"
+    assert status.attempts == 2
+    assert status.retries == 1
+    assert metrics.counter("sweep_retries_total") == 1
+    assert metrics.counter("sweep_cells_completed") == 1
+    kinds = [e.kind for e in events]
+    assert kinds == ["started", "retried", "started", "finished"]
+    retried = events[1]
+    assert "injected fault" in retried.error
+
+
+def test_permanent_failure_surfaces_as_nan(tmp_path):
+    cfg = _config(seeds=(0,), methods=("ste",))
+    metrics = ServeMetrics()
+    with pytest.warns(RuntimeWarning, match="failed permanently"):
+        summary = run_sweep(
+            cfg, workers=1, metrics=metrics, max_retries=1, cell_fn=_bad_cell
+        )
+    assert metrics.counter("sweep_cells_failed") == 1
+    assert metrics.counter("sweep_retries_total") == 1
+    with pytest.warns(RuntimeWarning, match="no completed runs"):
+        assert math.isnan(summary.mean("mul6u_rm4", "ste"))
+
+
+def test_backoff_is_capped():
+    runner = SweepRunner(
+        _config(), workers=1, backoff_base=1.0, backoff_cap=3.0
+    )
+    assert runner._backoff(1) == 1.0
+    assert runner._backoff(2) == 2.0
+    assert runner._backoff(3) == 3.0
+    assert runner._backoff(10) == 3.0
+
+
+def test_heartbeat_events():
+    cfg = _config(seeds=(0,), methods=("ste",))
+    metrics = ServeMetrics()
+    events = []
+    SweepRunner(
+        cfg,
+        workers=1,
+        metrics=metrics,
+        on_event=events.append,
+        cell_fn=_slow_cell,
+        heartbeat_s=0.02,
+    ).run()
+    beats = [e for e in events if e.kind == "heartbeat"]
+    assert beats, "expected heartbeat events for a slow cell"
+    assert beats[0].run_id == "lenet-mul6u_rm4-ste-s0"
+    assert beats[0].elapsed_s > 0
+    assert metrics.counter("sweep_heartbeats_total") >= len(beats)
+
+
+def test_parallel_workers_execute_in_separate_processes(tmp_path):
+    log = tmp_path / "sweep.jsonl"
+    cfg = _config(log_path=str(log))
+    result = SweepRunner(cfg, workers=2, cell_fn=_fake_cell).run()
+    assert all(st.state == "completed" for st in result.statuses.values())
+    # Deduped journal covers the whole grid regardless of completion order.
+    ids = {r.run_id for r in read_jsonl(log, dedupe=True)}
+    assert ids == {s.run_id for s in SweepRunner(cfg).specs()}
+    # Summary values identical to the sequential path.
+    seq = SweepRunner(_config(), workers=1, cell_fn=_fake_cell).run()
+    assert result.summary.final_top1 == seq.summary.final_top1
+
+
+def test_parallel_transient_failure_retried(tmp_path, monkeypatch):
+    fault_dir = tmp_path / "faults"
+    fault_dir.mkdir()
+    monkeypatch.setenv("REPRO_TEST_FAULT_DIR", str(fault_dir))
+    cfg = _config(seeds=(0, 1), methods=("ste",))
+    metrics = ServeMetrics()
+    result = SweepRunner(
+        cfg,
+        workers=2,
+        metrics=metrics,
+        cell_fn=_flaky_cell,
+        backoff_base=0.001,
+    ).run()
+    assert all(st.state == "completed" for st in result.statuses.values())
+    assert all(st.retries == 1 for st in result.statuses.values())
+    assert metrics.counter("sweep_retries_total") == 2
+
+
+def test_execute_cell_flags_nonfinite_as_transient(monkeypatch):
+    import repro.retrain.runner as runner_mod
+    from repro.retrain.experiment import ComparisonRow, RetrainOutcome
+
+    def fake_run_cell(arch, multiplier, method, scale):
+        return ComparisonRow(
+            multiplier=multiplier,
+            bits=8,
+            initial_top1=0.1,
+            outcomes={
+                method: RetrainOutcome(
+                    method=method,
+                    final_top1=float("nan"),
+                    final_top5=0.5,
+                    train_loss=[1.0],
+                )
+            },
+            reference_top1=0.9,
+            norm_power=1.0,
+            norm_delay=1.0,
+            nmed_percent=0.0,
+        )
+
+    monkeypatch.setattr(runner_mod, "run_cell", fake_run_cell)
+    spec = RunSpec("lenet", "mul6u_rm4", "ste", 0, TINY)
+    with pytest.raises(TransientRunError, match="non-finite"):
+        execute_cell(spec)
+
+
+def test_kill_and_resume_matches_uninterrupted_real_cells(tmp_path):
+    """Acceptance: interrupt a real sweep mid-grid, resume, and get the
+    exact summary of an uninterrupted run with no duplicate records."""
+    log = tmp_path / "sweep.jsonl"
+    cfg = _config(log_path=str(log))
+
+    class KillAfter:
+        def __init__(self, n):
+            self.left = n
+
+        def __call__(self, spec):
+            if self.left == 0:
+                raise KeyboardInterrupt
+            result = execute_cell(spec)
+            self.left -= 1
+            return result
+
+    clear_stage_cache()
+    with pytest.raises(KeyboardInterrupt):
+        SweepRunner(cfg, workers=1, cell_fn=KillAfter(2)).run()
+    assert len(read_jsonl(log)) == 2
+
+    resumed = SweepRunner(cfg, workers=1).run()
+    ids = [r.run_id for r in read_jsonl(log)]
+    assert len(ids) == len(set(ids)) == 4
+
+    clear_stage_cache()
+    cfg2 = _config(log_path=str(tmp_path / "uninterrupted.jsonl"))
+    uninterrupted = SweepRunner(cfg2, workers=1).run()
+    assert resumed.summary.final_top1 == uninterrupted.summary.final_top1
+
+    # The two journals record identical runs (modulo bookkeeping counters).
+    a = {r.run_id: r for r in read_jsonl(log)}
+    b = {r.run_id: r for r in read_jsonl(cfg2.log_path)}
+    assert a.keys() == b.keys()
+    for run_id in a:
+        assert a[run_id].history.eval_top1 == b[run_id].history.eval_top1
+        assert a[run_id].extra["initial_top1"] == b[run_id].extra["initial_top1"]
+
+
+def test_cli_sweep_kill_and_resume_subprocess(tmp_path):
+    """Acceptance (CI shape): start a CLI sweep, SIGKILL it mid-cell,
+    resume, and assert no duplicate JSONL records."""
+    import signal
+    import subprocess
+    import sys
+
+    log = tmp_path / "cli.jsonl"
+    argv = [
+        sys.executable, "-m", "repro.cli", "sweep",
+        "--multipliers", "mul6u_rm4",
+        "--methods", "ste", "difference",
+        "--seeds", "0", "1",
+        "--arch", "lenet",
+        "--log", str(log),
+        "--epochs", "1",
+        "--pretrain-epochs", "1",
+        "--qat-epochs", "1",
+        "--n-train", "96",
+        "--image-size", "12",
+        "--width-mult", "0.0625",
+    ]
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    proc = subprocess.Popen(
+        argv, env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL
+    )
+    deadline = time.monotonic() + 120
+    try:
+        # Kill as soon as at least one cell has been journaled.
+        while time.monotonic() < deadline:
+            if log.exists() and log.read_text().count("\n") >= 1:
+                break
+            if proc.poll() is not None:
+                break
+            time.sleep(0.05)
+        else:
+            pytest.fail("sweep never journaled a cell")
+    finally:
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+    n_before = sum(1 for ln in log.read_text().splitlines() if ln.strip())
+    assert n_before >= 1
+
+    out = subprocess.run(
+        argv, env=env, capture_output=True, text=True, timeout=300
+    )
+    assert out.returncode == 0, out.stderr
+    records = read_jsonl(log)
+    ids = [r.run_id for r in records]
+    assert len(ids) == len(set(ids)) == 4, f"duplicate records: {ids}"

@@ -1,5 +1,9 @@
 """Tests for sweep orchestration."""
 
+import math
+
+import pytest
+
 from repro.retrain.experiment import ExperimentScale
 from repro.retrain.logging import read_jsonl
 from repro.retrain.sweep import SweepConfig, SweepSummary, run_sweep
@@ -59,3 +63,23 @@ def test_sweep_without_log():
     summary = run_sweep(config)
     assert isinstance(summary, SweepSummary)
     assert len(summary.final_top1[("mul6u_rm4", "ste")]) == 1
+
+
+def test_summary_mean_empty_cell_is_nan_with_warning():
+    summary = SweepSummary(final_top1={("m", "ste"): []})
+    with pytest.warns(RuntimeWarning, match="no completed runs"):
+        assert math.isnan(summary.mean("m", "ste"))
+
+
+def test_summary_mean_unknown_key_is_nan_with_warning():
+    summary = SweepSummary(final_top1={})
+    with pytest.warns(RuntimeWarning, match="no completed runs"):
+        assert math.isnan(summary.mean("m", "ste"))
+
+
+def test_summary_improvement_missing_method_is_nan():
+    summary = SweepSummary(final_top1={("m", "ste"): [0.5, 0.6]})
+    with pytest.warns(RuntimeWarning, match="no completed runs"):
+        assert math.isnan(summary.improvement("m"))
+    # The populated side still averages normally.
+    assert summary.mean("m", "ste") == pytest.approx(0.55)
