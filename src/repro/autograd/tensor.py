@@ -16,8 +16,29 @@ from typing import Callable, Iterable
 import numpy as np
 
 from repro.errors import ReproError
+from repro.obs.trace import get_tracer
+
+_TRACE = get_tracer()
 
 _GRAD_ENABLED = True
+
+#: label cache for backward closures, keyed by the closure's code object
+#: (one per ``def backward`` site, alive for the module's lifetime).
+_BACKWARD_LABELS: dict[int, str] = {}
+
+
+def _backward_label(fn: Callable) -> str:
+    """Span name for a backward closure, e.g. ``autograd.matmul.backward``."""
+    key = id(getattr(fn, "__code__", fn))
+    label = _BACKWARD_LABELS.get(key)
+    if label is None:
+        qual = getattr(fn, "__qualname__", "op")
+        parts = qual.split(".")
+        # "Tensor.__matmul__.<locals>.backward" -> "matmul"
+        owner = parts[-3] if len(parts) >= 3 else qual
+        label = f"autograd.{owner.strip('_')}.backward"
+        _BACKWARD_LABELS[key] = label
+    return label
 
 
 @contextlib.contextmanager
@@ -401,7 +422,12 @@ class Tensor:
             node.grad = node.grad + g
             if node._backward is None:
                 continue
-            parent_grads = node._backward(g)
+            if _TRACE.enabled:
+                with _TRACE.span(_backward_label(node._backward),
+                                 cat="autograd"):
+                    parent_grads = node._backward(g)
+            else:
+                parent_grads = node._backward(g)
             for p, pg in zip(node._parents, parent_grads):
                 if pg is None or not p.requires_grad:
                     continue

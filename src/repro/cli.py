@@ -8,6 +8,7 @@ Three subcommands mirror the main workflows::
     python -m repro.cli hws --multiplier NAME       # HWS sweep
     python -m repro.cli export --multiplier NAME    # Verilog/BLIF dump
     python -m repro.cli serve --checkpoint CKPT --multiplier NAME  # HTTP server
+    python -m repro.cli profile --mode retrain      # traced hotspot profile
 """
 
 from __future__ import annotations
@@ -42,12 +43,27 @@ def _cmd_retrain(args: argparse.Namespace) -> int:
         batch_size=args.batch_size,
         seed=args.seed,
     )
-    rows, refs = retrain_comparison(
-        args.arch, [args.multiplier], scale, methods=("ste", "difference")
-    )
+    if args.profile:
+        from repro.obs.export import format_table
+        from repro.obs.trace import get_tracer
+
+        tracer = get_tracer()
+        tracer.reset()
+        tracer.enable()
+    try:
+        rows, refs = retrain_comparison(
+            args.arch, [args.multiplier], scale, methods=("ste", "difference")
+        )
+    finally:
+        if args.profile:
+            tracer.disable()
     print(format_table2(rows, refs, title=f"{args.arch} / {args.multiplier}"))
     print()
     print(format_engine_stats())
+    if args.profile:
+        print()
+        print(f"top {args.profile_top} hotspots by self time")
+        print(format_table(tracer, sort="self", top=args.profile_top))
     return 0
 
 
@@ -209,6 +225,52 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs.profile import profile_retrain, profile_serve
+
+    if args.mode == "retrain":
+        report = profile_retrain(
+            multiplier=args.multiplier,
+            arch=args.arch,
+            epochs=args.epochs,
+            n_train=args.n_train,
+            image_size=args.image_size,
+            batch_size=args.batch_size,
+            method=args.method,
+            seed=args.seed,
+            trace_path=args.trace,
+            sort=args.sort,
+            top=args.top,
+        )
+    else:
+        report = profile_serve(
+            multiplier=args.multiplier,
+            arch=args.arch,
+            requests=args.requests,
+            workers=args.workers,
+            image_size=args.image_size,
+            seed=args.seed,
+            trace_path=args.trace,
+            sort=args.sort,
+            top=args.top,
+        )
+    print(report.summary())
+    print()
+    print(report.table)
+    if args.table:
+        with open(args.table, "w") as fh:
+            fh.write(report.summary() + "\n\n" + report.table + "\n")
+        print(f"\nhotspot table written to {args.table}")
+    if args.min_coverage > 0 and report.coverage < args.min_coverage:
+        print(
+            f"trace coverage {report.coverage * 100.0:.1f}% is below the "
+            f"required {args.min_coverage * 100.0:.1f}%",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="AppMult-aware retraining toolkit"
@@ -233,6 +295,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--width-mult", type=float, default=0.125)
     p.add_argument("--batch-size", type=int, default=32)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--profile", action="store_true",
+                   help="trace the run and print the hottest spans at the end")
+    p.add_argument("--profile-top", type=int, default=10,
+                   help="how many hotspot rows --profile prints")
     p.set_defaults(func=_cmd_retrain)
 
     p = sub.add_parser(
@@ -294,6 +360,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-wait-ms", type=float, default=2.0)
     p.add_argument("--queue-size", type=int, default=64)
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "profile", help="trace a canned workload and report hotspots"
+    )
+    p.add_argument("--mode", choices=["retrain", "serve"], default="retrain")
+    p.add_argument("--multiplier", default="mul6u_rm4")
+    p.add_argument("--arch", default="lenet",
+                   choices=["lenet", "vgg19", "resnet18", "resnet34", "resnet50"])
+    p.add_argument("--epochs", type=int, default=1, help="retrain mode only")
+    p.add_argument("--n-train", type=int, default=96, help="retrain mode only")
+    p.add_argument("--batch-size", type=int, default=32, help="retrain mode only")
+    p.add_argument("--method", default="difference",
+                   choices=["ste", "difference"], help="retrain mode only")
+    p.add_argument("--requests", type=int, default=64, help="serve mode only")
+    p.add_argument("--workers", type=int, default=2, help="serve mode only")
+    p.add_argument("--image-size", type=int, default=12)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--trace", default=None,
+                   help="write a Chrome-trace JSON (chrome://tracing) here")
+    p.add_argument("--table", default=None,
+                   help="also write the hotspot table to this file")
+    p.add_argument("--sort", choices=["self", "total", "calls"], default="self")
+    p.add_argument("--top", type=int, default=15)
+    p.add_argument("--min-coverage", type=float, default=0.0,
+                   help="exit 1 if root-span coverage falls below this "
+                        "fraction (e.g. 0.95 for CI)")
+    p.set_defaults(func=_cmd_profile)
     return parser
 
 

@@ -29,7 +29,7 @@ from typing import Callable, Union
 
 import numpy as np
 
-from repro.core.smoothing import smooth_lut, smoothing_kernel
+from repro.core.smoothing import _validate, smooth_lut, smoothing_kernel
 from repro.errors import ReproError
 from repro.multipliers.base import Multiplier
 
@@ -57,6 +57,10 @@ def _smooth_rows(lut: np.ndarray, hws: int, kernel: str) -> np.ndarray:
     """Row-wise smoothing along axis 1 with a selectable kernel shape."""
     if kernel == "uniform":
         return smooth_lut(lut, hws, axis=1)
+    # Same window-fits-domain check the uniform path performs inside
+    # smooth_lut; without it an oversized window silently yields an all-NaN
+    # smoothed LUT and the gradient degrades to the Eq. 6 fallback everywhere.
+    _validate(lut.shape[1], hws)
     weights = smoothing_kernel(hws, kernel)
     n = lut.shape[1]
     valid = np.arange(hws, n - hws)
@@ -123,18 +127,22 @@ def raw_difference_gradient_lut(lut: np.ndarray, wrt: str = "x") -> np.ndarray:
     return grad if wrt == "x" else grad.T
 
 
-def ste_gradient_lut(bits: int, wrt: str = "x") -> np.ndarray:
+def ste_gradient_lut(bits: int, wrt: str = "x", signed: bool = False) -> np.ndarray:
     """STE baseline (Eq. 3): gradient of the accurate multiplier.
 
-    ``dAM/dX ~= W`` and ``dAM/dW ~= X``.
+    ``dAM/dX ~= W`` and ``dAM/dW ~= X``.  For signed multipliers the LUT is
+    indexed by the unsigned reinterpretation of two's-complement operands,
+    so the gradient at index ``i`` must be the *decoded signed value*
+    (``i - 2**B`` for ``i >= 2**(B-1)``), not the raw index.
     """
     n = 1 << bits
-    w = np.arange(n, dtype=np.float64)[:, None]
-    x = np.arange(n, dtype=np.float64)[None, :]
+    vals = np.arange(n, dtype=np.float64)
+    if signed:
+        vals[n >> 1:] -= n
     if wrt == "x":
-        return np.broadcast_to(w, (n, n)).copy()
+        return np.broadcast_to(vals[:, None], (n, n)).copy()
     if wrt == "w":
-        return np.broadcast_to(x, (n, n)).copy()
+        return np.broadcast_to(vals[None, :], (n, n)).copy()
     raise ReproError(f"wrt must be 'x' or 'w', got {wrt!r}")
 
 
@@ -172,9 +180,12 @@ def gradient_luts(
 
     bits = multiplier.bits
     if method == "ste":
-        gw = ste_gradient_lut(bits, "w")
-        gx = ste_gradient_lut(bits, "x")
-        label = "ste"
+        signed = multiplier.is_signed
+        gw = ste_gradient_lut(bits, "w", signed=signed)
+        gx = ste_gradient_lut(bits, "x", signed=signed)
+        # Distinct label so the shared engine cache never aliases signed
+        # and unsigned STE tables for multipliers with the same name/bits.
+        label = "ste-signed" if signed else "ste"
     elif method == "difference":
         if hws is None:
             hws = _default_hws(multiplier)

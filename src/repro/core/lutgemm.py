@@ -47,6 +47,9 @@ import numpy as np
 from repro.core.gradient import GradientPair
 from repro.errors import ReproError
 from repro.multipliers.base import Multiplier
+from repro.obs.trace import get_tracer
+
+_TRACE = get_tracer()
 
 #: Columns processed per LUT-GEMM chunk; bounds peak memory at
 #: roughly ``M * K * chunk`` elements per scratch buffer.
@@ -206,31 +209,52 @@ class LutGemm:
         if self.exact_fast_path:
             # AM == exact product: a float matmul is bit-exact here because
             # operands are < 2**10 and K is small enough for float64.
+            _TRACE.count("lutgemm.forward.exact_fast_path")
             return np.rint(
                 wq.astype(np.float64) @ xq.astype(np.float64)
             ).astype(np.int64)
         out = self._parallel_product_sums(wq, xq)
         if out is not None:
+            _TRACE.count("lutgemm.forward.parallel")
             return out
         if self.forward_only and m * k * c >= FUSED_MIN_ELEMS:
             from repro.core.lutkernel import fused_product_sums
 
-            out = fused_product_sums(
-                self._lut_i32,
-                (wq * self.levels).astype(np.int64),
-                np.ascontiguousarray(xq, dtype=np.int32),
-            )
+            if _TRACE.enabled:
+                with _TRACE.span("lutgemm.cckernel", cat="engine"):
+                    out = fused_product_sums(
+                        self._lut_i32,
+                        (wq * self.levels).astype(np.int64),
+                        np.ascontiguousarray(xq, dtype=np.int32),
+                    )
+            else:
+                out = fused_product_sums(
+                    self._lut_i32,
+                    (wq * self.levels).astype(np.int64),
+                    np.ascontiguousarray(xq, dtype=np.int32),
+                )
             if out is not None:
+                _TRACE.count("lutgemm.forward.cckernel")
                 return out
+        _TRACE.count("lutgemm.forward.numpy")
         wrow = (wq * self.levels).astype(np.intp)
         out = np.empty((m, c), dtype=np.int64)
         lut_dtype = self.lut_flat.dtype
+        tracing = _TRACE.enabled
         for c0 in range(0, c, self.chunk):
             hi = min(c0 + self.chunk, c)
-            idx = self._build_idx(wrow, xq[:, c0:hi], (m, k, hi - c0))
-            prod = self._scratch.get("lut", lut_dtype, (m, k, hi - c0))
-            np.take(self.lut_flat, idx, out=prod, mode="clip")
-            out[:, c0:hi] = prod.sum(axis=1, dtype=np.int64)
+            if tracing:
+                with _TRACE.span("lutgemm.gather", cat="engine"):
+                    idx = self._build_idx(wrow, xq[:, c0:hi], (m, k, hi - c0))
+                    prod = self._scratch.get("lut", lut_dtype, (m, k, hi - c0))
+                    np.take(self.lut_flat, idx, out=prod, mode="clip")
+                with _TRACE.span("lutgemm.accumulate", cat="engine"):
+                    out[:, c0:hi] = prod.sum(axis=1, dtype=np.int64)
+            else:
+                idx = self._build_idx(wrow, xq[:, c0:hi], (m, k, hi - c0))
+                prod = self._scratch.get("lut", lut_dtype, (m, k, hi - c0))
+                np.take(self.lut_flat, idx, out=prod, mode="clip")
+                out[:, c0:hi] = prod.sum(axis=1, dtype=np.int64)
         # The index tensor of a single-chunk GEMM stays valid in scratch;
         # remember the operands so the backward can reuse it.  Forward-only
         # engines skip the operand copies -- there is no backward to serve.
@@ -272,6 +296,7 @@ class LutGemm:
         gout = np.ascontiguousarray(gout, dtype=np.float32)
         zw_vec = np.atleast_1d(np.asarray(zw, dtype=np.float64))
         if self.ste_fast_path:
+            _TRACE.count("lutgemm.backward.ste_fast_path")
             gf = gout.astype(np.float64)
             gw = gf @ xq.astype(np.float64).T
             gx = wq.astype(np.float64).T @ gf
@@ -297,9 +322,29 @@ class LutGemm:
                 # The loop below overwrites the scratch index tensor, so any
                 # cached forward operands stop describing its contents.
                 self._fwd_operands = None
+            tracing = _TRACE.enabled
             for c0 in range(0, c, self.chunk):
                 hi = min(c0 + self.chunk, c)
                 cc = hi - c0
+                if tracing:
+                    with _TRACE.span("lutgemm.bwd.gather", cat="engine"):
+                        if reuse:
+                            idx = self._scratch.get("idx", np.intp, (m, k, cc))
+                            self.idx_reuses += 1
+                        else:
+                            idx = self._build_idx(wrow, xq[:, c0:hi], (m, k, cc))
+                        g = gout[:, None, c0:hi]
+                        buf = self._scratch.get("grad", np.float32, (m, k, cc))
+                        np.take(self.grad_w_flat, idx, out=buf, mode="clip")
+                    with _TRACE.span("lutgemm.bwd.accumulate", cat="engine"):
+                        np.multiply(buf, g, out=buf)
+                        gw += buf.sum(axis=2)
+                    with _TRACE.span("lutgemm.bwd.gather", cat="engine"):
+                        np.take(self.grad_x_flat, idx, out=buf, mode="clip")
+                    with _TRACE.span("lutgemm.bwd.accumulate", cat="engine"):
+                        np.multiply(buf, g, out=buf)
+                        gx[:, c0:hi] = buf.sum(axis=0)
+                    continue
                 if reuse:
                     idx = self._scratch.get("idx", np.intp, (m, k, cc))
                     self.idx_reuses += 1
@@ -515,8 +560,10 @@ def get_engine(
     engine = _ENGINE_CACHE.get(key)
     if engine is not None and engine.matches(multiplier, gradients):
         _cache_hits += 1
+        _TRACE.count("lutgemm.cache_hits")
         return engine
     _cache_misses += 1
+    _TRACE.count("lutgemm.cache_misses")
     engine = LutGemm(multiplier, gradients, chunk=chunk)
     _ENGINE_CACHE[key] = engine
     return engine

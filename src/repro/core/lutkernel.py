@@ -31,6 +31,10 @@ import threading
 
 import numpy as np
 
+from repro.obs.trace import get_tracer
+
+_TRACE = get_tracer()
+
 _KERNEL_SOURCE = r"""
 #include <stdint.h>
 
@@ -146,10 +150,20 @@ def fused_product_sums(
     m, k = wrow.shape
     k2, c = xq.shape
     out = np.empty((m, c), dtype=np.int64)
-    lib.product_sums(
-        np.ascontiguousarray(lut_flat, dtype=np.int32),
-        np.ascontiguousarray(wrow, dtype=np.int64),
-        np.ascontiguousarray(xq, dtype=np.int32),
-        out, m, k2, c,
-    )
+    _TRACE.count("lutkernel.fused_calls")
+    if _TRACE.enabled:
+        with _TRACE.span("lutkernel.product_sums", cat="engine"):
+            lib.product_sums(
+                np.ascontiguousarray(lut_flat, dtype=np.int32),
+                np.ascontiguousarray(wrow, dtype=np.int64),
+                np.ascontiguousarray(xq, dtype=np.int32),
+                out, m, k2, c,
+            )
+    else:
+        lib.product_sums(
+            np.ascontiguousarray(lut_flat, dtype=np.int32),
+            np.ascontiguousarray(wrow, dtype=np.int64),
+            np.ascontiguousarray(xq, dtype=np.int32),
+            out, m, k2, c,
+        )
     return out

@@ -65,6 +65,16 @@ class Multiplier(ABC):
         x = np.arange(n, dtype=np.int64)[None, :]
         return bool(np.array_equal(self.lut(), (w * x).astype(np.int32)))
 
+    @property
+    def is_signed(self) -> bool:
+        """True if the LUT is indexed by the unsigned reinterpretation of
+        two's-complement signed operands (index ``2**B - 1`` means -1).
+
+        Gradient builders use this to decode operand values correctly
+        (e.g. STE's ``dAM/dX ~= W`` needs the signed value of ``W``).
+        """
+        return False
+
     def error_surface(self) -> np.ndarray:
         """Return ``AM(w, x) - w*x`` for all operand pairs (int64)."""
         n = 1 << self.bits

@@ -26,6 +26,10 @@ class SignedMultiplier(Multiplier):
         super().__init__(name or f"{inner.name}_signed", inner.bits)
         self.inner = inner
 
+    @property
+    def is_signed(self) -> bool:
+        return True
+
     def build_lut(self) -> np.ndarray:
         bits = self.bits
         n = 1 << bits

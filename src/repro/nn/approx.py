@@ -39,6 +39,9 @@ from repro.nn.quant import (
     quantize_array,
     quantize_per_channel,
 )
+from repro.obs.trace import get_tracer
+
+_TRACE = get_tracer()
 
 __all__ = [
     "DEFAULT_CHUNK",
@@ -147,19 +150,22 @@ class FrozenAffine:
         """
         n, k, l = cols.shape
         qp = self.x_qparams
-        buf = cols / qp.scale
-        buf += qp.zero_point
-        np.rint(buf, out=buf)
-        np.clip(buf, qp.qmin, qp.qmax, out=buf)
-        xq = buf.astype(np.int32).transpose(1, 0, 2).reshape(k, n * l)
-        acc = self.engine.product_sums(self.wq, xq).astype(np.float64)
-        acc -= self.w_corr[:, None]
-        acc -= self.zw_col * xq.sum(axis=0, dtype=np.int64)[None, :]
-        acc += self.const_corr
-        np.multiply(acc, self.scale, out=acc)
-        y = acc.reshape(self.m, n, l).transpose(1, 0, 2)
-        if self.bias is not None:
-            y = y + self.bias.reshape(1, self.m, 1)
+        with _TRACE.span("serve.quantize", cat="serve"):
+            buf = cols / qp.scale
+            buf += qp.zero_point
+            np.rint(buf, out=buf)
+            np.clip(buf, qp.qmin, qp.qmax, out=buf)
+            xq = buf.astype(np.int32).transpose(1, 0, 2).reshape(k, n * l)
+        with _TRACE.span("serve.gemm", cat="serve"):
+            acc = self.engine.product_sums(self.wq, xq).astype(np.float64)
+        with _TRACE.span("serve.dequantize", cat="serve"):
+            acc -= self.w_corr[:, None]
+            acc -= self.zw_col * xq.sum(axis=0, dtype=np.int64)[None, :]
+            acc += self.const_corr
+            np.multiply(acc, self.scale, out=acc)
+            y = acc.reshape(self.m, n, l).transpose(1, 0, 2)
+            if self.bias is not None:
+                y = y + self.bias.reshape(1, self.m, 1)
         return y
 
 
@@ -246,20 +252,23 @@ class _ApproxBase(Module):
             zw = float(qs.w_qparams.zero_point)
             sw_col, zw_col = sw, zw
         n, k, l = cols.shape
-        xq = quantize_array(cols, qs.x_qparams).transpose(1, 0, 2).reshape(
-            k, n * l
-        )
+        with _TRACE.span("approx.quantize", cat="approx"):
+            xq = quantize_array(cols, qs.x_qparams).transpose(1, 0, 2).reshape(
+                k, n * l
+            )
         sx, zx = qs.x_qparams.scale, qs.x_qparams.zero_point
         m = wmat.shape[0]
 
-        acc = self.engine.product_sums(wq, xq)  # (M, N*L) int64
-        # Eq. 8 zero-point corrections (accumulated over K terms).
-        acc = acc.astype(np.float64)
-        acc -= zx * wq.sum(axis=1, dtype=np.int64)[:, None]
-        acc -= zw_col * xq.sum(axis=0, dtype=np.int64)[None, :]
-        acc += k * zw_col * zx
-        y = (sw_col * sx) * acc  # (M, N*L)
-        y = y.reshape(m, n, l).transpose(1, 0, 2)  # (N, M, L)
+        with _TRACE.span("approx.gemm", cat="approx"):
+            acc = self.engine.product_sums(wq, xq)  # (M, N*L) int64
+        with _TRACE.span("approx.dequantize", cat="approx"):
+            # Eq. 8 zero-point corrections (accumulated over K terms).
+            acc = acc.astype(np.float64)
+            acc -= zx * wq.sum(axis=1, dtype=np.int64)[:, None]
+            acc -= zw_col * xq.sum(axis=0, dtype=np.int64)[None, :]
+            acc += k * zw_col * zx
+            y = (sw_col * sx) * acc  # (M, N*L)
+            y = y.reshape(m, n, l).transpose(1, 0, 2)  # (N, M, L)
 
         # Clipped-STE masks for Q' (Eq. 9): gradient only flows where the
         # float value fell inside the representable range.
@@ -276,7 +285,8 @@ class _ApproxBase(Module):
             gmat = (
                 g.transpose(1, 0, 2).reshape(m, n * l) * (sw_col * sx)
             )
-            gw_int, gx_int = engine.backward_grads(wq, xq, gmat, zw, zx)
+            with _TRACE.span("approx.gemm_backward", cat="approx"):
+                gw_int, gx_int = engine.backward_grads(wq, xq, gmat, zw, zx)
             # dW/dw = 1/s_w, dX/dx = 1/s_x (STE through round), so the s_w
             # (resp. s_x) factors cancel one of the two scales in DQ'.
             gw = (gw_int / sw_col) * wmask

@@ -1,0 +1,58 @@
+"""Observability: zero-dependency tracing, profiling, and metric export.
+
+The subsystem has three parts:
+
+- :mod:`repro.obs.trace` -- the process-wide span tracer (context-manager +
+  decorator API, thread-aware self-time attribution, counters).  Hooked
+  into the autograd tape, the approximate layers, the LUT-GEMM engine, the
+  trainer, the sweep runner, and the serve scheduler/pool.  When disabled
+  (the default) every hook is a no-op or patched out entirely, so numerics
+  and performance are bit-identical to an untraced build.
+- :mod:`repro.obs.export` -- Chrome-trace JSON, a sorted self/cumulative
+  time table, and a Prometheus-style text exposition that unifies
+  :class:`repro.serve.metrics.ServeMetrics` with tracer data.
+- :mod:`repro.obs.profile` -- the ``repro profile`` driver: trace a short
+  retrain or a canned inference load and write the trace + table.
+"""
+
+from repro.obs.trace import (
+    Span,
+    SpanStats,
+    Tracer,
+    add_time,
+    count,
+    disable,
+    enable,
+    get_tracer,
+    is_enabled,
+    record,
+    reset,
+    span,
+    tracing,
+)
+from repro.obs.export import (
+    chrome_trace,
+    format_table,
+    prometheus_text,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "Span",
+    "SpanStats",
+    "Tracer",
+    "add_time",
+    "count",
+    "disable",
+    "enable",
+    "get_tracer",
+    "is_enabled",
+    "record",
+    "reset",
+    "span",
+    "tracing",
+    "chrome_trace",
+    "format_table",
+    "prometheus_text",
+    "write_chrome_trace",
+]

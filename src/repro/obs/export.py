@@ -1,0 +1,199 @@
+"""Exporters for collected traces and metrics.
+
+Three output formats, all zero-dependency:
+
+- :func:`chrome_trace` / :func:`write_chrome_trace` -- Chrome trace event
+  JSON, loadable in ``chrome://tracing`` or https://ui.perfetto.dev.
+- :func:`format_table` -- a sorted self/cumulative-time text table.
+- :func:`prometheus_text` -- Prometheus-style text exposition unifying a
+  :class:`repro.serve.metrics.ServeMetrics` snapshot with the tracer's
+  counters and span aggregates (served on ``GET /metrics?format=text``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import re
+
+from repro.obs.trace import Tracer, get_tracer
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "format_table",
+    "prometheus_text",
+]
+
+
+def chrome_trace(tracer: Tracer | None = None) -> dict:
+    """Render collected spans as a Chrome trace event JSON object.
+
+    Spans become complete (``"ph": "X"``) events with microsecond
+    timestamps relative to the tracer's origin; counters and the dropped
+    span count ride along in ``otherData``.
+    """
+    t = tracer or get_tracer()
+    pid = os.getpid()
+    events = []
+    for s in t.spans():
+        ev = {
+            "name": s.name,
+            "cat": s.cat or "span",
+            "ph": "X",
+            "ts": (s.start - t.origin) * 1e6,
+            "dur": s.dur * 1e6,
+            "pid": pid,
+            "tid": s.tid,
+        }
+        if s.args:
+            ev["args"] = dict(s.args)
+        events.append(ev)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "counters": t.counters(),
+            "dropped_spans": t.dropped,
+        },
+    }
+
+
+def write_chrome_trace(path, tracer: Tracer | None = None) -> None:
+    """Write :func:`chrome_trace` output as JSON to ``path``."""
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(tracer), fh)
+
+
+_SORT_KEYS = {
+    "self": lambda s: s.self_s,
+    "total": lambda s: s.total_s,
+    "calls": lambda s: s.calls,
+}
+
+
+def format_table(tracer: Tracer | None = None, sort: str = "self",
+                 top: int | None = None) -> str:
+    """Text table of per-span aggregates, sorted by self/total time or calls."""
+    if sort not in _SORT_KEYS:
+        raise ValueError(f"sort must be one of {sorted(_SORT_KEYS)}, got {sort!r}")
+    t = tracer or get_tracer()
+    stats = sorted(t.stats().values(), key=_SORT_KEYS[sort], reverse=True)
+    total_self = sum(s.self_s for s in stats)
+    shown = stats if top is None else stats[:top]
+
+    name_w = max([len(s.name) for s in shown] + [len("span")])
+    header = (
+        f"{'span':<{name_w}}  {'calls':>8}  {'total ms':>10}  "
+        f"{'self ms':>10}  {'mean ms':>9}  {'self %':>6}"
+    )
+    lines = [header, "-" * len(header)]
+    for s in shown:
+        mean_ms = (s.total_s / s.calls * 1e3) if s.calls else 0.0
+        pct = (s.self_s / total_self * 100.0) if total_self > 0 else 0.0
+        lines.append(
+            f"{s.name:<{name_w}}  {s.calls:>8}  {s.total_s * 1e3:>10.2f}  "
+            f"{s.self_s * 1e3:>10.2f}  {mean_ms:>9.3f}  {pct:>5.1f}%"
+        )
+    if top is not None and len(stats) > top:
+        lines.append(f"... {len(stats) - top} more span name(s)")
+    if t.dropped:
+        lines.append(f"(raw span buffer full: {t.dropped} span(s) aggregated only)")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _metric_name(name: str) -> str:
+    return _NAME_RE.sub("_", name)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    v = float(value)
+    if math.isnan(v):
+        return "NaN"
+    if math.isinf(v):
+        return "+Inf" if v > 0 else "-Inf"
+    return f"{v:.9g}"
+
+
+def prometheus_text(metrics=None, tracer: Tracer | None = None) -> str:
+    """Prometheus-style text exposition of serve metrics + tracer data.
+
+    Args:
+        metrics: Optional :class:`repro.serve.metrics.ServeMetrics`; its
+            counters, gauges, latency summaries, batch-size histogram, and
+            engine-cache stats are exported under the ``repro_`` prefix.
+        tracer: Tracer whose counters and span aggregates to export
+            (defaults to the process-wide tracer).
+    """
+    t = tracer or get_tracer()
+    lines: list[str] = []
+
+    def emit(name: str, mtype: str, help_: str, samples: list[str]) -> None:
+        if not samples:
+            return
+        lines.append(f"# HELP {name} {help_}")
+        lines.append(f"# TYPE {name} {mtype}")
+        lines.extend(samples)
+
+    if metrics is not None:
+        snap = metrics.as_dict()
+        emit("repro_serve_counter", "counter", "Serving/sweep event counters.",
+             [f'repro_serve_counter{{name="{n}"}} {_fmt(v)}'
+              for n, v in sorted(snap["counters"].items())])
+        emit("repro_serve_gauge", "gauge", "Live-sampled serving gauges.",
+             [f'repro_serve_gauge{{name="{n}"}} {_fmt(v)}'
+              for n, v in sorted(snap["gauges"].items())])
+        lat_samples: list[str] = []
+        for name, hist in sorted(snap["latency"].items()):
+            for q, key in (("0.5", "p50_ms"), ("0.95", "p95_ms"),
+                           ("0.99", "p99_ms")):
+                lat_samples.append(
+                    f'repro_latency_ms{{series="{name}",quantile="{q}"}} '
+                    f"{_fmt(hist[key])}"
+                )
+            lat_samples.append(
+                f'repro_latency_ms_count{{series="{name}"}} {_fmt(hist["count"])}'
+            )
+        emit("repro_latency_ms", "summary",
+             "Latency quantiles over a recent-sample reservoir.", lat_samples)
+        emit("repro_batch_size_total", "counter",
+             "Executed micro-batches by batch size.",
+             [f'repro_batch_size_total{{size="{size}"}} {_fmt(count)}'
+              for size, count in snap["batch_size_histogram"].items()])
+        cache = snap["engine_cache"]
+        emit("repro_engine_cache", "gauge", "LUT-GEMM engine cache stats.",
+             [f'repro_engine_cache{{stat="{k}"}} {_fmt(cache[k])}'
+              for k in ("entries", "hits", "misses")])
+
+    emit("repro_trace_counter", "counter",
+         "Tracer counters (trainer/engine/sweep events).",
+         [f'repro_trace_counter{{name="{_metric_name(n)}"}} {_fmt(v)}'
+          for n, v in sorted(t.counters().items())])
+    span_stats = sorted(t.stats().values(), key=lambda s: s.name)
+    emit("repro_trace_span_calls_total", "counter",
+         "Completed span count per span name.",
+         [f'repro_trace_span_calls_total{{span="{s.name}"}} {_fmt(s.calls)}'
+          for s in span_stats])
+    emit("repro_trace_span_seconds_total", "counter",
+         "Cumulative wall-clock per span name.",
+         [f'repro_trace_span_seconds_total{{span="{s.name}"}} {_fmt(s.total_s)}'
+          for s in span_stats])
+    emit("repro_trace_span_self_seconds_total", "counter",
+         "Cumulative self time (minus nested spans) per span name.",
+         [f'repro_trace_span_self_seconds_total{{span="{s.name}"}} '
+          f"{_fmt(s.self_s)}" for s in span_stats])
+    if not lines:
+        lines.append("# no metrics collected")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,72 @@
+"""Patch-in/patch-out autograd op instrumentation.
+
+Installed by :meth:`repro.obs.trace.Tracer.enable` and removed by
+``disable()``.  Instead of baking per-op timing into the hot dunder methods
+of :class:`repro.autograd.tensor.Tensor` (which would cost a branch per op
+even when tracing is off), the original methods are swapped for traced
+wrappers only while tracing is enabled, and restored afterwards -- the
+disabled path runs the exact original bytecode.
+
+Known limitation: ``Tensor.__radd__``/``__rmul__`` are class-dict aliases
+of ``__add__``/``__mul__`` and keep pointing at the originals, so reflected
+ops don't emit forward spans.  Numerics are unaffected either way.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.obs import trace as _trace
+
+#: Tensor methods wrapped with forward spans while tracing is enabled.
+TRACED_TENSOR_OPS = (
+    "__add__", "__neg__", "__sub__", "__mul__", "__truediv__", "__pow__",
+    "__matmul__", "relu", "exp", "log", "sqrt", "tanh", "sigmoid", "clip",
+    "sum", "max", "reshape", "transpose", "__getitem__", "pad2d",
+)
+
+_originals: dict[str, object] = {}
+
+
+def _label(op: str) -> str:
+    return f"autograd.{op.strip('_')}.forward"
+
+
+def install_tensor_tracing() -> None:
+    """Swap Tensor ops for span-emitting wrappers (idempotent)."""
+    if _originals:
+        return
+    from repro.autograd.tensor import Tensor
+
+    tracer = _trace.get_tracer()
+    for op in TRACED_TENSOR_OPS:
+        orig = Tensor.__dict__[op]
+        label = _label(op)
+
+        def make(orig=orig, label=label):
+            @functools.wraps(orig)
+            def traced(self, *a, **kw):
+                if not tracer.enabled:
+                    return orig(self, *a, **kw)
+                with tracer.span(label, cat="autograd"):
+                    return orig(self, *a, **kw)
+
+            return traced
+
+        _originals[op] = orig
+        setattr(Tensor, op, make())
+
+
+def uninstall_tensor_tracing() -> None:
+    """Restore the original, unpatched Tensor ops (idempotent)."""
+    if not _originals:
+        return
+    from repro.autograd.tensor import Tensor
+
+    for op, orig in _originals.items():
+        setattr(Tensor, op, orig)
+    _originals.clear()
+
+
+def tensor_tracing_installed() -> bool:
+    return bool(_originals)

@@ -1,0 +1,346 @@
+"""Thread-aware span tracing (the core of :mod:`repro.obs`).
+
+A single process-wide :class:`Tracer` collects timing *spans* (named
+wall-clock intervals) and monotonically increasing *counters* from every
+layer of the stack -- autograd ops, the LUT-GEMM engine, the trainer, the
+sweep runner, and the serve pool.  The design constraints, in order:
+
+1. **Disabled means free.**  ``tracer.span(...)`` returns a shared no-op
+   context manager when tracing is off, counters return immediately, and
+   the autograd instrumentation is patched *out* entirely (see
+   :mod:`repro.obs.hooks`) -- numerics and hot-path behavior are
+   bit-identical to an untraced build (``benchmarks/bench_obs.py`` gates
+   this).
+2. **Thread-aware.**  Spans record the OS thread id, and per-thread span
+   stacks attribute child time to parents so exporters can report *self*
+   time, not just cumulative time.
+3. **Bounded memory.**  Raw spans (for Chrome-trace export) are kept up to
+   ``max_spans``; beyond that only the incremental per-name aggregates keep
+   growing, and the drop count is reported.
+
+Use the module-level convenience API::
+
+    from repro.obs import trace
+
+    trace.enable()
+    with trace.span("calibrate", cat="retrain"):
+        ...
+    trace.disable()
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+__all__ = [
+    "Span",
+    "SpanStats",
+    "Tracer",
+    "get_tracer",
+    "span",
+    "count",
+    "add_time",
+    "record",
+    "enable",
+    "disable",
+    "is_enabled",
+    "reset",
+    "tracing",
+]
+
+
+@dataclass
+class Span:
+    """One completed timing interval.
+
+    ``start`` is on the tracer's :func:`time.perf_counter` timeline;
+    ``dur`` and ``child_time`` are seconds.  ``child_time`` is the summed
+    duration of directly nested spans on the same thread, so
+    ``self_time = dur - child_time``.
+    """
+
+    name: str
+    cat: str
+    tid: int
+    start: float
+    dur: float
+    child_time: float = 0.0
+    args: dict | None = None
+
+    @property
+    def self_time(self) -> float:
+        return max(self.dur - self.child_time, 0.0)
+
+
+@dataclass
+class SpanStats:
+    """Incremental aggregate over all spans sharing a ``(name, cat)``."""
+
+    name: str
+    cat: str
+    calls: int = 0
+    total_s: float = 0.0
+    self_s: float = 0.0
+    max_s: float = 0.0
+
+    def copy(self) -> "SpanStats":
+        return SpanStats(self.name, self.cat, self.calls,
+                         self.total_s, self.self_s, self.max_s)
+
+
+class _NullSpan:
+    """Shared no-op context manager returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _LiveSpan:
+    """Context manager measuring one interval and reporting to the tracer."""
+
+    __slots__ = ("_tracer", "_name", "_cat", "_args", "_start", "child")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str, args):
+        self._tracer = tracer
+        self._name = name
+        self._cat = cat
+        self._args = args
+
+    def __enter__(self):
+        self.child = 0.0
+        self._tracer._stack().append(self)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        end = time.perf_counter()
+        dur = end - self._start
+        stack = self._tracer._stack()
+        # Exceptions can unwind several spans at once; pop defensively.
+        if stack and stack[-1] is self:
+            stack.pop()
+        elif self in stack:
+            while stack and stack.pop() is not self:
+                pass
+        if stack:
+            stack[-1].child += dur
+        self._tracer._finish(Span(
+            self._name, self._cat, threading.get_ident(),
+            self._start, dur, self.child, self._args,
+        ))
+        return False
+
+
+class Tracer:
+    """Process-wide span and counter collector."""
+
+    def __init__(self, max_spans: int = 200_000):
+        self.enabled = False
+        self.max_spans = max_spans
+        self.dropped = 0
+        self.origin = time.perf_counter()
+        self._lock = threading.Lock()
+        self._spans: list[Span] = []
+        self._stats: dict[tuple[str, str], SpanStats] = {}
+        self._counters: dict[str, float] = {}
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def span(self, name: str, cat: str = "span", args: dict | None = None):
+        """Context manager timing the enclosed block (no-op when disabled)."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _LiveSpan(self, name, cat, args)
+
+    def wrap(self, name: str | None = None, cat: str = "span"):
+        """Decorator tracing every call of the wrapped function."""
+
+        def deco(fn):
+            label = name or fn.__qualname__
+
+            @functools.wraps(fn)
+            def inner(*a, **kw):
+                if not self.enabled:
+                    return fn(*a, **kw)
+                with _LiveSpan(self, label, cat, None):
+                    return fn(*a, **kw)
+
+            return inner
+
+        return deco
+
+    def record(self, name: str, duration_s: float, cat: str = "span",
+               args: dict | None = None) -> None:
+        """Record an already-measured interval as a span ending now.
+
+        For call sites that cannot wrap the work in a ``with`` block (e.g.
+        a process-pool future whose cell ran in a child process).
+        """
+        if not self.enabled:
+            return
+        end = time.perf_counter()
+        self._finish(Span(name, cat, threading.get_ident(),
+                          end - duration_s, duration_s, 0.0, args))
+
+    def add_time(self, name: str, duration_s: float,
+                 cat: str = "span") -> None:
+        """Fold a measured duration into the aggregate stats only.
+
+        Unlike :meth:`record` no Chrome-trace event is emitted -- use for
+        sub-phases that repeat many times per op (e.g. per-chunk engine
+        phases) where per-event export would bloat the trace.
+        """
+        if not self.enabled:
+            return
+        with self._lock:
+            st = self._stats.get((name, cat))
+            if st is None:
+                st = self._stats[(name, cat)] = SpanStats(name, cat)
+            st.calls += 1
+            st.total_s += duration_s
+            st.self_s += duration_s
+            st.max_s = max(st.max_s, duration_s)
+
+    def count(self, name: str, n: float = 1) -> None:
+        """Increment a named counter (no-op when disabled)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + n
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _finish(self, span: Span) -> None:
+        with self._lock:
+            key = (span.name, span.cat)
+            st = self._stats.get(key)
+            if st is None:
+                st = self._stats[key] = SpanStats(span.name, span.cat)
+            st.calls += 1
+            st.total_s += span.dur
+            st.self_s += span.self_time
+            st.max_s = max(st.max_s, span.dur)
+            if len(self._spans) < self.max_spans:
+                self._spans.append(span)
+            else:
+                self.dropped += 1
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def enable(self) -> None:
+        """Turn tracing on and install the autograd op instrumentation."""
+        if self.enabled:
+            return
+        if not self._spans and not self._stats:
+            self.origin = time.perf_counter()
+        self.enabled = True
+        from repro.obs.hooks import install_tensor_tracing
+
+        install_tensor_tracing()
+
+    def disable(self) -> None:
+        """Turn tracing off and restore the unpatched autograd ops."""
+        if not self.enabled:
+            return
+        self.enabled = False
+        from repro.obs.hooks import uninstall_tensor_tracing
+
+        uninstall_tensor_tracing()
+
+    def reset(self) -> None:
+        """Drop all collected spans, stats, and counters."""
+        with self._lock:
+            self._spans.clear()
+            self._stats.clear()
+            self._counters.clear()
+            self.dropped = 0
+            self.origin = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def spans(self) -> list[Span]:
+        with self._lock:
+            return list(self._spans)
+
+    def stats(self) -> dict[tuple[str, str], SpanStats]:
+        with self._lock:
+            return {k: v.copy() for k, v in self._stats.items()}
+
+    def counters(self) -> dict[str, float]:
+        with self._lock:
+            return dict(self._counters)
+
+
+_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """Return the process-wide tracer instance."""
+    return _TRACER
+
+
+def span(name: str, cat: str = "span", args: dict | None = None):
+    return _TRACER.span(name, cat, args)
+
+
+def count(name: str, n: float = 1) -> None:
+    _TRACER.count(name, n)
+
+
+def add_time(name: str, duration_s: float, cat: str = "span") -> None:
+    _TRACER.add_time(name, duration_s, cat)
+
+
+def record(name: str, duration_s: float, cat: str = "span",
+           args: dict | None = None) -> None:
+    _TRACER.record(name, duration_s, cat, args)
+
+
+def enable() -> None:
+    _TRACER.enable()
+
+
+def disable() -> None:
+    _TRACER.disable()
+
+
+def is_enabled() -> bool:
+    return _TRACER.enabled
+
+
+def reset() -> None:
+    _TRACER.reset()
+
+
+@contextmanager
+def tracing(reset_first: bool = True):
+    """Enable tracing for a block, restoring the prior state afterwards."""
+    was_enabled = _TRACER.enabled
+    if reset_first:
+        _TRACER.reset()
+    _TRACER.enable()
+    try:
+        yield _TRACER
+    finally:
+        if not was_enabled:
+            _TRACER.disable()

@@ -31,8 +31,22 @@ class RunRecord:
 
 
 def history_to_rows(history: TrainHistory) -> list[dict]:
-    """Flatten a history into per-epoch dictionaries."""
-    n = len(history.train_loss)
+    """Flatten a history into per-epoch dictionaries.
+
+    Rows span the *longest* series so e.g. a trailing eval-only measurement
+    is kept; fields missing at a given epoch are ``None``.
+    """
+    n = max(
+        (
+            len(series)
+            for series in (
+                history.train_loss, history.train_top1, history.eval_top1,
+                history.eval_top5, history.lr, history.epoch_time,
+                history.samples_per_sec,
+            )
+        ),
+        default=0,
+    )
 
     def get(series, i):
         return series[i] if i < len(series) else None

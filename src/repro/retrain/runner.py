@@ -44,10 +44,13 @@ from pathlib import Path
 from typing import Callable
 
 from repro.errors import TransientRunError
+from repro.obs.trace import get_tracer
 from repro.retrain.experiment import ExperimentScale, run_cell
 from repro.retrain.logging import RunRecord, append_jsonl, read_jsonl
 from repro.retrain.sweep import SweepConfig, SweepSummary
 from repro.retrain.trainer import TrainHistory
+
+_TRACE = get_tracer()
 
 #: Environment variable read when ``workers`` is not passed explicitly.
 WORKERS_ENV = "REPRO_SWEEP_WORKERS"
@@ -312,6 +315,7 @@ class SweepRunner:
         status.samples_per_sec = extra.get(
             "samples_per_sec", status.samples_per_sec
         )
+        _TRACE.count("sweep.cells_resumed")
         if self.metrics is not None:
             self.metrics.inc("sweep_cells_resumed")
         self._emit(RunEvent(kind="skipped", run_id=status.run_id))
@@ -464,6 +468,7 @@ class SweepRunner:
     ) -> None:
         status.retries += 1
         status.error = str(exc)
+        _TRACE.count("sweep.retries")
         if self.metrics is not None:
             self.metrics.inc("sweep_retries_total")
         self._emit(
@@ -482,6 +487,9 @@ class SweepRunner:
         status.state = "failed"
         status.error = str(exc)
         status.wall_time_s += elapsed
+        _TRACE.count("sweep.cells_failed")
+        _TRACE.record("sweep.cell", elapsed, cat="sweep",
+                      args={"run_id": status.run_id, "outcome": "failed"})
         if self.metrics is not None:
             self.metrics.inc("sweep_cells_failed")
         self._emit(
@@ -506,6 +514,13 @@ class SweepRunner:
         status.final_top5 = result.final_top5
         status.wall_time_s = result.wall_time_s or elapsed
         status.samples_per_sec = result.samples_per_sec
+        _TRACE.count("sweep.cells_completed")
+        # Pool cells ran in a child process, so the parent records the
+        # observed wall time as an after-the-fact span.
+        _TRACE.record("sweep.cell", elapsed, cat="sweep",
+                      args={"run_id": spec.run_id,
+                            "attempt": status.attempts,
+                            "outcome": "completed"})
         if self.metrics is not None:
             self.metrics.inc("sweep_cells_completed")
             self.metrics.observe_latency(

@@ -19,9 +19,12 @@ from repro.data.dataset import DataLoader
 from repro.errors import ConfigError
 from repro.nn.losses import cross_entropy
 from repro.nn.module import Module
+from repro.obs.trace import get_tracer
 from repro.optim.adam import Adam
 from repro.optim.schedulers import paper_lr_schedule
 from repro.optim.sgd import SGD
+
+_TRACE = get_tracer()
 
 
 @dataclass
@@ -78,7 +81,7 @@ def evaluate(
     model.eval()
     top1 = top5 = total = 0
     try:
-        with no_grad():
+        with _TRACE.span("trainer.evaluate", cat="trainer"), no_grad():
             for x, y in loader:
                 logits = model(Tensor(x)).data
                 top1 += topk_correct(logits, y, 1)
@@ -147,6 +150,10 @@ class Trainer:
         the saved epoch instead of epoch 0 (the restore is consumed by the
         next ``fit`` call only).
         """
+        with _TRACE.span("trainer.fit", cat="trainer"):
+            return self._fit(train_data, eval_data, on_epoch_end)
+
+    def _fit(self, train_data, eval_data, on_epoch_end) -> TrainHistory:
         cfg = self.config
         history = TrainHistory()
         augment = random_crop_flip if cfg.augment else None
@@ -167,25 +174,33 @@ class Trainer:
             losses: list[float] = []
             correct = total = 0
             epoch_start = time.perf_counter()
-            for bi, (x, y) in enumerate(loader):
-                if (
-                    cfg.max_batches_per_epoch is not None
-                    and bi >= cfg.max_batches_per_epoch
-                ):
-                    break
-                logits = self.model(Tensor(x))
-                loss = cross_entropy(logits, y)
-                self.optimizer.zero_grad()
-                loss.backward()
-                self.optimizer.step()
-                losses.append(loss.item())
-                correct += topk_correct(logits.data, y, 1)
-                total += len(y)
-                if cfg.log_every and (bi + 1) % cfg.log_every == 0:
-                    print(
-                        f"epoch {epoch + 1} batch {bi + 1}: "
-                        f"loss {np.mean(losses):.4f}"
-                    )
+            with _TRACE.span("trainer.epoch", cat="trainer",
+                             args={"epoch": epoch}):
+                for bi, (x, y) in enumerate(loader):
+                    if (
+                        cfg.max_batches_per_epoch is not None
+                        and bi >= cfg.max_batches_per_epoch
+                    ):
+                        break
+                    with _TRACE.span("trainer.forward", cat="trainer"):
+                        logits = self.model(Tensor(x))
+                    with _TRACE.span("trainer.loss", cat="trainer"):
+                        loss = cross_entropy(logits, y)
+                    with _TRACE.span("trainer.backward", cat="trainer"):
+                        self.optimizer.zero_grad()
+                        loss.backward()
+                    with _TRACE.span("trainer.step", cat="trainer"):
+                        self.optimizer.step()
+                    _TRACE.count("trainer.batches")
+                    _TRACE.count("trainer.samples", len(y))
+                    losses.append(loss.item())
+                    correct += topk_correct(logits.data, y, 1)
+                    total += len(y)
+                    if cfg.log_every and (bi + 1) % cfg.log_every == 0:
+                        print(
+                            f"epoch {epoch + 1} batch {bi + 1}: "
+                            f"loss {np.mean(losses):.4f}"
+                        )
             if not losses:
                 # np.mean([]) would record NaN (plus a RuntimeWarning) and
                 # poison the history; fail loudly at the source instead.

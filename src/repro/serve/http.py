@@ -3,8 +3,10 @@
 Endpoints (JSON in, JSON out, no dependencies beyond ``http.server``):
 
 - ``GET  /healthz`` -- liveness probe with model name and worker count.
-- ``GET  /metrics`` -- metrics snapshot; ``?format=text`` returns the
-  human-readable report instead of JSON.
+- ``GET  /metrics`` -- metrics snapshot; ``?format=text`` returns a
+  Prometheus-style text exposition (serving metrics unified with
+  :mod:`repro.obs` tracer counters/spans), ``?format=report`` the
+  human-readable report, default JSON.
 - ``POST /predict`` -- body ``{"inputs": <sample or batch>}``.  A batch is
   split into single-sample requests so the micro-batching scheduler can
   coalesce them with other traffic; a full queue returns **503** with a
@@ -81,6 +83,8 @@ class _Handler(BaseHTTPRequestHandler):
             })
         elif path == "/metrics":
             if "format=text" in query:
+                self._send_text(200, self.server.metrics.prometheus_text())
+            elif "format=report" in query:
                 self._send_text(200, self.server.metrics.format_report() + "\n")
             else:
                 self._send_json(200, self.server.metrics.as_dict())

@@ -140,6 +140,18 @@ class ServeMetrics:
             },
         }
 
+    def prometheus_text(self) -> str:
+        """Prometheus-style text exposition of the current snapshot.
+
+        Unifies these serving metrics with the :mod:`repro.obs` tracer's
+        counters and span aggregates (what ``GET /metrics?format=text``
+        returns).
+        """
+        from repro.obs.export import prometheus_text
+        from repro.obs.trace import get_tracer
+
+        return prometheus_text(self, get_tracer())
+
     def format_report(self) -> str:
         """Multi-line human-readable report of the current snapshot."""
         snap = self.as_dict()

@@ -19,9 +19,12 @@ from typing import Callable
 import numpy as np
 
 from repro.errors import ServeError
+from repro.obs.trace import get_tracer
 from repro.serve.metrics import ServeMetrics
 from repro.serve.plan import InferencePlan
 from repro.serve.scheduler import MicroBatcher, PendingRequest
+
+_TRACE = get_tracer()
 
 
 class WorkerPool:
@@ -93,7 +96,8 @@ class WorkerPool:
 
     # ------------------------------------------------------------------
     def _worker_loop(self) -> None:
-        plan = self._plan_factory()  # compiled once, reused per worker
+        with _TRACE.span("serve.plan_compile", cat="serve"):
+            plan = self._plan_factory()  # compiled once, reused per worker
         while True:
             batch = self.batcher.next_batch(timeout=0.05)
             if batch is None:
@@ -107,7 +111,8 @@ class WorkerPool:
             try:
                 xs = np.stack([p.payload for p in batch])
                 t0 = time.perf_counter()
-                ys = plan.run(xs)
+                with _TRACE.span("serve.batch_exec", cat="serve"):
+                    ys = plan.run(xs)
                 exec_ms = (time.perf_counter() - t0) * 1000.0
                 done = time.perf_counter()
                 for pending, y in zip(batch, ys):

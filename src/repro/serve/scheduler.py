@@ -25,8 +25,11 @@ from collections import deque
 import numpy as np
 
 from repro.errors import ServeError, ServerBusyError
+from repro.obs.trace import get_tracer
 
 from repro.serve.metrics import ServeMetrics
+
+_TRACE = get_tracer()
 
 
 def _remaining(deadline: float | None) -> float | None:
@@ -119,6 +122,7 @@ class MicroBatcher:
                 )
             pending = PendingRequest(np.asarray(payload))
             self._queue.append(pending)
+            _TRACE.count("serve.requests_submitted")
             if self.metrics is not None:
                 self.metrics.inc("requests_total")
             self._cond.notify()
@@ -143,6 +147,7 @@ class MicroBatcher:
             # Idle fast path: nothing else queued and no batch in flight --
             # execute immediately rather than paying the coalescing wait.
             if self._queue or self._inflight > 0:
+                coalesce_start = time.monotonic() if _TRACE.enabled else 0.0
                 wait_deadline = time.monotonic() + self.max_wait_ms / 1000.0
                 while len(batch) < self.max_batch and not self._closed:
                     if self._queue:
@@ -151,7 +156,15 @@ class MicroBatcher:
                     if time.monotonic() >= wait_deadline:
                         break
                     self._cond.wait(_remaining(wait_deadline))
+                if _TRACE.enabled:
+                    _TRACE.record(
+                        "serve.coalesce_wait",
+                        time.monotonic() - coalesce_start,
+                        cat="serve",
+                        args={"batch": len(batch)},
+                    )
             self._inflight += 1
+        _TRACE.count("serve.batches")
         if self.metrics is not None:
             self.metrics.observe_batch(len(batch))
         return batch

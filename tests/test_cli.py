@@ -54,3 +54,34 @@ def test_retrain_command_tiny(capsys):
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_profile_command_retrain(tmp_path, capsys):
+    trace = tmp_path / "trace.json"
+    table = tmp_path / "table.txt"
+    rc = main([
+        "profile", "--mode", "retrain", "--epochs", "1", "--n-train", "64",
+        "--image-size", "12", "--trace", str(trace), "--table", str(table),
+        "--min-coverage", "0.9",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "profiled retrain" in out and "trace coverage" in out
+    import json as _json
+    doc = _json.loads(trace.read_text())
+    names = {e["name"] for e in doc["traceEvents"]}
+    for want in ("profile.retrain", "trainer.fit", "trainer.epoch",
+                 "lutgemm.gather"):
+        assert want in names, want
+    assert "span" in table.read_text()
+
+
+def test_retrain_profile_flag(capsys):
+    rc = main([
+        "retrain", "--multiplier", "mul6u_rm4", "--epochs", "1",
+        "--pretrain-epochs", "1", "--n-train", "48", "--image-size", "12",
+        "--profile", "--profile-top", "3",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "hotspots by self time" in out

@@ -139,3 +139,79 @@ def test_difference_gradient_nonnegative_for_monotone_appmult():
     lut = TruncatedMultiplier(7, 6).lut()
     g = difference_gradient_lut(lut, 2, "x")
     assert g.min() >= -1e-9
+
+
+# ---------------------------------------------------------------------------
+# Signed STE (two's-complement decode) and edge cases
+# ---------------------------------------------------------------------------
+
+def test_ste_gradient_signed_decodes_twos_complement():
+    """Index 2**B - 1 is operand value -1, not +(2**B - 1)."""
+    gx = ste_gradient_lut(8, "x", signed=True)
+    assert gx[255, 0] == -1.0
+    assert gx[128, 0] == -128.0
+    assert gx[127, 0] == 127.0
+    gw = ste_gradient_lut(8, "w", signed=True)
+    assert gw[0, 255] == -1.0
+    assert gw[0, 128] == -128.0
+
+
+def test_gradient_luts_signed_ste_matches_exact_signed_product():
+    """For a signed exact multiplier AM(w, x) = w*x, the analytic gradient
+    is dAM/dX = w and dAM/dW = x with *signed* operand values."""
+    from repro.multipliers.signed import SignedMultiplier
+
+    mult = SignedMultiplier(ExactMultiplier(4))
+    pair = gradient_luts(mult, "ste")
+    assert pair.method == "ste-signed"
+    n = 16
+    signed = np.arange(n, dtype=np.float64)
+    signed[n >> 1:] -= n
+    assert np.array_equal(pair.grad_x, np.broadcast_to(signed[:, None], (n, n)))
+    assert np.array_equal(pair.grad_w, np.broadcast_to(signed[None, :], (n, n)))
+    # The headline regression: w index 15 decodes to -1, so dAM/dX = -1.
+    assert pair.grad_x[15, 0] == -1.0
+
+
+def test_gradient_luts_unsigned_ste_unchanged():
+    pair = gradient_luts(TruncatedMultiplier(4, 1), "ste")
+    assert pair.method == "ste"
+    assert pair.grad_x[15, 0] == 15.0
+
+
+def test_two_bit_multiplier_gradients():
+    """Smallest sensible LUT: 2-bit operands, 4x4 table."""
+    lut = ExactMultiplier(2).lut()
+    g = difference_gradient_lut(lut, 1, "x")  # 2*1+1 = 3 <= 4
+    assert g.shape == (4, 4)
+    assert np.isfinite(g).all()
+    gx = ste_gradient_lut(2, "x")
+    assert gx[3, 0] == 3.0
+    gxs = ste_gradient_lut(2, "x", signed=True)
+    assert gxs[3, 0] == -1.0
+    assert gxs[2, 0] == -2.0
+
+
+def test_largest_legal_hws_and_one_past_it():
+    lut = ExactMultiplier(6).lut()
+    hws_max = (64 - 1) // 2  # largest window that fits: 2*31+1 = 63 <= 64
+    g = difference_gradient_lut(lut, hws_max, "x")
+    assert np.isfinite(g).all()
+    with pytest.raises(ReproError):
+        difference_gradient_lut(lut, hws_max + 1, "x")
+
+
+def test_difference_lut_matches_manual_central_difference():
+    """Eq. 5 on a random stair LUT equals smoothing + manual differences."""
+    from repro.core.smoothing import smooth_function
+
+    rng = np.random.default_rng(7)
+    n = 32
+    lut = rng.integers(0, 4, size=(n, n)).cumsum(axis=1).astype(np.float64)
+    hws = 3
+    g = difference_gradient_lut(lut, hws, "x")
+    for w in (0, 9, 31):
+        sm = smooth_function(lut[w], hws)
+        for x in range(hws + 1, n - 1 - hws):
+            expected = (sm[x + 1] - sm[x - 1]) / 2.0
+            assert g[w, x] == pytest.approx(expected)

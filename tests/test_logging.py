@@ -123,3 +123,25 @@ def test_best_runs(tmp_path):
     assert best["m/ste"].run_id == "b"
     assert best["m/difference"].run_id == "c"
     assert "m/x" not in best
+
+
+def test_history_to_rows_keeps_longest_series_tail():
+    """Regression: rows must span the *longest* series, not train_loss --
+    a trailing eval-only measurement was silently dropped before."""
+    h = TrainHistory(
+        train_loss=[2.0, 1.5],
+        train_top1=[0.2, 0.4],
+        eval_top1=[0.25, 0.45, 0.55, 0.6],
+        eval_top5=[0.6, 0.8, 0.9, 0.95],
+        lr=[1e-3, 5e-4],
+    )
+    rows = history_to_rows(h)
+    assert len(rows) == 4
+    assert rows[3]["epoch"] == 4
+    assert rows[3]["eval_top1"] == 0.6
+    assert rows[3]["train_loss"] is None
+    assert rows[3]["lr"] is None
+
+
+def test_history_to_rows_empty_history():
+    assert history_to_rows(TrainHistory()) == []

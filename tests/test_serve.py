@@ -342,9 +342,17 @@ def test_http_metrics_json_and_text(retrained, http_server):
     assert body["counters"]["predictions_total"] >= 1
     assert "request_ms" in body["latency"]
     assert "engine_cache" in body
+    # format=text is now a Prometheus-style exposition (obs unification);
+    # the old human-readable report moved to format=report.
     with urllib.request.urlopen(http_server + "/metrics?format=text") as resp:
         text = resp.read().decode()
-    assert "serve metrics" in text and "batch sizes" in text
+    assert "# TYPE repro_serve_counter counter" in text
+    assert 'repro_serve_counter{name="predictions_total"}' in text
+    assert 'repro_latency_ms{series="request_ms",quantile="0.5"}' in text
+    assert 'repro_engine_cache{stat="entries"}' in text
+    with urllib.request.urlopen(http_server + "/metrics?format=report") as resp:
+        report = resp.read().decode()
+    assert "serve metrics" in report and "batch sizes" in report
 
 
 # ---------------------------------------------------------------------------

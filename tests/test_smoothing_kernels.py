@@ -75,3 +75,27 @@ def test_kernel_gradient_same_boundary_rule():
 def test_kernel_validation_window_too_big():
     with pytest.raises(ReproError):
         smooth_function_kernel(np.zeros(8), 4, "gaussian")
+
+
+def test_nonuniform_kernel_oversized_window_rejected_like_uniform():
+    """Regression: the triangular/gaussian smoothing path must validate the
+    window size up front (the uniform path always did).  Before the fix an
+    oversized window silently produced an all-NaN smoothed LUT and the
+    gradient degraded to the Eq. 6 boundary fallback everywhere."""
+    lut = get_multiplier("mul6u_rm4").lut()  # n = 64
+    for kernel in ("uniform", "triangular", "gaussian"):
+        with pytest.raises(ReproError):
+            difference_gradient_lut(lut, 32, "x", kernel)  # 2*32+1 > 64
+
+
+def test_nonuniform_kernel_largest_legal_hws_is_finite():
+    lut = get_multiplier("mul6u_rm4").lut()
+    for kernel in ("triangular", "gaussian"):
+        g = difference_gradient_lut(lut, 31, "x", kernel)  # 2*31+1 = 63
+        assert np.isfinite(g).all()
+
+
+def test_gradient_luts_kernel_oversized_window_rejected():
+    mult = get_multiplier("mul6u_rm4")
+    with pytest.raises(ReproError):
+        gradient_luts(mult, "difference", hws=40, kernel="gaussian")
