@@ -75,3 +75,34 @@ def line_plot(series: dict[str, list[float]], **kwargs) -> str:
     """Scatter with epoch indices as x (curves like Fig. 6)."""
     xs = {name: list(range(1, len(vals) + 1)) for name, vals in series.items()}
     return scatter(xs, series, x_label=kwargs.pop("x_label", "epoch"), **kwargs)
+
+
+def heatmap(
+    grid,
+    chars: str = " .:-=+*#%@",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render a 2-D array as an ASCII density map (LUT coverage grids).
+
+    Each cell maps linearly onto ``chars`` by its value relative to the
+    grid maximum (first char = zero/minimum, last = maximum); cells are
+    doubled horizontally so the aspect ratio is roughly square.  Row 0 is
+    drawn at the top.
+    """
+    grid = np.asarray(grid, dtype=np.float64)
+    if grid.ndim != 2 or grid.size == 0:
+        raise ReproError("heatmap expects a non-empty 2-D array")
+    lo, hi = float(grid.min()), float(grid.max())
+    span = (hi - lo) or 1.0
+    levels = len(chars) - 1
+    cells = np.clip(
+        np.rint((grid - lo) / span * levels), 0, levels
+    ).astype(int)
+    lines = [
+        "  |" + "".join(chars[v] * 2 for v in row) for row in cells
+    ]
+    lines.append("  +" + "-" * (2 * grid.shape[1]))
+    lines.append(f"  {y_label} (rows, top=0) vs {x_label} (cols); "
+                 f"scale {lo:.3g}..{hi:.3g} -> '{chars[0]}'..'{chars[-1]}'")
+    return "\n".join(lines)

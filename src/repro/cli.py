@@ -9,6 +9,7 @@ Three subcommands mirror the main workflows::
     python -m repro.cli export --multiplier NAME    # Verilog/BLIF dump
     python -m repro.cli serve --checkpoint CKPT --multiplier NAME  # HTTP server
     python -m repro.cli profile --mode retrain      # traced hotspot profile
+    python -m repro.cli health RUN_DIR              # training-health report
 """
 
 from __future__ import annotations
@@ -32,6 +33,18 @@ def _cmd_retrain(args: argparse.Namespace) -> int:
     from repro.core.lutgemm import format_engine_stats
     from repro.retrain.experiment import ExperimentScale, retrain_comparison
     from repro.retrain.results import format_table2
+
+    run_dir = getattr(args, "run_dir", None)
+    if args.telemetry or run_dir:
+        from pathlib import Path
+
+        from repro.obs.telemetry import enable as telemetry_enable
+
+        jsonl_path = None
+        if run_dir:
+            Path(run_dir).mkdir(parents=True, exist_ok=True)
+            jsonl_path = str(Path(run_dir) / "health.jsonl")
+        telemetry_enable(jsonl_path=jsonl_path)
 
     scale = ExperimentScale(
         image_size=args.image_size,
@@ -64,6 +77,25 @@ def _cmd_retrain(args: argparse.Namespace) -> int:
         print()
         print(f"top {args.profile_top} hotspots by self time")
         print(format_table(tracer, sort="self", top=args.profile_top))
+    from repro.obs.health import format_health_report, get_monitor
+
+    # Covers --telemetry / --run-dir and REPRO_TELEMETRY=1 alike.
+    if get_monitor().enabled:
+        print()
+        print(format_health_report(get_monitor().epoch_records()))
+    return 0
+
+
+def _cmd_health(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.obs.health import format_health_report, load_health_jsonl
+
+    path = Path(args.run_dir)
+    if path.is_dir():
+        path = path / "health.jsonl"
+    records = load_health_jsonl(path)
+    print(format_health_report(records, width=args.width))
     return 0
 
 
@@ -299,6 +331,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="trace the run and print the hottest spans at the end")
     p.add_argument("--profile-top", type=int, default=10,
                    help="how many hotspot rows --profile prints")
+    p.add_argument("--telemetry", action="store_true",
+                   help="enable training-health probes (gradient quality, "
+                        "saturation, LUT coverage) and print a health report")
+    p.add_argument("--run-dir", default=None,
+                   help="directory for per-run artifacts; implies --telemetry "
+                        "and streams health.jsonl there (read it back with "
+                        "`repro health <dir>`)")
     p.set_defaults(func=_cmd_retrain)
 
     p = sub.add_parser(
@@ -325,6 +364,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--width-mult", type=float, default=0.125)
     p.add_argument("--batch-size", type=int, default=32)
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "health", help="render a training-health report from a run directory"
+    )
+    p.add_argument("run_dir",
+                   help="run directory containing health.jsonl (or a direct "
+                        "path to the JSONL file)")
+    p.add_argument("--width", type=int, default=60,
+                   help="plot width in characters")
+    p.set_defaults(func=_cmd_health)
 
     p = sub.add_parser("hws", help="sweep half window sizes")
     p.add_argument("--multiplier", required=True)

@@ -47,9 +47,11 @@ import numpy as np
 from repro.core.gradient import GradientPair
 from repro.errors import ReproError
 from repro.multipliers.base import Multiplier
+from repro.obs.health import get_monitor
 from repro.obs.trace import get_tracer
 
 _TRACE = get_tracer()
+_HEALTH = get_monitor()
 
 #: Columns processed per LUT-GEMM chunk; bounds peak memory at
 #: roughly ``M * K * chunk`` elements per scratch buffer.
@@ -206,6 +208,10 @@ class LutGemm:
         if k != k2:
             raise ReproError(f"LutGemm shapes: {wq.shape} x {xq.shape}")
         self.forward_calls += 1
+        if _HEALTH.enabled:
+            # LUT-coverage probe: reads the quantized operands only (no
+            # scratch, no RNG), so results stay bit-identical.
+            _HEALTH.observe_operands(self, wq, xq)
         if self.exact_fast_path:
             # AM == exact product: a float matmul is bit-exact here because
             # operands are < 2**10 and K is small enough for float64.

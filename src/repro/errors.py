@@ -23,6 +23,48 @@ class TransientRunError(ReproError):
     with capped exponential backoff before declaring the run failed."""
 
 
+class TrainingHealthError(TransientRunError):
+    """Raised by the anomaly monitor (:mod:`repro.obs.health`) when a
+    training run goes numerically bad.  Subclasses ``TransientRunError``
+    so sweep cells retry these with backoff, same as any other
+    non-finite-result failure."""
+
+
+class NonFiniteLossError(TrainingHealthError):
+    """Raised when a training batch produces a NaN/inf loss.
+
+    Attributes:
+        epoch: 0-based epoch the bad batch ran in.
+        step: 0-based batch index within the epoch.
+        loss_value: The non-finite loss value observed.
+        last_finite_loss: Most recent finite loss before the blow-up
+            (``None`` when the very first batch was non-finite).
+    """
+
+    def __init__(self, message, epoch, step, loss_value, last_finite_loss):
+        super().__init__(message)
+        self.epoch = epoch
+        self.step = step
+        self.loss_value = loss_value
+        self.last_finite_loss = last_finite_loss
+
+
+class NonFiniteGradientError(TrainingHealthError):
+    """Raised when a parameter gradient contains NaN/inf.
+
+    Attributes:
+        layer: Dotted parameter name whose gradient was non-finite.
+        epoch: 0-based epoch of the offending step.
+        step: 0-based batch index within the epoch.
+    """
+
+    def __init__(self, message, layer, epoch, step):
+        super().__init__(message)
+        self.layer = layer
+        self.epoch = epoch
+        self.step = step
+
+
 class ServeError(ReproError):
     """Raised for inference-serving failures (plan compilation, pool use)."""
 

@@ -39,9 +39,11 @@ from repro.nn.quant import (
     quantize_array,
     quantize_per_channel,
 )
+from repro.obs.health import get_monitor
 from repro.obs.trace import get_tracer
 
 _TRACE = get_tracer()
+_HEALTH = get_monitor()
 
 __all__ = [
     "DEFAULT_CHUNK",
@@ -278,6 +280,12 @@ class _ApproxBase(Module):
         x_hi = (qs.x_qparams.qmax - zx) * sx
         wmask = (wmat >= w_lo) & (wmat <= w_hi)
         xmask = (cols >= x_lo) & (cols <= x_hi)
+        if _HEALTH.enabled:
+            # Passive probe: reads the masks/ranges already computed above,
+            # touches no engine state, consumes no RNG.
+            _HEALTH.observe_saturation(
+                self, wmat, cols, wmask, xmask, w_lo, w_hi, x_lo, x_hi
+            )
 
         engine = self.engine
 
@@ -287,6 +295,11 @@ class _ApproxBase(Module):
             )
             with _TRACE.span("approx.gemm_backward", cat="approx"):
                 gw_int, gx_int = engine.backward_grads(wq, xq, gmat, zw, zx)
+            if _HEALTH.enabled:
+                # Gradient-quality probe on the live operands/upstream
+                # gradient, after the real backward so scratch reuse in the
+                # engine is unaffected.
+                _HEALTH.observe_layer_backward(self, engine, wq, xq, gmat, zx)
             # dW/dw = 1/s_w, dX/dx = 1/s_x (STE through round), so the s_w
             # (resp. s_x) factors cancel one of the two scales in DQ'.
             gw = (gw_int / sw_col) * wmask

@@ -19,6 +19,9 @@ import numpy as np
 
 from repro.autograd.tensor import Tensor
 from repro.errors import QuantizationError
+from repro.obs.health import get_monitor
+
+_HEALTH = get_monitor()
 
 
 @dataclass(frozen=True)
@@ -200,4 +203,20 @@ def fake_quantize(x: Tensor, qp: QuantParams) -> Tensor:
     lo = (qp.qmin - qp.zero_point) * qp.scale
     hi = (qp.qmax - qp.zero_point) * qp.scale
     mask = (x.data >= lo) & (x.data <= hi)
+    if _HEALTH.enabled:
+        _HEALTH.observe_fake_quant(1.0 - float(mask.mean()))
     return Tensor.make(out, (x,), lambda g: (g * mask,))
+
+
+def clip_fraction(arr: np.ndarray, qp: QuantParams) -> float:
+    """Fraction of ``arr`` falling outside the representable range.
+
+    The same in-range test Eq. 9's clipped STE uses; handy for one-off
+    saturation checks outside the instrumented layers.
+    """
+    arr = np.asarray(arr)
+    if arr.size == 0:
+        return 0.0
+    lo = (qp.qmin - qp.zero_point) * qp.scale
+    hi = (qp.qmax - qp.zero_point) * qp.scale
+    return 1.0 - float(np.mean((arr >= lo) & (arr <= hi)))

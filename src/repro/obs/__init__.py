@@ -1,6 +1,6 @@
-"""Observability: zero-dependency tracing, profiling, and metric export.
+"""Observability: zero-dependency tracing, telemetry, and metric export.
 
-The subsystem has three parts:
+The subsystem has five parts:
 
 - :mod:`repro.obs.trace` -- the process-wide span tracer (context-manager +
   decorator API, thread-aware self-time attribution, counters).  Hooked
@@ -8,9 +8,18 @@ The subsystem has three parts:
   trainer, the sweep runner, and the serve scheduler/pool.  When disabled
   (the default) every hook is a no-op or patched out entirely, so numerics
   and performance are bit-identical to an untraced build.
+- :mod:`repro.obs.telemetry` -- the thread-safe metric registry
+  (counter / gauge / histogram families with labels) shared by serving
+  and the training-health probes, plus the ``REPRO_TELEMETRY`` lifecycle
+  (:func:`repro.obs.telemetry.enable` / ``disable``).
+- :mod:`repro.obs.health` -- per-layer training-health probes (gradient
+  quality vs. an exact finite-difference reference, quantization
+  saturation and range drift, LUT operand coverage) and the anomaly
+  monitor that raises structured errors on non-finite loss/gradients.
 - :mod:`repro.obs.export` -- Chrome-trace JSON, a sorted self/cumulative
   time table, and a Prometheus-style text exposition that unifies
-  :class:`repro.serve.metrics.ServeMetrics` with tracer data.
+  :class:`repro.serve.metrics.ServeMetrics`, tracer data, and telemetry
+  registry families.
 - :mod:`repro.obs.profile` -- the ``repro profile`` driver: trace a short
   retrain or a canned inference load and write the trace + table.
 """
@@ -36,6 +45,19 @@ from repro.obs.export import (
     prometheus_text,
     write_chrome_trace,
 )
+from repro.obs.health import (
+    HealthEvent,
+    HealthMonitor,
+    format_health_report,
+    get_monitor,
+    load_health_jsonl,
+)
+from repro.obs.telemetry import (
+    Metric,
+    MetricRegistry,
+    TelemetryConfig,
+    get_registry,
+)
 
 __all__ = [
     "Span",
@@ -55,4 +77,13 @@ __all__ = [
     "format_table",
     "prometheus_text",
     "write_chrome_trace",
+    "HealthEvent",
+    "HealthMonitor",
+    "format_health_report",
+    "get_monitor",
+    "load_health_jsonl",
+    "Metric",
+    "MetricRegistry",
+    "TelemetryConfig",
+    "get_registry",
 ]

@@ -127,7 +127,8 @@ def _fmt(value) -> str:
     return f"{v:.9g}"
 
 
-def prometheus_text(metrics=None, tracer: Tracer | None = None) -> str:
+def prometheus_text(metrics=None, tracer: Tracer | None = None,
+                    registry=None) -> str:
     """Prometheus-style text exposition of serve metrics + tracer data.
 
     Args:
@@ -136,6 +137,10 @@ def prometheus_text(metrics=None, tracer: Tracer | None = None) -> str:
             engine-cache stats are exported under the ``repro_`` prefix.
         tracer: Tracer whose counters and span aggregates to export
             (defaults to the process-wide tracer).
+        registry: Optional :class:`repro.obs.telemetry.MetricRegistry`
+            whose families (e.g. the training-health gauges) are appended
+            to the exposition.  Explicit rather than implicit so callers
+            that want a pure serve/tracer view still get one.
     """
     t = tracer or get_tracer()
     lines: list[str] = []
@@ -159,6 +164,12 @@ def prometheus_text(metrics=None, tracer: Tracer | None = None) -> str:
         for name, hist in sorted(snap["latency"].items()):
             for q, key in (("0.5", "p50_ms"), ("0.95", "p95_ms"),
                            ("0.99", "p99_ms")):
+                # A histogram that exists but has an empty reservoir
+                # reports NaN percentiles (JSON keeps them -- "no data");
+                # the Prometheus exposition must stay NaN-free, so those
+                # samples are dropped while the exact count survives.
+                if isinstance(hist[key], float) and math.isnan(hist[key]):
+                    continue
                 lat_samples.append(
                     f'repro_latency_ms{{series="{name}",quantile="{q}"}} '
                     f"{_fmt(hist[key])}"
@@ -194,6 +205,8 @@ def prometheus_text(metrics=None, tracer: Tracer | None = None) -> str:
          "Cumulative self time (minus nested spans) per span name.",
          [f'repro_trace_span_self_seconds_total{{span="{s.name}"}} '
           f"{_fmt(s.self_s)}" for s in span_stats])
+    if registry is not None:
+        lines.extend(registry.prometheus_lines())
     if not lines:
         lines.append("# no metrics collected")
     return "\n".join(lines) + "\n"

@@ -19,7 +19,14 @@ from repro.retrain.trainer import TrainHistory
 
 @dataclass
 class RunRecord:
-    """One training run plus its identifying metadata."""
+    """One training run plus its identifying metadata.
+
+    ``health`` optionally carries per-epoch training-health summaries
+    (``mean_sat_rate``/``worst_grad_cosine`` lists from
+    :meth:`repro.obs.health.HealthMonitor.run_summary`); it stays empty --
+    and is omitted from the JSONL payload -- when telemetry was off, so
+    pre-telemetry journals and new ones are interchangeable.
+    """
 
     run_id: str
     arch: str = ""
@@ -28,6 +35,7 @@ class RunRecord:
     seed: int = 0
     extra: dict = field(default_factory=dict)
     history: TrainHistory = field(default_factory=TrainHistory)
+    health: dict = field(default_factory=dict)
 
 
 def history_to_rows(history: TrainHistory) -> list[dict]:
@@ -97,6 +105,10 @@ def append_jsonl(record: RunRecord, path: str | Path) -> None:
         "extra": record.extra,
         "history": asdict(record.history),
     }
+    if record.health:
+        # Written only when present so telemetry-off runs produce logs
+        # byte-identical to pre-telemetry versions of this module.
+        payload["health"] = record.health
     with Path(path).open("a") as fh:
         fh.write(json.dumps(payload) + "\n")
 
@@ -142,6 +154,7 @@ def read_jsonl(path: str | Path, dedupe: bool = False) -> list[RunRecord]:
                 seed=raw.get("seed", 0),
                 extra=raw.get("extra", {}),
                 history=TrainHistory(**raw.get("history", {})),
+                health=raw.get("health", {}),
             )
         )
     return dedupe_records(records) if dedupe else records

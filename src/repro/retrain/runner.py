@@ -98,6 +98,9 @@ class CellResult:
     wall_time_s: float = 0.0
     samples_per_sec: float = 0.0
     engine_cache: dict = field(default_factory=dict)
+    # Per-epoch health summaries from the anomaly monitor (empty unless
+    # telemetry was enabled in the executing process).
+    health: dict = field(default_factory=dict)
     pid: int = 0
 
 
@@ -150,7 +153,12 @@ def execute_cell(spec: RunSpec) -> CellResult:
     retries instead of journaling garbage.
     """
     from repro.core.lutgemm import engine_cache_stats
+    from repro.obs.health import get_monitor
 
+    monitor = get_monitor()
+    if monitor.enabled:
+        # One health summary per cell, not per process lifetime.
+        monitor.reset()
     scale = replace(spec.scale, seed=spec.seed)
     t0 = time.monotonic()
     row = run_cell(spec.arch, spec.multiplier, spec.method, scale)
@@ -159,6 +167,7 @@ def execute_cell(spec: RunSpec) -> CellResult:
     checked = [outcome.final_top1, outcome.final_top5, *outcome.train_loss]
     if not all(math.isfinite(v) for v in checked):
         raise TransientRunError(f"non-finite training result in {spec.run_id}")
+    health = monitor.run_summary() if monitor.enabled else {}
     return CellResult(
         run_id=spec.run_id,
         final_top1=outcome.final_top1,
@@ -170,6 +179,7 @@ def execute_cell(spec: RunSpec) -> CellResult:
         wall_time_s=wall,
         samples_per_sec=outcome.samples_per_sec,
         engine_cache=engine_cache_stats().as_dict(),
+        health=health,
         pid=os.getpid(),
     )
 
@@ -566,6 +576,7 @@ class SweepRunner:
                 eval_top1=result.epoch_top1 or [result.final_top1],
                 eval_top5=result.epoch_top5 or [result.final_top5],
             ),
+            health=result.health,
         )
         append_jsonl(record, Path(self.config.log_path))
 

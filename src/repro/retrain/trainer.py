@@ -8,6 +8,7 @@ proportionally via :func:`repro.optim.schedulers.paper_lr_schedule`.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 
@@ -19,12 +20,14 @@ from repro.data.dataset import DataLoader
 from repro.errors import ConfigError
 from repro.nn.losses import cross_entropy
 from repro.nn.module import Module
+from repro.obs.health import get_monitor
 from repro.obs.trace import get_tracer
 from repro.optim.adam import Adam
 from repro.optim.schedulers import paper_lr_schedule
 from repro.optim.sgd import SGD
 
 _TRACE = get_tracer()
+_HEALTH = get_monitor()
 
 
 @dataclass
@@ -169,6 +172,9 @@ class Trainer:
         if self._pending_loader_rng is not None:
             loader.set_rng_state(self._pending_loader_rng)
             self._pending_loader_rng = None
+        if _HEALTH.enabled:
+            _HEALTH.register_model(self.model)
+        last_finite_loss: float | None = None
         for epoch in range(start_epoch, cfg.epochs):
             lr = self.schedule.set_epoch(epoch)
             losses: list[float] = []
@@ -186,14 +192,25 @@ class Trainer:
                         logits = self.model(Tensor(x))
                     with _TRACE.span("trainer.loss", cat="trainer"):
                         loss = cross_entropy(logits, y)
+                    loss_val = loss.item()
+                    if not math.isfinite(loss_val):
+                        # A NaN/inf loss used to propagate silently and
+                        # poison the optimizer state; fail at the source
+                        # with a structured, retryable error instead.
+                        raise _HEALTH.nonfinite_loss(
+                            epoch, bi, loss_val, last_finite_loss
+                        )
+                    last_finite_loss = loss_val
                     with _TRACE.span("trainer.backward", cat="trainer"):
                         self.optimizer.zero_grad()
                         loss.backward()
+                    if _HEALTH.enabled:
+                        _HEALTH.check_gradients(self.model, epoch, bi)
                     with _TRACE.span("trainer.step", cat="trainer"):
                         self.optimizer.step()
                     _TRACE.count("trainer.batches")
                     _TRACE.count("trainer.samples", len(y))
-                    losses.append(loss.item())
+                    losses.append(loss_val)
                     correct += topk_correct(logits.data, y, 1)
                     total += len(y)
                     if cfg.log_every and (bi + 1) % cfg.log_every == 0:
@@ -225,6 +242,8 @@ class Trainer:
                 top1, top5 = evaluate(self.model, eval_data)
                 history.eval_top1.append(top1)
                 history.eval_top5.append(top5)
+            if _HEALTH.enabled:
+                _HEALTH.flush_epoch(epoch)
             self.epochs_done = epoch + 1
             if on_epoch_end is not None:
                 on_epoch_end(epoch, history)

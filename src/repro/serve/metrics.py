@@ -7,6 +7,12 @@ pool, and the HTTP endpoint.  Everything is exportable two ways:
   ``GET /metrics`` returns), and
 - :meth:`ServeMetrics.format_report` -- a human-readable text report.
 
+Event counters are backed by a :class:`repro.obs.telemetry.MetricRegistry`
+family, so serving counters and the training-health telemetry share one
+metric model and one Prometheus export path; :meth:`as_dict` additionally
+embeds a snapshot of the process-wide telemetry registry under
+``"telemetry"`` so the health gauges ride along on ``GET /metrics``.
+
 Latency histograms keep a bounded reservoir of recent samples plus exact
 count/sum/min/max, so p50/p95/p99 stay cheap at any traffic volume.  Engine
 cache hit statistics are pulled live from
@@ -19,6 +25,8 @@ import threading
 from typing import Callable
 
 import numpy as np
+
+from repro.obs.telemetry import MetricRegistry, get_registry
 
 #: Samples retained per latency histogram (newest overwrite oldest).
 RESERVOIR_SIZE = 4096
@@ -50,33 +58,55 @@ class LatencyHistogram:
         self.min = min(self.min, value_ms)
         self.max = max(self.max, value_ms)
 
-    def percentile(self, q: float) -> float:
-        # NaN, not 0.0, on zero samples: a 0ms percentile reads as "very
-        # fast", NaN reads as "no data" (and survives the JSON path --
-        # json.dumps emits NaN by default).
+    def percentiles(self, qs) -> list[float]:
+        """Several percentiles from one sort of the reservoir.
+
+        NaN, not 0.0, on zero samples: a 0ms percentile reads as "very
+        fast", NaN reads as "no data" (and survives the JSON path --
+        json.dumps emits NaN by default).
+        """
         if self._filled == 0:
-            return float("nan")
-        return float(np.percentile(self._samples[: self._filled], q))
+            return [float("nan")] * len(qs)
+        # One np.percentile call sorts the reservoir once and interpolates
+        # every requested quantile from it (as_dict used to pay three
+        # full sorts for p50/p95/p99).
+        vals = np.percentile(self._samples[: self._filled], list(qs))
+        return [float(v) for v in np.atleast_1d(vals)]
+
+    def percentile(self, q: float) -> float:
+        return self.percentiles((q,))[0]
 
     def as_dict(self) -> dict:
         empty = float("nan")
+        p50, p95, p99 = self.percentiles((50, 95, 99))
         return {
             "count": self.count,
             "mean_ms": self.total / self.count if self.count else empty,
             "min_ms": self.min if self.count else empty,
             "max_ms": self.max if self.count else empty,
-            "p50_ms": self.percentile(50),
-            "p95_ms": self.percentile(95),
-            "p99_ms": self.percentile(99),
+            "p50_ms": p50,
+            "p95_ms": p95,
+            "p99_ms": p99,
         }
 
 
 class ServeMetrics:
-    """Thread-safe metrics registry for one serving deployment."""
+    """Thread-safe metrics registry for one serving deployment.
 
-    def __init__(self):
+    Args:
+        registry: Optional :class:`MetricRegistry` to host the event
+            counters; each instance gets a private registry by default so
+            independent deployments (and tests) never share counter state.
+    """
+
+    def __init__(self, registry: MetricRegistry | None = None):
         self._lock = threading.Lock()
-        self._counters: dict[str, int] = {}
+        self.registry = registry or MetricRegistry()
+        self._events = self.registry.counter(
+            "repro_serve_counter",
+            "Serving/sweep event counters.",
+            labelnames=("name",),
+        )
         self._latencies: dict[str, LatencyHistogram] = {}
         self._batch_sizes: dict[int, int] = {}
         self._gauges: dict[str, Callable[[], float]] = {}
@@ -84,12 +114,10 @@ class ServeMetrics:
     # ------------------------------------------------------------------
     def inc(self, name: str, n: int = 1) -> None:
         """Increment counter ``name`` by ``n``."""
-        with self._lock:
-            self._counters[name] = self._counters.get(name, 0) + n
+        self._events.inc(n, name=name)
 
     def counter(self, name: str) -> int:
-        with self._lock:
-            return self._counters.get(name, 0)
+        return self._events.value(name=name)
 
     def observe_latency(self, name: str, value_ms: float) -> None:
         """Record one latency sample (milliseconds) in histogram ``name``."""
@@ -103,9 +131,7 @@ class ServeMetrics:
         """Record the size of one executed micro-batch."""
         with self._lock:
             self._batch_sizes[size] = self._batch_sizes.get(size, 0) + 1
-            self._counters["batches_total"] = (
-                self._counters.get("batches_total", 0) + 1
-            )
+        self._events.inc(name="batches_total")
 
     def register_gauge(self, name: str, fn: Callable[[], float]) -> None:
         """Register a live-sampled gauge (e.g. current queue depth)."""
@@ -122,8 +148,10 @@ class ServeMetrics:
         """Snapshot every metric as a plain (JSON-serializable) dict."""
         from repro.core.lutgemm import engine_cache_stats
 
+        counters = {
+            key[0]: value for key, value in self._events.items()
+        }
         with self._lock:
-            counters = dict(self._counters)
             latencies = {k: h.as_dict() for k, h in self._latencies.items()}
             batch_sizes = {str(k): v for k, v in sorted(self._batch_sizes.items())}
             gauges = {name: fn() for name, fn in self._gauges.items()}
@@ -138,19 +166,22 @@ class ServeMetrics:
                 "hits": cache.hits,
                 "misses": cache.misses,
             },
+            # Process-wide telemetry families (training-health gauges,
+            # anomaly counters, ...) so GET /metrics exposes them in JSON.
+            "telemetry": get_registry().as_dict(),
         }
 
     def prometheus_text(self) -> str:
         """Prometheus-style text exposition of the current snapshot.
 
         Unifies these serving metrics with the :mod:`repro.obs` tracer's
-        counters and span aggregates (what ``GET /metrics?format=text``
-        returns).
+        counters/span aggregates and the process-wide telemetry registry
+        (what ``GET /metrics?format=text`` returns).
         """
         from repro.obs.export import prometheus_text
         from repro.obs.trace import get_tracer
 
-        return prometheus_text(self, get_tracer())
+        return prometheus_text(self, get_tracer(), registry=get_registry())
 
     def format_report(self) -> str:
         """Multi-line human-readable report of the current snapshot."""
