@@ -5,6 +5,12 @@ output against the tape-building eval-mode forward on the same frozen
 approximate model, verifies the two are *bit-identical*, and reports the
 micro-batching throughput win (coalesced batch vs one-at-a-time).
 
+Also gates the integer-only serving plan (``arithmetic="int"``): its
+outputs must be bit-identical to the float-scale plan, its op walk must be
+integer end-to-end between input quantization and final dequantization
+(:func:`repro.serve.plan.assert_integer_core`), and in full mode its
+single-sample latency must be no worse than the float-scale plan's.
+
 Run standalone (the CI smoke job uses ``--quick``)::
 
     python benchmarks/bench_serve.py --quick   # small model, no timing gate
@@ -29,7 +35,11 @@ from repro.autograd.tensor import Tensor, no_grad  # noqa: E402
 from repro.models.lenet import LeNet  # noqa: E402
 from repro.multipliers.registry import get_multiplier  # noqa: E402
 from repro.retrain.convert import approximate_model, calibrate, freeze  # noqa: E402
-from repro.serve import WorkerPool, compile_plan  # noqa: E402
+from repro.serve import (  # noqa: E402
+    WorkerPool,
+    assert_integer_core,
+    compile_plan,
+)
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -118,10 +128,21 @@ def main(argv=None) -> int:
     assert np.array_equal(plan.run(x1), tape_forward(x1)), "single mismatch"
     assert np.array_equal(plan.run(xb), tape_forward(xb)), "batch mismatch"
 
+    # Integer-only plan: bit-identity gate + structural integer-core walk.
+    int_plan = compile_plan(model, arithmetic="int")
+    assert_integer_core(int_plan)
+    assert np.array_equal(int_plan.run(x1), plan.run(x1)), "int plan single"
+    assert np.array_equal(int_plan.run(xb), plan.run(xb)), "int plan batch"
+
     tape_s, plan_s, speedup = _paired_best(
         lambda: tape_forward(x1), lambda: plan.run(x1), repeats
     )
     tape_ms, plan_ms = tape_s * 1e3, plan_s * 1e3
+
+    float_s, int_s, int_ratio = _paired_best(
+        lambda: plan.run(x1), lambda: int_plan.run(x1), repeats
+    )
+    int_ms = int_s * 1e3
 
     # Micro-batching: a burst of single-sample requests executed one at a
     # time vs coalesced through the scheduler into one plan call.
@@ -151,6 +172,9 @@ def main(argv=None) -> int:
         f"  single-sample tape forward : {tape_ms:8.2f} ms",
         f"  single-sample compiled plan: {plan_ms:8.2f} ms  "
         f"({speedup:.2f}x faster, median of {repeats} interleaved pairs)",
+        f"  single-sample integer plan : {int_ms:8.2f} ms  "
+        f"({int_ratio:.2f}x vs float plan, integer core verified, "
+        f"bit-identical outputs)",
         f"  {burst}-request burst, serial : {serial_ms:8.2f} ms",
         f"  {burst}-request burst, pooled : {pool_ms:8.2f} ms  "
         f"({batch_win:.2f}x, coalesced batches {coalesced})",
@@ -169,6 +193,21 @@ def main(argv=None) -> int:
             )
             return 1
         print(f"OK: compiled-plan single-sample speedup {speedup:.2f}x (>= 2.0x)")
+        # Per-sample latency of the integer plan must be no worse than the
+        # float-scale plan (0.9x margin absorbs timer noise: the int plan
+        # replaces per-layer float quantize/dequantize with the fixed-point
+        # requant, so it should never lose).
+        if int_ratio < 0.9:
+            print(
+                f"FAIL: integer plan is slower than the float plan "
+                f"(median pairwise ratio {int_ratio:.2f}x < 0.9x)",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"OK: integer plan per-sample latency no worse than float "
+            f"plan ({int_ratio:.2f}x)"
+        )
     return 0
 
 

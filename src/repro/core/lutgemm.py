@@ -112,6 +112,10 @@ class LutGemm:
         self.bits = multiplier.bits
         self.levels = 1 << self.bits
         self.lut_flat = np.ascontiguousarray(multiplier.lut().ravel())
+        # Cached LUT value range: bounds every accumulator at compile time
+        # (int32-safety check, requant overflow derivation).
+        self._lut_min = int(self.lut_flat.min())
+        self._lut_max = int(self.lut_flat.max())
         # Forward-only mode (``gradients is None``): the serving path never
         # runs a backward pass, so the float32 gradient tables (two
         # ``(2^B)^2`` arrays) are never materialized and the forward skips
@@ -201,12 +205,35 @@ class LutGemm:
         np.add(wrow[:, :, None], xq_block[None, :, :], out=idx)
         return idx
 
-    def product_sums(self, wq: np.ndarray, xq: np.ndarray) -> np.ndarray:
-        """``sum_k AM(wq[m,k], xq[k,c])`` as int64, shape (M, C)."""
+    def int32_acc_safe(self, k: int) -> bool:
+        """Whether a K-term product sum provably fits an int32 accumulator."""
+        bound = k * max(abs(self._lut_min), abs(self._lut_max))
+        return bound < 2**31
+
+    def product_sums(
+        self, wq: np.ndarray, xq: np.ndarray, acc_dtype=np.int64
+    ) -> np.ndarray:
+        """``sum_k AM(wq[m,k], xq[k,c])``, shape (M, C).
+
+        ``acc_dtype`` selects the accumulator output width: ``np.int64``
+        (default) or ``np.int32``.  int32 mode halves the C gather
+        kernel's accumulator write traffic for the integer serving plan;
+        it is refused (``ReproError``) unless :meth:`int32_acc_safe`
+        proves every reachable sum fits, so results are bit-identical
+        whenever the call succeeds.
+        """
         m, k = wq.shape
         k2, c = xq.shape
         if k != k2:
             raise ReproError(f"LutGemm shapes: {wq.shape} x {xq.shape}")
+        acc_dtype = np.dtype(acc_dtype)
+        if acc_dtype not in (np.dtype(np.int64), np.dtype(np.int32)):
+            raise ReproError(f"unsupported accumulator dtype {acc_dtype}")
+        if acc_dtype == np.int32 and not self.int32_acc_safe(k):
+            raise ReproError(
+                f"int32 accumulators may overflow: K={k}, LUT range "
+                f"[{self._lut_min}, {self._lut_max}]; use int64"
+            )
         self.forward_calls += 1
         if _HEALTH.enabled:
             # LUT-coverage probe: reads the quantized operands only (no
@@ -218,11 +245,11 @@ class LutGemm:
             _TRACE.count("lutgemm.forward.exact_fast_path")
             return np.rint(
                 wq.astype(np.float64) @ xq.astype(np.float64)
-            ).astype(np.int64)
+            ).astype(acc_dtype)
         out = self._parallel_product_sums(wq, xq)
         if out is not None:
             _TRACE.count("lutgemm.forward.parallel")
-            return out
+            return out.astype(acc_dtype, copy=False)
         if self.forward_only and m * k * c >= FUSED_MIN_ELEMS:
             from repro.core.lutkernel import fused_product_sums
 
@@ -232,19 +259,21 @@ class LutGemm:
                         self._lut_i32,
                         (wq * self.levels).astype(np.int64),
                         np.ascontiguousarray(xq, dtype=np.int32),
+                        acc_dtype,
                     )
             else:
                 out = fused_product_sums(
                     self._lut_i32,
                     (wq * self.levels).astype(np.int64),
                     np.ascontiguousarray(xq, dtype=np.int32),
+                    acc_dtype,
                 )
             if out is not None:
                 _TRACE.count("lutgemm.forward.cckernel")
                 return out
         _TRACE.count("lutgemm.forward.numpy")
         wrow = (wq * self.levels).astype(np.intp)
-        out = np.empty((m, c), dtype=np.int64)
+        out = np.empty((m, c), dtype=acc_dtype)
         lut_dtype = self.lut_flat.dtype
         tracing = _TRACE.enabled
         for c0 in range(0, c, self.chunk):

@@ -57,6 +57,30 @@ void product_sums(const int32_t *lut,
         }
     }
 }
+
+/* int32-accumulator variant: same gather, half the accumulator write
+ * traffic.  Callers must guarantee K * max|lut| < 2**31 (checked in
+ * LutGemm.int32_acc_safe); within that bound results are bit-identical
+ * to product_sums. */
+void product_sums_i32(const int32_t *lut,
+                      const int64_t *wrow,
+                      const int32_t *xq,
+                      int32_t *out,
+                      long M, long K, long C)
+{
+    for (long m = 0; m < M; m++) {
+        const int64_t *wr = wrow + m * K;
+        int32_t *acc = out + m * C;
+        for (long c = 0; c < C; c++)
+            acc[c] = 0;
+        for (long k = 0; k < K; k++) {
+            const int32_t *lrow = lut + wr[k];
+            const int32_t *xrow = xq + k * C;
+            for (long c = 0; c < C; c++)
+                acc[c] += lrow[xrow[c]];
+        }
+    }
+}
 """
 
 _lock = threading.Lock()
@@ -108,6 +132,15 @@ def _compile() -> "ctypes.CDLL | None":
         np.ctypeslib.ndpointer(np.int64, flags="C_CONTIGUOUS"),
         ctypes.c_long, ctypes.c_long, ctypes.c_long,
     ]
+    fn32 = lib.product_sums_i32
+    fn32.restype = None
+    fn32.argtypes = [
+        np.ctypeslib.ndpointer(np.int32, flags="C_CONTIGUOUS"),
+        np.ctypeslib.ndpointer(np.int64, flags="C_CONTIGUOUS"),
+        np.ctypeslib.ndpointer(np.int32, flags="C_CONTIGUOUS"),
+        np.ctypeslib.ndpointer(np.int32, flags="C_CONTIGUOUS"),
+        ctypes.c_long, ctypes.c_long, ctypes.c_long,
+    ]
     return lib
 
 
@@ -131,36 +164,46 @@ def kernel_available() -> bool:
 
 
 def fused_product_sums(
-    lut_flat: np.ndarray, wrow: np.ndarray, xq: np.ndarray
+    lut_flat: np.ndarray,
+    wrow: np.ndarray,
+    xq: np.ndarray,
+    acc_dtype=np.int64,
 ) -> np.ndarray | None:
-    """``out[m, c] = sum_k lut_flat[wrow[m, k] + xq[k, c]]`` as int64.
+    """``out[m, c] = sum_k lut_flat[wrow[m, k] + xq[k, c]]``.
 
     Args:
         lut_flat: Flat int32 product LUT of size ``levels**2``.
         wrow: (M, K) int64 precomputed row offsets (``wq * levels``).
         xq: (K, C) int32 quantized activations, values in ``[0, levels)``.
+        acc_dtype: ``np.int64`` (default) or ``np.int32``.  The int32
+            variant halves accumulator write traffic; the caller must
+            guarantee ``K * max|lut| < 2**31`` (see
+            ``LutGemm.int32_acc_safe``) -- within that bound the two are
+            bit-identical.
 
     Returns:
-        The (M, C) int64 accumulator, or ``None`` when the kernel is
-        unavailable (callers must fall back to the numpy path).
+        The (M, C) accumulator in ``acc_dtype``, or ``None`` when the
+        kernel is unavailable (callers must fall back to the numpy path).
     """
     lib = _get_kernel()
     if lib is None:
         return None
     m, k = wrow.shape
     k2, c = xq.shape
-    out = np.empty((m, c), dtype=np.int64)
+    acc_dtype = np.dtype(acc_dtype)
+    fn = lib.product_sums_i32 if acc_dtype == np.int32 else lib.product_sums
+    out = np.empty((m, c), dtype=acc_dtype)
     _TRACE.count("lutkernel.fused_calls")
     if _TRACE.enabled:
         with _TRACE.span("lutkernel.product_sums", cat="engine"):
-            lib.product_sums(
+            fn(
                 np.ascontiguousarray(lut_flat, dtype=np.int32),
                 np.ascontiguousarray(wrow, dtype=np.int64),
                 np.ascontiguousarray(xq, dtype=np.int32),
                 out, m, k2, c,
             )
     else:
-        lib.product_sums(
+        fn(
             np.ascontiguousarray(lut_flat, dtype=np.int32),
             np.ascontiguousarray(wrow, dtype=np.int64),
             np.ascontiguousarray(xq, dtype=np.int32),

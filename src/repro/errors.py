@@ -71,3 +71,28 @@ class ServeError(ReproError):
 
 class ServerBusyError(ServeError):
     """Raised when the serving queue is full (maps to HTTP 503)."""
+
+
+class PlanShapeError(ServeError):
+    """Compiled-plan output shape differs from the training graph's.
+
+    Raised by :func:`repro.serve.plan.verify_plan` instead of comparing
+    mismatched arrays (whose ``max |delta|`` used to come out as a silent
+    NaN that passed straight into downstream reports).
+
+    Attributes:
+        op_name: Name of the plan op that produced the mismatched output.
+        ref_shape: Output shape of the eval-mode training graph.
+        plan_shape: Output shape the compiled plan produced.
+    """
+
+    def __init__(self, op_name, ref_shape, plan_shape, model=""):
+        self.op_name = op_name
+        self.ref_shape = tuple(ref_shape)
+        self.plan_shape = tuple(plan_shape)
+        suffix = f" of {model}" if model else ""
+        super().__init__(
+            f"plan output shape {self.plan_shape} (produced by op "
+            f"{op_name!r}{suffix}) does not match the training-graph "
+            f"output shape {self.ref_shape}"
+        )

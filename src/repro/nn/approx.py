@@ -136,6 +136,14 @@ class FrozenAffine:
         self.x_qparams = qs.x_qparams
         zx = qs.x_qparams.zero_point
         self.zw_col = zw_col
+        # Exact integer weight zero point(s): (M,) int64 per-channel or a
+        # Python int per-tensor.  The integer serving plan corrects the
+        # accumulator with these (bit-equal to the float ``zw_col`` terms,
+        # which are integer-valued and exact in float64).
+        if isinstance(qs.w_qparams, ChannelQuantParams):
+            self.zw_int = qs.w_qparams.zero_points.astype(np.int64)
+        else:
+            self.zw_int = int(qs.w_qparams.zero_point)
         # Input-independent Eq. 8 terms, computed with the same expressions
         # (and therefore the same float rounding) as the eval-mode forward.
         self.w_corr = zx * wq.sum(axis=1, dtype=np.int64)  # (M,)
@@ -169,6 +177,49 @@ class FrozenAffine:
             if self.bias is not None:
                 y = y + self.bias.reshape(1, self.m, 1)
         return y
+
+    # ------------------------------------------------------------------
+    # Integer serving-plan support (no float anywhere).
+    def gather_int(self, xq: np.ndarray, acc_dtype=np.int64) -> np.ndarray:
+        """Input-dependent Eq. 8 work in pure integers: ``(K, C) -> (M, C)``.
+
+        Returns the corrected accumulator ``A = acc - Z_w * colsum`` as
+        int64 -- the LUT-GEMM product sums minus the per-column weight
+        zero-point cross term.  The per-output-channel constants
+        (``w_corr``, ``const_corr``, bias) are *not* applied here; the
+        requantization (or exact-dequant) op folds them, so ``A`` is the
+        quantity fixed-point ``M0``/``shift`` rescaling consumes.
+
+        ``acc_dtype`` selects the engine's accumulator output width
+        (int32 halves gather write traffic when
+        :meth:`repro.core.lutgemm.LutGemm.int32_acc_safe` allows it); the
+        returned array is always int64 after correction.
+        """
+        acc = self.engine.product_sums(self.wq, xq, acc_dtype=acc_dtype)
+        colsum = xq.sum(axis=0, dtype=np.int64)  # (C,)
+        if isinstance(self.zw_int, np.ndarray):
+            return acc - self.zw_int[:, None] * colsum[None, :]
+        return acc - self.zw_int * colsum[None, :]
+
+    def acc_abs_bound(self) -> int:
+        """Exact bound on ``|A|`` over all reachable :meth:`gather_int` values.
+
+        ``acc`` is a sum of ``K`` LUT entries, so ``acc`` lies in
+        ``[K * lut_min, K * lut_max]``; ``colsum`` lies in
+        ``[0, K * qmax]`` and ``Z_w >= 0``.  Computed with Python integers
+        (no overflow) at compile time; :func:`repro.nn.requant.derive_requant`
+        uses it to pick the largest overflow-safe ``shift``.
+        """
+        lut = self.engine.lut_flat
+        lo, hi = int(lut.min()), int(lut.max())
+        zw_max = (
+            int(self.zw_int.max())
+            if isinstance(self.zw_int, np.ndarray)
+            else self.zw_int
+        )
+        a_lo = self.k * lo - zw_max * self.k * self.x_qparams.qmax
+        a_hi = self.k * hi
+        return max(abs(a_lo), abs(a_hi), 1)
 
 
 class _ApproxBase(Module):

@@ -28,12 +28,25 @@ def conv_output_size(h: int, w: int, kh: int, kw: int, stride: int, pad: int) ->
     return oh, ow
 
 
-def im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int) -> np.ndarray:
-    """Unfold patches: ``(N, C, H, W) -> (N, C*kh*kw, OH*OW)``."""
+def im2col(
+    x: np.ndarray, kh: int, kw: int, stride: int, pad: int, pad_value=0
+) -> np.ndarray:
+    """Unfold patches: ``(N, C, H, W) -> (N, C*kh*kw, OH*OW)``.
+
+    ``pad_value`` fills the border (default 0, the float convention).  The
+    integer serving plan passes the activation zero point instead: a
+    quantized zero *is* the zero point (``Q(0) = Z``), so padding the
+    uint8 tensor with ``Z`` is bit-identical to padding the float tensor
+    with 0 and quantizing afterwards.
+    """
     n, c, h, w = x.shape
     oh, ow = conv_output_size(h, w, kh, kw, stride, pad)
     if pad:
-        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+        x = np.pad(
+            x,
+            ((0, 0), (0, 0), (pad, pad), (pad, pad)),
+            constant_values=pad_value,
+        )
     sn, sc, sh, sw = x.strides
     patches = as_strided(
         x,
@@ -208,8 +221,25 @@ def avg_pool2d(x: Tensor, kernel: int = 2, stride: int | None = None) -> Tensor:
     return Tensor.make(out, (x,), backward)
 
 
+def gap2d(x: np.ndarray) -> np.ndarray:
+    """Global average pool on a raw array: ``(N, C, H, W) -> (N, C)``.
+
+    ``Tensor.mean`` lowers to ``sum * (1.0 / count)``; dividing by the
+    count instead (``np.mean``) rounds differently for some value/HW
+    combinations, so the compiled serving plan and the autograd graph must
+    share this exact expression to stay bit-identical (pinned by a
+    regression test with a crafted HW).
+    """
+    return x.sum(axis=(2, 3)) * (1.0 / float(x.shape[2] * x.shape[3]))
+
+
 def global_avg_pool2d(x: Tensor) -> Tensor:
-    """Mean over the spatial dimensions: ``(N, C, H, W) -> (N, C)``."""
+    """Mean over the spatial dimensions: ``(N, C, H, W) -> (N, C)``.
+
+    ``Tensor.mean`` computes ``sum * (1.0 / count)`` -- the same
+    expression as :func:`gap2d`, which the serving plan uses; keep the
+    two in lockstep.
+    """
     return x.mean(axis=(2, 3))
 
 

@@ -124,7 +124,13 @@ class MinMaxObserver:
 
 
 def quantize_array(arr: np.ndarray, qp: QuantParams) -> np.ndarray:
-    """Eq. 7 on a raw array: round, shift by zero point, clip. Returns int32."""
+    """Eq. 7 on a raw array: round, shift by zero point, clip. Returns int32.
+
+    Rounding: :func:`numpy.rint`, i.e. ties-to-even -- the convention every
+    quantize path in this repo uses (see :mod:`repro.nn.requant` for the
+    normative statement and how it relates to the fixed-point requantizer's
+    round-half-up shift).
+    """
     q = np.rint(arr / qp.scale + qp.zero_point)
     return np.clip(q, qp.qmin, qp.qmax).astype(np.int32)
 
@@ -184,11 +190,61 @@ def compute_channel_qparams(wmat: np.ndarray, bits: int) -> ChannelQuantParams:
 
 
 def quantize_per_channel(wmat: np.ndarray, qp: ChannelQuantParams) -> np.ndarray:
-    """Eq. 7 applied row-wise with per-channel scales/zero points."""
+    """Eq. 7 applied row-wise with per-channel scales/zero points.
+
+    Same ties-to-even :func:`numpy.rint` convention as
+    :func:`quantize_array` (normative statement in :mod:`repro.nn.requant`);
+    the tie-value tests pin both paths together.
+    """
     q = np.rint(
         wmat / qp.scales[:, None] + qp.zero_points[:, None]
     )
     return np.clip(q, qp.qmin, qp.qmax).astype(np.int32)
+
+
+def quant_dtype(bits: int) -> np.dtype:
+    """Smallest unsigned integer dtype holding ``[0, 2**bits - 1]``."""
+    if bits <= 0:
+        raise QuantizationError(f"invalid operand width {bits}")
+    if bits <= 8:
+        return np.dtype(np.uint8)
+    if bits <= 16:
+        return np.dtype(np.uint16)
+    raise QuantizationError(f"unsupported operand width {bits} (max 16)")
+
+
+def compute_requant(acc_scale, offset, out_qp: QuantParams, acc_abs_max: int):
+    """Exact ``QuantParams -> (M0, shift)`` fixed-point derivation.
+
+    Maps the real-valued requantization of an integer accumulator ``A``
+
+        q = clip(round((acc_scale * A + offset) / s_out + Z_out))
+
+    onto the integer constants of a
+    :class:`repro.nn.requant.RequantParams`: multiplier
+    ``M = acc_scale / s_out`` and additive term
+    ``D = offset / s_out + Z_out``, both scalars or per-channel arrays.
+    ``offset`` carries everything input-independent in real units -- the
+    layer bias, the dequant-scale-weighted Eq. 8 constant corrections, a
+    fused BatchNorm shift -- so the compiled integer plan needs no float
+    addend anywhere.
+
+    Args:
+        acc_scale: Real scale of one accumulator unit (``s_w * s_x`` for a
+            LUT-GEMM layer, times any fused affine gain).
+        offset: Real additive constant in output units (pre ``/ s_out``).
+        out_qp: Target grid the requantized values must land on.
+        acc_abs_max: Bound on ``|A|`` (see
+            :meth:`repro.nn.approx.FrozenAffine.acc_abs_bound`).
+    """
+    from repro.nn.requant import derive_requant
+
+    mult = np.asarray(acc_scale, dtype=np.float64) / out_qp.scale
+    offs = (
+        np.asarray(offset, dtype=np.float64) / out_qp.scale
+        + out_qp.zero_point
+    )
+    return derive_requant(mult, offs, acc_abs_max, out_qp.qmin, out_qp.qmax)
 
 
 def fake_quantize(x: Tensor, qp: QuantParams) -> Tensor:

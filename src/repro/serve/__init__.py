@@ -18,7 +18,15 @@ inference stack, with no autograd tape and no gradient LUTs:
 """
 
 from repro.serve.metrics import LatencyHistogram, ServeMetrics
-from repro.serve.plan import InferencePlan, compile_plan, register_compiler, verify_plan
+from repro.serve.plan import (
+    InferencePlan,
+    PlanOp,
+    assert_integer_core,
+    compile_plan,
+    integer_core_report,
+    register_compiler,
+    verify_plan,
+)
 from repro.serve.scheduler import MicroBatcher, PendingRequest
 from repro.serve.pool import WorkerPool
 from repro.serve.http import ServingHTTPServer, make_server
@@ -30,8 +38,11 @@ __all__ = [
     "PendingRequest",
     "ServeMetrics",
     "ServingHTTPServer",
+    "PlanOp",
     "WorkerPool",
+    "assert_integer_core",
     "compile_plan",
+    "integer_core_report",
     "make_server",
     "register_compiler",
     "verify_plan",

@@ -110,6 +110,7 @@ class ServeMetrics:
         self._latencies: dict[str, LatencyHistogram] = {}
         self._batch_sizes: dict[int, int] = {}
         self._gauges: dict[str, Callable[[], float]] = {}
+        self._plan_info: dict = {}
 
     # ------------------------------------------------------------------
     def inc(self, name: str, n: int = 1) -> None:
@@ -138,6 +139,13 @@ class ServeMetrics:
         with self._lock:
             self._gauges[name] = fn
 
+    def set_plan_info(self, info: dict) -> None:
+        """Record the compiled plan's op summary (see
+        :meth:`repro.serve.plan.InferencePlan.op_summary`), so ``GET
+        /metrics`` shows which arithmetic mode and op/dtype mix is live."""
+        with self._lock:
+            self._plan_info = dict(info)
+
     @property
     def batch_size_histogram(self) -> dict[int, int]:
         with self._lock:
@@ -155,9 +163,11 @@ class ServeMetrics:
             latencies = {k: h.as_dict() for k, h in self._latencies.items()}
             batch_sizes = {str(k): v for k, v in sorted(self._batch_sizes.items())}
             gauges = {name: fn() for name, fn in self._gauges.items()}
+            plan_info = dict(self._plan_info)
         cache = engine_cache_stats()
         return {
             "counters": counters,
+            "plan": plan_info,
             "latency": latencies,
             "batch_size_histogram": batch_sizes,
             "gauges": gauges,
@@ -187,6 +197,14 @@ class ServeMetrics:
         """Multi-line human-readable report of the current snapshot."""
         snap = self.as_dict()
         lines = ["serve metrics"]
+        if snap["plan"]:
+            plan = snap["plan"]
+            lines.append(
+                f"  plan: {plan.get('model', '?')} "
+                f"[{plan.get('arithmetic', '?')}] {plan.get('ops', 0)} ops, "
+                f"{plan.get('lutgemm_ops', 0)} LUT-GEMM, "
+                f"integer core: {plan.get('integer_only_core', False)}"
+            )
         for name, value in sorted(snap["counters"].items()):
             lines.append(f"  {name}: {value}")
         for name, value in sorted(snap["gauges"].items()):

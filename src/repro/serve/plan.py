@@ -7,10 +7,29 @@ LUTs are touched, and every input-independent quantity (quantized weights,
 Eq. 8 zero-point corrections, BN eval-mode scale/shift) is precomputed once
 at compile time via :class:`repro.nn.approx.FrozenAffine`.
 
-Every op replicates the eval-mode float operations of the training graph in
-the same order, so plan outputs are **bit-identical** to
-``model.eval()(Tensor(x)).data`` -- the property the serve tests and
-``benchmarks/bench_serve.py`` assert.
+Two lowering modes:
+
+- ``arithmetic="float"`` (default): every op replicates the eval-mode
+  float operations of the training graph in the same order, so plan
+  outputs are **bit-identical** to ``model.eval()(Tensor(x)).data`` -- the
+  property the serve tests and ``benchmarks/bench_serve.py`` assert.
+
+- ``arithmetic="int"``: the deployment arithmetic the paper's AppMult
+  accelerators assume.  Runs of approximate layers compile into an
+  *integer core*: one ``quant`` op maps the float input onto the first
+  layer's uint8 grid, each LUT-GEMM emits an int32/int64 accumulator
+  (``lutgemm_int``), and a fixed-point ``requant`` op (``M0`` multiply +
+  rounding right shift + saturating cast, see :mod:`repro.nn.requant`)
+  lands it directly on the *next* approximate layer's uint8 grid -- no
+  float tensor anywhere until the final exact ``dequant``.  ReLU becomes
+  ``max(q, Z)``, max pooling and reshapes pass uint8 through unchanged,
+  and a BatchNorm directly after a gather folds into the requant
+  constants; all three commute exactly with monotone quantization.  Ops
+  that do not commute (average pooling, global average pooling, plain
+  float layers, a non-adjacent BN) close the region with an exact integer
+  dequant and the plan falls back to float until the next approximate
+  layer.  :func:`assert_integer_core` is the plan-walk gate for "no float
+  dtype between input quant and final dequant".
 
 Supported modules: all :mod:`repro.nn.layers` leaves, the approximate
 layers, and the model-zoo blocks (residual ``BasicBlock``/``Bottleneck``,
@@ -28,9 +47,9 @@ from typing import Callable
 import numpy as np
 from numpy.lib.stride_tricks import as_strided
 
-from repro.errors import ServeError
+from repro.errors import PlanShapeError, ServeError
 from repro.nn import functional as F
-from repro.nn.approx import ApproxConv2d, ApproxLinear
+from repro.nn.approx import ApproxConv2d, ApproxLinear, FrozenAffine
 from repro.nn.layers import (
     AvgPool2d,
     BatchNorm2d,
@@ -46,28 +65,57 @@ from repro.nn.layers import (
     Sequential,
 )
 from repro.nn.module import Module
+from repro.nn.quant import QuantParams, compute_requant, quant_dtype
+from repro.nn.requant import requantize
+from repro.obs.trace import get_tracer
+
+_TRACE = get_tracer()
+
+#: Canonical dtype tag of the float domain.
+FLOAT = "float64"
 
 
 class PlanOp:
-    """One compiled step: a named closure ``(ndarray) -> ndarray``."""
+    """One compiled step: a named closure ``(ndarray) -> ndarray``.
 
-    __slots__ = ("name", "kind", "fn")
+    ``dtype_in``/``dtype_out`` tag the tensor domain each op consumes and
+    produces (``"float64"``, ``"uint8"``, ``"int64"`` ...), so traces,
+    :meth:`InferencePlan.describe`, and the integer-core plan walk can
+    show exactly where the pipeline is integer and where float runs.
+    """
 
-    def __init__(self, name: str, kind: str, fn: Callable[[np.ndarray], np.ndarray]):
+    __slots__ = ("name", "kind", "fn", "dtype_in", "dtype_out")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        fn: Callable[[np.ndarray], np.ndarray],
+        dtype_in: str = FLOAT,
+        dtype_out: str = FLOAT,
+    ):
         self.name = name
         self.kind = kind
         self.fn = fn
+        self.dtype_in = dtype_in
+        self.dtype_out = dtype_out
 
     def __repr__(self) -> str:
-        return f"PlanOp({self.name!r}, kind={self.kind!r})"
+        return (
+            f"PlanOp({self.name!r}, kind={self.kind!r}, "
+            f"{self.dtype_in}->{self.dtype_out})"
+        )
 
 
 class InferencePlan:
     """An ordered, tape-free op list compiled from a frozen model."""
 
-    def __init__(self, ops: list[PlanOp], model_name: str = ""):
+    def __init__(
+        self, ops: list[PlanOp], model_name: str = "", arithmetic: str = "float"
+    ):
         self.ops = ops
         self.model_name = model_name
+        self.arithmetic = arithmetic
 
     def run(self, x: np.ndarray) -> np.ndarray:
         """Execute the plan on a batch; returns the output array."""
@@ -81,16 +129,318 @@ class InferencePlan:
     @property
     def lutgemm_ops(self) -> int:
         """Number of LUT-GEMM (approximate) ops in the plan."""
-        return sum(1 for op in self.ops if op.kind == "lutgemm")
+        return sum(
+            1 for op in self.ops if op.kind in ("lutgemm", "lutgemm_int")
+        )
+
+    def integer_core(self) -> tuple[int, int] | None:
+        """Op-index span ``(first quant, last dequant)``, or ``None``."""
+        starts = [i for i, op in enumerate(self.ops) if op.kind == "quant"]
+        ends = [i for i, op in enumerate(self.ops) if op.kind == "dequant"]
+        if not starts or not ends:
+            return None
+        return starts[0], ends[-1]
+
+    def op_summary(self) -> dict:
+        """JSON-friendly per-op-kind/dtype counts (``/metrics`` plan info)."""
+        kinds: dict[str, int] = {}
+        dtypes: dict[str, int] = {}
+        for op in self.ops:
+            kinds[op.kind] = kinds.get(op.kind, 0) + 1
+            key = f"{op.dtype_in}->{op.dtype_out}"
+            dtypes[key] = dtypes.get(key, 0) + 1
+        return {
+            "model": self.model_name,
+            "arithmetic": self.arithmetic,
+            "ops": len(self.ops),
+            "lutgemm_ops": self.lutgemm_ops,
+            "kinds": kinds,
+            "dtypes": dtypes,
+            "integer_only_core": integer_core_report(self)["integer_only"],
+        }
 
     def describe(self) -> str:
         """Numbered op listing for logs and ``repro serve`` startup."""
-        header = f"InferencePlan({self.model_name or 'model'}): " \
-                 f"{len(self.ops)} ops, {self.lutgemm_ops} LUT-GEMM"
+        header = (
+            f"InferencePlan({self.model_name or 'model'}, "
+            f"{self.arithmetic}): "
+            f"{len(self.ops)} ops, {self.lutgemm_ops} LUT-GEMM"
+        )
         lines = [header] + [
-            f"  {i:3d}. [{op.kind}] {op.name}" for i, op in enumerate(self.ops)
+            f"  {i:3d}. [{op.kind}] {op.name}  "
+            f"({op.dtype_in} -> {op.dtype_out})"
+            for i, op in enumerate(self.ops)
         ]
         return "\n".join(lines)
+
+
+def integer_core_report(plan: InferencePlan) -> dict:
+    """Plan-walk report of float usage inside the integer core.
+
+    Returns a dict with ``has_core`` (a quant..dequant span exists),
+    ``float_ops`` (names of ops between them touching a float dtype --
+    fallback regions), and ``integer_only`` (core exists and is clean).
+    """
+    core = plan.integer_core()
+    if core is None:
+        return {
+            "has_core": False,
+            "integer_only": False,
+            "float_ops": [],
+            "span": None,
+        }
+    start, end = core
+    float_ops = [
+        op.name
+        for op in plan.ops[start + 1 : end]
+        if "float" in op.dtype_in or "float" in op.dtype_out
+    ]
+    return {
+        "has_core": True,
+        "integer_only": not float_ops,
+        "float_ops": float_ops,
+        "span": (start, end),
+    }
+
+
+def assert_integer_core(plan: InferencePlan) -> None:
+    """Assert no float dtype between input quantization and final dequant.
+
+    The acceptance gate of the integer lowering: raises
+    :class:`ServeError` naming every float op inside the core, or when the
+    plan has no integer core at all.
+    """
+    report = integer_core_report(plan)
+    if not report["has_core"]:
+        raise ServeError(
+            f"plan {plan.model_name!r} has no quant -> dequant integer core"
+        )
+    if report["float_ops"]:
+        raise ServeError(
+            f"float tensors inside the integer core of plan "
+            f"{plan.model_name!r}: {', '.join(report['float_ops'])}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Compile context: mutable state threaded through the module walk.
+# ----------------------------------------------------------------------
+def _unresolved(x):
+    raise ServeError(
+        "internal error: unresolved placeholder op executed; the compile "
+        "walk must resolve every pending requantization before returning"
+    )
+
+
+#: Sentinel ``fn`` marking ops deleted at finalize (e.g. a folded BN).
+_REMOVED = object()
+
+
+def _strip_removed(ops: list[PlanOp]) -> list[PlanOp]:
+    return [op for op in ops if op.fn is not _REMOVED]
+
+
+def _float_relu(x):
+    # Matches Tensor.relu: multiply by the bool mask.
+    return x * (x > 0)
+
+
+def _int_relu_fn(z):
+    def fn(x):
+        return np.maximum(x, z)
+
+    return fn
+
+
+def _chan(arr, m: int, extra: int):
+    """(M,) constants as a (1, M, 1...) float64 broadcast view."""
+    return np.asarray(arr, dtype=np.float64).reshape((1, m) + (1,) * extra)
+
+
+def _chan_or_scalar(v, m: int, extra: int):
+    arr = np.ravel(np.asarray(v, dtype=np.float64))
+    if arr.size == 1:
+        return float(arr[0])
+    return arr.reshape((1, m) + (1,) * extra)
+
+
+class _PendingRequant:
+    """An open integer region awaiting its requantization target.
+
+    Created right after an integer LUT-GEMM gather: the accumulator's fate
+    is not known until the walk reaches the next module -- another
+    approximate layer (requantize straight onto its input grid) or
+    anything else (exact float dequant).  The requant op and every
+    commuting op emitted in between are mutable placeholders patched in
+    place by :meth:`resolve_to_int` / :meth:`resolve_to_float`;
+    ``compile_plan`` finalizes all regions before the plan escapes, so an
+    unresolved placeholder can never run.
+    """
+
+    def __init__(self, name: str, fa: FrozenAffine, op: PlanOp, spatial: bool):
+        self.name = name
+        self.fa = fa
+        self.op = op  # placeholder: becomes "requant" or "dequant"
+        self.spatial = spatial  # conv (N, M, OH, OW) layout vs linear (N, M)
+        # A BatchNorm folds into the requant constants only when it is
+        # directly adjacent to the gather (ReLU/pool in between do not
+        # commute with the affine for negative BN slopes).
+        self.can_fold_bn = spatial
+        self.bn: tuple | None = None  # (gain, shift, float_fn, bn_op)
+        self.relus: list[PlanOp] = []
+        self.passthrough: list[PlanOp] = []
+        self.acc_abs_max = fa.acc_abs_bound()
+
+    def fold_bn(self, gain, shift, float_fn, op: PlanOp) -> None:
+        self.bn = (gain, shift, float_fn, op)
+        self.can_fold_bn = False
+
+    def _affine_constants(self):
+        """``y = m_real * A + d_real`` per output channel, in real units.
+
+        ``A`` is the :meth:`FrozenAffine.gather_int` accumulator; the
+        constants fold the Eq. 8 per-channel corrections, the bias, and
+        any adjacent BatchNorm.
+        """
+        fa = self.fa
+        scale = np.ravel(np.asarray(fa.scale, dtype=np.float64))
+        const = np.ravel(np.asarray(fa.const_corr, dtype=np.float64))
+        w_corr = fa.w_corr.astype(np.float64)  # (M,)
+        c0 = scale * (const - w_corr)
+        if fa.bias is not None:
+            c0 = c0 + fa.bias
+        if self.bn is not None:
+            gain, shift, _fn, _op = self.bn
+            return scale * gain, c0 * gain + shift
+        return scale, c0
+
+    def resolve_to_int(self, qp: QuantParams) -> None:
+        """Requantize the accumulator straight onto grid ``qp``."""
+        m_real, d_real = self._affine_constants()
+        rp = compute_requant(m_real, d_real, qp, self.acc_abs_max)
+
+        def fn(acc, _rp=rp):
+            with _TRACE.span("serve.requant", cat="serve"):
+                return requantize(acc, _rp, channel_axis=1)
+
+        op = self.op
+        op.fn = fn
+        op.name = f"{self.name}.requant"
+        op.kind = "requant"
+        op.dtype_out = str(rp.out_dtype())
+        if self.bn is not None:
+            self.bn[3].fn = _REMOVED  # folded into (m0, d0)
+        qd = str(rp.out_dtype())
+        z = rp.out_dtype().type(qp.zero_point)
+        for r in self.relus:
+            # relu commutes with monotone quantization: Q(max(y, 0)) ==
+            # max(Q(y), Z) because Q(0) == Z exactly (zero-including grid).
+            r.fn = _int_relu_fn(z)
+            r.kind = "act"
+            r.dtype_in = r.dtype_out = qd
+        for p in self.passthrough:
+            # windowed max / reshape keep their dtype-polymorphic fn.
+            p.dtype_in = p.dtype_out = qd
+
+    def resolve_to_float(self) -> None:
+        """Close the region with the exact float dequantization.
+
+        Element-for-element the same value sequence as
+        :meth:`FrozenAffine.apply`'s dequant (every intermediate is an
+        integer-valued float64 below 2**53, so the regrouped correction
+        order is exact), keeping fallback plans bit-identical to the
+        float-mode plan.
+        """
+        fa = self.fa
+        extra = 2 if self.spatial else 0
+        w_corr = _chan(fa.w_corr, fa.m, extra)
+        const_corr = _chan_or_scalar(fa.const_corr, fa.m, extra)
+        scale = _chan_or_scalar(fa.scale, fa.m, extra)
+        bias = None if fa.bias is None else _chan(fa.bias, fa.m, extra)
+
+        def fn(acc):
+            with _TRACE.span("serve.dequantize", cat="serve"):
+                y = acc.astype(np.float64)
+                y -= w_corr
+                y += const_corr
+                y *= scale
+                if bias is not None:
+                    y = y + bias
+            return y
+
+        op = self.op
+        op.fn = fn
+        op.name = f"{self.name}.dequant"
+        op.kind = "dequant"
+        op.dtype_out = FLOAT
+        if self.bn is not None:
+            _gain, _shift, float_fn, bn_op = self.bn
+            bn_op.fn = float_fn
+            bn_op.kind = "float"
+            bn_op.dtype_in = bn_op.dtype_out = FLOAT
+        for r in self.relus:
+            r.fn = _float_relu
+            r.kind = "act"
+            r.dtype_in = r.dtype_out = FLOAT
+        for p in self.passthrough:
+            p.dtype_in = p.dtype_out = FLOAT
+
+
+class _CompileCtx:
+    """Mutable compile-walk state: op list + the open integer region."""
+
+    def __init__(self, private_engines: bool, integer: bool):
+        self.ops: list[PlanOp] = []
+        self.private_engines = private_engines
+        self.integer = integer
+        self.pending: _PendingRequant | None = None
+
+    # -- region management ---------------------------------------------
+    def resolve_float(self) -> None:
+        if self.pending is not None:
+            self.pending.resolve_to_float()
+            self.pending = None
+
+    def finalize(self) -> None:
+        """Close any open integer region (model output must be float)."""
+        self.resolve_float()
+
+    def open_region(self, name: str, fa: FrozenAffine, spatial: bool) -> None:
+        dtype_out = str(quant_dtype(fa.x_qparams.bits))
+        op = PlanOp(f"{name}.out", "pending", _unresolved, "int64", dtype_out)
+        self.ops.append(op)
+        self.pending = _PendingRequant(name, fa, op, spatial)
+
+    # -- op emission ----------------------------------------------------
+    def append_float(self, op: PlanOp) -> None:
+        """Emit a float-domain op, closing any open integer region first."""
+        self.resolve_float()
+        self.ops.append(op)
+
+    def emit_relu(self, name: str) -> None:
+        if self.pending is not None:
+            qd = self.pending.op.dtype_out
+            op = PlanOp(name, "pending", _unresolved, qd, qd)
+            self.ops.append(op)
+            self.pending.relus.append(op)
+            self.pending.can_fold_bn = False
+        else:
+            self.ops.append(PlanOp(name, "act", _float_relu))
+
+    def emit_passthrough(self, name: str, kind: str, fn) -> None:
+        """Emit a dtype-polymorphic op (windowed max, reshape).
+
+        These commute exactly with monotone quantization, so inside an
+        open integer region the same closure runs on the uint8 tensor.
+        """
+        if self.pending is not None:
+            qd = self.pending.op.dtype_out
+            op = PlanOp(name, kind, fn, qd, qd)
+            self.ops.append(op)
+            self.pending.passthrough.append(op)
+            self.pending.can_fold_bn = False
+        else:
+            self.ops.append(PlanOp(name, kind, fn))
 
 
 # ----------------------------------------------------------------------
@@ -99,7 +449,12 @@ _COMPILERS: dict[type, Callable] = {}
 
 
 def register_compiler(module_type: type):
-    """Register a compile handler for ``module_type`` (extension point)."""
+    """Register a compile handler for ``module_type`` (extension point).
+
+    Handlers have signature ``(module, ctx, prefix)`` where ``ctx`` is the
+    compile context; emit float-domain ops with ``ctx.append_float`` so an
+    open integer region is closed correctly first.
+    """
 
     def deco(fn):
         _COMPILERS[module_type] = fn
@@ -108,13 +463,11 @@ def register_compiler(module_type: type):
     return deco
 
 
-def _compile_into(
-    module: Module, ops: list[PlanOp], prefix: str, private_engines: bool
-) -> None:
+def _compile_into(module: Module, ctx: _CompileCtx, prefix: str) -> None:
     for klass in type(module).__mro__:
         handler = _COMPILERS.get(klass)
         if handler is not None:
-            handler(module, ops, prefix, private_engines)
+            handler(module, ctx, prefix)
             return
     # Composite fallback: children execute in definition order.  Every
     # linear-pipeline model (LeNet, VGG, MobileNet, ResNet top level)
@@ -127,13 +480,15 @@ def _compile_into(
             "no handler registered and no children to recurse into"
         )
     for name, child in children:
-        _compile_into(child, ops, f"{prefix}{name}.", private_engines)
+        _compile_into(child, ctx, f"{prefix}{name}.")
 
 
-def _subplan(module: Module, prefix: str, private_engines: bool) -> list[PlanOp]:
-    ops: list[PlanOp] = []
-    _compile_into(module, ops, prefix, private_engines)
-    return ops
+def _subplan(module: Module, prefix: str, ctx: _CompileCtx) -> list[PlanOp]:
+    """Compile ``module`` into a self-contained float-in/float-out op list."""
+    child = _CompileCtx(ctx.private_engines, ctx.integer)
+    _compile_into(module, child, prefix)
+    child.finalize()
+    return _strip_removed(child.ops)
 
 
 def _run_ops(ops: list[PlanOp], x: np.ndarray) -> np.ndarray:
@@ -143,31 +498,30 @@ def _run_ops(ops: list[PlanOp], x: np.ndarray) -> np.ndarray:
 
 
 @register_compiler(Sequential)
-def _compile_sequential(module, ops, prefix, private_engines):
+def _compile_sequential(module, ctx, prefix):
     for i, step in enumerate(module.steps):
-        _compile_into(step, ops, f"{prefix}{i}.", private_engines)
+        _compile_into(step, ctx, f"{prefix}{i}.")
 
 
 @register_compiler(Identity)
-def _compile_identity(module, ops, prefix, private_engines):
-    pass  # no-op
+def _compile_identity(module, ctx, prefix):
+    pass  # no-op (keeps any open integer region open)
 
 
 @register_compiler(Dropout)
-def _compile_dropout(module, ops, prefix, private_engines):
+def _compile_dropout(module, ctx, prefix):
     pass  # identity in eval mode
 
 
 @register_compiler(ReLU)
-def _compile_relu(module, ops, prefix, private_engines):
-    # Matches Tensor.relu: multiply by the bool mask.
-    ops.append(PlanOp(f"{prefix}relu", "act", lambda x: x * (x > 0)))
+def _compile_relu(module, ctx, prefix):
+    ctx.emit_relu(f"{prefix}relu")
 
 
 @register_compiler(Flatten)
-def _compile_flatten(module, ops, prefix, private_engines):
-    ops.append(
-        PlanOp(f"{prefix}flatten", "shape", lambda x: x.reshape((x.shape[0], -1)))
+def _compile_flatten(module, ctx, prefix):
+    ctx.emit_passthrough(
+        f"{prefix}flatten", "shape", lambda x: x.reshape((x.shape[0], -1))
     )
 
 
@@ -183,7 +537,7 @@ def _pool_patches(x, kernel, stride, oh, ow):
 
 
 @register_compiler(MaxPool2d)
-def _compile_maxpool(module, ops, prefix, private_engines):
+def _compile_maxpool(module, ctx, prefix):
     kernel = module.kernel_size
     stride = module.stride or kernel
 
@@ -192,13 +546,15 @@ def _compile_maxpool(module, ops, prefix, private_engines):
         oh, ow = F.conv_output_size(h, w, kernel, kernel, stride, 0)
         # The selected value equals the tape's argmax/take_along_axis pick,
         # so a direct windowed max is bit-identical (and much cheaper).
+        # Dtype-polymorphic: max commutes with monotone quantization, so
+        # the same closure serves the uint8 integer region.
         return _pool_patches(x, kernel, stride, oh, ow).max(axis=(-1, -2))
 
-    ops.append(PlanOp(f"{prefix}maxpool{kernel}", "pool", fn))
+    ctx.emit_passthrough(f"{prefix}maxpool{kernel}", "pool", fn)
 
 
 @register_compiler(AvgPool2d)
-def _compile_avgpool(module, ops, prefix, private_engines):
+def _compile_avgpool(module, ctx, prefix):
     kernel = module.kernel_size
     stride = module.stride or kernel
 
@@ -207,20 +563,20 @@ def _compile_avgpool(module, ops, prefix, private_engines):
         oh, ow = F.conv_output_size(h, w, kernel, kernel, stride, 0)
         return _pool_patches(x, kernel, stride, oh, ow).mean(axis=(-1, -2))
 
-    ops.append(PlanOp(f"{prefix}avgpool{kernel}", "pool", fn))
+    # Averaging does not commute with quantization: float fallback op.
+    ctx.append_float(PlanOp(f"{prefix}avgpool{kernel}", "pool", fn))
 
 
 @register_compiler(GlobalAvgPool2d)
-def _compile_gap(module, ops, prefix, private_engines):
-    # Matches Tensor.mean: sum then multiply by the reciprocal count.
-    def fn(x):
-        return x.sum(axis=(2, 3)) * (1.0 / float(x.shape[2] * x.shape[3]))
-
-    ops.append(PlanOp(f"{prefix}gap", "pool", fn))
+def _compile_gap(module, ctx, prefix):
+    # F.gap2d is the shared sum * (1/HW) expression Tensor.mean lowers to;
+    # a division-based mean here would drift bitwise (regression-tested
+    # with a crafted HW).  Not integer-commuting: float fallback op.
+    ctx.append_float(PlanOp(f"{prefix}gap", "pool", lambda x: F.gap2d(x)))
 
 
 @register_compiler(BatchNorm2d)
-def _compile_batchnorm(module, ops, prefix, private_engines):
+def _compile_batchnorm(module, ctx, prefix):
     # Eval-mode BN with running statistics, frozen at compile time.
     mean = module.running_mean.copy().reshape(1, -1, 1, 1)
     inv_std = (1.0 / np.sqrt(module.running_var + module.eps)).reshape(1, -1, 1, 1)
@@ -230,11 +586,29 @@ def _compile_batchnorm(module, ops, prefix, private_engines):
     def fn(x):
         return ((x - mean) * inv_std) * gamma + beta
 
-    ops.append(PlanOp(f"{prefix}bn", "float", fn))
+    pending = ctx.pending
+    if (
+        pending is not None
+        and pending.can_fold_bn
+        and mean.size == pending.fa.m
+    ):
+        # Directly adjacent to the gather: the affine folds into the
+        # fixed-point (M0, D0) constants.  If the region later falls back
+        # to float, this placeholder becomes the exact float BN instead.
+        op = PlanOp(f"{prefix}bn", "pending", _unresolved, "uint8", "uint8")
+        ctx.ops.append(op)
+        pending.fold_bn(
+            gain=(inv_std * gamma).ravel(),
+            shift=(beta - mean * inv_std * gamma).ravel(),
+            float_fn=fn,
+            op=op,
+        )
+    else:
+        ctx.append_float(PlanOp(f"{prefix}bn", "float", fn))
 
 
 @register_compiler(Conv2d)
-def _compile_conv2d(module, ops, prefix, private_engines):
+def _compile_conv2d(module, ctx, prefix):
     kh = kw = module.kernel_size
     stride, pad = module.stride, module.padding
     oc = module.out_channels
@@ -250,11 +624,11 @@ def _compile_conv2d(module, ops, prefix, private_engines):
             out = out + bias.reshape(1, oc, 1)
         return out.reshape(n, oc, oh, ow)
 
-    ops.append(PlanOp(f"{prefix}conv{kh}x{kw}", "float", fn))
+    ctx.append_float(PlanOp(f"{prefix}conv{kh}x{kw}", "float", fn))
 
 
 @register_compiler(DepthwiseConv2d)
-def _compile_depthwise(module, ops, prefix, private_engines):
+def _compile_depthwise(module, ctx, prefix):
     kh = kw = module.kernel_size
     stride, pad = module.stride, module.padding
     ch = module.channels
@@ -270,11 +644,13 @@ def _compile_depthwise(module, ops, prefix, private_engines):
             out = out + bias.reshape(1, c, 1)
         return out.reshape(n, c, oh, ow)
 
-    ops.append(PlanOp(f"{prefix}dwconv{kh}x{kw}", "float", fn))
+    # Depthwise convs are never approximated (no LUT layer exists for
+    # them), so they always run in the float domain.
+    ctx.append_float(PlanOp(f"{prefix}dwconv{kh}x{kw}", "float", fn))
 
 
 @register_compiler(Linear)
-def _compile_linear(module, ops, prefix, private_engines):
+def _compile_linear(module, ctx, prefix):
     weight = module.weight.data.copy()
     bias = None if module.bias is None else module.bias.data.copy()
 
@@ -284,14 +660,74 @@ def _compile_linear(module, ops, prefix, private_engines):
             out = out + bias
         return out
 
-    ops.append(PlanOp(f"{prefix}linear", "float", fn))
+    ctx.append_float(PlanOp(f"{prefix}linear", "float", fn))
+
+
+# ----------------------------------------------------------------------
+# Approximate layers: float lowering + the integer-core lowering.
+# ----------------------------------------------------------------------
+def _make_quant_op(name: str, qp: QuantParams) -> PlanOp:
+    scale, zp = qp.scale, qp.zero_point
+    qmin, qmax = qp.qmin, qp.qmax
+    out_dtype = quant_dtype(qp.bits)
+
+    def fn(x):
+        # Exactly FrozenAffine.apply's quantize sequence (same float ops,
+        # same order), so the integer core sees identical grid values.
+        with _TRACE.span("serve.quantize", cat="serve"):
+            buf = x / scale
+            buf += zp
+            np.rint(buf, out=buf)
+            np.clip(buf, qmin, qmax, out=buf)
+            return buf.astype(out_dtype)
+
+    return PlanOp(name, "quant", fn, FLOAT, str(out_dtype))
+
+
+def _begin_integer_region(ctx: _CompileCtx, prefix: str, fa: FrozenAffine):
+    """Land the input on ``fa``'s uint8 grid: requantize the previous
+    region's accumulator straight onto it, or quantize the float tensor."""
+    qp = fa.x_qparams
+    if ctx.pending is not None:
+        ctx.pending.resolve_to_int(qp)
+        ctx.pending = None
+    else:
+        ctx.ops.append(_make_quant_op(f"{prefix}quant", qp))
 
 
 @register_compiler(ApproxConv2d)
-def _compile_approx_conv(module, ops, prefix, private_engines):
-    fa = module.frozen_affine(private_engine=private_engines)
+def _compile_approx_conv(module, ctx, prefix):
+    fa = module.frozen_affine(private_engine=ctx.private_engines)
     kh = kw = module.kernel_size
     stride, pad = module.stride, module.padding
+    name = f"{prefix}approx_conv{kh}x{kw}[{module.multiplier.name}]"
+
+    if ctx.integer:
+        _begin_integer_region(ctx, prefix, fa)
+        zx = fa.x_qparams.zero_point
+        acc_dtype = np.int32 if fa.engine.int32_acc_safe(fa.k) else np.int64
+
+        def int_fn(xq_img):  # uint8 (N, C, H, W) on fa's input grid
+            n, c, h, w = xq_img.shape
+            oh, ow = F.conv_output_size(h, w, kh, kw, stride, pad)
+            with _TRACE.span("serve.int_gather", cat="serve"):
+                # Padding with Z_x is bit-identical to padding the float
+                # tensor with 0 and quantizing (Q(0) == Z).
+                cols = F.im2col(xq_img, kh, kw, stride, pad, pad_value=zx)
+                xq = np.ascontiguousarray(
+                    cols.transpose(1, 0, 2).reshape(fa.k, n * oh * ow),
+                    dtype=np.int32,
+                )
+                acc = fa.gather_int(xq, acc_dtype)
+            return (
+                acc.reshape(fa.m, n, oh * ow)
+                .transpose(1, 0, 2)
+                .reshape(n, fa.m, oh, ow)
+            )
+
+        ctx.ops.append(PlanOp(name, "lutgemm_int", int_fn, "uint8", "int64"))
+        ctx.open_region(name, fa, spatial=True)
+        return
 
     def fn(x):
         n, c, h, w = x.shape
@@ -299,55 +735,67 @@ def _compile_approx_conv(module, ops, prefix, private_engines):
         cols = F.im2col(x, kh, kw, stride, pad)
         return fa.apply(cols).reshape(n, fa.m, oh, ow)
 
-    ops.append(
-        PlanOp(
-            f"{prefix}approx_conv{kh}x{kw}[{module.multiplier.name}]",
-            "lutgemm",
-            fn,
-        )
-    )
+    ctx.append_float(PlanOp(name, "lutgemm", fn))
 
 
 @register_compiler(ApproxLinear)
-def _compile_approx_linear(module, ops, prefix, private_engines):
-    fa = module.frozen_affine(private_engine=private_engines)
+def _compile_approx_linear(module, ctx, prefix):
+    fa = module.frozen_affine(private_engine=ctx.private_engines)
     in_features = module.in_features
+    name = f"{prefix}approx_linear[{module.multiplier.name}]"
+
+    if ctx.integer:
+        _begin_integer_region(ctx, prefix, fa)
+        acc_dtype = np.int32 if fa.engine.int32_acc_safe(fa.k) else np.int64
+
+        def int_fn(xq2):  # uint8 (N, K) on fa's input grid
+            with _TRACE.span("serve.int_gather", cat="serve"):
+                xq = np.ascontiguousarray(xq2.T, dtype=np.int32)
+                acc = fa.gather_int(xq, acc_dtype)
+            return np.ascontiguousarray(acc.T)  # (N, M) int64
+
+        ctx.ops.append(PlanOp(name, "lutgemm_int", int_fn, "uint8", "int64"))
+        ctx.open_region(name, fa, spatial=False)
+        return
 
     def fn(x):
         n = x.shape[0]
         cols = x.reshape(n, in_features, 1)
         return fa.apply(cols).reshape(n, fa.m)
 
-    ops.append(
-        PlanOp(
-            f"{prefix}approx_linear[{module.multiplier.name}]", "lutgemm", fn
-        )
-    )
+    ctx.append_float(PlanOp(name, "lutgemm", fn))
 
 
-def _compile_residual(module, ops, prefix, private_engines, main_attrs):
-    """Shared handler for residual blocks: main path + shortcut + relu."""
-    main: list[PlanOp] = []
+def _compile_residual(module, ctx, prefix, main_attrs):
+    """Shared handler for residual blocks: main path + shortcut + relu.
+
+    Both sub-plans are compiled as self-contained float-in/float-out op
+    lists (integer regions inside them close before the join), because the
+    residual add needs both branches on the float grid.
+    """
+    main_ctx = _CompileCtx(ctx.private_engines, ctx.integer)
     for attr, with_relu in main_attrs:
-        _compile_into(getattr(module, attr), main, f"{prefix}{attr}.", private_engines)
+        _compile_into(getattr(module, attr), main_ctx, f"{prefix}{attr}.")
         if with_relu:
-            main.append(PlanOp(f"{prefix}{attr}.relu", "act", lambda x: x * (x > 0)))
-    short = _subplan(module.shortcut, f"{prefix}shortcut.", private_engines)
+            main_ctx.emit_relu(f"{prefix}{attr}.relu")
+    main_ctx.finalize()
+    main = _strip_removed(main_ctx.ops)
+    short = _subplan(module.shortcut, f"{prefix}shortcut.", ctx)
 
     def fn(x):
         out = _run_ops(main, x) + _run_ops(short, x)
         return out * (out > 0)
 
-    ops.append(PlanOp(f"{prefix}residual", "block", fn))
+    ctx.append_float(PlanOp(f"{prefix}residual", "block", fn))
 
 
-def _compile_separable(module, ops, prefix, private_engines):
+def _compile_separable(module, ctx, prefix):
     for attr in ("depthwise", "bn1"):
-        _compile_into(getattr(module, attr), ops, f"{prefix}{attr}.", private_engines)
-    ops.append(PlanOp(f"{prefix}relu1", "act", lambda x: x * (x > 0)))
+        _compile_into(getattr(module, attr), ctx, f"{prefix}{attr}.")
+    ctx.emit_relu(f"{prefix}relu1")
     for attr in ("pointwise", "bn2"):
-        _compile_into(getattr(module, attr), ops, f"{prefix}{attr}.", private_engines)
-    ops.append(PlanOp(f"{prefix}relu2", "act", lambda x: x * (x > 0)))
+        _compile_into(getattr(module, attr), ctx, f"{prefix}{attr}.")
+    ctx.emit_relu(f"{prefix}relu2")
 
 
 def _register_model_blocks() -> None:
@@ -356,11 +804,12 @@ def _register_model_blocks() -> None:
     from repro.models.resnet import BasicBlock, Bottleneck
 
     _COMPILERS[SeparableBlock] = _compile_separable
-    _COMPILERS[BasicBlock] = lambda m, o, p, pe: _compile_residual(
-        m, o, p, pe, [("conv1", False), ("bn1", True), ("conv2", False), ("bn2", False)]
+    _COMPILERS[BasicBlock] = lambda m, ctx, p: _compile_residual(
+        m, ctx, p,
+        [("conv1", False), ("bn1", True), ("conv2", False), ("bn2", False)],
     )
-    _COMPILERS[Bottleneck] = lambda m, o, p, pe: _compile_residual(
-        m, o, p, pe,
+    _COMPILERS[Bottleneck] = lambda m, ctx, p: _compile_residual(
+        m, ctx, p,
         [("conv1", False), ("bn1", True), ("conv2", False), ("bn2", True),
          ("conv3", False), ("bn3", False)],
     )
@@ -374,6 +823,7 @@ def compile_plan(
     model: Module,
     example_input: np.ndarray | None = None,
     private_engines: bool = False,
+    arithmetic: str = "float",
 ) -> InferencePlan:
     """Compile ``model`` into a tape-free :class:`InferencePlan`.
 
@@ -390,12 +840,26 @@ def compile_plan(
             LUT-GEMM engine.  Required when multiple threads run plans
             concurrently (the shared engine's scratch buffers are not
             thread-safe); costs one extra engine per approximate layer.
+        arithmetic: ``"float"`` replicates the eval-mode float graph
+            bit-for-bit; ``"int"`` lowers runs of approximate layers to the
+            fixed-point integer core (see the module docstring).  Integer
+            plans produce the same final outputs (exact dequant; the only
+            approximation is the ``~2**-shift`` fixed-point residual of
+            each internal requantization, below one output quantum).
     """
-    ops: list[PlanOp] = []
-    _compile_into(model, ops, "", private_engines)
+    if arithmetic not in ("float", "int"):
+        raise ServeError(
+            f"unknown arithmetic {arithmetic!r} (expected 'float' or 'int')"
+        )
+    ctx = _CompileCtx(private_engines, arithmetic == "int")
+    _compile_into(model, ctx, "")
+    ctx.finalize()
+    ops = _strip_removed(ctx.ops)
     if not ops:
         raise ServeError("model compiled to an empty plan")
-    plan = InferencePlan(ops, model_name=type(model).__name__)
+    plan = InferencePlan(
+        ops, model_name=type(model).__name__, arithmetic=arithmetic
+    )
     if example_input is not None:
         verify_plan(plan, model, example_input)
     return plan
@@ -406,8 +870,11 @@ def verify_plan(
 ) -> np.ndarray:
     """Assert ``plan`` matches the eval-mode training graph on ``x``.
 
-    Returns the (shared) output array on success; raises
-    :class:`ServeError` with the worst absolute deviation otherwise.
+    Returns the (shared) output array on success.  Raises
+    :class:`PlanShapeError` (naming the producing op and both shapes) when
+    the output shapes disagree -- previously this surfaced as a silent
+    ``max |delta| = nan`` -- and :class:`ServeError` with the worst
+    absolute deviation on a value mismatch.
     """
     from repro.autograd.tensor import Tensor, no_grad
 
@@ -420,11 +887,22 @@ def verify_plan(
     finally:
         if was_training:
             model.train()
-    got = plan.run(x)
+    got = np.asarray(x, dtype=np.float64)
+    last_name = "<input>"
+    for op in plan.ops:
+        got = op.fn(got)
+        last_name = op.name
+    if ref.shape != got.shape:
+        raise PlanShapeError(
+            op_name=last_name,
+            ref_shape=ref.shape,
+            plan_shape=got.shape,
+            model=plan.model_name,
+        )
     if not np.array_equal(ref, got):
-        diff = float(np.max(np.abs(ref - got))) if ref.shape == got.shape else float("nan")
+        diff = float(np.max(np.abs(ref - got)))
         raise ServeError(
-            f"compiled plan diverges from the training graph: shapes "
-            f"{got.shape} vs {ref.shape}, max |delta| = {diff:.3e}"
+            f"compiled plan diverges from the training graph: "
+            f"max |delta| = {diff:.3e}"
         )
     return got

@@ -98,6 +98,9 @@ class WorkerPool:
     def _worker_loop(self) -> None:
         with _TRACE.span("serve.plan_compile", cat="serve"):
             plan = self._plan_factory()  # compiled once, reused per worker
+        summary = getattr(plan, "op_summary", None)
+        if summary is not None:  # duck-typed plan stubs lack it
+            self.metrics.set_plan_info(summary())
         while True:
             batch = self.batcher.next_batch(timeout=0.05)
             if batch is None:

@@ -1,0 +1,242 @@
+"""Tests for the integer-only serving plan (compile_plan arithmetic="int").
+
+The contract under test: on every supported model shape the integer plan's
+outputs are **bit-identical** to the float-scale plan (which is itself
+bit-identical to the eval-mode training graph), and between the input
+``quant`` op and the final ``dequant`` op no tensor is float -- asserted
+structurally by :func:`repro.serve.plan.assert_integer_core` and
+behaviorally by running the plan with dtype-spying wrappers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.autograd.tensor import no_grad
+from repro.data import DataLoader, SyntheticImageDataset
+from repro.errors import ServeError
+from repro.models import LeNet
+from repro.multipliers import get_multiplier
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool2d,
+    Linear,
+    ReLU,
+    Sequential,
+)
+from repro.retrain.convert import approximate_model, calibrate, freeze
+from repro.serve import ServeMetrics, WorkerPool
+from repro.serve.plan import (
+    assert_integer_core,
+    compile_plan,
+    integer_core_report,
+)
+
+MULT = "mul8u_1DMU"
+
+
+def _prep(model, seed=11, size=12, bn_batches=0):
+    if bn_batches:
+        model.train()
+        with no_grad():
+            for b in range(bn_batches):
+                xb = np.random.default_rng(90 + b).standard_normal(
+                    (16, 3, size, size)
+                )
+                model(Tensor(xb))
+    ds = SyntheticImageDataset(64, 4, size, seed=seed, split="train")
+    calibrate(model, DataLoader(ds, batch_size=32), batches=2)
+    freeze(model)
+    model.eval()
+    return model
+
+
+def _check_bit_identity(model, x):
+    float_plan = compile_plan(model, example_input=x)
+    int_plan = compile_plan(model, arithmetic="int")
+    yf = float_plan.run(x)
+    yi = int_plan.run(x)
+    np.testing.assert_array_equal(yf, yi)
+    return int_plan
+
+
+@pytest.fixture(scope="module")
+def lenet_frozen():
+    model = approximate_model(
+        LeNet(num_classes=4, image_size=12, seed=11),
+        get_multiplier(MULT),
+        gradient_method="none", hws=2, include_linear=True,
+    )
+    return _prep(model)
+
+
+@pytest.fixture(scope="module")
+def batch():
+    return np.random.default_rng(3).standard_normal((6, 3, 12, 12))
+
+
+# ----------------------------------------------------------------------
+# bit identity across the test-model suite
+# ----------------------------------------------------------------------
+def test_lenet_bit_identical_and_integer_only(lenet_frozen, batch):
+    plan = _check_bit_identity(lenet_frozen, batch)
+    assert_integer_core(plan)
+    report = integer_core_report(plan)
+    assert report["integer_only"]
+    assert report["float_ops"] == []
+
+
+def test_per_channel_weights_bit_identical(batch):
+    model = approximate_model(
+        LeNet(num_classes=4, image_size=12, seed=7),
+        get_multiplier(MULT),
+        gradient_method="none", include_linear=True,
+        per_channel_weights=True,
+    )
+    _prep(model, seed=7)
+    plan = _check_bit_identity(model, batch)
+    assert_integer_core(plan)
+
+
+def test_bn_folds_into_requant(batch):
+    rng = np.random.default_rng(5)
+    seq = Sequential(
+        Conv2d(3, 8, 3, rng=rng, padding=1),
+        BatchNorm2d(8),
+        ReLU(),
+        Conv2d(8, 8, 3, rng=rng, padding=1),
+        BatchNorm2d(8),
+        ReLU(),
+        Flatten(),
+        Linear(8 * 12 * 12, 4, rng=rng),
+    )
+    model = approximate_model(
+        seq, get_multiplier(MULT), gradient_method="none",
+        include_linear=True,
+    )
+    _prep(model, bn_batches=2)
+    plan = _check_bit_identity(model, batch)
+    assert_integer_core(plan)
+    # The BN layers folded into requant constants: no "float"-kind BN op
+    # survives in the plan.
+    kinds = [op.kind for op in plan.ops]
+    assert "float" not in kinds
+    assert kinds.count("requant") == 2  # conv1->conv2 and conv2->linear
+
+
+def test_float_fallback_models_stay_bit_identical(batch):
+    rng = np.random.default_rng(6)
+    for name, tail in (
+        ("gap", GlobalAvgPool2d()),
+        ("avgpool", Sequential(AvgPool2d(2), Flatten())),
+    ):
+        mid = Sequential(
+            Conv2d(3, 8, 3, rng=rng, padding=1),
+            ReLU(),
+            tail,
+            Linear(8 if name == "gap" else 8 * 6 * 6, 4, rng=rng),
+        )
+        model = approximate_model(
+            mid, get_multiplier(MULT), gradient_method="none",
+            include_linear=True,
+        )
+        _prep(model)
+        plan = _check_bit_identity(model, batch)
+        # The non-commuting pool forces a float region mid-plan.
+        report = integer_core_report(plan)
+        assert report["has_core"]
+        assert not report["integer_only"]
+        with pytest.raises(ServeError):
+            assert_integer_core(plan)
+
+
+def test_no_c_kernel_numpy_path_bit_identical(lenet_frozen, batch, monkeypatch):
+    from repro.core import lutkernel
+
+    monkeypatch.setattr(lutkernel, "fused_product_sums", lambda *a: None)
+    _check_bit_identity(lenet_frozen, batch)
+
+
+def test_int_plan_verifies_against_training_graph(lenet_frozen, batch):
+    # verify_plan compares against the eval-mode autograd forward; the
+    # integer plan must survive it too (exact dequant at the boundary).
+    compile_plan(lenet_frozen, example_input=batch, arithmetic="int")
+
+
+# ----------------------------------------------------------------------
+# structural properties of the integer core
+# ----------------------------------------------------------------------
+def test_no_float_dtype_at_runtime_inside_core(lenet_frozen, batch):
+    """Behavioral check: spy on every op's output dtype while running."""
+    plan = compile_plan(lenet_frozen, arithmetic="int")
+    start, end = plan.integer_core()
+    seen = {}
+
+    def wrap(i, fn):
+        def spy(x):
+            out = fn(x)
+            seen[i] = out.dtype
+            return out
+        return spy
+
+    for i, op in enumerate(plan.ops):
+        op.fn = wrap(i, op.fn)
+    plan.run(batch)
+    for i in range(start, end):  # everything before the final dequant
+        assert seen[i].kind in "ui", (i, seen[i])
+    assert seen[end] == np.float64
+
+
+def test_op_dtype_tags_match_runtime(lenet_frozen, batch):
+    plan = compile_plan(lenet_frozen, arithmetic="int")
+    x = np.asarray(batch, dtype=np.float64)
+    for op in plan.ops:
+        assert str(x.dtype) == op.dtype_in, op
+        x = op.fn(x)
+        assert str(x.dtype) == op.dtype_out, op
+
+
+def test_describe_and_summary_expose_integer_pipeline(lenet_frozen):
+    plan = compile_plan(lenet_frozen, arithmetic="int")
+    text = plan.describe()
+    assert "lutgemm_int" in text
+    assert "uint8" in text and "int64" in text
+    summary = plan.op_summary()
+    assert summary["arithmetic"] == "int"
+    assert summary["integer_only_core"] is True
+    assert summary["kinds"]["requant"] >= 1
+    assert summary["lutgemm_ops"] == plan.lutgemm_ops
+
+
+def test_unknown_arithmetic_rejected(lenet_frozen):
+    with pytest.raises(ServeError):
+        compile_plan(lenet_frozen, arithmetic="fixed")
+
+
+def test_assert_integer_core_rejects_float_plan(lenet_frozen):
+    plan = compile_plan(lenet_frozen)  # arithmetic="float"
+    with pytest.raises(ServeError):
+        assert_integer_core(plan)
+
+
+# ----------------------------------------------------------------------
+# plumbing: metrics expose the live plan summary
+# ----------------------------------------------------------------------
+def test_worker_pool_records_plan_info(lenet_frozen, batch):
+    metrics = ServeMetrics()
+    pool = WorkerPool(
+        lambda: compile_plan(lenet_frozen, arithmetic="int"),
+        workers=1, metrics=metrics,
+    )
+    pool.start()
+    try:
+        pool.infer(batch[0])
+    finally:
+        pool.shutdown()
+    info = metrics.as_dict()["plan"]
+    assert info["arithmetic"] == "int"
+    assert info["integer_only_core"] is True
+    assert "plan:" in metrics.format_report()

@@ -246,3 +246,64 @@ def test_invalid_workers_env_falls_back_to_serial(monkeypatch):
     assert np.array_equal(gw, gw_ref)
     assert np.array_equal(gx, gx_ref)
     assert engine.parallel_calls == 0
+
+
+# ----------------------------------------------------------------------
+# Accumulator dtype selection (integer serving plan)
+def test_int32_accumulators_bit_identical_to_int64():
+    mult = get_multiplier("mul8u_1DMU")
+    engine = LutGemm(mult, gradients=None)
+    wq, xq, _ = _operands(6, 40, 17, 8, seed=3)
+    acc64 = engine.product_sums(wq, xq)
+    assert engine.int32_acc_safe(wq.shape[1])
+    acc32 = engine.product_sums(wq, xq, acc_dtype=np.int32)
+    assert acc32.dtype == np.int32
+    assert acc64.dtype == np.int64
+    np.testing.assert_array_equal(acc64, acc32.astype(np.int64))
+
+
+def test_int32_accumulators_refused_when_overflow_possible():
+    from repro.errors import ReproError
+
+    mult = get_multiplier("mul8u_1DMU")
+    engine = LutGemm(mult, gradients=None)
+    # Find a K just past the safety bound and assert the guard trips
+    # instead of silently wrapping.
+    lut_max = max(abs(int(engine.lut_flat.min())), abs(int(engine.lut_flat.max())))
+    k_bad = (2**31) // lut_max + 1
+    assert not engine.int32_acc_safe(k_bad)
+    wq = np.zeros((1, k_bad), dtype=np.int32)
+    xq = np.zeros((k_bad, 1), dtype=np.int32)
+    with pytest.raises(ReproError, match="int32"):
+        engine.product_sums(wq, xq, acc_dtype=np.int32)
+
+
+def test_unsupported_acc_dtype_rejected():
+    from repro.errors import ReproError
+
+    mult = get_multiplier("mul8u_1DMU")
+    engine = LutGemm(mult, gradients=None)
+    wq, xq, _ = _operands(2, 8, 3, 8)
+    with pytest.raises(ReproError, match="accumulator dtype"):
+        engine.product_sums(wq, xq, acc_dtype=np.float64)
+
+
+def test_int32_numpy_fallback_matches(monkeypatch):
+    import repro.core.lutkernel as lutkernel
+
+    monkeypatch.setattr(lutkernel, "fused_product_sums", lambda *a: None)
+    mult = get_multiplier("mul8u_1DMU")
+    engine = LutGemm(mult, gradients=None)
+    wq, xq, _ = _operands(4, 200, 129, 8, seed=5)  # big enough for fused path
+    acc64 = engine.product_sums(wq, xq)
+    acc32 = engine.product_sums(wq, xq, acc_dtype=np.int32)
+    np.testing.assert_array_equal(acc64, acc32.astype(np.int64))
+
+
+def test_exact_fast_path_respects_acc_dtype():
+    engine = LutGemm(ExactMultiplier(8), gradients=None)
+    wq, xq, _ = _operands(3, 16, 5, 8, seed=7)
+    acc32 = engine.product_sums(wq, xq, acc_dtype=np.int32)
+    assert acc32.dtype == np.int32
+    ref = _reference_sums(engine, wq, xq)
+    np.testing.assert_array_equal(acc32.astype(np.int64), ref)

@@ -111,3 +111,61 @@ def test_observer_rejects_non_finite():
         obs.update(np.full((3, 3), np.nan))
     # A rejected batch must leave the running range untouched.
     assert obs.vmin == 1.0 and obs.vmax == 2.0 and obs.count == 1
+
+
+# ----------------------------------------------------------------------
+# Rounding convention: ties-to-even in both quantize paths
+# ----------------------------------------------------------------------
+def test_quantize_array_ties_to_even():
+    """np.rint rounds half-values to the nearest even integer.
+
+    This is the repo-wide quantize convention (normative statement in
+    repro.nn.requant); the fixed-point requantizer uses round-half-up
+    instead, and these tests pin each side of that boundary.
+    """
+    qp = QuantParams(scale=1.0, zero_point=0, bits=8)
+    # arr/scale + zp lands exactly on x.5 for every input.
+    arr = np.array([0.5, 1.5, 2.5, 3.5, 4.5])
+    q = quantize_array(arr, qp)
+    assert q.tolist() == [0, 2, 2, 4, 4]
+
+
+def test_quantize_array_negative_ties_clip_after_rounding():
+    qp = QuantParams(scale=1.0, zero_point=2, bits=8)
+    # value/scale + zp = -0.5, 0.5, 1.5 -> rint gives -0, 0, 2.
+    arr = np.array([-2.5, -1.5, -0.5])
+    q = quantize_array(arr, qp)
+    assert q.tolist() == [0, 0, 2]
+
+
+def test_quantize_per_channel_ties_to_even():
+    from repro.nn.quant import ChannelQuantParams, quantize_per_channel
+
+    qp = ChannelQuantParams(
+        scales=np.array([1.0, 0.5]),
+        zero_points=np.array([0, 1], dtype=np.int64),
+        bits=8,
+    )
+    # Row 0: 0.5, 1.5, 2.5 -> 0, 2, 2.  Row 1: x/0.5 + 1 = 1.5, 3.5, 5.5
+    # -> 2, 4, 6.  Both rows tie-to-even, same as quantize_array.
+    wmat = np.array([[0.5, 1.5, 2.5], [0.25, 1.25, 2.25]])
+    q = quantize_per_channel(wmat, qp)
+    assert q.tolist() == [[0, 2, 2], [2, 4, 6]]
+
+
+def test_quantize_paths_agree_on_shared_grid():
+    """Per-channel with identical rows == per-tensor, ties included."""
+    from repro.nn.quant import ChannelQuantParams, quantize_per_channel
+
+    scale, zp = 0.35, 7
+    qp = QuantParams(scale=scale, zero_point=zp, bits=8)
+    cqp = ChannelQuantParams(
+        scales=np.array([scale, scale]),
+        zero_points=np.array([zp, zp], dtype=np.int64),
+        bits=8,
+    )
+    w = np.linspace(-2.0, 2.0, 41).reshape(1, -1)
+    wmat = np.vstack([w, w])
+    per_tensor = quantize_array(wmat, qp)
+    per_channel = quantize_per_channel(wmat, cqp)
+    np.testing.assert_array_equal(per_tensor, per_channel)

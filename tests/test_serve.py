@@ -118,6 +118,62 @@ def test_verify_plan_accepts_and_describe(served_model):
     assert "lutgemm" in text and "LeNet" in text
 
 
+def test_verify_plan_shape_mismatch_raises_structured_error(served_model):
+    """A shape mismatch must name the op and both shapes, never nan-diff.
+
+    Previously ``verify_plan`` computed ``np.max(np.abs(ref - got))`` on
+    broadcast-incompatible... compatible-but-different shapes and reported
+    ``max |delta| = nan`` with no hint of where the plan diverged.
+    """
+    from repro.errors import PlanShapeError
+    from repro.serve.plan import PlanOp
+
+    x = np.random.default_rng(6).standard_normal((2, 3, 12, 12))
+    plan = compile_plan(served_model)
+    # Break the last op so the plan emits a transposed output.
+    bad = compile_plan(served_model)
+    bad.ops = list(bad.ops) + [
+        PlanOp("oops.transpose", "shape", lambda y: y.T)
+    ]
+    with pytest.raises(PlanShapeError) as err:
+        verify_plan(bad, served_model, x)
+    assert err.value.op_name == "oops.transpose"
+    assert err.value.ref_shape != err.value.plan_shape
+    assert "oops.transpose" in str(err.value)
+    assert str(err.value.ref_shape) in str(err.value)
+    # The structured error is a ServeError too (existing handlers catch it).
+    assert isinstance(err.value, ServeError)
+    # And the intact plan still verifies.
+    verify_plan(plan, served_model, x)
+
+
+def test_plan_gap_bit_identical_to_tape_for_crafted_hw():
+    """The plan's GAP op must use the graph's sum * (1/HW) expression.
+
+    For HW counts where ``x * (1/HW)`` and ``x / HW`` round differently
+    (any HW whose reciprocal is inexact, e.g. 49), a division-based plan
+    op drifts by 1 ulp and breaks bit-identity.  This fails against the
+    old ``np.mean``-style lowering.
+    """
+    from repro.nn.layers import GlobalAvgPool2d, Sequential
+
+    model = Sequential(GlobalAvgPool2d())
+    model.eval()
+    rng = np.random.default_rng(0)
+    # 7x7 spatial: 1/49 is not a power of two, so sum * (1/49) and
+    # sum / 49 disagree in the last ulp for many sums.
+    x = rng.standard_normal((4, 3, 7, 7))
+    with no_grad():
+        ref = model(Tensor(x)).data
+    plan = compile_plan(model)
+    got = plan.run(x)
+    assert np.array_equal(got, ref)
+    # Sanity: the two expressions really do differ for this data (the
+    # test would be vacuous on inputs where they happen to agree).
+    s = x.sum(axis=(2, 3))
+    assert not np.array_equal(s * (1.0 / 49.0), s / 49.0)
+
+
 def test_plan_bit_identical_without_c_kernel(retrained, monkeypatch):
     """With the fused C kernel unavailable the numpy fallback must match."""
     import repro.core.lutkernel as lutkernel
