@@ -13,17 +13,25 @@ single-sample latency must be no worse than the float-scale plan's.
 
 Run standalone (the CI smoke job uses ``--quick``)::
 
-    python benchmarks/bench_serve.py --quick   # small model, no timing gate
-    python benchmarks/bench_serve.py           # asserts >= 2x single-sample
-                                               # plan speedup
+    python benchmarks/bench_serve.py --quick      # small model, no timing gate
+    python benchmarks/bench_serve.py              # asserts >= 2x single-sample
+                                                  # plan speedup
+    python benchmarks/bench_serve.py --workers 2  # sharded multi-process mode:
+                                                  # scaling + respawn gates,
+                                                  # emits BENCH_serve.json
 
-Results are printed and written to ``benchmarks/results/serve.txt``.
+Results are printed and written to ``benchmarks/results/serve.txt`` (or
+``serve_sharded.txt`` plus a machine-readable ``BENCH_serve.json`` at the
+repo root in ``--workers`` mode).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import pathlib
+import signal
 import sys
 import time
 
@@ -36,12 +44,20 @@ from repro.models.lenet import LeNet  # noqa: E402
 from repro.multipliers.registry import get_multiplier  # noqa: E402
 from repro.retrain.convert import approximate_model, calibrate, freeze  # noqa: E402
 from repro.serve import (  # noqa: E402
+    ServeMetrics,
+    ShardServer,
     WorkerPool,
     assert_integer_core,
     compile_plan,
 )
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+#: Scaling gate from the issue: N workers must deliver >= 0.75*N the
+#: single-worker throughput -- but only up to the host's core count
+#: (a single-core container cannot scale and must not fail the gate).
+SCALING_FRACTION = 0.75
+MAX_GATED_WORKERS = 4
 
 
 def _best_of(fn, repeats: int) -> float:
@@ -99,6 +115,177 @@ def build_frozen_model(image_size: int, multiplier_name: str):
     return model
 
 
+def _shard_load(server, samples, timeout: float = 120.0):
+    """Push ``samples`` through ``server``; return (outputs, elapsed_s)."""
+    t0 = time.perf_counter()
+    futures = [server.submit(s) for s in samples]
+    outs = [f.result(timeout=timeout) for f in futures]
+    return outs, time.perf_counter() - t0
+
+
+def _request_percentiles(metrics: ServeMetrics) -> tuple[float, float]:
+    hist = metrics.as_dict()["latency"].get("request_ms")
+    if not hist:
+        return float("nan"), float("nan")
+    return hist["p50_ms"], hist["p99_ms"]
+
+
+def sharded_main(args) -> int:
+    """Multi-process serving benchmark: scaling, burst p99, SIGKILL respawn.
+
+    Emits ``BENCH_serve.json`` at the repo root mapping worker count to
+    req/s and p50/p99 request latency.  The >= 0.75*N scaling gate and the
+    burst-p99 bound only apply while N <= min(4, cores): a host without N
+    cores cannot scale to N workers and is reported, not failed.
+    """
+    workers = args.workers
+    if args.quick:
+        image_size, n_req = 12, 48
+    else:
+        image_size, n_req = 16, 160
+    multiplier_name = "mul8u_1DMU"
+    cores = os.cpu_count() or 1
+    gated = workers <= min(MAX_GATED_WORKERS, cores)
+
+    model = build_frozen_model(image_size, multiplier_name)
+    int_plan = compile_plan(model, arithmetic="int")
+    assert_integer_core(int_plan)
+    rng = np.random.default_rng(7)
+    samples = list(rng.standard_normal((n_req, 3, image_size, image_size)))
+    ref = int_plan.run(np.stack(samples))
+
+    def make_server(n):
+        return ShardServer(
+            plan_factory=lambda: compile_plan(model, arithmetic="int"),
+            workers=n,
+            max_batch=8,
+            max_wait_ms=2.0,
+            queue_size=max(64, n_req),
+            metrics=ServeMetrics(),
+        )
+
+    results: dict[int, dict] = {}
+    failures: list[str] = []
+    respawn_report: dict = {}
+    for n in sorted({1, workers}):
+        with make_server(n) as server:
+            # Warm-up pass, then the measured burst.
+            outs, _ = _shard_load(server, samples[: min(8, n_req)])
+            outs, elapsed = _shard_load(server, samples)
+            if not all(np.array_equal(o, r) for o, r in zip(outs, ref)):
+                failures.append(
+                    f"{n}-worker outputs differ from the single-process "
+                    f"integer plan"
+                )
+            p50, p99 = _request_percentiles(server.metrics)
+            results[n] = {
+                "req_per_s": n_req / elapsed,
+                "p50_ms": p50,
+                "p99_ms": p99,
+            }
+
+    # SIGKILL-respawn gate: kill one worker mid-load; every request must
+    # still resolve (re-dispatch), and the supervisor must restore N live
+    # workers.
+    if workers >= 2:
+        with make_server(workers) as server:
+            victim = server.supervisor.live_handles()[0].pid
+            futures = [server.submit(s) for s in samples]
+            os.kill(victim, signal.SIGKILL)
+            ok = 0
+            for f, r in zip(futures, ref):
+                try:
+                    if np.array_equal(f.result(timeout=120.0), r):
+                        ok += 1
+                except Exception:
+                    pass
+            deadline = time.monotonic() + 15.0
+            while (server.alive_workers < workers
+                   and time.monotonic() < deadline):
+                time.sleep(0.05)
+            respawn_report = {
+                "killed_pid": victim,
+                "requests_ok": ok,
+                "requests_total": n_req,
+                "alive_after": server.alive_workers,
+                "respawns": server.metrics.counter("worker_respawns_total"),
+            }
+            if ok != n_req:
+                failures.append(
+                    f"SIGKILL drain lost responses: {ok}/{n_req} ok"
+                )
+            if server.alive_workers < workers:
+                failures.append(
+                    f"worker not respawned: {server.alive_workers}/{workers} "
+                    f"alive after kill"
+                )
+
+    base = results[1]["req_per_s"]
+    top = results[workers]
+    scaling = top["req_per_s"] / base if base else float("nan")
+    if gated and workers > 1:
+        if scaling < SCALING_FRACTION * workers:
+            failures.append(
+                f"scaling {scaling:.2f}x < {SCALING_FRACTION * workers:.2f}x "
+                f"for {workers} workers"
+            )
+        if not (top["p99_ms"] <= 30.0 * max(top["p50_ms"], 1.0)):
+            failures.append(
+                f"burst p99 unbounded: {top['p99_ms']:.1f}ms vs "
+                f"p50 {top['p50_ms']:.1f}ms"
+            )
+
+    lines = [
+        f"sharded serve benchmark (LeNet {image_size}x{image_size}, "
+        f"{multiplier_name}, integer plan, {n_req} requests, "
+        f"{cores} core(s))",
+        "outputs verified bit-identical to the single-process integer plan",
+    ]
+    for n, r in sorted(results.items()):
+        lines.append(
+            f"  {n} worker(s): {r['req_per_s']:8.1f} req/s  "
+            f"p50={r['p50_ms']:.2f}ms p99={r['p99_ms']:.2f}ms"
+        )
+    lines.append(
+        f"  scaling {workers}w/1w: {scaling:.2f}x "
+        + (f"(gate >= {SCALING_FRACTION * workers:.2f}x)"
+           if gated and workers > 1
+           else f"(gate skipped: {cores} core(s) < {workers} workers)")
+    )
+    if respawn_report:
+        lines.append(
+            f"  SIGKILL mid-load: {respawn_report['requests_ok']}"
+            f"/{respawn_report['requests_total']} responses ok, "
+            f"{respawn_report['alive_after']}/{workers} workers alive, "
+            f"{respawn_report['respawns']} respawn(s)"
+        )
+    text = "\n".join(lines)
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "serve_sharded.txt").write_text(text + "\n")
+    payload = {
+        "bench": "serve_sharded",
+        "model": f"lenet{image_size}",
+        "multiplier": multiplier_name,
+        "arithmetic": "int",
+        "requests": n_req,
+        "cores": cores,
+        "workers": {str(n): r for n, r in sorted(results.items())},
+        "scaling_vs_one": scaling,
+        "scaling_gate_applied": bool(gated and workers > 1),
+        "respawn": respawn_report,
+        "failures": failures,
+    }
+    (REPO_ROOT / "BENCH_serve.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    for msg in failures:
+        print(f"FAIL: {msg}", file=sys.stderr)
+    if not failures:
+        print("OK: sharded serving gates passed")
+    return 1 if failures else 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -107,7 +294,19 @@ def main(argv=None) -> int:
         help="small model, exactness checks only (no timing assertion)",
     )
     parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="run the sharded multi-process benchmark with this many "
+             "workers instead of the single-process plan benchmark",
+    )
     args = parser.parse_args(argv)
+
+    if args.workers is not None:
+        if args.workers < 1:
+            parser.error("--workers must be >= 1")
+        return sharded_main(args)
 
     if args.quick:
         image_size, repeats, burst = 12, args.repeats or 3, 8

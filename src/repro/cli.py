@@ -211,6 +211,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.retrain.convert import approximate_model
     from repro.retrain.experiment import ExperimentScale, build_model
     from repro.serve import ServeMetrics, WorkerPool, compile_plan, make_server
+    from repro.serve.http import install_shutdown_handlers
+    from repro.serve.shard import ShardServer
 
     scale = ExperimentScale(
         image_size=args.image_size,
@@ -231,28 +233,55 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     model.eval()
 
     metrics = ServeMetrics()
-    pool = WorkerPool(
-        plan_factory=lambda: compile_plan(model, private_engines=True),
-        workers=args.workers,
-        max_batch=args.max_batch,
-        max_wait_ms=args.max_wait_ms,
-        queue_size=args.queue_size,
-        metrics=metrics,
-    ).start()
+    if args.sharded:
+        # N forked worker processes over shared-memory LUT segments; one
+        # plan compile in the parent, inherited by every worker.
+        pool = ShardServer(
+            plan_factory=lambda: compile_plan(
+                model, arithmetic=args.arithmetic
+            ),
+            workers=args.workers,
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            queue_size=args.queue_size,
+            metrics=metrics,
+        ).start()
+        mode = f"sharded x{args.workers}"
+    else:
+        pool = WorkerPool(
+            plan_factory=lambda: compile_plan(
+                model, private_engines=True, arithmetic=args.arithmetic
+            ),
+            workers=args.workers,
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            queue_size=args.queue_size,
+            metrics=metrics,
+        ).start()
+        mode = f"threads x{args.workers}"
     server = make_server(
         pool, metrics, host=args.host, port=args.port,
         model_name=f"{args.arch}/{args.multiplier}",
     )
+    # SIGTERM/SIGINT now drain like Ctrl-C instead of dropping in-flight
+    # requests: the handler makes serve_forever return, and the ordered
+    # teardown below runs for every stop path.
+    install_shutdown_handlers(server)
     host, port = server.server_address[:2]
-    print(f"serving {args.arch}/{args.multiplier} on http://{host}:{port}")
+    print(f"serving {args.arch}/{args.multiplier} ({mode}) "
+          f"on http://{host}:{port}")
     print("endpoints: POST /predict, GET /healthz, GET /metrics")
     try:
         server.serve_forever()
+        print("\nshutting down (draining)")
     except KeyboardInterrupt:
         print("\nshutting down")
     finally:
+        # Drain the pool BEFORE closing the server: handler threads are
+        # daemons (never joined by server_close), so in-flight requests
+        # must resolve while the socket machinery still exists.
+        pool.shutdown(drain=True)
         server.server_close()
-        pool.shutdown()
         print(metrics.format_report())
     return 0
 
@@ -405,6 +434,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--port", type=int, default=8080,
                    help="TCP port (0 picks a free one)")
     p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--sharded", action="store_true",
+                   help="fork --workers processes sharing LUT tables over "
+                        "shared memory (vs threads in one process)")
+    p.add_argument("--arithmetic", choices=["float", "int"], default="float",
+                   help="plan lowering: float (bit-identical to eval "
+                        "forward) or the integer requantized core")
     p.add_argument("--max-batch", type=int, default=8)
     p.add_argument("--max-wait-ms", type=float, default=2.0)
     p.add_argument("--queue-size", type=int, default=64)

@@ -198,6 +198,62 @@ class LutGemm:
         return self
 
     # ------------------------------------------------------------------
+    # Shared-memory table publication (repro.serve.shm).
+    def shared_tables(self) -> dict[str, np.ndarray]:
+        """The forward tables eligible for cross-process sharing, by name.
+
+        Keys match the keyword arguments of :meth:`adopt_shared_tables`;
+        the sharded serving layer publishes each table into a
+        shared-memory segment and adopts the resulting view back, so N
+        worker processes read one host-wide copy.
+        """
+        tables = {"lut_flat": self.lut_flat}
+        if self._lut_i32 is not None:
+            tables["lut_i32"] = self._lut_i32
+        return tables
+
+    def adopt_shared_tables(
+        self,
+        lut_flat: np.ndarray | None = None,
+        lut_i32: np.ndarray | None = None,
+    ) -> None:
+        """Rebind forward tables onto externally-managed (shm) arrays.
+
+        Each replacement must be bit-identical to the current table --
+        adoption changes where the bytes live, never what they are -- so
+        every downstream result stays bit-identical by construction.
+        """
+        if lut_flat is not None:
+            cur = self.lut_flat
+            if (
+                lut_flat.shape != cur.shape
+                or lut_flat.dtype != cur.dtype
+                or not np.array_equal(lut_flat, cur)
+            ):
+                raise ReproError(
+                    "adopt_shared_tables: lut_flat replacement differs "
+                    "from the engine's table"
+                )
+            self.lut_flat = lut_flat
+        if lut_i32 is not None:
+            cur = self._lut_i32
+            if cur is None:
+                raise ReproError(
+                    "adopt_shared_tables: engine has no int32 LUT "
+                    "(not forward-only)"
+                )
+            if (
+                lut_i32.shape != cur.shape
+                or lut_i32.dtype != cur.dtype
+                or not np.array_equal(lut_i32, cur)
+            ):
+                raise ReproError(
+                    "adopt_shared_tables: lut_i32 replacement differs "
+                    "from the engine's table"
+                )
+            self._lut_i32 = lut_i32
+
+    # ------------------------------------------------------------------
     def _build_idx(
         self, wrow: np.ndarray, xq_block: np.ndarray, shape: tuple[int, int, int]
     ) -> np.ndarray:
@@ -602,6 +658,15 @@ def get_engine(
     engine = LutGemm(multiplier, gradients, chunk=chunk)
     _ENGINE_CACHE[key] = engine
     return engine
+
+
+def iter_cached_engines():
+    """Yield ``(key, engine)`` for every live cache entry.
+
+    Used by the sharded serving layer to publish every cached engine's
+    forward tables into shared memory before forking workers.
+    """
+    yield from _ENGINE_CACHE.items()
 
 
 def clear_engine_cache() -> None:

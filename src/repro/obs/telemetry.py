@@ -177,16 +177,41 @@ class Metric:
                 return 0 if cell is None else cell[2]
             return self._values.get(key, 0)
 
+    def _snapshot_items_locked(self) -> list[tuple[tuple[str, ...], object]]:
+        """Deep-copied ``(labelvalues, value)`` pairs; caller holds the lock.
+
+        Histogram cells are live mutable lists (``observe`` appends into
+        them without replacing the cell), so handing out the raw values
+        lets an exporter render a bucket list from one instant and the
+        sum/count from another.  Copying under the lock pins every cell
+        to a single consistent instant.
+        """
+        out = []
+        for key, value in sorted(self._values.items()):
+            if self.kind == "histogram":
+                counts, total, count = value
+                value = (list(counts), total, count)
+            out.append((key, value))
+        return out
+
     def items(self) -> list[tuple[tuple[str, ...], object]]:
-        """Snapshot of ``(labelvalues, value)`` pairs, sorted by labels."""
+        """Consistent snapshot of ``(labelvalues, value)``, sorted by labels.
+
+        Histogram values are copies -- safe to render while writers keep
+        observing.
+        """
         with self._lock:
-            return sorted(self._values.items())
+            return self._snapshot_items_locked()
 
     # ------------------------------------------------------------------
-    def as_dict(self) -> dict:
-        """JSON-friendly snapshot of this family."""
+    def as_dict(self, items=None) -> dict:
+        """JSON-friendly snapshot of this family.
+
+        ``items`` lets :meth:`MetricRegistry.snapshot` render from an
+        already-taken atomic snapshot instead of re-reading live state.
+        """
         samples = []
-        for key, value in self.items():
+        for key, value in (self.items() if items is None else items):
             labels = dict(zip(self.labelnames, key))
             if self.kind == "histogram":
                 counts, total, count = value
@@ -205,10 +230,10 @@ class Metric:
             "samples": samples,
         }
 
-    def prometheus_lines(self) -> list[str]:
+    def prometheus_lines(self, items=None) -> list[str]:
         """``# HELP``/``# TYPE`` plus one line per sample (NaN skipped)."""
         body: list[str] = []
-        for key, value in self.items():
+        for key, value in (self.items() if items is None else items):
             labelstr = ",".join(
                 f'{n}="{_escape_label(v)}"'
                 for n, v in zip(self.labelnames, key)
@@ -304,15 +329,35 @@ class MetricRegistry:
         with self._lock:
             return sorted(self._families.values(), key=lambda m: m.name)
 
+    def snapshot(self) -> list[tuple[Metric, list]]:
+        """Atomic ``(family, items)`` snapshot of the whole registry.
+
+        Every family shares this registry's lock, so one acquisition
+        pins all of them to a single instant: an exporter rendering from
+        this snapshot can never show a half-updated histogram or two
+        counters from different moments.  Reads each family's raw state
+        directly (the shared lock is non-reentrant -- calling the
+        family's own locking accessors here would deadlock).
+        """
+        with self._lock:
+            fams = sorted(self._families.values(), key=lambda m: m.name)
+            return [(fam, fam._snapshot_items_locked()) for fam in fams]
+
     def as_dict(self) -> dict:
         """JSON-friendly snapshot: ``{family_name: family_dict}``."""
-        return {m.name: m.as_dict() for m in self.families()}
+        return {
+            fam.name: fam.as_dict(items) for fam, items in self.snapshot()
+        }
 
     def prometheus_lines(self) -> list[str]:
-        """Prometheus text lines for every non-empty family."""
+        """Prometheus text lines for every non-empty family.
+
+        Rendered from one atomic :meth:`snapshot`, so concurrent writers
+        can never produce a torn exposition.
+        """
         lines: list[str] = []
-        for fam in self.families():
-            lines.extend(fam.prometheus_lines())
+        for fam, items in self.snapshot():
+            lines.extend(fam.prometheus_lines(items))
         return lines
 
     def reset(self) -> None:

@@ -1,0 +1,75 @@
+"""Reusable process/run lifecycle primitives.
+
+Extracted from the sweep runner (:mod:`repro.retrain.runner`) so the
+sharded serving supervisor (:mod:`repro.serve.supervisor`) and any future
+long-running executor share one implementation of:
+
+- :func:`capped_backoff` -- the capped exponential retry/respawn delay
+  every fault-tolerant loop in this repo uses
+  (``base * 2**(attempt-1)``, capped at ``cap``).
+- :class:`Heartbeat` -- a stoppable daemon thread that invokes a callback
+  at a fixed interval (sweep in-flight heartbeats, serve worker liveness
+  checks).  ``start`` is idempotent; ``stop`` joins the thread.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+__all__ = ["capped_backoff", "Heartbeat"]
+
+
+def capped_backoff(attempt: int, base: float, cap: float) -> float:
+    """Delay before retry/respawn number ``attempt`` (1-based), seconds.
+
+    ``base * 2**(attempt-1)``, capped at ``cap``: the schedule the sweep
+    runner has always used, now shared with worker respawn in
+    :mod:`repro.serve.supervisor`.
+    """
+    return min(base * (2 ** (max(attempt, 1) - 1)), cap)
+
+
+class Heartbeat:
+    """Call ``fn()`` every ``interval_s`` seconds from a daemon thread.
+
+    The callback runs until :meth:`stop`; exceptions from ``fn`` stop the
+    loop (a broken heartbeat must be loud, not silently absent).  With
+    ``interval_s <= 0`` the heartbeat is disabled and ``start``/``stop``
+    are no-ops, so call sites don't need their own "is it on" branching.
+    """
+
+    def __init__(self, interval_s: float, fn: Callable[[], None],
+                 name: str = "heartbeat"):
+        self.interval_s = interval_s
+        self.fn = fn
+        self.name = name
+        self._stop: threading.Event | None = None
+        self._thread: threading.Thread | None = None
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "Heartbeat":
+        if self.interval_s <= 0 or self.running:
+            return self
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._loop, name=self.name, daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _loop(self) -> None:
+        assert self._stop is not None
+        while not self._stop.wait(self.interval_s):
+            self.fn()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        if self._thread is None:
+            return
+        assert self._stop is not None
+        self._stop.set()
+        self._thread.join(timeout)
+        self._thread = None

@@ -46,6 +46,7 @@ from typing import Callable
 from repro.errors import TransientRunError
 from repro.obs.trace import get_tracer
 from repro.retrain.experiment import ExperimentScale, run_cell
+from repro.retrain.lifecycle import Heartbeat, capped_backoff
 from repro.retrain.logging import RunRecord, append_jsonl, read_jsonl
 from repro.retrain.sweep import SweepConfig, SweepSummary
 from repro.retrain.trainer import TrainHistory
@@ -239,7 +240,6 @@ class SweepRunner:
         self._sleep = sleep
         self._lock = threading.Lock()
         self._inflight: dict[str, tuple[float, int]] = {}
-        self._hb_stop: threading.Event | None = None
 
     # ------------------------------------------------------------------
     def specs(self) -> list[RunSpec]:
@@ -460,7 +460,7 @@ class SweepRunner:
     # ------------------------------------------------------------------
     # Lifecycle bookkeeping shared by both paths.
     def _backoff(self, attempt: int) -> float:
-        return min(self.backoff_base * (2 ** (attempt - 1)), self.backoff_cap)
+        return capped_backoff(attempt, self.backoff_base, self.backoff_cap)
 
     def _begin(self, spec: RunSpec, status: RunStatus, attempt: int) -> None:
         status.state = "running"
@@ -588,38 +588,28 @@ class SweepRunner:
         with self._lock:
             self.on_event(event)
 
-    def _start_heartbeat(self) -> threading.Thread | None:
-        if self.heartbeat_s <= 0 or (
-            self.on_event is None and self.metrics is None
-        ):
+    def _start_heartbeat(self) -> Heartbeat | None:
+        if self.on_event is None and self.metrics is None:
             return None
-        self._hb_stop = threading.Event()
-        thread = threading.Thread(
-            target=self._heartbeat_loop, name="sweep-heartbeat", daemon=True
-        )
-        thread.start()
-        return thread
+        return Heartbeat(
+            self.heartbeat_s, self._heartbeat_tick, name="sweep-heartbeat"
+        ).start()
 
-    def _stop_heartbeat(self, thread: threading.Thread | None) -> None:
-        if thread is None:
-            return
-        assert self._hb_stop is not None
-        self._hb_stop.set()
-        thread.join(timeout=5.0)
+    def _stop_heartbeat(self, heartbeat: Heartbeat | None) -> None:
+        if heartbeat is not None:
+            heartbeat.stop()
 
-    def _heartbeat_loop(self) -> None:
-        assert self._hb_stop is not None
-        while not self._hb_stop.wait(self.heartbeat_s):
-            with self._lock:
-                snapshot = list(self._inflight.items())
-            for run_id, (t0, attempt) in snapshot:
-                if self.metrics is not None:
-                    self.metrics.inc("sweep_heartbeats_total")
-                self._emit(
-                    RunEvent(
-                        kind="heartbeat",
-                        run_id=run_id,
-                        attempt=attempt,
-                        elapsed_s=time.monotonic() - t0,
-                    )
+    def _heartbeat_tick(self) -> None:
+        with self._lock:
+            snapshot = list(self._inflight.items())
+        for run_id, (t0, attempt) in snapshot:
+            if self.metrics is not None:
+                self.metrics.inc("sweep_heartbeats_total")
+            self._emit(
+                RunEvent(
+                    kind="heartbeat",
+                    run_id=run_id,
+                    attempt=attempt,
+                    elapsed_s=time.monotonic() - t0,
                 )
+            )

@@ -15,6 +15,14 @@ inference stack, with no autograd tape and no gradient LUTs:
   distribution, engine cache statistics.
 - :mod:`repro.serve.http` -- stdlib JSON endpoint
   (``/predict``, ``/healthz``, ``/metrics``) behind ``repro serve``.
+- :mod:`repro.serve.shm` / :mod:`repro.serve.shard` /
+  :mod:`repro.serve.supervisor` -- sharded multi-process serving:
+  :class:`~repro.serve.shm.SharedLutStore` publishes LUT tables and
+  requant constants into shared memory once per host,
+  :class:`~repro.serve.shard.ShardServer` routes micro-batches to N
+  forked plan workers, and :class:`~repro.serve.supervisor.Supervisor`
+  respawns crashed workers with capped backoff
+  (``repro serve --sharded``).
 """
 
 from repro.serve.metrics import LatencyHistogram, ServeMetrics
@@ -29,7 +37,14 @@ from repro.serve.plan import (
 )
 from repro.serve.scheduler import MicroBatcher, PendingRequest
 from repro.serve.pool import WorkerPool
-from repro.serve.http import ServingHTTPServer, make_server
+from repro.serve.http import (
+    ServingHTTPServer,
+    install_shutdown_handlers,
+    make_server,
+)
+from repro.serve.shm import SharedArraySpec, SharedLutStore
+from repro.serve.supervisor import Supervisor, WorkerHandle
+from repro.serve.shard import ShardServer
 
 __all__ = [
     "InferencePlan",
@@ -38,10 +53,16 @@ __all__ = [
     "PendingRequest",
     "ServeMetrics",
     "ServingHTTPServer",
+    "SharedArraySpec",
+    "SharedLutStore",
+    "ShardServer",
+    "Supervisor",
     "PlanOp",
+    "WorkerHandle",
     "WorkerPool",
     "assert_integer_core",
     "compile_plan",
+    "install_shutdown_handlers",
     "integer_core_report",
     "make_server",
     "register_compiler",

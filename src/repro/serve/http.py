@@ -16,6 +16,8 @@ Endpoints (JSON in, JSON out, no dependencies beyond ``http.server``):
 from __future__ import annotations
 
 import json
+import signal
+import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import numpy as np
@@ -76,11 +78,17 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:
         path, _, query = self.path.partition("?")
         if path == "/healthz":
-            self._send_json(200, {
+            payload = {
                 "status": "ok",
                 "model": self.server.model_name,
                 "queue_depth": self.server.pool.batcher.depth,
-            })
+            }
+            # Duck-typed: WorkerPool counts threads, ShardServer counts
+            # live worker processes.
+            workers = getattr(self.server.pool, "alive_workers", None)
+            if workers is not None:
+                payload["workers"] = workers
+            self._send_json(200, payload)
         elif path == "/metrics":
             if "format=text" in query:
                 self._send_text(200, self.server.metrics.prometheus_text())
@@ -152,3 +160,39 @@ def make_server(
         input_ndim=input_ndim,
         request_timeout=request_timeout,
     )
+
+
+def install_shutdown_handlers(
+    server: ServingHTTPServer,
+    signals: tuple = (signal.SIGTERM, signal.SIGINT),
+) -> dict:
+    """Route SIGTERM/SIGINT into a graceful stop of ``server``.
+
+    Historically only the KeyboardInterrupt path of ``repro serve``
+    drained the scheduler; a SIGTERM (the signal every process manager
+    actually sends) killed the process mid-request.  The installed
+    handler asks ``serve_forever`` to return -- from a helper thread,
+    because :meth:`socketserver.BaseServer.shutdown` blocks until the
+    serve loop exits and must never run inside the signal frame of the
+    thread running that loop.  The caller's normal post-``serve_forever``
+    path (pool drain, ``server_close``) then runs exactly as it does for
+    Ctrl-C.  A second signal raises :class:`KeyboardInterrupt` for an
+    immediate (non-draining) exit.
+
+    Returns ``{signum: previous_handler}`` so tests (or embedders) can
+    restore the prior disposition.
+    """
+    fired = {"count": 0}
+
+    def handler(signum, frame):
+        fired["count"] += 1
+        if fired["count"] > 1:
+            raise KeyboardInterrupt
+        threading.Thread(
+            target=server.shutdown, name="repro-serve-shutdown", daemon=True
+        ).start()
+
+    previous = {}
+    for signum in signals:
+        previous[signum] = signal.signal(signum, handler)
+    return previous

@@ -162,8 +162,12 @@ class ServeMetrics:
         with self._lock:
             latencies = {k: h.as_dict() for k, h in self._latencies.items()}
             batch_sizes = {str(k): v for k, v in sorted(self._batch_sizes.items())}
-            gauges = {name: fn() for name, fn in self._gauges.items()}
+            gauge_fns = list(self._gauges.items())
             plan_info = dict(self._plan_info)
+        # Gauge callbacks run outside the lock: they sample live objects
+        # (queue depth, worker count) that take their own locks, and a
+        # slow or re-entrant callback must never stall metric writers.
+        gauges = {name: fn() for name, fn in gauge_fns}
         cache = engine_cache_stats()
         return {
             "counters": counters,

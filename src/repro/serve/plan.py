@@ -82,9 +82,15 @@ class PlanOp:
     produces (``"float64"``, ``"uint8"``, ``"int64"`` ...), so traces,
     :meth:`InferencePlan.describe`, and the integer-core plan walk can
     show exactly where the pipeline is integer and where float runs.
+
+    ``params`` carries the compile-time constant object behind the
+    closure when one exists -- the :class:`~repro.nn.approx.FrozenAffine`
+    of a LUT-GEMM op, the :class:`~repro.nn.requant.RequantParams` of a
+    requant op -- so post-compile passes (shared-memory publication in
+    :mod:`repro.serve.shm`) can reach and rebind the underlying arrays.
     """
 
-    __slots__ = ("name", "kind", "fn", "dtype_in", "dtype_out")
+    __slots__ = ("name", "kind", "fn", "dtype_in", "dtype_out", "params")
 
     def __init__(
         self,
@@ -93,12 +99,14 @@ class PlanOp:
         fn: Callable[[np.ndarray], np.ndarray],
         dtype_in: str = FLOAT,
         dtype_out: str = FLOAT,
+        params=None,
     ):
         self.name = name
         self.kind = kind
         self.fn = fn
         self.dtype_in = dtype_in
         self.dtype_out = dtype_out
+        self.params = params
 
     def __repr__(self) -> str:
         return (
@@ -158,6 +166,21 @@ class InferencePlan:
             "dtypes": dtypes,
             "integer_only_core": integer_core_report(self)["integer_only"],
         }
+
+    def engines(self) -> list:
+        """The distinct LUT-GEMM engines this plan gathers through.
+
+        Deduplicated by identity (cached engines are shared across
+        layers); order follows first use in the op list.  Used by the
+        shared-memory layer to publish every table exactly once.
+        """
+        seen: list = []
+        for op in self.ops:
+            fa = op.params
+            engine = getattr(fa, "engine", None)
+            if engine is not None and all(engine is not e for e in seen):
+                seen.append(engine)
+        return seen
 
     def describe(self) -> str:
         """Numbered op listing for logs and ``repro serve`` startup."""
@@ -264,6 +287,46 @@ def _chan_or_scalar(v, m: int, extra: int):
     return arr.reshape((1, m) + (1,) * extra)
 
 
+def _make_requant_fn(rp) -> Callable[[np.ndarray], np.ndarray]:
+    """The requant op closure over constants ``rp`` (a RequantParams).
+
+    Shared between compile-time resolution and post-compile rebinding
+    (:func:`rebind_requant_op`), so a rebound op runs the exact same code
+    over the replacement constant block.
+    """
+
+    def fn(acc, _rp=rp):
+        with _TRACE.span("serve.requant", cat="serve"):
+            return requantize(acc, _rp, channel_axis=1)
+
+    return fn
+
+
+def rebind_requant_op(op: PlanOp, rp) -> None:
+    """Swap a compiled requant op onto a replacement constant block.
+
+    ``rp`` must be value-identical to ``op.params`` (the shared-memory
+    layer passes exact copies living in shm segments); only the storage
+    moves, so outputs stay bit-identical.
+    """
+    if op.kind != "requant":
+        raise ServeError(f"rebind_requant_op on non-requant op {op.name!r}")
+    cur = op.params
+    if cur is not None and not (
+        np.array_equal(cur.m0, rp.m0)
+        and np.array_equal(cur.d0, rp.d0)
+        and np.array_equal(cur.shift, rp.shift)
+        and cur.qmin == rp.qmin
+        and cur.qmax == rp.qmax
+    ):
+        raise ServeError(
+            f"rebind_requant_op: replacement constants for {op.name!r} "
+            "differ from the compiled ones"
+        )
+    op.fn = _make_requant_fn(rp)
+    op.params = rp
+
+
 class _PendingRequant:
     """An open integer region awaiting its requantization target.
 
@@ -318,16 +381,12 @@ class _PendingRequant:
         """Requantize the accumulator straight onto grid ``qp``."""
         m_real, d_real = self._affine_constants()
         rp = compute_requant(m_real, d_real, qp, self.acc_abs_max)
-
-        def fn(acc, _rp=rp):
-            with _TRACE.span("serve.requant", cat="serve"):
-                return requantize(acc, _rp, channel_axis=1)
-
         op = self.op
-        op.fn = fn
+        op.fn = _make_requant_fn(rp)
         op.name = f"{self.name}.requant"
         op.kind = "requant"
         op.dtype_out = str(rp.out_dtype())
+        op.params = rp
         if self.bn is not None:
             self.bn[3].fn = _REMOVED  # folded into (m0, d0)
         qd = str(rp.out_dtype())
@@ -725,7 +784,9 @@ def _compile_approx_conv(module, ctx, prefix):
                 .reshape(n, fa.m, oh, ow)
             )
 
-        ctx.ops.append(PlanOp(name, "lutgemm_int", int_fn, "uint8", "int64"))
+        ctx.ops.append(
+            PlanOp(name, "lutgemm_int", int_fn, "uint8", "int64", params=fa)
+        )
         ctx.open_region(name, fa, spatial=True)
         return
 
@@ -735,7 +796,7 @@ def _compile_approx_conv(module, ctx, prefix):
         cols = F.im2col(x, kh, kw, stride, pad)
         return fa.apply(cols).reshape(n, fa.m, oh, ow)
 
-    ctx.append_float(PlanOp(name, "lutgemm", fn))
+    ctx.append_float(PlanOp(name, "lutgemm", fn, params=fa))
 
 
 @register_compiler(ApproxLinear)
@@ -754,7 +815,9 @@ def _compile_approx_linear(module, ctx, prefix):
                 acc = fa.gather_int(xq, acc_dtype)
             return np.ascontiguousarray(acc.T)  # (N, M) int64
 
-        ctx.ops.append(PlanOp(name, "lutgemm_int", int_fn, "uint8", "int64"))
+        ctx.ops.append(
+            PlanOp(name, "lutgemm_int", int_fn, "uint8", "int64", params=fa)
+        )
         ctx.open_region(name, fa, spatial=False)
         return
 
@@ -763,7 +826,7 @@ def _compile_approx_linear(module, ctx, prefix):
         cols = x.reshape(n, in_features, 1)
         return fa.apply(cols).reshape(n, fa.m)
 
-    ctx.append_float(PlanOp(name, "lutgemm", fn))
+    ctx.append_float(PlanOp(name, "lutgemm", fn, params=fa))
 
 
 def _compile_residual(module, ctx, prefix, main_attrs):

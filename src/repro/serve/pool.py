@@ -77,6 +77,11 @@ class WorkerPool:
     def __exit__(self, *exc) -> None:
         self.shutdown()
 
+    @property
+    def alive_workers(self) -> int:
+        """Live worker threads (duck-type parity with ``ShardServer``)."""
+        return sum(1 for t in self._threads if t.is_alive())
+
     # ------------------------------------------------------------------
     def submit(self, x: np.ndarray) -> PendingRequest:
         """Enqueue one sample for inference; returns a future.

@@ -175,6 +175,22 @@ class MicroBatcher:
             self._inflight -= 1
             self._cond.notify_all()
 
+    def requeue(self, batch: list[PendingRequest]) -> None:
+        """Return a popped batch to the *head* of the queue (re-dispatch).
+
+        Used by the sharded router when a worker dies with the batch in
+        flight: the requests go back ahead of newer traffic (preserving
+        their relative order) and the batch's in-flight slot is released,
+        so :meth:`drain` keeps meaning "every accepted request resolved".
+        Bypasses the capacity bound -- these requests were already
+        admitted once and must not be shed on the way back in.
+        """
+        with self._cond:
+            for pending in reversed(batch):
+                self._queue.appendleft(pending)
+            self._inflight -= 1
+            self._cond.notify_all()
+
     # ------------------------------------------------------------------
     def close(self) -> None:
         """Stop accepting new requests; queued work may still be drained."""

@@ -1,0 +1,532 @@
+"""Sharded multi-process serving: router + forked plan workers.
+
+The thread :class:`~repro.serve.pool.WorkerPool` is GIL-bound: the numpy
+gather pipeline holds the interpreter for most of each batch, so adding
+threads adds little throughput.  :class:`ShardServer` is the
+process-level equivalent with the same outside surface (``submit`` /
+``infer`` / ``batcher`` / ``metrics`` / ``shutdown``, so the HTTP layer
+and CLI work unchanged):
+
+- The parent compiles the plan **once**, publishes every LUT table and
+  requant constant block into shared memory
+  (:class:`~repro.serve.shm.SharedLutStore`), and forks N
+  :func:`plan_worker` processes that inherit the compiled plan and the
+  mappings -- per-worker incremental memory is scratch buffers only.
+- A :class:`Router` feeds workers from the same bounded
+  :class:`~repro.serve.scheduler.MicroBatcher` the thread pool uses
+  (identical 503 load-shedding semantics), dispatching each coalesced
+  batch to the **least-loaded** live worker over a duplex pipe.
+- A :class:`~repro.serve.supervisor.Supervisor` watches sentinels and
+  shared-memory heartbeats; a crashed or hung worker is respawned with
+  capped backoff and its in-flight batches are **re-dispatched** (results
+  a worker reported before dying are kept -- a batch is never both
+  answered and re-run; re-execution itself is safe because plans are
+  pure).  After ``max_redispatch`` deaths the batch fails fast instead.
+
+Results are bit-identical to the single-process plan by construction:
+workers run the very op closures the parent compiled, over
+shared-memory views that :meth:`SharedLutStore.publish_plan` verified
+bit-equal to the originals.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from multiprocessing import connection
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ServeError
+from repro.obs.telemetry import MetricRegistry, get_registry
+from repro.retrain.lifecycle import Heartbeat
+from repro.serve.metrics import ServeMetrics
+from repro.serve.plan import InferencePlan
+from repro.serve.scheduler import MicroBatcher, PendingRequest
+from repro.serve.shm import SharedLutStore
+from repro.serve.supervisor import Supervisor, WorkerHandle
+
+__all__ = ["ShardServer", "plan_worker", "worker_metric_families"]
+
+#: Latency buckets (milliseconds) for the per-worker batch histogram.
+BATCH_MS_BUCKETS = (0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0)
+
+
+def worker_metric_families(registry: MetricRegistry | None = None) -> dict:
+    """The per-worker metric families, registered idempotently.
+
+    Lives in the process-wide telemetry registry by default, so the
+    families ride along on ``GET /metrics`` (JSON ``"telemetry"`` block)
+    and the Prometheus text exposition with zero extra wiring.
+    """
+    reg = registry if registry is not None else get_registry()
+    return {
+        "up": reg.gauge(
+            "repro_serve_worker_up",
+            "1 while the worker process is alive, 0 after it died.",
+            labelnames=("worker",),
+        ),
+        "inflight": reg.gauge(
+            "repro_serve_worker_inflight",
+            "Batches currently dispatched to the worker and unanswered.",
+            labelnames=("worker",),
+        ),
+        "batches": reg.counter(
+            "repro_serve_worker_batches_total",
+            "Batches completed by the worker.",
+            labelnames=("worker",),
+        ),
+        "respawns": reg.counter(
+            "repro_serve_worker_respawns_total",
+            "Times the supervisor respawned the worker slot.",
+            labelnames=("worker",),
+        ),
+        "batch_ms": reg.histogram(
+            "repro_serve_worker_batch_ms",
+            "Per-batch plan execution time in the worker, milliseconds.",
+            labelnames=("worker",),
+            buckets=BATCH_MS_BUCKETS,
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
+# Child process entry point.
+def plan_worker(conn, index: int, hb_slab, heartbeat_s: float,
+                plan: InferencePlan) -> None:
+    """Run batches from ``conn`` through ``plan`` until stopped.
+
+    Forked entry point: ``plan`` and ``hb_slab`` (the supervisor's
+    writable heartbeat array) arrive through fork inheritance, never
+    pickling.  Protocol (parent -> child / child -> parent)::
+
+        ("batch", id, xs)          ->  ("result", id, ys, exec_ms)
+                                    |  ("error", id, message)
+        ("stop",)                  ->  child exits
+        <child start>              ->  ("ready", pid)
+    """
+    def beat() -> None:
+        hb_slab[index] = time.monotonic()
+
+    beat()
+    hb = Heartbeat(heartbeat_s, beat, name=f"shard-worker-{index}-hb").start()
+    try:
+        conn.send(("ready", os.getpid()))
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break  # parent went away
+            if msg[0] == "stop":
+                break
+            _, batch_id, xs = msg
+            t0 = time.perf_counter()
+            try:
+                ys = plan.run(xs)
+                exec_ms = (time.perf_counter() - t0) * 1000.0
+                conn.send(("result", batch_id, ys, exec_ms))
+            except Exception as exc:  # report, keep serving
+                conn.send(("error", batch_id, f"{type(exc).__name__}: {exc}"))
+    finally:
+        hb.stop(timeout=1.0)
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+class _DispatchedBatch:
+    """One coalesced batch while it is out at a worker."""
+
+    __slots__ = ("id", "requests", "payload", "deaths")
+
+    def __init__(self, batch_id: int, requests: list[PendingRequest]):
+        self.id = batch_id
+        self.requests = requests
+        self.payload = np.stack([p.payload for p in requests])
+        self.deaths = 0  # workers that died holding this batch
+
+
+class ShardServer:
+    """Multi-process serving shard: router + N forked plan workers.
+
+    Duck-type compatible with :class:`~repro.serve.pool.WorkerPool`
+    (``submit`` / ``infer`` / ``batcher`` / ``metrics`` / ``shutdown`` /
+    ``alive_workers``), so :func:`repro.serve.http.make_server` serves a
+    shard without changes.
+
+    Args:
+        plan_factory: Builds the :class:`InferencePlan` (compiled once,
+            in the parent, before forking).
+        workers: Worker process count.
+        max_batch / max_wait_ms / queue_size: Micro-batcher knobs, same
+            semantics (including 503 shedding) as the thread pool.
+        max_inflight: Batches a single worker may hold unanswered; keeps
+            dispatch least-loaded-meaningful and bounds re-dispatch loss.
+        redispatch: Re-dispatch a dead worker's in-flight batches
+            (default) instead of failing them fast.
+        max_redispatch: Worker deaths one batch survives before its
+            requests fail with :class:`ServeError` (guards against a
+            poison batch that kills every worker it touches).
+        heartbeat_s / stale_after_s / backoff_base / backoff_cap /
+            max_respawns: Supervision policy, see
+            :class:`~repro.serve.supervisor.Supervisor`.
+        share_lut_segments: Publish LUT/requant constants into shared
+            memory before forking (disable only in tests).
+    """
+
+    def __init__(
+        self,
+        plan_factory: Callable[[], InferencePlan],
+        workers: int = 2,
+        max_batch: int = 8,
+        max_wait_ms: float = 2.0,
+        queue_size: int = 64,
+        metrics: ServeMetrics | None = None,
+        max_inflight: int = 2,
+        redispatch: bool = True,
+        max_redispatch: int = 2,
+        heartbeat_s: float = 0.25,
+        stale_after_s: float | None = None,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        max_respawns: int = 5,
+        on_event: Callable[[dict], None] | None = None,
+        share_lut_segments: bool = True,
+    ):
+        if workers < 1:
+            raise ServeError(f"workers must be >= 1, got {workers}")
+        if max_inflight < 1:
+            raise ServeError(f"max_inflight must be >= 1, got {max_inflight}")
+        self.metrics = metrics or ServeMetrics()
+        self.batcher = MicroBatcher(
+            max_batch=max_batch,
+            max_wait_ms=max_wait_ms,
+            capacity=queue_size,
+            metrics=self.metrics,
+        )
+        self.redispatch = redispatch
+        self.max_redispatch = max_redispatch
+        self.max_inflight = max_inflight
+        self._wm = worker_metric_families()
+        self._plan = plan_factory()  # compiled once; workers inherit it
+        summary = getattr(self._plan, "op_summary", None)
+        if summary is not None:
+            self.metrics.set_plan_info(summary())
+        self.store = SharedLutStore(prefix=f"repro-lut-{os.getpid()}")
+        self.shm_info: dict = {}
+        if share_lut_segments:
+            self.shm_info = self.store.publish_plan(self._plan)
+        self.supervisor = Supervisor(
+            self._worker_entry,
+            workers,
+            heartbeat_s=heartbeat_s,
+            stale_after_s=stale_after_s,
+            backoff_base=backoff_base,
+            backoff_cap=backoff_cap,
+            max_respawns=max_respawns,
+            on_event=self._on_supervisor_event,
+        )
+        self._on_event = on_event
+        self._lock = threading.Lock()
+        self._slots = threading.Condition(self._lock)
+        # worker index -> {batch_id: _DispatchedBatch}
+        self._outstanding: dict[int, dict[int, _DispatchedBatch]] = {}
+        self._next_id = 0
+        self._started = False
+        self._stopping = False
+        self._dispatcher: threading.Thread | None = None
+        self._collector: threading.Thread | None = None
+        self.metrics.register_gauge("queue_depth", lambda: self.batcher.depth)
+        self.metrics.register_gauge("workers", lambda: self.alive_workers)
+
+    # ------------------------------------------------------------------
+    def _worker_entry(self, conn, index, hb_slab, heartbeat_s) -> None:
+        plan_worker(conn, index, hb_slab, heartbeat_s, self._plan)
+
+    def _on_supervisor_event(self, event: dict) -> None:
+        if event["event"] == "worker_spawned":
+            self._wm["up"].set(1, worker=event["worker"])
+            if event.get("attempt", 0) > 0:
+                self._wm["respawns"].inc(worker=event["worker"])
+                self.metrics.inc("worker_respawns_total")
+        elif event["event"] in ("worker_down", "worker_respawn_scheduled"):
+            self._wm["up"].set(0, worker=event["worker"])
+            if event["event"] == "worker_down":
+                self.metrics.inc("workers_lost_total")
+        if self._on_event is not None:
+            self._on_event(event)
+
+    @property
+    def alive_workers(self) -> int:
+        return len(self.supervisor.live_handles())
+
+    @property
+    def num_workers(self) -> int:
+        return self.supervisor.num_workers
+
+    # ------------------------------------------------------------------
+    def start(self) -> "ShardServer":
+        """Fork the workers and start the router threads (idempotent)."""
+        if self._started:
+            return self
+        self._started = True
+        self.supervisor.start()
+        self._collector = threading.Thread(
+            target=self._collect_loop, name="repro-shard-collector", daemon=True
+        )
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-shard-dispatcher",
+            daemon=True,
+        )
+        self._collector.start()
+        self._dispatcher.start()
+        return self
+
+    def __enter__(self) -> "ShardServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    def submit(self, x: np.ndarray) -> PendingRequest:
+        """Enqueue one sample; 503-style backpressure via the batcher."""
+        if not self._started or self._stopping:
+            raise ServeError("shard server is not running")
+        if self.supervisor.all_down():
+            raise ServeError("all shard workers are permanently down")
+        return self.batcher.submit(x)
+
+    def infer(self, x: np.ndarray, timeout: float | None = 30.0) -> np.ndarray:
+        """Blocking convenience wrapper: submit one sample, wait, return."""
+        return self.submit(x).result(timeout)
+
+    # ------------------------------------------------------------------
+    # Dispatcher: batcher -> least-loaded worker.
+    def _pick_worker(self) -> WorkerHandle | None:
+        """Least-loaded live worker with a free in-flight slot."""
+        best, best_load = None, None
+        for handle in self.supervisor.live_handles():
+            load = len(self._outstanding.get(handle.index, ()))
+            if load >= self.max_inflight:
+                continue
+            if best_load is None or load < best_load:
+                best, best_load = handle, load
+        return best
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            batch = self.batcher.next_batch(timeout=0.05)
+            if batch is None:
+                if self._stopping:
+                    return
+                continue
+            rec = _DispatchedBatch(self._next_id, batch)
+            self._next_id += 1
+            self._dispatch(rec)
+
+    def _dispatch(self, rec: _DispatchedBatch) -> None:
+        while True:
+            with self._slots:
+                handle = self._pick_worker()
+                if handle is None:
+                    if self._stopping or self.supervisor.all_down():
+                        self._fail_unassigned(rec)
+                        return
+                    # Every worker saturated (or mid-respawn): wait for
+                    # the collector to free an in-flight slot.
+                    self._slots.wait(timeout=0.1)
+                    continue
+                self._outstanding.setdefault(handle.index, {})[rec.id] = rec
+                self._wm["inflight"].set(
+                    len(self._outstanding[handle.index]), worker=handle.index
+                )
+            try:
+                handle.conn.send(("batch", rec.id, rec.payload))
+            except (OSError, ValueError):
+                # Worker died between pick and send.  If the death
+                # handler already swept this batch out of outstanding it
+                # owns the re-dispatch; otherwise take it back and retry
+                # with another worker ourselves.
+                if self._pop_outstanding(handle.index, rec.id) is not None:
+                    continue
+            return
+
+    def _fail_unassigned(self, rec: _DispatchedBatch) -> None:
+        """A batch that never reached a worker (stop/all-down): fail it."""
+        exc = ServeError(
+            "no shard workers available"
+            if self.supervisor.all_down()
+            else "server shutting down"
+        )
+        for pending in rec.requests:
+            pending.set_error(exc)
+        self.metrics.inc("errors_total")
+        self.batcher.task_done()
+
+    # ------------------------------------------------------------------
+    # Collector: worker results + crash/hang detection + respawn.
+    def _collect_loop(self) -> None:
+        while True:
+            handles = self.supervisor.live_handles()
+            by_conn = {h.conn: h for h in handles}
+            by_sentinel = {h.sentinel: h for h in handles}
+            waitables = list(by_conn) + list(by_sentinel)
+            timeout = 0.1
+            due = self.supervisor.next_respawn_due()
+            if due is not None:
+                timeout = min(timeout, max(due, 0.01))
+            ready = connection.wait(waitables, timeout) if waitables else []
+            if not waitables:
+                time.sleep(0.02)
+            for obj in ready:
+                handle = by_conn.get(obj)
+                if handle is not None:
+                    if not self._drain_conn(handle, limit=64):
+                        self._handle_death(handle)
+            # Sentinel-only deaths (conn had no final message).
+            for obj in ready:
+                handle = by_sentinel.get(obj)
+                if handle is not None and not handle.is_alive():
+                    self._drain_conn(handle, limit=None)
+                    self._handle_death(handle)
+            for handle in self.supervisor.stale_handles():
+                self.metrics.inc("worker_hangs_total")
+                self.supervisor.kill(handle)  # death flows via sentinel
+            self.supervisor.poll_respawns()
+            if self._stopping and not self._any_outstanding():
+                return
+
+    def _any_outstanding(self) -> bool:
+        with self._lock:
+            return any(self._outstanding.values())
+
+    def _drain_conn(self, handle: WorkerHandle, limit: int | None) -> bool:
+        """Pump complete messages off a worker's pipe.
+
+        Returns ``False`` when the pipe hit EOF (worker died); complete
+        messages buffered before death are still consumed first, so
+        results computed by a dying worker are never re-run.
+        """
+        drained = 0
+        while limit is None or drained < limit:
+            try:
+                if not handle.conn.poll(0):
+                    return True
+                msg = handle.conn.recv()
+            except (EOFError, OSError):
+                return False
+            drained += 1
+            self._handle_message(handle, msg)
+        return True
+
+    def _handle_message(self, handle: WorkerHandle, msg: tuple) -> None:
+        kind = msg[0]
+        if kind == "ready":
+            return
+        rec = self._pop_outstanding(handle.index, msg[1])
+        if rec is None:
+            return  # batch was re-dispatched elsewhere after a false death
+        if kind == "result":
+            _, _, ys, exec_ms = msg
+            done = time.perf_counter()
+            for pending, y in zip(rec.requests, ys):
+                pending.set_result(np.ascontiguousarray(y))
+                self.metrics.observe_latency(
+                    "request_ms", (done - pending.enqueued_at) * 1000.0
+                )
+            self.metrics.observe_latency("batch_exec_ms", exec_ms)
+            self.metrics.inc("predictions_total", len(rec.requests))
+            self._wm["batches"].inc(worker=handle.index)
+            self._wm["batch_ms"].observe(exec_ms, worker=handle.index)
+        else:  # ("error", id, message)
+            exc = ServeError(f"worker {handle.index} failed: {msg[2]}")
+            for pending in rec.requests:
+                pending.set_error(exc)
+            self.metrics.inc("errors_total")
+        self.batcher.task_done()
+
+    def _pop_outstanding(self, index: int, batch_id: int):
+        with self._slots:
+            rec = self._outstanding.get(index, {}).pop(batch_id, None)
+            if rec is not None:
+                self._wm["inflight"].set(
+                    len(self._outstanding.get(index, ())), worker=index
+                )
+                self._slots.notify_all()
+            return rec
+
+    def _handle_death(self, handle: WorkerHandle) -> None:
+        """Crashed worker: salvage outstanding batches, ask for respawn."""
+        self.supervisor.notice_death(handle)
+        with self._slots:
+            orphans = list(
+                self._outstanding.pop(handle.index, {}).values()
+            )
+            self._wm["inflight"].set(0, worker=handle.index)
+            self._slots.notify_all()
+        if not orphans:
+            return
+        for rec in orphans:
+            rec.deaths += 1
+            if (
+                self.redispatch
+                and rec.deaths <= self.max_redispatch
+                and not self._stopping
+                and not self.supervisor.all_down()
+            ):
+                # Back to the head of the global queue: the dispatcher
+                # re-coalesces and re-sends to a live worker.  Safe to
+                # re-run -- plans are pure functions of the input.
+                self.batcher.requeue(rec.requests)
+                self.metrics.inc("redispatched_batches_total")
+            else:
+                exc = ServeError(
+                    f"worker died with batch in flight "
+                    f"(after {rec.deaths} attempt(s))"
+                )
+                for pending in rec.requests:
+                    pending.set_error(exc)
+                self.metrics.inc("errors_total")
+                self.batcher.task_done()
+
+    # ------------------------------------------------------------------
+    def shutdown(self, drain: bool = True, timeout: float = 30.0) -> None:
+        """Stop the shard.
+
+        With ``drain=True`` the queue closes, every accepted request
+        resolves (including re-dispatches), then workers and router
+        threads stop and all shared-memory segments are unlinked.
+        """
+        if not self._started or self._stopping:
+            if not self._stopping:
+                self._stopping = True
+                self.supervisor.stop()
+                self.store.close()
+            return
+        self.batcher.close()
+        if drain:
+            self.batcher.drain(timeout)
+        else:
+            self.batcher.cancel_pending()
+        self._stopping = True
+        with self._slots:
+            self._slots.notify_all()
+        if self._dispatcher is not None:
+            self._dispatcher.join(timeout)
+        if self._collector is not None:
+            self._collector.join(timeout)
+        # Fail anything still outstanding (collector exited on timeout).
+        with self._slots:
+            leftovers = [
+                rec for m in self._outstanding.values() for rec in m.values()
+            ]
+            self._outstanding.clear()
+        for rec in leftovers:
+            for pending in rec.requests:
+                pending.set_error(ServeError("server shutting down"))
+            self.batcher.task_done()
+        self.supervisor.stop()
+        self.store.close()

@@ -1,0 +1,367 @@
+"""Shared-memory publication of read-only serving constants.
+
+The sharded serving subsystem (:mod:`repro.serve.shard`) runs one compiled
+plan per worker *process*.  The big immutable inputs of that plan -- the
+forward product LUTs of every engine (up to ``(2^B)^2`` entries each) and
+the per-layer fixed-point requant constant blocks -- must exist exactly
+once per host, not once per worker.  :class:`SharedLutStore` puts each of
+them into a named ``multiprocessing.shared_memory`` segment and hands out
+zero-copy, read-only numpy views, extending the PR-1 process-level engine
+cache across process boundaries:
+
+- :meth:`SharedLutStore.publish` copies an array into a fresh segment
+  **once per key**; re-publishing the same key returns the existing
+  segment (and verifies the payload matches -- two different tables must
+  never silently alias one name).
+- :meth:`SharedLutStore.attach` maps a published segment by spec and
+  returns a read-only view; attaches are refcounted per key so N layers
+  sharing one LUT map it once per process.
+- :meth:`SharedLutStore.publish_plan` walks a compiled
+  :class:`~repro.serve.plan.InferencePlan`, publishes every forward LUT
+  table (via :meth:`repro.core.lutgemm.LutGemm.shared_tables`) and every
+  requant constant block, and rebinds the plan in place onto the shared
+  views -- after which forked workers inherit mappings of the single
+  host-wide copy.
+
+Cleanup is ownership-based: only the creating process may
+:meth:`~SharedLutStore.close` (unlink) a segment, so a store inherited
+over ``fork`` can never destroy the host-wide copy; a SIGKILLed worker
+leaks nothing because its mappings die with it and the name lives with
+the owner.  If the *owner* dies without cleanup, the stdlib resource
+tracker removes the segments at interpreter teardown -- attaches
+deliberately unregister themselves from the tracker so each segment has
+exactly one registered guardian (the double-registration otherwise
+produces spurious "leaked shared_memory" unlink attempts at worker exit).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.errors import ServeError
+
+__all__ = [
+    "SharedArraySpec",
+    "SharedLutStore",
+    "segment_exists",
+]
+
+
+@dataclass(frozen=True)
+class SharedArraySpec:
+    """Everything needed to re-map one published array in any process."""
+
+    key: str
+    segment: str
+    shape: tuple[int, ...]
+    dtype: str
+
+    def nbytes(self) -> int:
+        count = 1
+        for dim in self.shape:
+            count *= dim
+        return count * np.dtype(self.dtype).itemsize
+
+
+class _Segment:
+    """One mapped segment plus its in-process refcount."""
+
+    __slots__ = ("spec", "shm", "view", "owned", "refs")
+
+    def __init__(self, spec, shm, view, owned):
+        self.spec = spec
+        self.shm = shm
+        self.view = view
+        self.owned = owned
+        self.refs = 1
+
+
+def _view(shm: shared_memory.SharedMemory, spec: SharedArraySpec) -> np.ndarray:
+    arr = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf)
+    arr.flags.writeable = False  # published tables are immutable
+    return arr
+
+
+#: Where Linux exposes POSIX shared-memory objects as files.
+_SHM_DIR = "/dev/shm"
+
+
+def segment_exists(name: str) -> bool:
+    """Whether a shared-memory segment ``name`` currently exists on the host.
+
+    Probes ``/dev/shm`` directly where available (a ``SharedMemory``
+    attach would touch the resource tracker's bookkeeping; a liveness
+    check must have zero side effects on the real segment).
+    """
+    if os.path.isdir(_SHM_DIR):
+        return os.path.exists(os.path.join(_SHM_DIR, name.lstrip("/")))
+    try:
+        probe = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    probe.close()
+    return True
+
+
+class SharedLutStore:
+    """Refcounted registry of shared-memory array segments for one host.
+
+    One store is created by the serving parent (the segment *owner*); the
+    same object, inherited over ``fork``, acts as the attach-side handle
+    in every worker.  All methods are thread-safe.
+    """
+
+    def __init__(self, prefix: str = "repro-lut"):
+        self.prefix = prefix
+        self._lock = threading.Lock()
+        self._segments: dict[str, _Segment] = {}
+        self._owner_pid = os.getpid()
+        self._seq = 0
+        self._closed = False
+        # Undo log for publish_plan's in-place rebinds: the process-level
+        # engine cache outlives this store, so everything pointed at a
+        # shared view must be pointed back at private memory before the
+        # views are unmapped (else the next compile_plan reads a dangling
+        # mmap and segfaults).
+        self._restore: list = []
+
+    # ------------------------------------------------------------------
+    @property
+    def is_owner(self) -> bool:
+        """Whether this process created the store (may unlink segments)."""
+        return os.getpid() == self._owner_pid
+
+    def owned_segments(self) -> list[str]:
+        """Names of segments this store created (still linked)."""
+        with self._lock:
+            return sorted(
+                seg.spec.segment
+                for seg in self._segments.values()
+                if seg.owned
+            )
+
+    def attached_segments(self) -> list[str]:
+        """Names of segments currently mapped by this store."""
+        with self._lock:
+            return sorted(seg.spec.segment for seg in self._segments.values())
+
+    def spec(self, key: str) -> SharedArraySpec | None:
+        with self._lock:
+            seg = self._segments.get(key)
+            return None if seg is None else seg.spec
+
+    # ------------------------------------------------------------------
+    def publish(self, key: str, arr: np.ndarray) -> np.ndarray:
+        """Copy ``arr`` into a shared segment for ``key`` (once per key).
+
+        Returns the read-only shared view.  A second publish of the same
+        key returns the existing view after verifying the payload is
+        bit-identical -- distinct tables must never alias one key.
+        """
+        arr = np.ascontiguousarray(arr)
+        with self._lock:
+            if self._closed:
+                raise ServeError("SharedLutStore is closed")
+            seg = self._segments.get(key)
+            if seg is not None:
+                if (
+                    seg.view.shape != arr.shape
+                    or seg.view.dtype != arr.dtype
+                    or not np.array_equal(seg.view, arr)
+                ):
+                    raise ServeError(
+                        f"shared segment key {key!r} already published "
+                        "with different contents"
+                    )
+                seg.refs += 1
+                return seg.view
+            if not self.is_owner:
+                raise ServeError(
+                    "only the owning process may publish new segments "
+                    f"(owner pid {self._owner_pid}, this pid {os.getpid()})"
+                )
+            self._seq += 1
+            name = f"{self.prefix}-{self._owner_pid}-{self._seq}"
+            shm = shared_memory.SharedMemory(
+                create=True, size=max(int(arr.nbytes), 1), name=name
+            )
+            spec = SharedArraySpec(
+                key=key,
+                segment=shm.name,
+                shape=tuple(arr.shape),
+                dtype=str(arr.dtype),
+            )
+            dst = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+            dst[...] = arr
+            view = _view(shm, spec)
+            self._segments[key] = _Segment(spec, shm, view, owned=True)
+            return view
+
+    def attach(self, spec: SharedArraySpec) -> np.ndarray:
+        """Map the segment described by ``spec``; returns a read-only view.
+
+        Refcounted per key: repeated attaches in one process share one
+        mapping.  Raises :class:`ServeError` when the segment is gone
+        (owner already unlinked it).
+        """
+        with self._lock:
+            if self._closed:
+                raise ServeError("SharedLutStore is closed")
+            seg = self._segments.get(spec.key)
+            if seg is not None:
+                seg.refs += 1
+                return seg.view
+            try:
+                shm = shared_memory.SharedMemory(name=spec.segment)
+            except FileNotFoundError as exc:
+                raise ServeError(
+                    f"shared segment {spec.segment!r} does not exist "
+                    "(owner closed the store?)"
+                ) from exc
+            # The attach registered this process as a second guardian of
+            # the segment; drop it so only the creator's registration
+            # remains (see module docstring).
+            resource_tracker.unregister(shm._name, "shared_memory")
+            if shm.size < spec.nbytes():
+                shm.close()
+                raise ServeError(
+                    f"shared segment {spec.segment!r} is smaller than "
+                    f"spec {spec.shape}/{spec.dtype}"
+                )
+            view = _view(shm, spec)
+            self._segments[spec.key] = _Segment(spec, shm, view, owned=False)
+            return view
+
+    def detach(self, key: str) -> None:
+        """Drop one reference to ``key``; unmap at refcount zero.
+
+        In the owning process the segment is also unlinked at zero, so a
+        fully-released table frees its ``/dev/shm`` backing immediately.
+        """
+        with self._lock:
+            seg = self._segments.get(key)
+            if seg is None:
+                return
+            seg.refs -= 1
+            if seg.refs > 0:
+                return
+            del self._segments[key]
+            self._release(seg)
+
+    def close(self) -> None:
+        """Unmap every segment; the owner also unlinks what it created.
+
+        Idempotent.  Safe to call from forked children: they only unmap
+        (ownership is pid-checked), so the host-wide copy survives until
+        the owner closes.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            restore = list(self._restore)
+            self._restore.clear()
+            segments = list(self._segments.values())
+            self._segments.clear()
+        # Point rebound engines/ops back at private memory while the
+        # shared views are still mapped (copies are bit-identical, so the
+        # adopt/rebind equality checks hold).
+        for fn in restore:
+            fn()
+        for seg in segments:
+            self._release(seg)
+
+    def _release(self, seg: _Segment) -> None:
+        seg.view = None  # drop the buffer export before closing the mmap
+        seg.shm.close()
+        if seg.owned and self.is_owner:
+            # Rebalance the tracker first: an attacher sharing this
+            # process's resource tracker (forked child, same-process
+            # test) unregistered the name on attach, and ``unlink``'s own
+            # unregister would otherwise make the tracker complain about
+            # an unknown resource.  ``register`` is an idempotent set-add.
+            resource_tracker.register(seg.shm._name, "shared_memory")
+            try:
+                seg.shm.unlink()
+            except FileNotFoundError:
+                pass  # already removed (e.g. external cleanup)
+
+    def __enter__(self) -> "SharedLutStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Plan-level publication.
+    def publish_plan(self, plan) -> dict:
+        """Publish ``plan``'s LUT tables and requant blocks; rebind in place.
+
+        Walks the compiled op list:
+
+        - every distinct LUT-GEMM engine gets its forward tables published
+          under content-independent keys (``lut/<multiplier>/<bits>``) and
+          adopted back via
+          :meth:`repro.core.lutgemm.LutGemm.adopt_shared_tables`, so the
+          engine -- including the process-level cache entry other plans
+          share -- now reads from the host-wide copy;
+        - every ``requant`` op's ``(M0, D0, shift)`` constant block is
+          published and the op is rebuilt over the shared views
+          (bit-identical: the arrays are exact copies).
+
+        Returns a summary dict (keys, segment names, total bytes) for
+        logs and metrics.
+        """
+        from repro.nn.requant import RequantParams
+        from repro.serve.plan import InferencePlan, rebind_requant_op
+
+        if not isinstance(plan, InferencePlan):
+            raise ServeError(f"publish_plan expects an InferencePlan, "
+                             f"got {type(plan).__name__}")
+        published: list[str] = []
+        total = 0
+        for engine in plan.engines():
+            for name, table in engine.shared_tables().items():
+                key = f"lut/{engine.multiplier.name}/{engine.bits}/{name}"
+                view = self.publish(key, table)
+                engine.adopt_shared_tables(**{name: view})
+                # The engine may be the process-level cache entry, reused
+                # by future compiles after this store is gone: re-adopt a
+                # private copy of the (still mapped) view at close time.
+                def _restore_engine(engine=engine, name=name, view=view):
+                    engine.adopt_shared_tables(
+                        **{name: np.array(view, copy=True)}
+                    )
+                self._restore.append(_restore_engine)
+                published.append(key)
+                total += view.nbytes
+        for i, op in enumerate(plan.ops):
+            rp = op.params
+            if op.kind != "requant" or not isinstance(rp, RequantParams):
+                continue
+            shared = RequantParams(
+                m0=self.publish(f"requant/{i}/{op.name}/m0", rp.m0),
+                d0=self.publish(f"requant/{i}/{op.name}/d0", rp.d0),
+                shift=self.publish(f"requant/{i}/{op.name}/shift", rp.shift),
+                qmin=rp.qmin,
+                qmax=rp.qmax,
+                acc_abs_max=rp.acc_abs_max,
+            )
+            rebind_requant_op(op, shared)
+            # The original (private) constant blocks are tiny: keep them
+            # and swap them back at close so the plan object stays usable.
+            def _restore_op(op=op, rp=rp):
+                rebind_requant_op(op, rp)
+            self._restore.append(_restore_op)
+            published.append(f"requant/{i}/{op.name}")
+            total += rp.m0.nbytes + rp.d0.nbytes + rp.shift.nbytes
+        return {
+            "keys": published,
+            "segments": self.owned_segments(),
+            "bytes": total,
+        }

@@ -502,3 +502,69 @@ def test_read_jsonl_parses_pre_telemetry_journals(tmp_path):
     assert rec.run_id == "legacy"
     assert rec.health == {}
     assert rec.history.train_loss == [2.0, 1.5]
+
+
+# ---------------------------------------------------------------------------
+# Registry snapshot consistency under concurrent writers
+# ---------------------------------------------------------------------------
+
+def test_registry_snapshot_consistent_under_concurrent_writers():
+    """GET /metrics must never render a half-updated family.
+
+    Histogram cells are mutable lists mutated in place by ``observe``;
+    every exported view must therefore come from one atomic registry
+    snapshot.  Hammer one histogram + one counter from several writer
+    threads while rendering both surfaces, and check the invariants that
+    only hold for an un-torn snapshot: with every observation equal to
+    0.5 (inside the bucket bounds), ``sum == 0.5 * count`` and the
+    bucket counts add up to ``count`` exactly.
+    """
+    registry = MetricRegistry()
+    hist = registry.histogram(
+        "hammer_hist", "hammer", buckets=(0.25, 0.5, 1.0)
+    )
+    ctr = registry.counter("hammer_ctr", "hammer", labelnames=("who",))
+    per_thread, threads = 2000, 4
+    stop = threading.Event()
+
+    def write(who):
+        for _ in range(per_thread):
+            hist.observe(0.5)
+            ctr.inc(who=who)
+
+    writers = [
+        threading.Thread(target=write, args=(str(i),)) for i in range(threads)
+    ]
+    torn = []
+
+    def render():
+        while not stop.is_set():
+            snap = registry.as_dict()
+            sample = snap["hammer_hist"]["samples"]
+            if sample:
+                buckets, total, count = (
+                    sample[0]["buckets"], sample[0]["sum"], sample[0]["count"]
+                )
+                if sum(buckets.values()) != count or total != 0.5 * count:
+                    torn.append((buckets, total, count))
+            for line in registry.prometheus_lines():
+                if line.startswith('hammer_hist_bucket{le="+Inf"}'):
+                    inf = int(line.rsplit(" ", 1)[1])
+                elif line.startswith("hammer_hist_count"):
+                    if int(line.rsplit(" ", 1)[1]) != inf:
+                        torn.append(("prometheus", line))
+
+    reader = threading.Thread(target=render)
+    reader.start()
+    for t in writers:
+        t.start()
+    for t in writers:
+        t.join()
+    stop.set()
+    reader.join()
+
+    assert torn == []
+    assert hist.value() == per_thread * threads
+    assert sum(ctr.value(who=str(i)) for i in range(threads)) == (
+        per_thread * threads
+    )
