@@ -419,7 +419,10 @@ class Tensor:
                 continue
             if node.grad is None:
                 node.grad = np.zeros_like(node.data, dtype=np.float64)
-            node.grad = node.grad + g
+            # In-place accumulate: node.grad is float64 and owned by the
+            # tape (allocated above or by a prior sweep), so no caller's
+            # array is mutated; avoids one full-size temporary per node.
+            np.add(node.grad, g, out=node.grad)
             if node._backward is None:
                 continue
             if _TRACE.enabled:

@@ -29,10 +29,28 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _apply_no_cckernel(args: argparse.Namespace) -> None:
+    """Honor ``--no-cckernel``: pin the numpy execution backend.
+
+    Sets ``REPRO_NO_CCKERNEL`` for this process (and any forked sweep /
+    serve workers) and resets the kernel cache so the flag wins even if
+    an import already compiled the kernel.
+    """
+    if getattr(args, "no_cckernel", False):
+        import os
+
+        from repro.core import execcore
+
+        os.environ["REPRO_NO_CCKERNEL"] = "1"
+        execcore.reset_backend_state()
+
+
 def _cmd_retrain(args: argparse.Namespace) -> int:
     from repro.core.lutgemm import format_engine_stats
     from repro.retrain.experiment import ExperimentScale, retrain_comparison
     from repro.retrain.results import format_table2
+
+    _apply_no_cckernel(args)
 
     run_dir = getattr(args, "run_dir", None)
     if args.telemetry or run_dir:
@@ -214,6 +232,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve.http import install_shutdown_handlers
     from repro.serve.shard import ShardServer
 
+    _apply_no_cckernel(args)
     scale = ExperimentScale(
         image_size=args.image_size,
         n_classes=args.n_classes,
@@ -367,6 +386,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="directory for per-run artifacts; implies --telemetry "
                         "and streams health.jsonl there (read it back with "
                         "`repro health <dir>`)")
+    p.add_argument("--no-cckernel", action="store_true",
+                   help="force the numpy execution backend (skip the JIT C "
+                        "kernels; results are bit-identical, only slower)")
     p.set_defaults(func=_cmd_retrain)
 
     p = sub.add_parser(
@@ -443,6 +465,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-batch", type=int, default=8)
     p.add_argument("--max-wait-ms", type=float, default=2.0)
     p.add_argument("--queue-size", type=int, default=64)
+    p.add_argument("--no-cckernel", action="store_true",
+                   help="force the numpy execution backend (skip the JIT C "
+                        "kernels; results are bit-identical, only slower)")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(

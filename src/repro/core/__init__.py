@@ -9,6 +9,11 @@
 - :mod:`repro.core.lutgemm` -- the shared LUT-GEMM engine (cached per
   multiplier/gradient-method, fused gather backward, optional
   ``REPRO_LUTGEMM_WORKERS`` column parallelism).
+- :mod:`repro.core.execcore` -- the unified execution core both the
+  training tape and the compiled serving plan lower onto (C-kernel or
+  numpy backend, bit-identical either way).
+- :mod:`repro.core.lutkernel` -- JIT-compiled fused C forward/backward
+  kernels (optional; numpy fallback everywhere).
 """
 
 from repro.core.smoothing import (
@@ -25,6 +30,7 @@ from repro.core.gradient import (
     gradient_luts,
     GRADIENT_METHODS,
 )
+from repro.core import execcore
 from repro.core.hws import select_hws, HwsSelectionResult
 from repro.core.lutgemm import (
     DEFAULT_CHUNK,
@@ -37,6 +43,7 @@ from repro.core.lutgemm import (
 )
 
 __all__ = [
+    "execcore",
     "DEFAULT_CHUNK",
     "LutGemm",
     "EngineCacheStats",

@@ -28,12 +28,17 @@ things make the engine fast enough for retraining sweeps:
    accumulated in global chunk order, so results stay bit-identical to the
    serial path.  Any pool failure permanently falls back to serial.
 
-4. **Fused C gather for forward-only engines.**  Serving engines (built
-   with ``gradients=None``) route large forwards through the JIT-compiled
-   single-pass kernel in :mod:`repro.core.lutkernel` when a C compiler is
-   available, eliminating the three-pass index/gather/reduce pipeline.
-   The kernel is integer-exact, so results stay bit-identical; without a
-   compiler the numpy path below runs unchanged.
+4. **One shared execution core, two interchangeable backends.**  The
+   actual gather-accumulate loops live in :mod:`repro.core.execcore`,
+   which every consumer -- this tape engine, the frozen serving engines,
+   and the compiled plan ops built on them -- lowers onto.  Large GEMMs
+   route through the JIT-compiled fused C kernels in
+   :mod:`repro.core.lutkernel` (forward *and* difference-LUT backward,
+   optional ``REPRO_LUTKERNEL_THREADS`` threading); everything else, and
+   every machine without a C compiler or with ``REPRO_NO_CCKERNEL=1``,
+   takes the chunked numpy loops.  Both backends are bit-identical (the
+   C backward is self-checked against numpy before first use), so the
+   split is purely a speed decision.
 """
 
 from __future__ import annotations
@@ -44,6 +49,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core import execcore
 from repro.core.gradient import GradientPair
 from repro.errors import ReproError
 from repro.multipliers.base import Multiplier
@@ -60,9 +66,9 @@ DEFAULT_CHUNK = 1024
 #: Environment variable selecting the number of worker processes.
 WORKERS_ENV = "REPRO_LUTGEMM_WORKERS"
 
-#: Minimum ``M * K * C`` before the fused C kernel beats the numpy path
-#: (below this the ctypes call overhead dominates; measured crossover).
-FUSED_MIN_ELEMS = 24_576
+#: Re-exported from :mod:`repro.core.execcore` (the threshold lives with
+#: the backend-selection logic now).
+FUSED_MIN_ELEMS = execcore.FUSED_MIN_ELEMS
 
 
 class _Scratch:
@@ -123,15 +129,19 @@ class LutGemm:
         self.forward_only = gradients is None
         self.chunk = chunk
         self.exact_fast_path = multiplier.is_exact
+        # int32 LUT for the fused C kernels (8-bit operand products always
+        # fit; most multipliers already store int32).  Built for *every*
+        # engine -- since the shared execution core, training engines use
+        # the C forward too -- unless the LUT range genuinely overflows.
+        if -(2**31) <= self._lut_min and self._lut_max < 2**31:
+            self._lut_i32 = np.ascontiguousarray(self.lut_flat, dtype=np.int32)
+        else:
+            self._lut_i32 = None
         if self.forward_only:
             self.grad_w_flat = None
             self.grad_x_flat = None
             self.ste_fast_path = False
-            # int32 LUT for the fused C kernel (8-bit operand products
-            # always fit; most multipliers already store int32).
-            self._lut_i32 = np.ascontiguousarray(self.lut_flat, dtype=np.int32)
         else:
-            self._lut_i32 = None
             self.grad_w_flat = np.ascontiguousarray(
                 gradients.grad_w.astype(np.float32).ravel()
             )
@@ -159,6 +169,8 @@ class LutGemm:
         self.backward_calls = 0
         self.idx_reuses = 0
         self.parallel_calls = 0
+        self.ckernel_forward_calls = 0
+        self.ckernel_backward_calls = 0
 
     # ------------------------------------------------------------------
     def matches(
@@ -208,7 +220,12 @@ class LutGemm:
         worker processes read one host-wide copy.
         """
         tables = {"lut_flat": self.lut_flat}
-        if self._lut_i32 is not None:
+        # Only serving (forward-only) engines publish the int32 LUT:
+        # training engines now carry one too (for the C forward), but the
+        # sharded serving layer never forks workers around them and the
+        # segment census in its tests counts one segment per *published*
+        # table.
+        if self.forward_only and self._lut_i32 is not None:
             tables["lut_i32"] = self._lut_i32
         return tables
 
@@ -240,7 +257,7 @@ class LutGemm:
             if cur is None:
                 raise ReproError(
                     "adopt_shared_tables: engine has no int32 LUT "
-                    "(not forward-only)"
+                    "(LUT values exceed the int32 range)"
                 )
             if (
                 lut_i32.shape != cur.shape
@@ -267,7 +284,11 @@ class LutGemm:
         return bound < 2**31
 
     def product_sums(
-        self, wq: np.ndarray, xq: np.ndarray, acc_dtype=np.int64
+        self,
+        wq: np.ndarray,
+        xq: np.ndarray,
+        acc_dtype=np.int64,
+        record_backward: bool = True,
     ) -> np.ndarray:
         """``sum_k AM(wq[m,k], xq[k,c])``, shape (M, C).
 
@@ -277,6 +298,10 @@ class LutGemm:
         it is refused (``ReproError``) unless :meth:`int32_acc_safe`
         proves every reachable sum fits, so results are bit-identical
         whenever the call succeeds.
+
+        ``record_backward=False`` tells the engine no backward pass will
+        consume this forward (eval under ``no_grad``, serving), letting
+        it skip the operand snapshot that enables backward index reuse.
         """
         m, k = wq.shape
         k2, c = xq.shape
@@ -306,54 +331,10 @@ class LutGemm:
         if out is not None:
             _TRACE.count("lutgemm.forward.parallel")
             return out.astype(acc_dtype, copy=False)
-        if self.forward_only and m * k * c >= FUSED_MIN_ELEMS:
-            from repro.core.lutkernel import fused_product_sums
-
-            if _TRACE.enabled:
-                with _TRACE.span("lutgemm.cckernel", cat="engine"):
-                    out = fused_product_sums(
-                        self._lut_i32,
-                        (wq * self.levels).astype(np.int64),
-                        np.ascontiguousarray(xq, dtype=np.int32),
-                        acc_dtype,
-                    )
-            else:
-                out = fused_product_sums(
-                    self._lut_i32,
-                    (wq * self.levels).astype(np.int64),
-                    np.ascontiguousarray(xq, dtype=np.int32),
-                    acc_dtype,
-                )
-            if out is not None:
-                _TRACE.count("lutgemm.forward.cckernel")
-                return out
-        _TRACE.count("lutgemm.forward.numpy")
-        wrow = (wq * self.levels).astype(np.intp)
-        out = np.empty((m, c), dtype=acc_dtype)
-        lut_dtype = self.lut_flat.dtype
-        tracing = _TRACE.enabled
-        for c0 in range(0, c, self.chunk):
-            hi = min(c0 + self.chunk, c)
-            if tracing:
-                with _TRACE.span("lutgemm.gather", cat="engine"):
-                    idx = self._build_idx(wrow, xq[:, c0:hi], (m, k, hi - c0))
-                    prod = self._scratch.get("lut", lut_dtype, (m, k, hi - c0))
-                    np.take(self.lut_flat, idx, out=prod, mode="clip")
-                with _TRACE.span("lutgemm.accumulate", cat="engine"):
-                    out[:, c0:hi] = prod.sum(axis=1, dtype=np.int64)
-            else:
-                idx = self._build_idx(wrow, xq[:, c0:hi], (m, k, hi - c0))
-                prod = self._scratch.get("lut", lut_dtype, (m, k, hi - c0))
-                np.take(self.lut_flat, idx, out=prod, mode="clip")
-                out[:, c0:hi] = prod.sum(axis=1, dtype=np.int64)
-        # The index tensor of a single-chunk GEMM stays valid in scratch;
-        # remember the operands so the backward can reuse it.  Forward-only
-        # engines skip the operand copies -- there is no backward to serve.
-        if not self.forward_only:
-            self._fwd_operands = (
-                (wq.copy(), xq.copy()) if c <= self.chunk else None
-            )
-        return out
+        return execcore.product_sums(
+            self, wq, xq, acc_dtype,
+            record_backward and not self.forward_only,
+        )
 
     def backward_grads(
         self,
@@ -396,61 +377,11 @@ class LutGemm:
             gx -= (zw_vec[:, None] * gf).sum(axis=0)[None, :] if zw_vec.size > 1 \
                 else zw_vec[0] * gf.sum(axis=0)[None, :]
             return gw, gx
-        gw = np.zeros((m, k), dtype=np.float64)
-        gx = np.empty((k, c), dtype=np.float64)
-        parallel = self._parallel_backward(wq, xq, gout, gw, gx)
-        if not parallel:
-            wrow = (wq * self.levels).astype(np.intp)
-            reuse = (
-                c <= self.chunk
-                and self._fwd_operands is not None
-                and self._fwd_operands[0].shape == wq.shape
-                and self._fwd_operands[1].shape == xq.shape
-                and np.array_equal(self._fwd_operands[0], wq)
-                and np.array_equal(self._fwd_operands[1], xq)
-            )
-            if not reuse:
-                # The loop below overwrites the scratch index tensor, so any
-                # cached forward operands stop describing its contents.
-                self._fwd_operands = None
-            tracing = _TRACE.enabled
-            for c0 in range(0, c, self.chunk):
-                hi = min(c0 + self.chunk, c)
-                cc = hi - c0
-                if tracing:
-                    with _TRACE.span("lutgemm.bwd.gather", cat="engine"):
-                        if reuse:
-                            idx = self._scratch.get("idx", np.intp, (m, k, cc))
-                            self.idx_reuses += 1
-                        else:
-                            idx = self._build_idx(wrow, xq[:, c0:hi], (m, k, cc))
-                        g = gout[:, None, c0:hi]
-                        buf = self._scratch.get("grad", np.float32, (m, k, cc))
-                        np.take(self.grad_w_flat, idx, out=buf, mode="clip")
-                    with _TRACE.span("lutgemm.bwd.accumulate", cat="engine"):
-                        np.multiply(buf, g, out=buf)
-                        gw += buf.sum(axis=2)
-                    with _TRACE.span("lutgemm.bwd.gather", cat="engine"):
-                        np.take(self.grad_x_flat, idx, out=buf, mode="clip")
-                    with _TRACE.span("lutgemm.bwd.accumulate", cat="engine"):
-                        np.multiply(buf, g, out=buf)
-                        gx[:, c0:hi] = buf.sum(axis=0)
-                    continue
-                if reuse:
-                    idx = self._scratch.get("idx", np.intp, (m, k, cc))
-                    self.idx_reuses += 1
-                else:
-                    idx = self._build_idx(wrow, xq[:, c0:hi], (m, k, cc))
-                g = gout[:, None, c0:hi]  # (M, 1, Cc), broadcast over K
-                # Gather + broadcast-multiply beats einsum here (~1.7x,
-                # measured): the contraction dims are small and memory-bound.
-                buf = self._scratch.get("grad", np.float32, (m, k, cc))
-                np.take(self.grad_w_flat, idx, out=buf, mode="clip")
-                np.multiply(buf, g, out=buf)
-                gw += buf.sum(axis=2)
-                np.take(self.grad_x_flat, idx, out=buf, mode="clip")
-                np.multiply(buf, g, out=buf)
-                gx[:, c0:hi] = buf.sum(axis=0)
+        res = self._parallel_backward(wq, xq, gout)
+        if res is not None:
+            gw, gx = res
+        else:
+            gw, gx = execcore.backward_grads(self, wq, xq, gout)
         # Zero-point cross terms of Eq. 8, applied in closed form.
         gsum_c = gout.sum(axis=1, dtype=np.float64)  # (M,)
         gw -= zx * gsum_c[:, None]
@@ -500,12 +431,10 @@ class LutGemm:
         wq: np.ndarray,
         xq: np.ndarray,
         gout: np.ndarray,
-        gw: np.ndarray,
-        gx: np.ndarray,
-    ) -> bool:
+    ) -> tuple[np.ndarray, np.ndarray] | None:
         blocks = self._column_blocks(xq.shape[1])
         if blocks is None:
-            return False
+            return None
         tasks = [
             (
                 self.grad_w_flat, self.grad_x_flat, self.levels, self.chunk,
@@ -515,8 +444,11 @@ class LutGemm:
         ]
         results = _run_parallel(_backward_block, tasks)
         if results is None:
-            return False
+            return None
         self.parallel_calls += 1
+        m, k = wq.shape
+        gw = np.zeros((m, k), dtype=np.float64)
+        gx = np.empty((k, xq.shape[1]), dtype=np.float64)
         # Accumulate per-chunk gw partial sums in global chunk order so the
         # result is bit-identical to the serial path (float addition is
         # order-sensitive); gx blocks are disjoint.
@@ -524,7 +456,7 @@ class LutGemm:
             for chunk_sum in gw_chunks:
                 gw += chunk_sum
             gx[:, b0:b1] = gx_block
-        return True
+        return gw, gx
 
 
 # ----------------------------------------------------------------------
@@ -708,6 +640,8 @@ def engine_cache_stats() -> EngineCacheStats:
             "backward_calls": eng.backward_calls,
             "idx_reuses": eng.idx_reuses,
             "parallel_calls": eng.parallel_calls,
+            "ckernel_forward_calls": eng.ckernel_forward_calls,
+            "ckernel_backward_calls": eng.ckernel_backward_calls,
         }
         for key, eng in _ENGINE_CACHE.items()
     ]
@@ -731,6 +665,8 @@ def format_engine_stats(stats: EngineCacheStats | None = None) -> str:
             f"  {e['multiplier']} [{e['method']}, chunk={e['chunk']}]: "
             f"{e['forward_calls']} fwd / {e['backward_calls']} bwd calls, "
             f"{e['idx_reuses']} idx reuse(s), "
-            f"{e['parallel_calls']} parallel call(s)"
+            f"{e['parallel_calls']} parallel call(s), "
+            f"{e.get('ckernel_forward_calls', 0)} C fwd / "
+            f"{e.get('ckernel_backward_calls', 0)} C bwd"
         )
     return "\n".join(lines)

@@ -1,21 +1,44 @@
-"""Optional fused C kernel for the forward LUT-GEMM gather.
+"""Optional fused C kernels for the LUT-GEMM forward and backward.
 
 The numpy forward path in :mod:`repro.core.lutgemm` needs three full
 passes over an ``(M, K, C)`` temporary (index build, ``np.take`` gather,
-strided reduction).  For single-sample serving latency those temporaries
-dominate, so this module JIT-compiles a single-pass C kernel at first use::
+strided reduction), and the retraining backward needs two more gathers
+plus two reductions against the upstream gradient.  Those temporaries
+dominate both serving latency and retrain epoch time, so this module
+JIT-compiles single-pass C kernels at first use:
 
-    acc[m, c] = sum_k lut[wrow[m, k] + xq[k, c]]
+* ``fused_product_sums`` -- the forward gather-accumulate
+  ``acc[m, c] = sum_k lut[wrow[m, k] + xq[k, c]]`` (int64 or int32
+  accumulators; pure integer, bit-identical to numpy by construction).
 
-with the accumulator row and the ``levels``-wide LUT rows staying
-L1-resident.  The arithmetic is pure integer, so results are *bit-identical*
-to the numpy path by construction.
+* ``fused_backward_grads`` -- the difference-LUT backward: one
+  cache-tiled loop per column chunk gathers *both* gradient tables from
+  the shared index and reduces against the upstream gradient.  Float32
+  partial sums replicate numpy's reduction orders exactly -- the
+  scalar pairwise algorithm for the per-``(m, k)`` sum over columns
+  (``buf.sum(axis=2)``) and sequential-over-rows accumulation for the
+  activation gradient (``buf.sum(axis=0)``) -- and per-chunk weight
+  partials are merged in global chunk order, so results are
+  bit-identical to the numpy path (verified at runtime by
+  :mod:`repro.core.execcore` before the kernel is trusted).
 
-Compilation uses the system ``cc``/``gcc`` (no third-party packages); the
-shared object is cached in a per-user temp directory keyed by a source
-hash.  Everything degrades gracefully: if no compiler is available or the
-build fails, :func:`fused_product_sums` returns ``None`` and callers fall
-back to the numpy path.  Set ``REPRO_NO_CCKERNEL=1`` to disable.
+Optional threading: ``REPRO_LUTKERNEL_THREADS=N`` splits the forward
+over row blocks and the backward over chunk-aligned column blocks.
+ctypes releases the GIL for the duration of each call, partitions are
+disjoint, and the weight-gradient merge always runs in global chunk
+order, so results are bit-identical for every thread count.
+
+Compilation uses the system ``cc``/``gcc`` (no third-party packages)
+with ``-ffp-contract=off`` so the compiler cannot fuse the backward's
+multiply-adds into FMAs (which would change float32 rounding vs numpy).
+The shared object is cached in a per-user temp directory keyed by a
+source hash.  Everything degrades gracefully: if no compiler is
+available or the build fails, the entry points return ``None`` and
+callers fall back to the numpy path -- a *failed* build is attempted
+once per process and warned about once, never retried per engine
+construction.  ``REPRO_NO_CCKERNEL=1`` disables the kernel; the
+variable is honored per call, so flipping it mid-process (tests, the
+``--no-cckernel`` CLI flag) takes effect immediately.
 """
 
 from __future__ import annotations
@@ -28,6 +51,7 @@ import shutil
 import subprocess
 import tempfile
 import threading
+import warnings
 
 import numpy as np
 
@@ -35,25 +59,51 @@ from repro.obs.trace import get_tracer
 
 _TRACE = get_tracer()
 
+#: Environment variable disabling the C kernels (honored per call).
+NO_CCKERNEL_ENV = "REPRO_NO_CCKERNEL"
+
+#: Environment variable selecting the kernel thread count (default 1).
+THREADS_ENV = "REPRO_LUTKERNEL_THREADS"
+
 _KERNEL_SOURCE = r"""
 #include <stdint.h>
 
-void product_sums(const int32_t *lut,
-                  const int64_t *wrow,   /* (M, K) row offsets: wq * levels */
-                  const int32_t *xq,     /* (K, C) quantized activations */
-                  int64_t *out,          /* (M, C) accumulator, overwritten */
-                  long M, long K, long C)
+/* ------------------------------------------------------------------
+ * Index clamp replicating ``np.take(..., mode="clip")``: every numpy
+ * gather in the engine clips out-of-range indices into the table, so
+ * garbage operands (e.g. NaN weights quantizing to INT32_MIN during a
+ * diverged training run) degrade exactly like the numpy path instead
+ * of reading out of bounds.
+ */
+static inline long clamp_idx(int64_t id, long n)
 {
-    for (long m = 0; m < M; m++) {
+    if (id < 0) return 0;
+    if (id >= n) return n - 1;
+    return (long) id;
+}
+
+/* ------------------------------------------------------------------
+ * Forward: acc[m, c] = sum_k lut[wrow[m, k] + xq[k, c]] over rows
+ * [m_lo, m_hi).  Integer arithmetic: bit-identical to numpy for any
+ * row partition, which is what makes threading over row blocks safe.
+ */
+void product_sums_range(const int32_t *lut, long n_lut,
+                        const int64_t *wrow,   /* (M, K): wq * levels */
+                        const int32_t *xq,     /* (K, C) quantized acts */
+                        int64_t *out,          /* (M, C), rows overwritten */
+                        long M, long K, long C,
+                        long m_lo, long m_hi)
+{
+    for (long m = m_lo; m < m_hi; m++) {
         const int64_t *wr = wrow + m * K;
         int64_t *acc = out + m * C;
         for (long c = 0; c < C; c++)
             acc[c] = 0;
         for (long k = 0; k < K; k++) {
-            const int32_t *lrow = lut + wr[k];
+            const int64_t base = wr[k];
             const int32_t *xrow = xq + k * C;
             for (long c = 0; c < C; c++)
-                acc[c] += lrow[xrow[c]];
+                acc[c] += lut[clamp_idx(base + xrow[c], n_lut)];
         }
     }
 }
@@ -61,31 +111,127 @@ void product_sums(const int32_t *lut,
 /* int32-accumulator variant: same gather, half the accumulator write
  * traffic.  Callers must guarantee K * max|lut| < 2**31 (checked in
  * LutGemm.int32_acc_safe); within that bound results are bit-identical
- * to product_sums. */
-void product_sums_i32(const int32_t *lut,
-                      const int64_t *wrow,
-                      const int32_t *xq,
-                      int32_t *out,
-                      long M, long K, long C)
+ * to product_sums_range. */
+void product_sums_i32_range(const int32_t *lut, long n_lut,
+                            const int64_t *wrow,
+                            const int32_t *xq,
+                            int32_t *out,
+                            long M, long K, long C,
+                            long m_lo, long m_hi)
 {
-    for (long m = 0; m < M; m++) {
+    for (long m = m_lo; m < m_hi; m++) {
         const int64_t *wr = wrow + m * K;
         int32_t *acc = out + m * C;
         for (long c = 0; c < C; c++)
             acc[c] = 0;
         for (long k = 0; k < K; k++) {
-            const int32_t *lrow = lut + wr[k];
+            const int64_t base = wr[k];
             const int32_t *xrow = xq + k * C;
             for (long c = 0; c < C; c++)
-                acc[c] += lrow[xrow[c]];
+                acc[c] += lut[clamp_idx(base + xrow[c], n_lut)];
+        }
+    }
+}
+
+/* ------------------------------------------------------------------
+ * numpy's scalar pairwise summation (umath loops.c.src), float32.
+ * Reproduced operation-for-operation so the per-(m, k) column-chunk
+ * sum below is bit-identical to ``buf.sum(axis=2)`` on the numpy
+ * path.  PW_BLOCKSIZE = 128, 8-way unrolled inner block.
+ */
+static float pairwise_sum_f32(const float *a, long n)
+{
+    if (n < 8) {
+        float res = 0.0f;
+        for (long i = 0; i < n; i++)
+            res += a[i];
+        return res;
+    }
+    else if (n <= 128) {
+        float r[8];
+        long i;
+        for (int j = 0; j < 8; j++)
+            r[j] = a[j];
+        for (i = 8; i < n - (n % 8); i += 8)
+            for (int j = 0; j < 8; j++)
+                r[j] += a[i + j];
+        float res = ((r[0] + r[1]) + (r[2] + r[3]))
+                  + ((r[4] + r[5]) + (r[6] + r[7]));
+        for (; i < n; i++)
+            res += a[i];
+        return res;
+    }
+    else {
+        long n2 = n / 2;
+        n2 -= n2 % 8;
+        return pairwise_sum_f32(a, n2) + pairwise_sum_f32(a + n2, n - n2);
+    }
+}
+
+/* ------------------------------------------------------------------
+ * Fused difference-LUT backward over columns [c_lo, c_hi), which must
+ * be chunk-aligned (c_lo % chunk == 0).  One cache-tiled loop per
+ * chunk gathers BOTH gradient tables from the shared flat index
+ * wrow[m, k] + xq[k, c] and reduces against gout:
+ *
+ *   gw_part[ci, m, k] = pairwise_f32 over the chunk's columns of
+ *                       gwtab[idx] * gout[m, c]      (== buf.sum(axis=2))
+ *   gx[k, c]          = f32 sum over m (sequential) of
+ *                       gxtab[idx] * gout[m, c]      (== buf.sum(axis=0))
+ *
+ * gw chunk partials are indexed by GLOBAL chunk number ci so the
+ * caller can merge them into the float64 gw in deterministic chunk
+ * order regardless of how column blocks were split across threads.
+ * tmp (>= chunk floats) and gx32 (>= K * chunk floats) are per-thread
+ * scratch supplied by the caller.
+ */
+void backward_grads_range(const float *gwtab, long n_gw,
+                          const float *gxtab, long n_gx,
+                          const int64_t *wrow,   /* (M, K): wq * levels */
+                          const int32_t *xq,     /* (K, C) */
+                          const float *gout,     /* (M, C) */
+                          float *gw_part,        /* (n_chunks, M, K) */
+                          double *gx,            /* (K, C) */
+                          float *tmp,
+                          float *gx32,
+                          long M, long K, long C, long chunk,
+                          long c_lo, long c_hi)
+{
+    for (long c0 = c_lo; c0 < c_hi; c0 += chunk) {
+        long hi = c0 + chunk < c_hi ? c0 + chunk : c_hi;
+        long cc = hi - c0;
+        float *gwp = gw_part + (c0 / chunk) * M * K;
+        for (long i = 0; i < K * cc; i++)
+            gx32[i] = 0.0f;
+        for (long m = 0; m < M; m++) {
+            const int64_t *wr = wrow + m * K;
+            const float *grow = gout + m * C + c0;
+            for (long k = 0; k < K; k++) {
+                const int64_t base = wr[k];
+                const int32_t *xrow = xq + k * C + c0;
+                float *gxr = gx32 + k * cc;
+                for (long c = 0; c < cc; c++) {
+                    const int64_t id = base + xrow[c];
+                    const float gv = grow[c];
+                    tmp[c] = gwtab[clamp_idx(id, n_gw)] * gv;
+                    gxr[c] += gxtab[clamp_idx(id, n_gx)] * gv;
+                }
+                gwp[m * K + k] = pairwise_sum_f32(tmp, cc);
+            }
+        }
+        for (long k = 0; k < K; k++) {
+            double *gxd = gx + k * C + c0;
+            const float *gxr = gx32 + k * cc;
+            for (long c = 0; c < cc; c++)
+                gxd[c] = (double) gxr[c];
         }
     }
 }
 """
 
 _lock = threading.Lock()
-_kernel = None
-_kernel_failed = False
+_lib: "ctypes.CDLL | None" = None
+_compile_attempted = False
 
 
 def _cache_dir() -> str:
@@ -110,57 +256,141 @@ def _compile() -> "ctypes.CDLL | None":
         with open(src_path, "w") as fh:
             fh.write(_KERNEL_SOURCE)
         tmp_so = so_path + f".{os.getpid()}.tmp"
-        cmd = [compiler, "-O3", "-march=native", "-shared", "-fPIC",
-               src_path, "-o", tmp_so]
+        # -ffp-contract=off: the backward's float32 mul-then-add sequences
+        # must round exactly like numpy's separate ufunc passes; a fused
+        # FMA would skip the intermediate rounding and break bit-identity.
+        cmd = [compiler, "-O3", "-march=native", "-ffp-contract=off",
+               "-shared", "-fPIC", src_path, "-o", tmp_so]
         try:
             subprocess.run(
                 cmd, check=True, capture_output=True, timeout=120
             )
             os.replace(tmp_so, so_path)
         except (OSError, subprocess.SubprocessError):
+            warnings.warn(
+                "repro.core.lutkernel: C kernel build failed; using the "
+                "numpy fallback for this process (results are identical, "
+                "only slower)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
             return None
     try:
         lib = ctypes.CDLL(so_path)
     except OSError:
+        warnings.warn(
+            "repro.core.lutkernel: compiled kernel failed to load; using "
+            "the numpy fallback for this process",
+            RuntimeWarning,
+            stacklevel=3,
+        )
         return None
-    fn = lib.product_sums
+    _i64 = np.ctypeslib.ndpointer(np.int64, flags="C_CONTIGUOUS")
+    _i32 = np.ctypeslib.ndpointer(np.int32, flags="C_CONTIGUOUS")
+    _f32 = np.ctypeslib.ndpointer(np.float32, flags="C_CONTIGUOUS")
+    _f64 = np.ctypeslib.ndpointer(np.float64, flags="C_CONTIGUOUS")
+    _long = ctypes.c_long
+    fn = lib.product_sums_range
     fn.restype = None
     fn.argtypes = [
-        np.ctypeslib.ndpointer(np.int32, flags="C_CONTIGUOUS"),
-        np.ctypeslib.ndpointer(np.int64, flags="C_CONTIGUOUS"),
-        np.ctypeslib.ndpointer(np.int32, flags="C_CONTIGUOUS"),
-        np.ctypeslib.ndpointer(np.int64, flags="C_CONTIGUOUS"),
-        ctypes.c_long, ctypes.c_long, ctypes.c_long,
+        _i32, _long, _i64, _i32, _i64, _long, _long, _long, _long, _long,
     ]
-    fn32 = lib.product_sums_i32
+    fn32 = lib.product_sums_i32_range
     fn32.restype = None
     fn32.argtypes = [
-        np.ctypeslib.ndpointer(np.int32, flags="C_CONTIGUOUS"),
-        np.ctypeslib.ndpointer(np.int64, flags="C_CONTIGUOUS"),
-        np.ctypeslib.ndpointer(np.int32, flags="C_CONTIGUOUS"),
-        np.ctypeslib.ndpointer(np.int32, flags="C_CONTIGUOUS"),
-        ctypes.c_long, ctypes.c_long, ctypes.c_long,
+        _i32, _long, _i64, _i32, _i32, _long, _long, _long, _long, _long,
+    ]
+    bwd = lib.backward_grads_range
+    bwd.restype = None
+    bwd.argtypes = [
+        _f32, _long, _f32, _long, _i64, _i32, _f32, _f32, _f64, _f32, _f32,
+        _long, _long, _long, _long, _long, _long,
     ]
     return lib
 
 
-def _get_kernel():
-    global _kernel, _kernel_failed
-    if _kernel is not None or _kernel_failed:
-        return _kernel
+def _get_kernel() -> "ctypes.CDLL | None":
+    """The loaded kernel library, or ``None``.
+
+    ``REPRO_NO_CCKERNEL`` is read on *every* call, so setting or
+    clearing it mid-process takes effect immediately (it used to be
+    latched by the first call).  A failed compile, by contrast, is
+    latched: one build attempt and one warning per process, because
+    sweep fork workers construct engines repeatedly and must not
+    re-invoke the compiler each time.
+    """
+    if os.environ.get(NO_CCKERNEL_ENV):
+        return None
+    global _lib, _compile_attempted
+    if _compile_attempted:
+        return _lib
     with _lock:
-        if _kernel is None and not _kernel_failed:
-            if os.environ.get("REPRO_NO_CCKERNEL"):
-                _kernel_failed = True
-            else:
-                _kernel = _compile()
-                _kernel_failed = _kernel is None
-    return _kernel
+        if not _compile_attempted:
+            _lib = _compile()
+            _compile_attempted = True
+    return _lib
+
+
+def reset_kernel_cache() -> None:
+    """Forget the loaded/failed kernel state (tests, ``--no-cckernel``).
+
+    The next :func:`_get_kernel` call re-evaluates ``REPRO_NO_CCKERNEL``
+    and, if allowed, re-attempts the build (the compiled ``.so`` disk
+    cache makes that cheap).  Also resets the execution core's backward
+    self-check via :func:`repro.core.execcore.reset_backend_state` --
+    use that entry point unless you specifically want only this half.
+    """
+    global _lib, _compile_attempted
+    with _lock:
+        _lib = None
+        _compile_attempted = False
 
 
 def kernel_available() -> bool:
-    """Whether the fused C gather kernel compiled and loaded."""
+    """Whether the fused C kernels compiled and loaded (env honored)."""
     return _get_kernel() is not None
+
+
+def compile_attempted() -> bool:
+    """Whether this process already spent its one JIT build attempt."""
+    return _compile_attempted
+
+
+def threads_requested() -> int:
+    """Thread count from ``REPRO_LUTKERNEL_THREADS`` (default/invalid: 1)."""
+    raw = os.environ.get(THREADS_ENV, "")
+    try:
+        n = int(raw)
+    except ValueError:
+        return 1
+    return max(n, 1)
+
+
+def _run_threaded(work, ranges) -> None:
+    """Run ``work(lo, hi, slot)`` over ``ranges``; threaded when > 1 range.
+
+    ctypes drops the GIL while the kernel executes, so plain threads get
+    real parallelism; every range writes disjoint output, so the result
+    is independent of the interleaving.
+    """
+    if len(ranges) == 1:
+        lo, hi = ranges[0]
+        work(lo, hi, 0)
+        return
+    threads = [
+        threading.Thread(target=work, args=(lo, hi, slot), daemon=True)
+        for slot, (lo, hi) in enumerate(ranges)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+
+def _row_ranges(m: int, nthreads: int) -> list[tuple[int, int]]:
+    nthreads = max(1, min(nthreads, m))
+    per = -(-m // nthreads)
+    return [(lo, min(lo + per, m)) for lo in range(0, m, per)]
 
 
 def fused_product_sums(
@@ -168,8 +398,14 @@ def fused_product_sums(
     wrow: np.ndarray,
     xq: np.ndarray,
     acc_dtype=np.int64,
+    threads: int | None = None,
 ) -> np.ndarray | None:
     """``out[m, c] = sum_k lut_flat[wrow[m, k] + xq[k, c]]``.
+
+    Out-of-range indices clip into the table exactly like the numpy
+    path's ``np.take(..., mode="clip")`` -- diverged operands (NaN
+    weights quantizing to INT32_MIN) degrade identically on both
+    backends instead of faulting.
 
     Args:
         lut_flat: Flat int32 product LUT of size ``levels**2``.
@@ -180,6 +416,9 @@ def fused_product_sums(
             guarantee ``K * max|lut| < 2**31`` (see
             ``LutGemm.int32_acc_safe``) -- within that bound the two are
             bit-identical.
+        threads: Row-block thread count; ``None`` reads
+            ``REPRO_LUTKERNEL_THREADS``.  Integer accumulation over
+            disjoint rows: bit-identical for every value.
 
     Returns:
         The (M, C) accumulator in ``acc_dtype``, or ``None`` when the
@@ -191,22 +430,108 @@ def fused_product_sums(
     m, k = wrow.shape
     k2, c = xq.shape
     acc_dtype = np.dtype(acc_dtype)
-    fn = lib.product_sums_i32 if acc_dtype == np.int32 else lib.product_sums
+    fn = (
+        lib.product_sums_i32_range
+        if acc_dtype == np.int32
+        else lib.product_sums_range
+    )
     out = np.empty((m, c), dtype=acc_dtype)
+    # ascontiguousarray is a no-op for the common already-contiguous case
+    # and transparently fixes Fortran-ordered / sliced views coming out
+    # of transpose-heavy tape paths (the ndpointer signatures reject
+    # anything non-contiguous outright).
+    lut_flat = np.ascontiguousarray(lut_flat, dtype=np.int32)
+    wrow = np.ascontiguousarray(wrow, dtype=np.int64)
+    xq = np.ascontiguousarray(xq, dtype=np.int32)
+    nthreads = threads_requested() if threads is None else max(int(threads), 1)
+    ranges = _row_ranges(m, nthreads)
+
+    def work(lo, hi, _slot):
+        fn(lut_flat, lut_flat.size, wrow, xq, out, m, k2, c, lo, hi)
+
     _TRACE.count("lutkernel.fused_calls")
     if _TRACE.enabled:
         with _TRACE.span("lutkernel.product_sums", cat="engine"):
-            fn(
-                np.ascontiguousarray(lut_flat, dtype=np.int32),
-                np.ascontiguousarray(wrow, dtype=np.int64),
-                np.ascontiguousarray(xq, dtype=np.int32),
-                out, m, k2, c,
-            )
+            _run_threaded(work, ranges)
     else:
-        fn(
-            np.ascontiguousarray(lut_flat, dtype=np.int32),
-            np.ascontiguousarray(wrow, dtype=np.int64),
-            np.ascontiguousarray(xq, dtype=np.int32),
-            out, m, k2, c,
-        )
+        _run_threaded(work, ranges)
     return out
+
+
+def _chunk_ranges(c: int, chunk: int, nthreads: int) -> list[tuple[int, int]]:
+    """Chunk-aligned column ranges covering ``[0, c)`` for ``nthreads``."""
+    n_chunks = -(-c // chunk)
+    nthreads = max(1, min(nthreads, n_chunks))
+    per = -(-n_chunks // nthreads) * chunk
+    return [(lo, min(lo + per, c)) for lo in range(0, c, per)]
+
+
+def fused_backward_grads(
+    grad_w_flat: np.ndarray,
+    grad_x_flat: np.ndarray,
+    wrow: np.ndarray,
+    xq: np.ndarray,
+    gout: np.ndarray,
+    chunk: int,
+    threads: int | None = None,
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """Fused difference-LUT backward: gradient-table gather + reduce.
+
+    Computes the inner Eq. 9 sums (zero-point cross terms excluded --
+    the engine applies those in closed form):
+
+        ``gw[m, k] = sum_c grad_w_flat[wrow[m,k] + xq[k,c]] * gout[m,c]``
+        ``gx[k, c] = sum_m grad_x_flat[wrow[m,k] + xq[k,c]] * gout[m,c]``
+
+    Float32 accumulation replicates the numpy path's reduction orders
+    exactly (see the module docstring), and per-chunk ``gw`` partials
+    are merged into the float64 result in global chunk order, so the
+    output is bit-identical to the numpy fallback for every
+    ``threads`` value.  Out-of-range indices clip into each gradient
+    table exactly like ``np.take(..., mode="clip")``.
+
+    Returns ``(gw, gx)`` as float64 ``(M, K)`` / ``(K, C)`` arrays, or
+    ``None`` when the kernel is unavailable.
+    """
+    lib = _get_kernel()
+    if lib is None:
+        return None
+    m, k = wrow.shape
+    k2, c = xq.shape
+    chunk = int(chunk)
+    n_chunks = -(-c // chunk)
+    grad_w_flat = np.ascontiguousarray(grad_w_flat, dtype=np.float32)
+    grad_x_flat = np.ascontiguousarray(grad_x_flat, dtype=np.float32)
+    wrow = np.ascontiguousarray(wrow, dtype=np.int64)
+    xq = np.ascontiguousarray(xq, dtype=np.int32)
+    gout = np.ascontiguousarray(gout, dtype=np.float32)
+    gw_part = np.empty((n_chunks, m, k), dtype=np.float32)
+    gx = np.empty((k2, c), dtype=np.float64)
+    nthreads = threads_requested() if threads is None else max(int(threads), 1)
+    ranges = _chunk_ranges(c, chunk, nthreads)
+    # Per-thread scratch: the chunk product row and the float32 gx tile.
+    tmp = [np.empty(chunk, dtype=np.float32) for _ in ranges]
+    gx32 = [np.empty(k2 * chunk, dtype=np.float32) for _ in ranges]
+
+    def work(lo, hi, slot):
+        lib.backward_grads_range(
+            grad_w_flat, grad_w_flat.size, grad_x_flat, grad_x_flat.size,
+            wrow, xq, gout, gw_part, gx, tmp[slot], gx32[slot],
+            m, k2, c, chunk, lo, hi,
+        )
+
+    _TRACE.count("lutkernel.fused_backward_calls")
+    if _TRACE.enabled:
+        with _TRACE.span("lutkernel.backward_grads", cat="engine"):
+            _run_threaded(work, ranges)
+    else:
+        _run_threaded(work, ranges)
+    # Merge weight-gradient chunk partials in global chunk order: float64
+    # accumulation of float32 chunk sums, exactly like the numpy path's
+    # per-chunk ``gw += buf.sum(axis=2)`` (and the multiprocessing
+    # path's ordered merge).  This is what keeps every thread count
+    # bit-identical to serial.
+    gw = np.zeros((m, k), dtype=np.float64)
+    for ci in range(n_chunks):
+        gw += gw_part[ci]
+    return gw, gx

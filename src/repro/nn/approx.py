@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.autograd.tensor import Tensor
+from repro.autograd.tensor import Tensor, is_grad_enabled
 from repro.core.gradient import GradientPair, gradient_luts
 from repro.core.lutgemm import DEFAULT_CHUNK, LutGemm, get_engine
 from repro.errors import QuantizationError
@@ -313,7 +313,12 @@ class _ApproxBase(Module):
         m = wmat.shape[0]
 
         with _TRACE.span("approx.gemm", cat="approx"):
-            acc = self.engine.product_sums(wq, xq)  # (M, N*L) int64
+            # Under no_grad (eval loops) the backward closure below is never
+            # wired into the tape, so the engine can skip the operand
+            # snapshot that enables backward index reuse.
+            acc = self.engine.product_sums(
+                wq, xq, record_backward=is_grad_enabled()
+            )  # (M, N*L) int64
         with _TRACE.span("approx.dequantize", cat="approx"):
             # Eq. 8 zero-point corrections (accumulated over K terms).
             acc = acc.astype(np.float64)

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.autograd.tensor import Tensor, no_grad
+from repro.core import execcore
 from repro.data.augment import random_crop_flip
 from repro.data.dataset import DataLoader
 from repro.errors import ConfigError
@@ -174,6 +175,19 @@ class Trainer:
             self._pending_loader_rng = None
         if _HEALTH.enabled:
             _HEALTH.register_model(self.model)
+        # Resolve the LUT-GEMM execution backend before the first epoch:
+        # this triggers the one-time C-kernel compile and backward
+        # self-check *outside* the timed epoch loop and records which
+        # backend the run actually used.
+        backend = execcore.backend_info()
+        _TRACE.count(f"trainer.backend.forward.{backend['forward_backend']}")
+        _TRACE.count(f"trainer.backend.backward.{backend['backward_backend']}")
+        if cfg.log_every:
+            print(
+                f"execution core: forward={backend['forward_backend']}, "
+                f"backward={backend['backward_backend']}, "
+                f"threads={backend['threads']}"
+            )
         last_finite_loss: float | None = None
         for epoch in range(start_epoch, cfg.epochs):
             lr = self.schedule.set_epoch(epoch)

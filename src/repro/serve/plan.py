@@ -157,6 +157,9 @@ class InferencePlan:
             kinds[op.kind] = kinds.get(op.kind, 0) + 1
             key = f"{op.dtype_in}->{op.dtype_out}"
             dtypes[key] = dtypes.get(key, 0) + 1
+        from repro.core import execcore
+
+        backend = execcore.backend_info()
         return {
             "model": self.model_name,
             "arithmetic": self.arithmetic,
@@ -165,6 +168,11 @@ class InferencePlan:
             "kinds": kinds,
             "dtypes": dtypes,
             "integer_only_core": integer_core_report(self)["integer_only"],
+            # Shared-execution-core backend the LUT-GEMM ops lower onto
+            # (the same core the training tape uses; "numpy" when no C
+            # compiler is available or REPRO_NO_CCKERNEL is set).
+            "gemm_backend": backend["forward_backend"],
+            "gemm_threads": backend["threads"],
         }
 
     def engines(self) -> list:
@@ -184,10 +192,14 @@ class InferencePlan:
 
     def describe(self) -> str:
         """Numbered op listing for logs and ``repro serve`` startup."""
+        from repro.core import execcore
+
+        backend = execcore.backend_info()
         header = (
             f"InferencePlan({self.model_name or 'model'}, "
             f"{self.arithmetic}): "
-            f"{len(self.ops)} ops, {self.lutgemm_ops} LUT-GEMM"
+            f"{len(self.ops)} ops, {self.lutgemm_ops} LUT-GEMM "
+            f"[{backend['forward_backend']} backend]"
         )
         lines = [header] + [
             f"  {i:3d}. [{op.kind}] {op.name}  "

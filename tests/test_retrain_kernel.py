@@ -1,0 +1,425 @@
+"""Fused C retraining kernel: bit-identity, env handling, compile cache.
+
+Everything here must also pass with ``REPRO_NO_CCKERNEL=1`` (the CI
+numpy-fallback leg): tests that require the compiled kernel are skipped
+when it is unavailable, and the rest exercise the env/cache machinery
+itself.
+"""
+
+import os
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core import execcore, lutkernel
+from repro.core.gradient import gradient_luts
+from repro.core.lutgemm import (
+    DEFAULT_CHUNK,
+    LutGemm,
+    clear_engine_cache,
+)
+from repro.multipliers import get_multiplier
+
+MULT = get_multiplier("mul6u_rm4")
+PAIR = gradient_luts(MULT, "difference", hws=2)
+
+_KERNEL_OK = lutkernel.kernel_available()
+
+requires_kernel = pytest.mark.skipif(
+    not _KERNEL_OK, reason="C kernel unavailable (no compiler or disabled)"
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_state():
+    clear_engine_cache()
+    yield
+    clear_engine_cache()
+
+
+@pytest.fixture
+def restore_backend():
+    """Reset kernel/self-check state before and after a test that pokes it."""
+    execcore.reset_backend_state()
+    yield
+    execcore.reset_backend_state()
+
+
+def _operands(m, k, c, seed=0):
+    rng = np.random.default_rng(seed)
+    n = 1 << MULT.bits
+    wq = rng.integers(0, n, size=(m, k)).astype(np.int32)
+    xq = rng.integers(0, n, size=(k, c)).astype(np.int32)
+    gout = rng.normal(size=(m, c)).astype(np.float32)
+    return wq, xq, gout
+
+
+def _numpy_results(wq, xq, gout, zw, zx, chunk=DEFAULT_CHUNK, acc_dtype=np.int64):
+    """Forward + backward through a fresh engine pinned to the numpy path."""
+    prior = os.environ.get("REPRO_NO_CCKERNEL")
+    os.environ["REPRO_NO_CCKERNEL"] = "1"
+    try:
+        eng = LutGemm(MULT, PAIR, chunk=chunk)
+        acc = eng.product_sums(wq, xq, acc_dtype=acc_dtype)
+        gw, gx = eng.backward_grads(wq, xq, gout, zw, zx)
+        assert eng.ckernel_forward_calls == 0
+        assert eng.ckernel_backward_calls == 0
+    finally:
+        if prior is None:
+            del os.environ["REPRO_NO_CCKERNEL"]
+        else:
+            os.environ["REPRO_NO_CCKERNEL"] = prior
+    return acc, gw, gx
+
+
+# Shapes at/above FUSED_MIN_ELEMS so the C path engages, with odd,
+# non-round dimensions (uneven tail chunks, pairwise-sum tails).
+ODD_SHAPES = [(8, 32, 100), (7, 13, 281), (5, 11, 503)]
+
+
+@requires_kernel
+@pytest.mark.parametrize("threads", ["1", "4"])
+@pytest.mark.parametrize("acc_dtype", [np.int64, np.int32])
+def test_engine_bit_identity_c_vs_numpy(monkeypatch, threads, acc_dtype):
+    monkeypatch.setenv(lutkernel.THREADS_ENV, threads)
+    for i, (m, k, c) in enumerate(ODD_SHAPES):
+        wq, xq, gout = _operands(m, k, c, seed=i)
+        assert m * k * c >= execcore.FUSED_MIN_ELEMS
+        acc_ref, gw_ref, gx_ref = _numpy_results(
+            wq, xq, gout, zw=3, zx=5, chunk=96, acc_dtype=acc_dtype
+        )
+        eng = LutGemm(MULT, PAIR, chunk=96)
+        acc = eng.product_sums(wq, xq, acc_dtype=acc_dtype)
+        gw, gx = eng.backward_grads(wq, xq, gout, 3, 5)
+        assert eng.ckernel_forward_calls == 1
+        assert np.array_equal(acc, acc_ref)
+        assert acc.dtype == np.dtype(acc_dtype)
+        if execcore.backward_kernel_trusted():
+            assert eng.ckernel_backward_calls == 1
+        assert np.array_equal(gw, gw_ref)
+        assert np.array_equal(gx, gx_ref)
+
+
+@requires_kernel
+def test_per_channel_zero_points_on_c_backward():
+    m, k, c = ODD_SHAPES[0]
+    wq, xq, gout = _operands(m, k, c, seed=9)
+    zw_vec = np.arange(1, m + 1, dtype=np.float64)
+    _, gw_ref, gx_ref = _numpy_results(wq, xq, gout, zw=zw_vec, zx=4)
+    eng = LutGemm(MULT, PAIR)
+    eng.product_sums(wq, xq)
+    gw, gx = eng.backward_grads(wq, xq, gout, zw_vec, 4)
+    assert np.array_equal(gw, gw_ref)
+    assert np.array_equal(gx, gx_ref)
+
+
+@requires_kernel
+def test_small_gemms_stay_on_numpy_path():
+    eng = LutGemm(MULT, PAIR)
+    wq, xq, gout = _operands(4, 6, 10, seed=2)
+    eng.product_sums(wq, xq)
+    eng.backward_grads(wq, xq, gout, 1, 2)
+    assert eng.ckernel_forward_calls == 0
+    assert eng.ckernel_backward_calls == 0
+
+
+@requires_kernel
+def test_fortran_ordered_operands_bit_identical():
+    # Regression: the ctypes ndpointer signatures reject non-C-contiguous
+    # arrays outright, so transpose-path views must be normalized, not
+    # crash or silently fall back with different results.
+    m, k, c = ODD_SHAPES[1]
+    wq, xq, gout = _operands(m, k, c, seed=3)
+    acc_ref, gw_ref, gx_ref = _numpy_results(wq, xq, gout, zw=2, zx=7)
+    wq_f = np.asfortranarray(wq)
+    xq_f = np.asfortranarray(xq)
+    gout_f = np.asfortranarray(gout)
+    assert not wq_f.flags.c_contiguous
+    eng = LutGemm(MULT, PAIR)
+    acc = eng.product_sums(wq_f, xq_f)
+    gw, gx = eng.backward_grads(wq_f, xq_f, gout_f, 2, 7)
+    assert eng.ckernel_forward_calls == 1
+    assert np.array_equal(acc, acc_ref)
+    assert np.array_equal(gw, gw_ref)
+    assert np.array_equal(gx, gx_ref)
+
+
+@requires_kernel
+def test_noncontiguous_column_slice_operands():
+    # Strided views (every other column) are another non-contiguous shape
+    # the tape can hand the engine.
+    m, k, c = 8, 32, 100
+    wq, xq, gout = _operands(m, k, 2 * c, seed=4)
+    xq_view, gout_view = xq[:, ::2], gout[:, ::2]
+    assert not xq_view.flags.c_contiguous
+    acc_ref, gw_ref, gx_ref = _numpy_results(
+        np.ascontiguousarray(wq),
+        np.ascontiguousarray(xq_view),
+        np.ascontiguousarray(gout_view),
+        zw=1,
+        zx=3,
+    )
+    eng = LutGemm(MULT, PAIR)
+    acc = eng.product_sums(wq, xq_view)
+    gw, gx = eng.backward_grads(wq, xq_view, gout_view, 1, 3)
+    assert np.array_equal(acc, acc_ref)
+    assert np.array_equal(gw, gw_ref)
+    assert np.array_equal(gx, gx_ref)
+
+
+@requires_kernel
+def test_raw_kernel_threads_bit_identical():
+    # Direct wrapper-level check: explicit threads argument, chunk grid
+    # not aligned with the column count.
+    rng = np.random.default_rng(11)
+    levels = 1 << MULT.bits
+    wq = rng.integers(0, levels, size=(6, 24))
+    wrow = (wq * levels).astype(np.int64)
+    xq = rng.integers(0, levels, size=(24, 333)).astype(np.int32)
+    gout = rng.normal(size=(6, 333)).astype(np.float32)
+    eng = LutGemm(MULT, PAIR)
+    base_f = lutkernel.fused_product_sums(eng._lut_i32, wrow, xq, np.int64, 1)
+    base_b = lutkernel.fused_backward_grads(
+        eng.grad_w_flat, eng.grad_x_flat, wrow, xq, gout, 50, 1
+    )
+    assert base_f is not None and base_b is not None
+    for threads in (2, 4, 7):
+        f = lutkernel.fused_product_sums(
+            eng._lut_i32, wrow, xq, np.int64, threads
+        )
+        b = lutkernel.fused_backward_grads(
+            eng.grad_w_flat, eng.grad_x_flat, wrow, xq, gout, 50, threads
+        )
+        assert np.array_equal(f, base_f)
+        assert np.array_equal(b[0], base_b[0])
+        assert np.array_equal(b[1], base_b[1])
+
+
+@requires_kernel
+@pytest.mark.parametrize("acc_dtype", [np.int64, np.int32])
+def test_out_of_range_indices_clip_like_numpy(acc_dtype):
+    # A diverged run quantizes NaN weights to INT32_MIN (np.clip keeps
+    # NaN, .astype(int32) wraps it).  The numpy gathers clip such
+    # indices into the table (np.take mode="clip"); the C kernels must
+    # degrade identically instead of dereferencing out of bounds --
+    # this exact scenario segfaulted the forward kernel before the fix.
+    m, k, c = ODD_SHAPES[0]
+    wq, xq, gout = _operands(m, k, c, seed=21)
+    wq[0, 0] = np.int32(-(2**31))
+    wq[1, 5] = np.int32(2**31 - 1)
+    xq[2, ::13] = np.int32(-(2**31))
+    xq[3, 7] = np.int32(2**31 - 1)
+    acc_ref, gw_ref, gx_ref = _numpy_results(
+        wq, xq, gout, zw=3, zx=5, acc_dtype=acc_dtype
+    )
+    eng = LutGemm(MULT, PAIR)
+    acc = eng.product_sums(wq, xq, acc_dtype=acc_dtype)
+    gw, gx = eng.backward_grads(wq, xq, gout, 3, 5)
+    assert eng.ckernel_forward_calls == 1
+    assert np.array_equal(acc, acc_ref)
+    assert np.array_equal(gw, gw_ref)
+    assert np.array_equal(gx, gx_ref)
+
+
+@requires_kernel
+def test_raw_kernel_oob_clip_both_directions():
+    # Wrapper-level clip check against an explicit np.clip reference,
+    # with indices far outside the table on both sides and the clamp
+    # exercised under threading.
+    rng = np.random.default_rng(5)
+    lut = rng.integers(-100, 100, size=64).astype(np.int32)
+    gw_flat = rng.standard_normal(64).astype(np.float32)
+    gx_flat = rng.standard_normal(64).astype(np.float32)
+    wrow = rng.integers(0, 56, size=(6, 9)).astype(np.int64)
+    wrow[0, 0] = -(1 << 50)
+    wrow[5, 8] = 1 << 50
+    xq = rng.integers(0, 8, size=(9, 700)).astype(np.int32)
+    xq[4, ::11] = 100_000
+    gout = rng.standard_normal((6, 700)).astype(np.float32)
+    idx = np.clip(wrow[:, :, None] + xq[None], 0, lut.size - 1)
+    want_f = lut[idx].sum(axis=1, dtype=np.int64)
+    want_b = execcore._probe_reference(gw_flat, gx_flat, wrow, xq, gout, 96)
+    for threads in (1, 3):
+        got_f = lutkernel.fused_product_sums(
+            lut, wrow, xq, np.int64, threads
+        )
+        assert np.array_equal(got_f, want_f)
+        got_b = lutkernel.fused_backward_grads(
+            gw_flat, gx_flat, wrow, xq, gout, 96, threads
+        )
+        assert got_b is not None
+        assert np.array_equal(got_b[0], want_b[0])
+        assert np.array_equal(got_b[1], want_b[1])
+
+
+def test_threads_env_parsing(monkeypatch):
+    monkeypatch.delenv(lutkernel.THREADS_ENV, raising=False)
+    assert lutkernel.threads_requested() == 1
+    monkeypatch.setenv(lutkernel.THREADS_ENV, "4")
+    assert lutkernel.threads_requested() == 4
+    monkeypatch.setenv(lutkernel.THREADS_ENV, "not-a-number")
+    assert lutkernel.threads_requested() == 1
+    monkeypatch.setenv(lutkernel.THREADS_ENV, "-3")
+    assert lutkernel.threads_requested() == 1
+
+
+# ----------------------------------------------------------------------
+# Env-var and compile-cache semantics (run with or without a compiler).
+@requires_kernel
+def test_no_cckernel_env_honored_per_call(monkeypatch):
+    # The env var used to be latched by the first _get_kernel() call;
+    # flipping it mid-process must now take effect immediately.
+    m, k, c = ODD_SHAPES[0]
+    wq, xq, gout = _operands(m, k, c, seed=6)
+    eng = LutGemm(MULT, PAIR)
+    eng.product_sums(wq, xq)
+    assert eng.ckernel_forward_calls == 1
+    monkeypatch.setenv("REPRO_NO_CCKERNEL", "1")
+    assert not lutkernel.kernel_available()
+    eng.product_sums(wq, xq)
+    eng.backward_grads(wq, xq, gout, 1, 1)
+    assert eng.ckernel_forward_calls == 1  # unchanged: numpy served it
+    assert eng.ckernel_backward_calls == 0
+    monkeypatch.delenv("REPRO_NO_CCKERNEL")
+    assert lutkernel.kernel_available()
+    eng.product_sums(wq, xq)
+    assert eng.ckernel_forward_calls == 2
+
+
+def test_failed_compile_attempted_once(monkeypatch, restore_backend):
+    attempts = []
+
+    def failing_compile():
+        attempts.append(1)
+        return None
+
+    monkeypatch.setattr(lutkernel, "_compile", failing_compile)
+    monkeypatch.delenv("REPRO_NO_CCKERNEL", raising=False)
+    # Many engine constructions + calls (the sweep fork-worker pattern)
+    # must spend exactly one build attempt for the whole process.
+    for seed in range(3):
+        eng = LutGemm(MULT, PAIR)
+        wq, xq, gout = _operands(8, 32, 100, seed=seed)
+        eng.product_sums(wq, xq)
+        eng.backward_grads(wq, xq, gout, 1, 1)
+        assert eng.ckernel_forward_calls == 0
+    assert len(attempts) == 1
+    assert lutkernel.compile_attempted()
+    # reset_kernel_cache() grants a fresh attempt (CLI flag / tests).
+    lutkernel.reset_kernel_cache()
+    assert not lutkernel.compile_attempted()
+    assert not lutkernel.kernel_available()
+    assert len(attempts) == 2
+
+
+def test_no_cckernel_does_not_consume_compile_attempt(monkeypatch, restore_backend):
+    attempts = []
+    monkeypatch.setattr(
+        lutkernel, "_compile", lambda: attempts.append(1) or None
+    )
+    monkeypatch.setenv("REPRO_NO_CCKERNEL", "1")
+    assert not lutkernel.kernel_available()
+    assert not lutkernel.compile_attempted()
+    assert attempts == []
+
+
+def test_failed_compile_warns_once(monkeypatch, restore_backend, tmp_path):
+    # Point the source build at a compiler that always fails: exactly one
+    # RuntimeWarning for the whole process, not one per engine.
+    import subprocess
+
+    def boom(*args, **kwargs):
+        raise subprocess.SubprocessError("simulated compiler failure")
+
+    monkeypatch.setattr(lutkernel.subprocess, "run", boom)
+    monkeypatch.setattr(lutkernel, "_cache_dir", lambda: str(tmp_path))
+    monkeypatch.setattr(
+        lutkernel.shutil, "which", lambda name: "/usr/bin/fake-cc"
+    )
+    monkeypatch.delenv("REPRO_NO_CCKERNEL", raising=False)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        for _ in range(4):
+            assert lutkernel._get_kernel() is None
+    relevant = [w for w in caught if "build failed" in str(w.message)]
+    assert len(relevant) == 1
+
+
+def test_backward_self_check_rejects_wrong_kernel(monkeypatch, restore_backend):
+    if not lutkernel.kernel_available():
+        pytest.skip("C kernel unavailable")
+
+    real = lutkernel.fused_backward_grads
+
+    def corrupted(*args, **kwargs):
+        res = real(*args, **kwargs)
+        if res is None:
+            return None
+        gw, gx = res
+        gw = gw.copy()
+        gw.flat[0] += 1e-3  # one wrong bit pattern is enough
+        return gw, gx
+
+    monkeypatch.setattr(lutkernel, "fused_backward_grads", corrupted)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        assert not execcore.backward_kernel_trusted()
+    assert any("not" in str(w.message) and "bit-identical" in str(w.message)
+               for w in caught)
+    # Verdict is pinned for the process: no further probing, numpy path.
+    assert not execcore.backward_kernel_trusted()
+    m, k, c = ODD_SHAPES[0]
+    wq, xq, gout = _operands(m, k, c, seed=8)
+    acc_ref, gw_ref, gx_ref = _numpy_results(wq, xq, gout, zw=2, zx=2)
+    eng = LutGemm(MULT, PAIR)
+    acc = eng.product_sums(wq, xq)
+    gw, gx = eng.backward_grads(wq, xq, gout, 2, 2)
+    assert eng.ckernel_backward_calls == 0
+    assert np.array_equal(acc, acc_ref)
+    assert np.array_equal(gw, gw_ref)
+    assert np.array_equal(gx, gx_ref)
+
+
+def test_backward_self_check_passes_on_healthy_kernel(restore_backend):
+    if not lutkernel.kernel_available():
+        pytest.skip("C kernel unavailable")
+    assert execcore.backward_kernel_trusted()
+
+
+# ----------------------------------------------------------------------
+# record_backward semantics through the shared core.
+def test_record_backward_false_invalidates_stale_index():
+    # fwd(A) records operands; fwd(B) with record_backward=False reuses
+    # the scratch; backward(A) must rebuild (wrong gradients otherwise).
+    eng = LutGemm(MULT, PAIR, chunk=64)
+    wq_a, xq_a, gout_a = _operands(5, 7, 40, seed=10)
+    wq_b, xq_b, _ = _operands(5, 7, 40, seed=11)
+    eng.product_sums(wq_a, xq_a)
+    eng.product_sums(wq_b, xq_b, record_backward=False)
+    assert eng._fwd_operands is None
+    gw, gx = eng.backward_grads(wq_a, xq_a, gout_a, 1, 2)
+    assert eng.idx_reuses == 0
+    _, gw_ref, gx_ref = _numpy_results(wq_a, xq_a, gout_a, zw=1, zx=2, chunk=64)
+    assert np.array_equal(gw, gw_ref)
+    assert np.array_equal(gx, gx_ref)
+
+
+def test_backend_info_reports_consistent_state():
+    info = execcore.backend_info()
+    assert info["forward_backend"] in ("c", "numpy")
+    assert info["backward_backend"] in ("c", "numpy")
+    assert info["threads"] >= 1
+    if info["forward_backend"] == "numpy":
+        assert info["backward_backend"] == "numpy"
+
+
+def test_reset_backend_state_rechecks_env(monkeypatch):
+    if not _KERNEL_OK:
+        pytest.skip("C kernel unavailable")
+    monkeypatch.setenv("REPRO_NO_CCKERNEL", "1")
+    execcore.reset_backend_state()
+    assert execcore.backend_info()["forward_backend"] == "numpy"
+    monkeypatch.delenv("REPRO_NO_CCKERNEL")
+    execcore.reset_backend_state()
+    assert execcore.backend_info()["forward_backend"] == "c"
