@@ -11,6 +11,11 @@ integer end-to-end between input quantization and final dequantization
 (:func:`repro.serve.plan.assert_integer_core`), and in full mode its
 single-sample latency must be no worse than the float-scale plan's.
 
+The fused integer pipeline (``fused_int`` ops, the default for int plans)
+is gated against the unfused plan (``fuse=False``): bit-identical outputs
+on the C backend *and* the numpy fallback, for 1 and 4 kernel threads,
+and in full mode >= 1.5x single-sample latency vs the unfused plan.
+
 Run standalone (the CI smoke job uses ``--quick``)::
 
     python benchmarks/bench_serve.py --quick      # small model, no timing gate
@@ -328,10 +333,42 @@ def main(argv=None) -> int:
     assert np.array_equal(plan.run(xb), tape_forward(xb)), "batch mismatch"
 
     # Integer-only plan: bit-identity gate + structural integer-core walk.
+    # compile_plan fuses gather->requant[->relu] runs by default; the
+    # fuse=False plan is the unfused baseline the fusion gate runs against.
     int_plan = compile_plan(model, arithmetic="int")
     assert_integer_core(int_plan)
+    assert int_plan.fused_ops > 0, "int plan should fuse by default"
     assert np.array_equal(int_plan.run(x1), plan.run(x1)), "int plan single"
     assert np.array_equal(int_plan.run(xb), plan.run(xb)), "int plan batch"
+
+    unfused_plan = compile_plan(model, arithmetic="int", fuse=False)
+    assert unfused_plan.fused_ops == 0
+    ref_1, ref_b = int_plan.run(x1), int_plan.run(xb)
+    assert np.array_equal(unfused_plan.run(xb), ref_b), "unfused batch"
+
+    # Bit-identity matrix: {C backend, numpy fallback} x {1, 4 threads},
+    # fused and unfused plans against the same reference outputs.
+    from repro.core import execcore
+
+    for threads in ("1", "4"):
+        os.environ["REPRO_LUTKERNEL_THREADS"] = threads
+        try:
+            assert np.array_equal(int_plan.run(x1), ref_1), \
+                f"fused C threads={threads} single"
+            assert np.array_equal(int_plan.run(xb), ref_b), \
+                f"fused C threads={threads} batch"
+            os.environ["REPRO_NO_CCKERNEL"] = "1"
+            execcore.reset_backend_state()
+            try:
+                assert np.array_equal(int_plan.run(xb), ref_b), \
+                    f"fused numpy threads={threads} batch"
+                assert np.array_equal(unfused_plan.run(xb), ref_b), \
+                    f"unfused numpy threads={threads} batch"
+            finally:
+                del os.environ["REPRO_NO_CCKERNEL"]
+                execcore.reset_backend_state()
+        finally:
+            del os.environ["REPRO_LUTKERNEL_THREADS"]
 
     tape_s, plan_s, speedup = _paired_best(
         lambda: tape_forward(x1), lambda: plan.run(x1), repeats
@@ -342,6 +379,11 @@ def main(argv=None) -> int:
         lambda: plan.run(x1), lambda: int_plan.run(x1), repeats
     )
     int_ms = int_s * 1e3
+
+    unfused_s, fused_s, fused_ratio = _paired_best(
+        lambda: unfused_plan.run(x1), lambda: int_plan.run(x1), repeats
+    )
+    fused_ms, unfused_ms = fused_s * 1e3, unfused_s * 1e3
 
     # Micro-batching: a burst of single-sample requests executed one at a
     # time vs coalesced through the scheduler into one plan call.
@@ -374,6 +416,9 @@ def main(argv=None) -> int:
         f"  single-sample integer plan : {int_ms:8.2f} ms  "
         f"({int_ratio:.2f}x vs float plan, integer core verified, "
         f"bit-identical outputs)",
+        f"  single-sample unfused int  : {unfused_ms:8.2f} ms  "
+        f"(fused plan {fused_ratio:.2f}x faster; bit-identical on C and "
+        f"numpy backends, threads 1 and 4)",
         f"  {burst}-request burst, serial : {serial_ms:8.2f} ms",
         f"  {burst}-request burst, pooled : {pool_ms:8.2f} ms  "
         f"({batch_win:.2f}x, coalesced batches {coalesced})",
@@ -406,6 +451,19 @@ def main(argv=None) -> int:
         print(
             f"OK: integer plan per-sample latency no worse than float "
             f"plan ({int_ratio:.2f}x)"
+        )
+        # Fusion gate: one C loop for gather+requant+relu must beat the
+        # unfused op-at-a-time pipeline by >= 1.5x on a single sample.
+        if fused_ratio < 1.5:
+            print(
+                f"FAIL: fused integer plan speedup {fused_ratio:.2f}x "
+                f"< 1.5x vs the unfused plan",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"OK: fused integer plan single-sample speedup "
+            f"{fused_ratio:.2f}x (>= 1.5x vs unfused)"
         )
     return 0
 

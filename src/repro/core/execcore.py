@@ -53,6 +53,10 @@ _check_lock = threading.Lock()
 #: Self-check verdict: None = not run yet, True = C backward trusted,
 #: False = failed, numpy pinned for this process.
 _bwd_verdict: bool | None = None
+#: Same for the fused serving kernel (gather + requant + clamp): its
+#: rounding-right-shift port is convention-sensitive (arithmetic >> on
+#: signed values), so it earns trust through its own probe set.
+_srv_verdict: bool | None = None
 
 
 # ----------------------------------------------------------------------
@@ -240,6 +244,91 @@ def _numpy_backward(engine, wq, xq, gout):
 
 
 # ----------------------------------------------------------------------
+# Fused integer serving op (compiled ``fused_int`` plan ops lower here).
+def serve_fused(
+    engine,
+    wq: np.ndarray,
+    wrow: np.ndarray,
+    xq: np.ndarray,
+    zw: np.ndarray,
+    m0: np.ndarray,
+    d0: np.ndarray,
+    shift: np.ndarray,
+    qlo: int,
+    qhi: int,
+    acc_dtype,
+    wrow_bounds: tuple[int, int] | None = None,
+    xq_bounds: tuple[int, int] | None = None,
+    colsum: np.ndarray | None = None,
+) -> np.ndarray:
+    """One fused serving step ``(K, C) -> (M, C) uint8`` on the best backend.
+
+    Computes, in pure integers, the whole post-gather pipeline of one
+    integer-plan layer::
+
+        A = sum_k lut[wrow + xq] - zw * colsum          # gather_int
+        q = clip((A * m0 + d0 + half) >> shift, qlo, qhi)
+
+    with the :func:`repro.nn.requant.rounding_right_shift` round-half-up
+    convention.  The C backend keeps the accumulator row in cache for
+    the entire pipeline; the numpy fallback runs the same math as the
+    unfused ``lutgemm_int -> requant -> relu`` ops, so both backends are
+    bit-identical (the C side additionally proves it on this platform
+    via :func:`serve_kernel_trusted` before first use).
+
+    ``m0``/``d0``/``shift`` are read per call -- they may be shm-backed
+    :class:`~repro.nn.requant.RequantParams` views, consumed in place.
+    ``colsum`` may be precomputed (the C im2col fuses it into its
+    unfold pass); when ``None`` it is reduced here.
+    """
+    if colsum is None:
+        colsum = xq.sum(axis=0, dtype=np.int64)
+    if engine._lut_i32 is not None and serve_kernel_trusted():
+        if _TRACE.enabled:
+            with _TRACE.span("lutgemm.gather", cat="engine"):
+                out = lutkernel.fused_serve(
+                    engine._lut_i32, wrow, xq, colsum, zw, m0, d0, shift,
+                    qlo, qhi, acc_dtype, wrow_bounds=wrow_bounds,
+                    xq_bounds=xq_bounds,
+                )
+        else:
+            out = lutkernel.fused_serve(
+                engine._lut_i32, wrow, xq, colsum, zw, m0, d0, shift,
+                qlo, qhi, acc_dtype, wrow_bounds=wrow_bounds,
+                xq_bounds=xq_bounds,
+            )
+        if out is not None:
+            engine.ckernel_forward_calls += 1
+            _TRACE.count("lutgemm.forward.cckernel")
+            return out
+    return _numpy_serve(
+        engine, wq, xq, colsum, zw, m0, d0, shift, qlo, qhi, acc_dtype
+    )
+
+
+def _numpy_serve(
+    engine, wq, xq, colsum, zw, m0, d0, shift, qlo, qhi, acc_dtype
+) -> np.ndarray:
+    """The unfused pipeline, restated over the fused op's constants.
+
+    Operation-for-operation the integer math of ``FrozenAffine.gather_int``
+    followed by :func:`repro.nn.requant.requantize` (channel axis 0) and
+    the integer ReLU clamp -- all exact int64, so fused and unfused plans
+    agree bitwise on every platform.
+    """
+    from repro.nn.requant import rounding_right_shift
+
+    acc = engine.product_sums(
+        wq, xq, acc_dtype=acc_dtype, record_backward=False
+    )
+    a = acc.astype(np.int64, copy=False) - zw.reshape(-1, 1) * colsum
+    t = a * m0.reshape(-1, 1) + d0.reshape(-1, 1)
+    q = rounding_right_shift(t, shift.reshape(-1, 1))
+    np.clip(q, qlo, qhi, out=q)
+    return q.astype(np.uint8)
+
+
+# ----------------------------------------------------------------------
 # Backward self-check: is the C backward bit-identical to numpy *here*?
 def backward_kernel_trusted() -> bool:
     """Whether the fused C backward may be used on this platform.
@@ -340,16 +429,172 @@ def _run_self_check() -> bool:
     return True
 
 
+# ----------------------------------------------------------------------
+# Serve self-check: is the fused serving kernel bit-identical here?
+def serve_kernel_trusted() -> bool:
+    """Whether the fused C serving kernel may be used on this platform.
+
+    The serving kernel's risk is the fixed-point rounding port: C's
+    ``>>`` on negative values must be an arithmetic shift matching
+    numpy's, and the ``half``/clamp sequence must follow the
+    :func:`repro.nn.requant.rounding_right_shift` convention exactly.
+    The probe set exercises the corners the requant property tests pin
+    -- shift == 0 (no half added), saturation ties at both rails,
+    negative ``d0``/``m0`` -- plus per-tensor vs per-channel constant
+    strides, both accumulator dtypes, out-of-range gather indices, and
+    1/2 threads.  Any mismatch pins serving to the numpy pipeline with a
+    one-time warning; kernel *unavailability* is not cached as failure.
+    """
+    global _srv_verdict
+    verdict = _srv_verdict
+    if verdict is not None:
+        return verdict
+    if not lutkernel.kernel_available():
+        return False
+    with _check_lock:
+        if _srv_verdict is None:
+            _srv_verdict = _run_serve_self_check()
+    return _srv_verdict
+
+
+def _serve_reference(lut, wrow, xq, zw, m0, d0, shift, qlo, qhi):
+    """Pure-Python-int restatement of the fused serving op (no wraparound)."""
+    m, k = wrow.shape
+    c = xq.shape[1]
+    out = np.empty((m, c), dtype=np.uint8)
+    colsum = [int(s) for s in xq.sum(axis=0, dtype=np.int64)]
+    for i in range(m):
+        zwi = int(zw[i if zw.size > 1 else 0])
+        mi = int(m0[i if m0.size > 1 else 0])
+        di = int(d0[i if d0.size > 1 else 0])
+        sh = int(shift[i if shift.size > 1 else 0])
+        half = (1 << (sh - 1)) if sh > 0 else 0
+        for j in range(c):
+            acc = 0
+            for kk in range(k):
+                idx = int(wrow[i, kk]) + int(xq[kk, j])
+                acc += int(lut[min(max(idx, 0), lut.size - 1)])
+            t = (acc - zwi * colsum[j]) * mi + di
+            q = (t + half) >> sh
+            out[i, j] = min(max(q, qlo), qhi)
+    return out
+
+
+def _run_serve_self_check() -> bool:
+    rng = np.random.default_rng(0xF00DF00D)
+    levels = 4
+    lut = rng.integers(-60, 60, size=levels * levels).astype(np.int32)
+    m, k, c = 4, 3, 23
+    wq = rng.integers(0, levels, size=(m, k))
+    wrow = (wq * levels).astype(np.int64)
+    xq = rng.integers(0, levels, size=(k, c)).astype(np.int32)
+    xq_oob = xq.copy()
+    xq_oob[0, ::5] = 4000
+    xq_oob[2, 3] = -99
+    # Constant sets covering the requant corners: shift == 0 rows (no
+    # half), negative d0 and m0, tiny shifts that force saturation at
+    # both rails, per-tensor (size-1) vs per-channel layouts.
+    per_chan = (
+        np.array([3, -2, 5, 1], dtype=np.int64),          # m0
+        np.array([-7, 40, -1000, 0], dtype=np.int64),     # d0
+        np.array([0, 1, 4, 0], dtype=np.int64),           # shift
+    )
+    per_tensor = (
+        np.array([-3], dtype=np.int64),
+        np.array([5], dtype=np.int64),
+        np.array([2], dtype=np.int64),
+    )
+    zw_pc = np.array([0, 1, 2, 3], dtype=np.int64)
+    zw_pt = np.array([2], dtype=np.int64)
+    for xqp in (xq, xq_oob):
+        colsum = xqp.sum(axis=0, dtype=np.int64)
+        for (m0, d0, shift), zw in (
+            (per_chan, zw_pt),
+            (per_tensor, zw_pc),
+            (per_chan, zw_pc),
+        ):
+            for qlo, qhi in ((0, 255), (30, 31)):
+                want = _serve_reference(
+                    lut, wrow, xqp, zw, m0, d0, shift, qlo, qhi
+                )
+                for acc_dtype in (np.int64, np.int32):
+                    for threads in (1, 2):
+                        got = lutkernel.fused_serve(
+                            lut, wrow, xqp, colsum, zw, m0, d0, shift,
+                            qlo, qhi, acc_dtype=acc_dtype, threads=threads,
+                        )
+                        if got is None:
+                            return False
+                        if not np.array_equal(got, want):
+                            warnings.warn(
+                                "repro.core.execcore: the fused C serving "
+                                "kernel is not bit-identical to the "
+                                "integer reference on this platform "
+                                "(rounding-shift convention mismatch); "
+                                "serving uses the unfused numpy pipeline.",
+                                RuntimeWarning,
+                                stacklevel=3,
+                            )
+                            return False
+    # The C im2col (unfold + column sums in one pass) feeds the fused
+    # ops' gather operand, so it is held to the same standard: exact
+    # agreement with the numpy unfold, across strides, pads (including
+    # the zero-point border fill), and batches.
+    x_img = rng.integers(0, 256, size=(2, 3, 7, 6)).astype(np.uint8)
+    for kh, kw, stride, pad, zx in (
+        (3, 2, 1, 2, 7),
+        (2, 2, 2, 1, 255),
+        (3, 3, 1, 0, 0),
+    ):
+        got = lutkernel.im2col_serve(x_img, kh, kw, stride, pad, zx)
+        if got is None:
+            return False
+        n, cc, h, w = x_img.shape
+        oh = (h + 2 * pad - kh) // stride + 1
+        ow = (w + 2 * pad - kw) // stride + 1
+        xp = np.pad(
+            x_img.astype(np.int32),
+            ((0, 0), (0, 0), (pad, pad), (pad, pad)),
+            constant_values=zx,
+        )
+        want = np.empty((cc * kh * kw, n * oh * ow), dtype=np.int32)
+        row = 0
+        for ci in range(cc):
+            for i in range(kh):
+                for j in range(kw):
+                    patch = xp[
+                        :, ci,
+                        i : i + stride * oh : stride,
+                        j : j + stride * ow : stride,
+                    ]
+                    want[row] = patch.reshape(-1)
+                    row += 1
+        if not (
+            np.array_equal(got[0], want)
+            and np.array_equal(got[1], want.sum(axis=0, dtype=np.int64))
+        ):
+            warnings.warn(
+                "repro.core.execcore: the C serving im2col is not "
+                "bit-identical to the numpy unfold on this platform; "
+                "serving uses the unfused numpy pipeline.",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return False
+    return True
+
+
 def reset_backend_state() -> None:
-    """Forget the compiled kernel *and* the backward self-check verdict.
+    """Forget the compiled kernel *and* the self-check verdicts.
 
     The one entry point tests and the ``--no-cckernel`` CLI flag should
     use: the next call re-reads ``REPRO_NO_CCKERNEL``, re-attempts the
-    build if allowed, and re-runs the self-check.
+    build if allowed, and re-runs the backward and serving self-checks.
     """
-    global _bwd_verdict
+    global _bwd_verdict, _srv_verdict
     with _check_lock:
         _bwd_verdict = None
+        _srv_verdict = None
     lutkernel.reset_kernel_cache()
 
 
@@ -366,6 +611,12 @@ def backend_info() -> dict:
         "forward_backend": "c" if available else "numpy",
         "backward_backend": (
             "c" if available and backward_kernel_trusted() else "numpy"
+        ),
+        # Backend the compiled ``fused_int`` serving ops take (gather +
+        # requant + clamp in one loop); "numpy" also when the serving
+        # self-check refused the kernel on this platform.
+        "serve_backend": (
+            "c" if available and serve_kernel_trusted() else "numpy"
         ),
         "threads": lutkernel.threads_requested(),
         "fused_min_elems": FUSED_MIN_ELEMS,

@@ -34,6 +34,13 @@ Rounding conventions (the single normative statement for the repo)
   an arithmetic shift.  This is the convention integer hardware implements
   with one adder; it differs from ``rint`` only on exact ties, which for
   compiled ``M0``/``D0`` constants occur with probability ~``2**-shift``.
+  The fused C serving kernel (``fused_serve`` in
+  :mod:`repro.core.lutkernel`) re-implements exactly this expression --
+  ``half = shift > 0 ? 1 << (shift - 1) : 0`` then an arithmetic ``>>`` --
+  so its outputs are bit-identical to :func:`requantize`; the corner pins
+  in ``tests/test_requant.py`` (shift == 0, rail-exact ties, negative
+  ``d0``) are the contract both sides are held to.  See the fused
+  pipeline section of ``docs/serving.md`` for how plan ops fuse onto it.
 
 Overflow contract: :func:`derive_requant` picks the largest ``shift`` such
 that ``|acc| <= acc_abs_max`` guarantees ``|acc * M0 + D0| + 2**(shift-1)

@@ -31,6 +31,7 @@ from repro.serve.plan import (
     PlanOp,
     assert_integer_core,
     compile_plan,
+    fuse_integer_plan,
     integer_core_report,
     register_compiler,
     verify_plan,
@@ -62,6 +63,7 @@ __all__ = [
     "WorkerPool",
     "assert_integer_core",
     "compile_plan",
+    "fuse_integer_plan",
     "install_shutdown_handlers",
     "integer_core_report",
     "make_server",

@@ -31,6 +31,14 @@ Two lowering modes:
   layer.  :func:`assert_integer_core` is the plan-walk gate for "no float
   dtype between input quant and final dequant".
 
+  By default integer plans are additionally run through
+  :func:`fuse_integer_plan`: every ``lutgemm_int -> requant [-> relu]``
+  run becomes one ``fused_int`` op executing gather + correction +
+  fixed-point requant + ReLU clamp in a single
+  :func:`repro.core.execcore.serve_fused` call (one C loop; numpy
+  fallback bit-identical).  See ``docs/serving.md`` for the fusion
+  rules and which ops break a fused run.
+
 Supported modules: all :mod:`repro.nn.layers` leaves, the approximate
 layers, and the model-zoo blocks (residual ``BasicBlock``/``Bottleneck``,
 MobileNet ``SeparableBlock``).  Composite modules without a registered
@@ -66,7 +74,7 @@ from repro.nn.layers import (
 )
 from repro.nn.module import Module
 from repro.nn.quant import QuantParams, compute_requant, quant_dtype
-from repro.nn.requant import requantize
+from repro.nn.requant import RequantParams, requantize
 from repro.obs.trace import get_tracer
 
 _TRACE = get_tracer()
@@ -86,11 +94,18 @@ class PlanOp:
     ``params`` carries the compile-time constant object behind the
     closure when one exists -- the :class:`~repro.nn.approx.FrozenAffine`
     of a LUT-GEMM op, the :class:`~repro.nn.requant.RequantParams` of a
-    requant op -- so post-compile passes (shared-memory publication in
-    :mod:`repro.serve.shm`) can reach and rebind the underlying arrays.
+    requant op, the :class:`_FusedIntFn` of a fused op -- so post-compile
+    passes (shared-memory publication in :mod:`repro.serve.shm`) can
+    reach and rebind the underlying arrays.
+
+    ``meta`` is a small dict of compile-time facts later passes need but
+    the closure hides (conv geometry on a ``lutgemm_int`` op, the integer
+    ReLU's clamp zero point): :func:`fuse_integer_plan` reads it to
+    rebuild fusable op runs without re-walking the model.
     """
 
-    __slots__ = ("name", "kind", "fn", "dtype_in", "dtype_out", "params")
+    __slots__ = ("name", "kind", "fn", "dtype_in", "dtype_out", "params",
+                 "meta")
 
     def __init__(
         self,
@@ -100,6 +115,7 @@ class PlanOp:
         dtype_in: str = FLOAT,
         dtype_out: str = FLOAT,
         params=None,
+        meta: dict | None = None,
     ):
         self.name = name
         self.kind = kind
@@ -107,6 +123,7 @@ class PlanOp:
         self.dtype_in = dtype_in
         self.dtype_out = dtype_out
         self.params = params
+        self.meta = meta
 
     def __repr__(self) -> str:
         return (
@@ -138,8 +155,15 @@ class InferencePlan:
     def lutgemm_ops(self) -> int:
         """Number of LUT-GEMM (approximate) ops in the plan."""
         return sum(
-            1 for op in self.ops if op.kind in ("lutgemm", "lutgemm_int")
+            1
+            for op in self.ops
+            if op.kind in ("lutgemm", "lutgemm_int", "fused_int")
         )
+
+    @property
+    def fused_ops(self) -> int:
+        """Number of fused gather+requant(+relu) ops in the plan."""
+        return sum(1 for op in self.ops if op.kind == "fused_int")
 
     def integer_core(self) -> tuple[int, int] | None:
         """Op-index span ``(first quant, last dequant)``, or ``None``."""
@@ -165,6 +189,7 @@ class InferencePlan:
             "arithmetic": self.arithmetic,
             "ops": len(self.ops),
             "lutgemm_ops": self.lutgemm_ops,
+            "fused_ops": self.fused_ops,
             "kinds": kinds,
             "dtypes": dtypes,
             "integer_only_core": integer_core_report(self)["integer_only"],
@@ -172,6 +197,10 @@ class InferencePlan:
             # (the same core the training tape uses; "numpy" when no C
             # compiler is available or REPRO_NO_CCKERNEL is set).
             "gemm_backend": backend["forward_backend"],
+            # Backend of the fused gather+requant+relu serving ops
+            # ("numpy" also when the serving self-check refused the C
+            # kernel on this platform).
+            "serve_backend": backend["serve_backend"],
             "gemm_threads": backend["threads"],
         }
 
@@ -195,11 +224,17 @@ class InferencePlan:
         from repro.core import execcore
 
         backend = execcore.backend_info()
+        fused = (
+            f", {self.fused_ops} fused "
+            f"[{backend['serve_backend']} serve backend]"
+            if self.fused_ops
+            else ""
+        )
         header = (
             f"InferencePlan({self.model_name or 'model'}, "
             f"{self.arithmetic}): "
             f"{len(self.ops)} ops, {self.lutgemm_ops} LUT-GEMM "
-            f"[{backend['forward_backend']} backend]"
+            f"[{backend['forward_backend']} backend]{fused}"
         )
         lines = [header] + [
             f"  {i:3d}. [{op.kind}] {op.name}  "
@@ -314,16 +349,22 @@ def _make_requant_fn(rp) -> Callable[[np.ndarray], np.ndarray]:
     return fn
 
 
-def rebind_requant_op(op: PlanOp, rp) -> None:
-    """Swap a compiled requant op onto a replacement constant block.
+def requant_params_of(op: PlanOp):
+    """The :class:`~repro.nn.requant.RequantParams` behind ``op``, if any.
 
-    ``rp`` must be value-identical to ``op.params`` (the shared-memory
-    layer passes exact copies living in shm segments); only the storage
-    moves, so outputs stay bit-identical.
+    Post-compile passes (shared-memory publication) use this instead of
+    assuming ``op.params`` *is* the constant block: a plain ``requant``
+    op carries it directly, a ``fused_int`` op carries a
+    :class:`_FusedIntFn` whose ``rp`` attribute is the live view.
     """
-    if op.kind != "requant":
-        raise ServeError(f"rebind_requant_op on non-requant op {op.name!r}")
-    cur = op.params
+    if op.kind == "requant":
+        return op.params
+    if op.kind == "fused_int":
+        return op.fn.rp
+    return None
+
+
+def _check_requant_identical(op: PlanOp, cur, rp) -> None:
     if cur is not None and not (
         np.array_equal(cur.m0, rp.m0)
         and np.array_equal(cur.d0, rp.d0)
@@ -335,8 +376,220 @@ def rebind_requant_op(op: PlanOp, rp) -> None:
             f"rebind_requant_op: replacement constants for {op.name!r} "
             "differ from the compiled ones"
         )
+
+
+def rebind_requant_op(op: PlanOp, rp) -> None:
+    """Swap a compiled requant or fused op onto a replacement constant block.
+
+    ``rp`` must be value-identical to the op's current constants (the
+    shared-memory layer passes exact copies living in shm segments); only
+    the storage moves, so outputs stay bit-identical.
+
+    A plain ``requant`` op is rebuilt over the new block.  A ``fused_int``
+    op never captures the constants in a closure -- its
+    :class:`_FusedIntFn` re-resolves ``m0``/``d0``/``shift`` through its
+    ``rp`` view on *every call* -- so rebinding is a single attribute
+    swap and the fused C kernel reads the shm-backed arrays in place.
+    (The old closure-swap implementation would have been silently ignored
+    by a fused op: the kernel never looked at ``op.fn``'s cell contents.)
+    """
+    if op.kind == "fused_int":
+        fused = op.fn
+        _check_requant_identical(op, fused.rp, rp)
+        fused.rp = rp
+        return
+    if op.kind != "requant":
+        raise ServeError(f"rebind_requant_op on non-requant op {op.name!r}")
+    _check_requant_identical(op, op.params, rp)
     op.fn = _make_requant_fn(rp)
     op.params = rp
+
+
+class _FusedIntFn:
+    """Callable body of a ``fused_int`` op: one C loop per LUT-GEMM layer.
+
+    Replaces a ``lutgemm_int -> requant [-> int relu]`` op run with a
+    single call into :func:`repro.core.execcore.serve_fused`: gather,
+    weight-zero-point correction, fixed-point requantization, and the
+    ReLU clamp run in one loop while the accumulator row stays in cache,
+    and the reshape back to image layout happens on the uint8 result
+    (a quarter of the unfused int64 traffic).
+
+    Every constant that post-compile passes may rebind is re-resolved
+    **at call time**: ``rp`` (the :class:`RequantParams` view --
+    :func:`rebind_requant_op` swaps it onto shm-backed arrays) and the
+    engine's forward table (``LutGemm.adopt_shared_tables`` swaps it to
+    the host-wide shm copy), so sharded workers read the fused constants
+    zero-copy with no closure rebuild.  The instance doubles as the op's
+    ``params``: it exposes ``engine`` for :meth:`InferencePlan.engines`
+    and ``rp`` for :func:`requant_params_of`.
+    """
+
+    __slots__ = ("fa", "engine", "rp", "relu_z", "spatial", "kh", "kw",
+                 "stride", "pad", "zx", "acc_dtype", "wrow", "wrow_bounds",
+                 "zw")
+
+    def __init__(self, fa: FrozenAffine, rp, relu_z: int | None, meta: dict):
+        self.fa = fa
+        self.engine = fa.engine
+        self.rp = rp
+        self.relu_z = relu_z
+        self.spatial = meta["spatial"]
+        if self.spatial:
+            self.kh = meta["kh"]
+            self.kw = meta["kw"]
+            self.stride = meta["stride"]
+            self.pad = meta["pad"]
+            self.zx = meta["zx"]
+        else:
+            self.kh = self.kw = self.stride = self.pad = self.zx = None
+        self.acc_dtype = meta["acc_dtype"]
+        # Input-independent gather operands, built once per compile.
+        self.wrow = np.ascontiguousarray(
+            (fa.wq * self.engine.levels).astype(np.int64)
+        )
+        # Feeds the kernel's in-bounds proof (no-clamp gather); the
+        # weights are frozen, so the extrema never change post-compile.
+        self.wrow_bounds = (
+            (int(self.wrow.min()), int(self.wrow.max()))
+            if self.wrow.size
+            else None
+        )
+        self.zw = np.ascontiguousarray(
+            np.atleast_1d(np.asarray(fa.zw_int, dtype=np.int64))
+        )
+
+    def _gemm(
+        self,
+        xq: np.ndarray,
+        xq_bounds: tuple[int, int] | None,
+        colsum: np.ndarray | None = None,
+    ) -> np.ndarray:
+        rp = self.rp  # the live view: rebinding swaps this attribute
+        # max(q, Z) over a [qmin, qmax] clip folds to a raised lower
+        # rail (Z >= qmin on a zero-including grid).
+        qlo = rp.qmin if self.relu_z is None else max(rp.qmin, self.relu_z)
+        from repro.core import execcore
+
+        return execcore.serve_fused(
+            self.engine, self.fa.wq, self.wrow, xq, self.zw,
+            rp.m0, rp.d0, rp.shift, qlo, rp.qmax, self.acc_dtype,
+            wrow_bounds=self.wrow_bounds, xq_bounds=xq_bounds,
+            colsum=colsum,
+        )
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        fa = self.fa
+        from repro.core import execcore, lutkernel
+
+        # Plan inputs to a fused op are uint8 activations (and the
+        # im2col pad value is the uint8 zero point), so the gather
+        # indices are in bounds by construction -- no per-call scan.
+        xqb = (0, 0xFF) if x.dtype == np.uint8 else None
+        with _TRACE.span("serve.fused_int", cat="serve"):
+            if not self.spatial:
+                xq = np.ascontiguousarray(x.T, dtype=np.int32)
+                return np.ascontiguousarray(self._gemm(xq, xqb).T)  # (N, M)
+            n, c, h, w = x.shape
+            oh, ow = F.conv_output_size(
+                h, w, self.kh, self.kw, self.stride, self.pad
+            )
+            # Padding with Z_x is bit-identical to padding the float
+            # tensor with 0 and quantizing (Q(0) == Z).
+            res = (
+                lutkernel.im2col_serve(
+                    x, self.kh, self.kw, self.stride, self.pad, self.zx
+                )
+                if x.dtype == np.uint8 and execcore.serve_kernel_trusted()
+                else None
+            )
+            if res is not None:
+                xq, colsum = res
+            else:
+                cols = F.im2col(
+                    x, self.kh, self.kw, self.stride, self.pad,
+                    pad_value=self.zx,
+                )
+                xq = np.ascontiguousarray(
+                    cols.transpose(1, 0, 2).reshape(fa.k, n * oh * ow),
+                    dtype=np.int32,
+                )
+                colsum = None
+            q = self._gemm(xq, xqb, colsum)  # (M, C) uint8
+            return (
+                q.reshape(fa.m, n, oh * ow)
+                .transpose(1, 0, 2)
+                .reshape(n, fa.m, oh, ow)
+            )
+
+
+def fuse_integer_plan(plan: InferencePlan) -> int:
+    """Fuse ``lutgemm_int -> requant [-> int relu]`` runs in place.
+
+    The plan-fusion pass of the integer pipeline: each matched run is
+    replaced by one ``fused_int`` :class:`PlanOp` whose
+    :class:`_FusedIntFn` body executes gather + requant + relu in a
+    single :func:`repro.core.execcore.serve_fused` call.  Returns the
+    number of fused ops created.
+
+    A run only fuses when the gather op carries its geometry ``meta``
+    (compiled by this module's handlers), the requant constants are a
+    :class:`~repro.nn.requant.RequantParams` block targeting a uint8
+    grid (the C kernel's output width), and the optional following act
+    op is an integer ReLU (tagged with its clamp ``relu_z``).  Ops that
+    close the integer region -- average pooling, global average pooling,
+    the final exact ``dequant`` -- never match the pattern, so a fused
+    run always ends at one of them; a pool/reshape *between* requant and
+    relu leaves the relu standalone (only the gather+requant pair
+    fuses).  Fused plans are bit-identical to unfused ones on both
+    execution backends.
+    """
+    ops = plan.ops
+    new_ops: list[PlanOp] = []
+    created = 0
+    i = 0
+    while i < len(ops):
+        op = ops[i]
+        nxt = ops[i + 1] if i + 1 < len(ops) else None
+        if (
+            op.kind == "lutgemm_int"
+            and op.meta is not None
+            and nxt is not None
+            and nxt.kind == "requant"
+            and isinstance(nxt.params, RequantParams)
+            and nxt.params.out_dtype() == np.uint8
+        ):
+            rp = nxt.params
+            j = i + 2
+            relu_z = None
+            if (
+                j < len(ops)
+                and ops[j].kind == "act"
+                and ops[j].meta is not None
+                and "relu_z" in ops[j].meta
+            ):
+                relu_z = ops[j].meta["relu_z"]
+                j += 1
+            fn = _FusedIntFn(op.params, rp, relu_z, op.meta)
+            suffix = "+requant+relu" if relu_z is not None else "+requant"
+            new_ops.append(
+                PlanOp(
+                    f"{op.name}{suffix}",
+                    "fused_int",
+                    fn,
+                    "uint8",
+                    str(rp.out_dtype()),
+                    params=fn,
+                    meta={"fused": [o.name for o in ops[i:j]]},
+                )
+            )
+            created += 1
+            i = j
+            continue
+        new_ops.append(op)
+        i += 1
+    plan.ops = new_ops
+    return created
 
 
 class _PendingRequant:
@@ -409,6 +662,9 @@ class _PendingRequant:
             r.fn = _int_relu_fn(z)
             r.kind = "act"
             r.dtype_in = r.dtype_out = qd
+            # The clamp value, visible to the fusion pass (max(q, Z) over
+            # a [qmin, qmax] clip folds to a raised lower rail).
+            r.meta = {"relu_z": int(qp.zero_point)}
         for p in self.passthrough:
             # windowed max / reshape keep their dtype-polymorphic fn.
             p.dtype_in = p.dtype_out = qd
@@ -591,8 +847,12 @@ def _compile_relu(module, ctx, prefix):
 
 @register_compiler(Flatten)
 def _compile_flatten(module, ctx, prefix):
+    # reshape(-1) cannot infer the flattened width when the batch is empty,
+    # so compute it explicitly: zero-row micro-batches must flow through.
     ctx.emit_passthrough(
-        f"{prefix}flatten", "shape", lambda x: x.reshape((x.shape[0], -1))
+        f"{prefix}flatten",
+        "shape",
+        lambda x: x.reshape((x.shape[0], int(np.prod(x.shape[1:], dtype=np.int64)))),
     )
 
 
@@ -797,7 +1057,15 @@ def _compile_approx_conv(module, ctx, prefix):
             )
 
         ctx.ops.append(
-            PlanOp(name, "lutgemm_int", int_fn, "uint8", "int64", params=fa)
+            PlanOp(
+                name, "lutgemm_int", int_fn, "uint8", "int64", params=fa,
+                # Geometry the fusion pass needs to rebuild this gather
+                # fused with its requant (the closure hides it).
+                meta={
+                    "spatial": True, "kh": kh, "kw": kw, "stride": stride,
+                    "pad": pad, "zx": zx, "acc_dtype": acc_dtype,
+                },
+            )
         )
         ctx.open_region(name, fa, spatial=True)
         return
@@ -828,7 +1096,10 @@ def _compile_approx_linear(module, ctx, prefix):
             return np.ascontiguousarray(acc.T)  # (N, M) int64
 
         ctx.ops.append(
-            PlanOp(name, "lutgemm_int", int_fn, "uint8", "int64", params=fa)
+            PlanOp(
+                name, "lutgemm_int", int_fn, "uint8", "int64", params=fa,
+                meta={"spatial": False, "acc_dtype": acc_dtype},
+            )
         )
         ctx.open_region(name, fa, spatial=False)
         return
@@ -899,6 +1170,7 @@ def compile_plan(
     example_input: np.ndarray | None = None,
     private_engines: bool = False,
     arithmetic: str = "float",
+    fuse: bool | None = None,
 ) -> InferencePlan:
     """Compile ``model`` into a tape-free :class:`InferencePlan`.
 
@@ -921,6 +1193,12 @@ def compile_plan(
             plans produce the same final outputs (exact dequant; the only
             approximation is the ``~2**-shift`` fixed-point residual of
             each internal requantization, below one output quantum).
+        fuse: Run :func:`fuse_integer_plan` on the compiled plan, merging
+            ``lutgemm_int -> requant [-> relu]`` runs into single
+            ``fused_int`` ops (bit-identical, faster).  Default ``None``
+            fuses exactly when ``arithmetic == "int"``; pass ``False``
+            for the unfused op-per-step plan (debugging, benchmarking
+            the fusion itself).
     """
     if arithmetic not in ("float", "int"):
         raise ServeError(
@@ -935,6 +1213,10 @@ def compile_plan(
     plan = InferencePlan(
         ops, model_name=type(model).__name__, arithmetic=arithmetic
     )
+    if fuse is None:
+        fuse = arithmetic == "int"
+    if fuse:
+        fuse_integer_plan(plan)
     if example_input is not None:
         verify_plan(plan, model, example_input)
     return plan

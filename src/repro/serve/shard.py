@@ -370,7 +370,13 @@ class ShardServer:
     # Collector: worker results + crash/hang detection + respawn.
     def _collect_loop(self) -> None:
         while True:
-            handles = self.supervisor.live_handles()
+            # All registered handles, dead or alive: a worker that died
+            # between iterations (its is_alive() already flipped) must
+            # still be waited on -- its sentinel is instantly ready --
+            # or the death is never handled and its in-flight batches
+            # orphan silently.  live_handles() here would drop exactly
+            # that handle from the waitables.
+            handles = self.supervisor.handles()
             by_conn = {h.conn: h for h in handles}
             by_sentinel = {h.sentinel: h for h in handles}
             waitables = list(by_conn) + list(by_sentinel)

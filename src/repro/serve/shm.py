@@ -310,15 +310,23 @@ class SharedLutStore:
           :meth:`repro.core.lutgemm.LutGemm.adopt_shared_tables`, so the
           engine -- including the process-level cache entry other plans
           share -- now reads from the host-wide copy;
-        - every ``requant`` op's ``(M0, D0, shift)`` constant block is
-          published and the op is rebuilt over the shared views
-          (bit-identical: the arrays are exact copies).
+        - every requant constant block -- standalone ``requant`` ops *and*
+          the ``(M0, D0, shift)`` view inside ``fused_int`` ops (exposed
+          via :func:`repro.serve.plan.requant_params_of`) -- is published
+          and the op is rebound over the shared views (bit-identical: the
+          arrays are exact copies).  Fused ops re-resolve their constants
+          through the bound view at call time, so the C kernel reads the
+          shared segments zero-copy.
 
         Returns a summary dict (keys, segment names, total bytes) for
         logs and metrics.
         """
         from repro.nn.requant import RequantParams
-        from repro.serve.plan import InferencePlan, rebind_requant_op
+        from repro.serve.plan import (
+            InferencePlan,
+            rebind_requant_op,
+            requant_params_of,
+        )
 
         if not isinstance(plan, InferencePlan):
             raise ServeError(f"publish_plan expects an InferencePlan, "
@@ -341,8 +349,8 @@ class SharedLutStore:
                 published.append(key)
                 total += view.nbytes
         for i, op in enumerate(plan.ops):
-            rp = op.params
-            if op.kind != "requant" or not isinstance(rp, RequantParams):
+            rp = requant_params_of(op)
+            if not isinstance(rp, RequantParams):
                 continue
             shared = RequantParams(
                 m0=self.publish(f"requant/{i}/{op.name}/m0", rp.m0),

@@ -121,10 +121,16 @@ def test_bn_folds_into_requant(batch):
     plan = _check_bit_identity(model, batch)
     assert_integer_core(plan)
     # The BN layers folded into requant constants: no "float"-kind BN op
-    # survives in the plan.
+    # survives in the plan.  The folded requants then fuse into their
+    # gathers (conv1->conv2 and conv2->linear), so they surface as
+    # fused_int ops rather than standalone requant ops.
     kinds = [op.kind for op in plan.ops]
     assert "float" not in kinds
-    assert kinds.count("requant") == 2  # conv1->conv2 and conv2->linear
+    assert kinds.count("fused_int") == 2
+    assert kinds.count("requant") == 0
+    # The unfused plan still shows the standalone requant pair.
+    unfused = compile_plan(model, arithmetic="int", fuse=False)
+    assert [op.kind for op in unfused.ops].count("requant") == 2
 
 
 def test_float_fallback_models_stay_bit_identical(batch):
@@ -157,6 +163,7 @@ def test_no_c_kernel_numpy_path_bit_identical(lenet_frozen, batch, monkeypatch):
     from repro.core import lutkernel
 
     monkeypatch.setattr(lutkernel, "fused_product_sums", lambda *a: None)
+    monkeypatch.setattr(lutkernel, "fused_serve", lambda *a, **k: None)
     _check_bit_identity(lenet_frozen, batch)
 
 
@@ -202,13 +209,23 @@ def test_op_dtype_tags_match_runtime(lenet_frozen, batch):
 def test_describe_and_summary_expose_integer_pipeline(lenet_frozen):
     plan = compile_plan(lenet_frozen, arithmetic="int")
     text = plan.describe()
+    # The final gather feeds dequant so it stays unfused; earlier
+    # gather->requant[->relu] runs surface as fused_int ops.
     assert "lutgemm_int" in text
+    assert "fused_int" in text
+    assert "serve backend" in text
     assert "uint8" in text and "int64" in text
     summary = plan.op_summary()
     assert summary["arithmetic"] == "int"
     assert summary["integer_only_core"] is True
-    assert summary["kinds"]["requant"] >= 1
+    assert summary["kinds"]["fused_int"] >= 1
+    assert summary["fused_ops"] == plan.fused_ops >= 1
+    assert summary["serve_backend"] in ("c", "numpy")
     assert summary["lutgemm_ops"] == plan.lutgemm_ops
+    # Opting out of fusion restores the standalone requant pipeline.
+    unfused = compile_plan(lenet_frozen, arithmetic="int", fuse=False)
+    assert unfused.fused_ops == 0
+    assert unfused.op_summary()["kinds"]["requant"] >= 1
 
 
 def test_unknown_arithmetic_rejected(lenet_frozen):

@@ -219,6 +219,108 @@ def test_signed_output_range_dtype():
 
 
 # ----------------------------------------------------------------------
+# corner pins: the exact cases the fused C serving kernel must match
+# (shift == 0 half, saturation ties at the rails, negative d0).
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", range(6))
+def test_property_shift_zero_matches_reference(seed):
+    """shift == 0 adds no rounding half; vectorized must agree exactly."""
+    rng = np.random.default_rng(200 + seed)
+    channels = int(rng.integers(1, 5))
+    rp = RequantParams(
+        m0=rng.integers(-9, 10, size=channels).astype(np.int64),
+        d0=rng.integers(-(1 << 20), 1 << 20, size=channels).astype(np.int64),
+        shift=np.zeros(channels, dtype=np.int64),
+        qmin=0, qmax=255, acc_abs_max=1 << 20,
+    )
+    acc = rng.integers(-(1 << 20), 1 << 20, size=(channels, 128))
+    got = requantize(acc, rp, channel_axis=0)
+    for c in range(channels):
+        rp_c = RequantParams(
+            m0=rp.m0[c : c + 1], d0=rp.d0[c : c + 1],
+            shift=rp.shift[c : c + 1],
+            qmin=0, qmax=255, acc_abs_max=rp.acc_abs_max,
+        )
+        np.testing.assert_array_equal(got[c], requantize_reference(acc[c], rp_c))
+
+
+def test_saturation_ties_at_rails():
+    """Half-up ties that land exactly on qmin/qmax must not over/under-clip.
+
+    With shift == 1 the pre-shift value ``t`` rounds as ``(t + 1) >> 1``:
+    t = 2*q - 1 is the tie that rounds *up* to q.  Pin the ties that hit
+    each rail exactly, and one step past each rail.
+    """
+    rp = RequantParams(
+        m0=np.array([1], dtype=np.int64),
+        d0=np.array([0], dtype=np.int64),
+        shift=np.array([1], dtype=np.int64),
+        qmin=10, qmax=250, acc_abs_max=1 << 12,
+    )
+    acc = np.array(
+        [
+            2 * 10 - 1,   # tie rounding up to qmin exactly -> 10
+            2 * 10 - 2,   # rounds to 9 -> clips up to 10
+            2 * 10 - 3,   # tie rounding to 9 -> clips up to 10
+            2 * 250 - 1,  # tie rounding up to qmax exactly -> 250
+            2 * 250,      # 250 exactly
+            2 * 250 + 1,  # tie rounding to 251 -> clips down to 250
+            -(2 * 250),   # deep below qmin -> 10
+        ],
+        dtype=np.int64,
+    )
+    got = requantize(acc, rp)
+    np.testing.assert_array_equal(got, [10, 10, 10, 250, 250, 250, 10])
+    np.testing.assert_array_equal(got, requantize_reference(acc, rp))
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_property_negative_d0_matches_reference(seed):
+    """Negative offsets (d0 < 0) through every shift, incl. shift == 0."""
+    rng = np.random.default_rng(300 + seed)
+    channels = int(rng.integers(1, 5))
+    rp = RequantParams(
+        m0=rng.integers(1, 1 << 16, size=channels).astype(np.int64),
+        d0=-rng.integers(1, 1 << 30, size=channels).astype(np.int64),
+        shift=rng.integers(0, 24, size=channels).astype(np.int64),
+        qmin=0, qmax=255, acc_abs_max=1 << 14,
+    )
+    acc = rng.integers(-(1 << 14), 1 << 14, size=(channels, 128))
+    got = requantize(acc, rp, channel_axis=0)
+    assert got.dtype == np.uint8
+    for c in range(channels):
+        rp_c = RequantParams(
+            m0=rp.m0[c : c + 1], d0=rp.d0[c : c + 1],
+            shift=rp.shift[c : c + 1],
+            qmin=0, qmax=255, acc_abs_max=rp.acc_abs_max,
+        )
+        np.testing.assert_array_equal(got[c], requantize_reference(acc[c], rp_c))
+
+
+def test_rrs_negative_tie_convention_is_shift_not_truncate():
+    """Pin the arithmetic-shift floor semantics the C kernel copies.
+
+    ``(t + half) >> shift`` on a negative ``t`` floors (rounds toward
+    -inf after the half is added) -- it must NOT truncate toward zero the
+    way C integer division would.  -3 with shift 1: (-3 + 1) >> 1 = -1,
+    whereas (-3 + 1) / 2 would also be -1 but (-5 + 2) >> 2 = -1 differs
+    from C division (-5 + 2) / 4 = 0.
+    """
+    t = np.array([-5], dtype=np.int64)
+    out = rounding_right_shift(t, np.array([2], dtype=np.int64))
+    assert out.tolist() == [-1]  # floor(-3/4 + eps) = -1, not 0
+    rp = RequantParams(
+        m0=np.array([1], dtype=np.int64),
+        d0=np.array([0], dtype=np.int64),
+        shift=np.array([2], dtype=np.int64),
+        qmin=-128, qmax=127, acc_abs_max=16,
+    )
+    np.testing.assert_array_equal(
+        requantize(t, rp), requantize_reference(t, rp)
+    )
+
+
+# ----------------------------------------------------------------------
 # property tests: vectorized == exact reference == float target
 # ----------------------------------------------------------------------
 @pytest.mark.parametrize("seed", range(8))

@@ -243,6 +243,83 @@ def test_http_healthz_reports_worker_processes(frozen_model):
 
 
 # ---------------------------------------------------------------------------
+# Fused-pipeline seams: zero-row batches, shm rebind + mid-load SIGKILL
+# ---------------------------------------------------------------------------
+
+def test_plan_worker_zero_row_batch_returns_empty_result(frozen_model):
+    """A zero-row micro-batch must flow through a worker, not crash it.
+
+    HTTP input parsing and ``submit`` stack single samples, so the only
+    way a degenerate batch reaches a worker is through the dispatch
+    protocol itself -- drive :func:`plan_worker` directly over a pipe.
+    """
+    from multiprocessing import Pipe
+
+    from repro.serve.shard import plan_worker
+
+    plan = _int_plan(frozen_model)
+    assert plan.fused_ops > 0  # the fused kernel path is what's under test
+    parent, child = Pipe()
+    hb_slab = np.zeros(1)
+    worker = threading.Thread(
+        target=plan_worker, args=(child, 0, hb_slab, 60.0, plan), daemon=True
+    )
+    worker.start()
+    try:
+        assert parent.recv()[0] == "ready"
+        parent.send(("batch", 7, np.empty((0, 3, 12, 12))))
+        kind, batch_id, ys, exec_ms = parent.recv()
+        assert kind == "result" and batch_id == 7
+        assert ys.shape == (0, 4)
+        # A normal batch still works on the same worker afterwards.
+        x = _samples(3, seed=21)
+        parent.send(("batch", 8, x))
+        kind, batch_id, ys, _ = parent.recv()
+        assert kind == "result" and batch_id == 8
+        assert np.array_equal(ys, plan.run(x))
+    finally:
+        parent.send(("stop",))
+        worker.join(timeout=10)
+    assert not worker.is_alive()
+
+
+def test_fused_shm_rebind_sigkill_redispatch_bit_identical(frozen_model):
+    """Satellite regression: rebind onto shm-backed constants, kill a
+    worker mid-load, and verify redispatched outputs stay bit-identical.
+
+    The fused ops re-resolve their requant constants through the bound
+    ``RequantParams`` view at call time, so the shm rebind must be
+    visible to the C kernel in every worker -- including the respawned
+    one that re-runs the orphaned batches.
+    """
+    from repro.serve.plan import requant_params_of
+
+    x = _samples(12, seed=17)
+    ref = _int_plan(frozen_model).run(x)
+    server = ShardServer(
+        lambda: _int_plan(frozen_model),
+        workers=2, max_batch=4, max_wait_ms=2.0, queue_size=32,
+    ).start()
+    try:
+        # publish_plan rebound the fused ops onto shared read-only views.
+        fused = [op for op in server._plan.ops if op.kind == "fused_int"]
+        assert fused, "sharded plan should be fused by default"
+        for op in fused:
+            rp = requant_params_of(op)
+            assert rp is not None and not rp.m0.flags.writeable
+        # Kill a worker the moment work lands on it (mid-load), before
+        # any result comes back: its batches must be re-dispatched.
+        victim = server.supervisor.live_handles()[0]
+        futures = [server.submit(s) for s in x]
+        os.kill(victim.pid, signal.SIGKILL)
+        outs = [f.result(timeout=60.0) for f in futures]
+        assert all(np.array_equal(o, r) for o, r in zip(outs, ref))
+    finally:
+        server.shutdown(drain=True)
+    assert server.store.owned_segments() == []
+
+
+# ---------------------------------------------------------------------------
 # Scheduler requeue semantics
 # ---------------------------------------------------------------------------
 
