@@ -13,10 +13,18 @@ Gates the two :mod:`repro.obs` acceptance criteria:
    the gate compares interleaved medians of the same binary, which bounds
    the *measurable* cost of the guards plus run-to-run noise.)
 
+With ``--shard`` the same two criteria are checked for the distributed
+tracer on the sharded serving stack: a 2-worker
+:class:`~repro.serve.shard.ShardServer` must produce bit-identical
+outputs with tracing off, on (spans shipped over shared memory), and off
+again, and the traced p50 request latency must stay within 5% of the
+untraced p50 (interleaved medians; timing gate skipped under --smoke).
+
 Run standalone (the CI smoke job does exactly this)::
 
-    python benchmarks/bench_obs.py --smoke   # tiny shapes, identity only
-    python benchmarks/bench_obs.py           # asserts the < 5% overhead gate
+    python benchmarks/bench_obs.py --smoke           # identity only
+    python benchmarks/bench_obs.py                   # + < 5% overhead gate
+    python benchmarks/bench_obs.py --smoke --shard   # + sharded identity
 
 Results are printed and written to ``benchmarks/results/obs.txt``.
 """
@@ -128,12 +136,100 @@ def measure_overhead(step, rounds: int, reps: int):
     return med_a, med_b, overhead
 
 
+def build_serve_model(image_size: int):
+    """Calibrated + frozen approximate LeNet for the sharded bench."""
+    train = SyntheticImageDataset(48, 4, image_size, seed=9, split="train")
+    model = approximate_model(
+        LeNet(num_classes=4, image_size=image_size, seed=9),
+        get_multiplier("mul6u_rm4"),
+        gradient_method="difference",
+        hws=2,
+        include_linear=True,
+    )
+    calibrate(model, DataLoader(train, batch_size=16), batches=1)
+    freeze(model)
+    model.eval()
+    return model
+
+
+def run_shard_once(model, x, traced: bool):
+    """One 2-worker ShardServer run; returns (outputs, p50_request_ms)."""
+    from repro.serve import ShardServer, compile_plan
+
+    tracer = get_tracer()
+    if traced:
+        tracer.reset()
+        tracer.enable()
+    else:
+        tracer.disable()
+    server = ShardServer(
+        lambda: compile_plan(model, arithmetic="int"),
+        workers=2, max_batch=4, max_wait_ms=1.0, queue_size=128,
+    ).start()
+    try:
+        futures = [server.submit(s) for s in x]
+        outs = [f.result(timeout=120.0) for f in futures]
+        p50 = server.metrics.as_dict()["latency"]["request_ms"]["p50_ms"]
+    finally:
+        server.shutdown(drain=True)
+        tracer.disable()
+    return np.stack(outs), float(p50)
+
+
+def bench_shard(smoke: bool, rounds: int) -> tuple[list[str], float]:
+    """Sharded-serving identity check + traced-p50 overhead estimate."""
+    from repro.serve import compile_plan
+
+    image_size = 12
+    n = 16 if smoke else 48
+    model = build_serve_model(image_size)
+    x = np.random.default_rng(2).standard_normal(
+        (n, 3, image_size, image_size)
+    )
+    ref = compile_plan(model, arithmetic="int").run(x)
+
+    # Identity: off, on (spans over shm), off again -- all byte-equal.
+    off_p50s, on_p50s = [], []
+    for round_idx in range(max(rounds, 1)):
+        outs_off, p50_off = run_shard_once(model, x, traced=False)
+        outs_on, p50_on = run_shard_once(model, x, traced=True)
+        if round_idx == 0:
+            assert np.array_equal(outs_off, ref), "untraced shard diverged"
+            assert np.array_equal(outs_on, ref), (
+                "traced shard diverged from untraced outputs"
+            )
+            outs_off2, _ = run_shard_once(model, x, traced=False)
+            assert np.array_equal(outs_off2, ref), (
+                "shard diverged after tracing was turned off again"
+            )
+        off_p50s.append(p50_off)
+        on_p50s.append(p50_on)
+    med_off = statistics.median(off_p50s)
+    med_on = statistics.median(on_p50s)
+    overhead = (med_on - med_off) / med_off if med_off > 0 else 0.0
+    return [
+        f"sharded serving (2 workers, {n} requests x {max(rounds, 1)} "
+        "rounds, interleaved traced/untraced)",
+        "bit-identity verified: shard outputs identical with tracing "
+        "off, on, and off again",
+        f"request p50 untraced {med_off:8.3f} ms",
+        f"request p50 traced   {med_on:8.3f} ms",
+        f"traced p50 overhead estimate {overhead * 100.0:+5.2f}%",
+    ], overhead
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--smoke",
         action="store_true",
         help="tiny shapes, bit-identity checks only (no timing gate)",
+    )
+    parser.add_argument(
+        "--shard",
+        action="store_true",
+        help="also bench the 2-worker ShardServer with distributed "
+             "tracing (bit-identity always; p50 gate unless --smoke)",
     )
     parser.add_argument("--rounds", type=int, default=None)
     parser.add_argument("--reps", type=int, default=None)
@@ -159,19 +255,38 @@ def main(argv=None) -> int:
         f"fwd+bwd median B {med_b * 1e3:8.2f} ms",
         f"disabled-path overhead estimate {overhead * 100.0:5.2f}%",
     ]
+    shard_overhead = None
+    if args.shard:
+        shard_rounds = 1 if args.smoke else (args.rounds or 5)
+        shard_lines, shard_overhead = bench_shard(args.smoke, shard_rounds)
+        lines += [""] + shard_lines
+
     text = "\n".join(lines)
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "obs.txt").write_text(text + "\n")
 
+    failed = False
     if not args.smoke and overhead >= 0.05:
         print(
             f"FAIL: disabled-tracing overhead {overhead * 100.0:.2f}% >= 5%",
             file=sys.stderr,
         )
+        failed = True
+    if not args.smoke and shard_overhead is not None and shard_overhead >= 0.05:
+        print(
+            f"FAIL: traced shard p50 overhead "
+            f"{shard_overhead * 100.0:.2f}% >= 5%",
+            file=sys.stderr,
+        )
+        failed = True
+    if failed:
         return 1
     if not args.smoke:
         print(f"OK: disabled-tracing overhead {overhead * 100.0:.2f}% (< 5%)")
+        if shard_overhead is not None:
+            print(f"OK: traced shard p50 overhead "
+                  f"{shard_overhead * 100.0:+.2f}% (< 5%)")
     return 0
 
 

@@ -1,0 +1,129 @@
+"""Distributed tracing + flight recorder smoke on the sharded server.
+
+Demonstrates the cross-process observability layer (`repro.obs.dist`)
+end to end on a small approximate LeNet:
+
+1. enable the tracer, start a 2-worker
+   :class:`~repro.serve.shard.ShardServer` -- the trace slab is created
+   before the fork, so worker spans ship back over shared memory and are
+   merged onto the router's timeline with per-process clock calibration,
+2. push a burst of requests and verify the outputs stay bit-identical to
+   the untraced single-process integer plan (tracing never changes the
+   numbers),
+3. SIGKILL one worker mid-load: the flight recorder salvages its last
+   spans + request ids from shared memory into a JSON black box before
+   the supervisor respawns the slot,
+4. shut down, export the router's Chrome trace, merge it with the black
+   box (``repro trace <dir>`` does the same), and verify the merged
+   trace carries spans from at least two processes plus a per-stage
+   latency report.
+
+Run:  python examples/traced_shard_smoke.py
+"""
+
+import json
+import os
+import signal
+import tempfile
+import time
+
+import numpy as np
+
+from repro.data import DataLoader, SyntheticImageDataset
+from repro.models import LeNet
+from repro.multipliers import get_multiplier
+from repro.obs import trace as obs_trace
+from repro.obs.dist import (
+    latency_report,
+    load_trace_file,
+    merge_chrome_traces,
+    stage_breakdown,
+)
+from repro.obs.export import write_chrome_trace
+from repro.retrain import approximate_model, calibrate, freeze
+from repro.serve import ShardServer, compile_plan
+
+MULTIPLIER = "mul6u_rm4"
+IMAGE_SIZE = 12
+WORKERS = 2
+REQUESTS = 24
+
+
+def main() -> None:
+    print("== 1. Freeze the model, compile the integer plan ==")
+    train = SyntheticImageDataset(96, 4, IMAGE_SIZE, seed=3, split="train")
+    model = approximate_model(
+        LeNet(num_classes=4, image_size=IMAGE_SIZE, seed=0),
+        get_multiplier(MULTIPLIER),
+        gradient_method="difference", hws=2, include_linear=True,
+    )
+    calibrate(model, DataLoader(train, batch_size=32), batches=2)
+    freeze(model)
+    model.eval()
+    rng = np.random.default_rng(7)
+    x = rng.standard_normal((REQUESTS, 3, IMAGE_SIZE, IMAGE_SIZE))
+    ref = compile_plan(model, arithmetic="int").run(x)  # untraced reference
+
+    trace_dir = tempfile.mkdtemp(prefix="repro-trace-smoke-")
+    print(f"\n== 2. Start {WORKERS} traced workers "
+          f"(artifacts -> {trace_dir}) ==")
+    tracer = obs_trace.get_tracer()
+    tracer.reset()
+    tracer.enable()
+    server = ShardServer(
+        lambda: compile_plan(model, arithmetic="int"),
+        workers=WORKERS, max_batch=8, max_wait_ms=2.0, queue_size=64,
+        trace_dir=trace_dir,
+    ).start()
+    assert server.tracectl is not None, "tracing was enabled before start"
+    print(f"trace slab: {server.tracectl.segment} "
+          f"(worker spans ship over shared memory)")
+
+    print("\n== 3. Route a traced burst, verify bit-identity ==")
+    futures = [server.submit(s) for s in x]
+    outs = [f.result(timeout=60.0) for f in futures]
+    assert all(np.array_equal(o, r) for o, r in zip(outs, ref)), \
+        "traced sharded outputs must be bit-identical to the integer plan"
+    print(f"{REQUESTS}/{REQUESTS} responses bit-identical with tracing on")
+
+    print("\n== 4. SIGKILL one worker: flight recorder dumps a black box ==")
+    victim = server.supervisor.live_handles()[0].pid
+    futures = [server.submit(s) for s in x]
+    os.kill(victim, signal.SIGKILL)
+    outs = [f.result(timeout=60.0) for f in futures]
+    assert all(np.array_equal(o, r) for o, r in zip(outs, ref)), \
+        "re-dispatched batches must still be bit-identical"
+    deadline = time.monotonic() + 15.0
+    while server.alive_workers < WORKERS and time.monotonic() < deadline:
+        time.sleep(0.05)
+    dumps = [f for f in os.listdir(trace_dir) if f.startswith("blackbox-")]
+    assert dumps, "the SIGKILLed worker must leave a flight-recorder dump"
+    blackbox = json.load(open(os.path.join(trace_dir, dumps[0])))
+    print(f"killed pid {victim}: black box {dumps[0]} holds "
+          f"{len(blackbox['spans'])} span(s), "
+          f"{len(blackbox['recent_request_ids'])} recent request id(s), "
+          f"flight dumps: "
+          f"{server.metrics.counter('flight_recorder_dumps_total')}")
+
+    print("\n== 5. Shut down, merge traces, report latency stages ==")
+    server.shutdown(drain=True)
+    tracer.disable()
+    router_trace = os.path.join(trace_dir, "trace.json")
+    write_chrome_trace(router_trace, tracer)
+    docs = [load_trace_file(os.path.join(trace_dir, f))
+            for f in sorted(os.listdir(trace_dir)) if f.endswith(".json")]
+    merged = merge_chrome_traces(docs)
+    pids = {e["pid"] for e in merged["traceEvents"] if e.get("ph") == "X"}
+    assert len(pids) >= 2, f"merged trace must span >= 2 pids, got {pids}"
+    info = stage_breakdown(merged)
+    assert info["n_requests"] == 2 * REQUESTS, "every request traced once"
+    print(f"merged {len(docs)} trace file(s): "
+          f"{len(merged['traceEvents'])} events from {len(pids)} pids")
+    print()
+    print(latency_report(merged))
+    print("\n(same merge/report from the CLI: "
+          f"`repro trace {trace_dir}`)")
+
+
+if __name__ == "__main__":
+    main()

@@ -8,6 +8,7 @@ Three subcommands mirror the main workflows::
     python -m repro.cli hws --multiplier NAME       # HWS sweep
     python -m repro.cli export --multiplier NAME    # Verilog/BLIF dump
     python -m repro.cli serve --checkpoint CKPT --multiplier NAME  # HTTP server
+    python -m repro.cli trace TRACE_DIR             # merge traces + stage report
     python -m repro.cli profile --mode retrain      # traced hotspot profile
     python -m repro.cli health RUN_DIR              # training-health report
 """
@@ -224,7 +225,10 @@ def _cmd_export(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import os
+
     from repro.multipliers.registry import get_multiplier
+    from repro.obs import trace as obs_trace
     from repro.retrain.checkpoint import load_checkpoint
     from repro.retrain.convert import approximate_model
     from repro.retrain.experiment import ExperimentScale, build_model
@@ -233,6 +237,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve.shard import ShardServer
 
     _apply_no_cckernel(args)
+    # Tracing must be decided BEFORE the pool forks its workers so the
+    # children inherit the enabled tracer (and the env var covers any
+    # process they fork in turn).  Precedence mirrors REPRO_TELEMETRY:
+    # the CLI flag wins, the env var is the ambient default.
+    trace_dir = args.trace_dir
+    trace_enabled = bool(
+        args.trace or trace_dir or obs_trace.env_requested()
+    )
+    if trace_enabled:
+        if trace_dir is None:
+            trace_dir = "serve-trace"
+        os.environ[obs_trace.TRACE_ENV] = "1"
+        obs_trace.enable()
     scale = ExperimentScale(
         image_size=args.image_size,
         n_classes=args.n_classes,
@@ -264,6 +281,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_wait_ms=args.max_wait_ms,
             queue_size=args.queue_size,
             metrics=metrics,
+            trace_dir=trace_dir,
         ).start()
         mode = f"sharded x{args.workers}"
     else:
@@ -302,6 +320,51 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         pool.shutdown(drain=True)
         server.server_close()
         print(metrics.format_report())
+        if trace_enabled:
+            from repro.obs.export import write_chrome_trace
+
+            os.makedirs(trace_dir, exist_ok=True)
+            trace_path = os.path.join(trace_dir, "trace.json")
+            write_chrome_trace(trace_path)
+            print(f"trace written to {trace_path} "
+                  f"(merge/report: `repro trace {trace_dir}`)")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import glob
+    import json
+    import os
+
+    from repro.obs.dist import (
+        latency_report,
+        load_trace_file,
+        merge_chrome_traces,
+    )
+
+    paths: list[str] = []
+    for item in args.inputs:
+        if os.path.isdir(item):
+            paths.extend(sorted(glob.glob(os.path.join(item, "*.json"))))
+        else:
+            paths.append(item)
+    docs = []
+    for path in paths:
+        try:
+            docs.append(load_trace_file(path))
+        except (ValueError, json.JSONDecodeError) as exc:
+            print(f"skipping {path}: {exc}", file=sys.stderr)
+    if not docs:
+        print("no trace files found", file=sys.stderr)
+        return 1
+    merged = merge_chrome_traces(docs)
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(merged, fh)
+        print(f"merged {len(docs)} trace file(s), "
+              f"{len(merged['traceEvents'])} events -> {args.output}")
+    if args.report:
+        print(latency_report(merged))
     return 0
 
 
@@ -468,7 +531,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-cckernel", action="store_true",
                    help="force the numpy execution backend (skip the JIT C "
                         "kernels; results are bit-identical, only slower)")
+    p.add_argument("--trace", action="store_true",
+                   help="enable distributed request tracing before workers "
+                        "fork (REPRO_TRACE=1 does the same); serving "
+                        "outputs stay bit-identical")
+    p.add_argument("--trace-dir", default=None,
+                   help="directory for trace artifacts (router trace, "
+                        "flight-recorder black boxes); implies --trace "
+                        "(default: serve-trace)")
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "trace",
+        help="merge distributed trace files into one Chrome trace + report",
+    )
+    p.add_argument("inputs", nargs="+",
+                   help="trace files or directories (router trace.json and "
+                        "blackbox-*.json dumps; directories glob *.json)")
+    p.add_argument("--output", default=None,
+                   help="write the merged Chrome trace JSON here")
+    p.add_argument("--report", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="print the per-stage request latency report")
+    p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser(
         "profile", help="trace a canned workload and report hotspots"

@@ -321,11 +321,12 @@ def _numpy_serve(
     acc = engine.product_sums(
         wq, xq, acc_dtype=acc_dtype, record_backward=False
     )
-    a = acc.astype(np.int64, copy=False) - zw.reshape(-1, 1) * colsum
-    t = a * m0.reshape(-1, 1) + d0.reshape(-1, 1)
-    q = rounding_right_shift(t, shift.reshape(-1, 1))
-    np.clip(q, qlo, qhi, out=q)
-    return q.astype(np.uint8)
+    with _TRACE.span("serve.requant", cat="serve"):
+        a = acc.astype(np.int64, copy=False) - zw.reshape(-1, 1) * colsum
+        t = a * m0.reshape(-1, 1) + d0.reshape(-1, 1)
+        q = rounding_right_shift(t, shift.reshape(-1, 1))
+        np.clip(q, qlo, qhi, out=q)
+        return q.astype(np.uint8)
 
 
 # ----------------------------------------------------------------------

@@ -22,6 +22,10 @@ The subsystem has five parts:
   registry families.
 - :mod:`repro.obs.profile` -- the ``repro profile`` driver: trace a short
   retrain or a canned inference load and write the trace + table.
+- :mod:`repro.obs.dist` -- distributed tracing for the sharded serving
+  stack: shared-memory span transport out of forked workers, per-process
+  clock calibration, a per-worker crash flight recorder, and the offline
+  merge/report behind the ``repro trace`` CLI.
 """
 
 from repro.obs.trace import (
@@ -38,6 +42,14 @@ from repro.obs.trace import (
     reset,
     span,
     tracing,
+)
+from repro.obs.dist import (
+    ShardTraceController,
+    TraceRecord,
+    estimate_clock_offset,
+    latency_report,
+    load_trace_file,
+    merge_chrome_traces,
 )
 from repro.obs.export import (
     chrome_trace,
@@ -73,6 +85,12 @@ __all__ = [
     "reset",
     "span",
     "tracing",
+    "ShardTraceController",
+    "TraceRecord",
+    "estimate_clock_offset",
+    "latency_report",
+    "load_trace_file",
+    "merge_chrome_traces",
     "chrome_trace",
     "format_table",
     "prometheus_text",

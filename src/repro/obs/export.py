@@ -32,7 +32,12 @@ def chrome_trace(tracer: Tracer | None = None) -> dict:
 
     Spans become complete (``"ph": "X"``) events with microsecond
     timestamps relative to the tracer's origin; counters and the dropped
-    span count ride along in ``otherData``.
+    span count ride along in ``otherData``, together with the origin
+    itself (absolute ``perf_counter`` seconds of ts=0) so
+    :func:`repro.obs.dist.merge_chrome_traces` can rebase multiple
+    exports onto one timeline.  Spans injected from other processes
+    (:class:`~repro.obs.dist.ShardTraceController`) carry their own pid;
+    local spans get this process's.
     """
     t = tracer or get_tracer()
     pid = os.getpid()
@@ -44,18 +49,23 @@ def chrome_trace(tracer: Tracer | None = None) -> dict:
             "ph": "X",
             "ts": (s.start - t.origin) * 1e6,
             "dur": s.dur * 1e6,
-            "pid": pid,
+            "pid": s.pid if s.pid is not None else pid,
             "tid": s.tid,
         }
         if s.args:
             ev["args"] = dict(s.args)
         events.append(ev)
+    # Collector injection interleaves worker spans with local ones out
+    # of order; sorted output keeps the document timeline monotone.
+    events.sort(key=lambda ev: ev["ts"])
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
         "otherData": {
             "counters": t.counters(),
             "dropped_spans": t.dropped,
+            "origin": t.origin,
+            "pid": pid,
         },
     }
 
@@ -187,6 +197,14 @@ def prometheus_text(metrics=None, tracer: Tracer | None = None,
         emit("repro_engine_cache", "gauge", "LUT-GEMM engine cache stats.",
              [f'repro_engine_cache{{stat="{k}"}} {_fmt(cache[k])}'
               for k in ("entries", "hits", "misses")])
+        # Families hosted in the ServeMetrics-private registry (e.g. the
+        # repro_serve_queue_wait_ms histogram).  The event-counter family
+        # was already rendered from the snapshot above, so skip it to
+        # avoid duplicate sample lines.
+        for fam, items in metrics.registry.snapshot():
+            if fam.name == "repro_serve_counter":
+                continue
+            lines.extend(fam.prometheus_lines(items))
 
     emit("repro_trace_counter", "counter",
          "Tracer counters (trainer/engine/sweep events).",
@@ -205,8 +223,18 @@ def prometheus_text(metrics=None, tracer: Tracer | None = None,
          "Cumulative self time (minus nested spans) per span name.",
          [f'repro_trace_span_self_seconds_total{{span="{s.name}"}} '
           f"{_fmt(s.self_s)}" for s in span_stats])
+    # Tracer state is always emitted: spans past max_spans drop silently
+    # otherwise, and "is tracing even on?" must be answerable from a
+    # plain GET /metrics scrape.
+    emit("repro_trace_enabled", "gauge",
+         "1 while span tracing is enabled, 0 otherwise.",
+         [f"repro_trace_enabled {_fmt(t.enabled)}"])
+    emit("repro_trace_max_spans", "gauge",
+         "Raw span buffer capacity (aggregates keep growing past it).",
+         [f"repro_trace_max_spans {_fmt(t.max_spans)}"])
+    emit("repro_trace_dropped_spans_total", "counter",
+         "Spans dropped after the raw span buffer filled.",
+         [f"repro_trace_dropped_spans_total {_fmt(t.dropped)}"])
     if registry is not None:
         lines.extend(registry.prometheus_lines())
-    if not lines:
-        lines.append("# no metrics collected")
     return "\n".join(lines) + "\n"

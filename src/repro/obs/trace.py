@@ -31,6 +31,7 @@ Use the module-level convenience API::
 from __future__ import annotations
 
 import functools
+import os
 import threading
 import time
 from contextlib import contextmanager
@@ -40,6 +41,8 @@ __all__ = [
     "Span",
     "SpanStats",
     "Tracer",
+    "TRACE_ENV",
+    "env_requested",
     "get_tracer",
     "span",
     "count",
@@ -51,6 +54,17 @@ __all__ = [
     "reset",
     "tracing",
 ]
+
+#: Environment variable that requests tracing (``repro serve --trace``
+#: exports it before forking workers so children inherit the setting).
+TRACE_ENV = "REPRO_TRACE"
+
+
+def env_requested() -> bool:
+    """Whether ``REPRO_TRACE`` asks for tracing to be enabled."""
+    return os.environ.get(TRACE_ENV, "").strip().lower() in (
+        "1", "true", "on", "yes",
+    )
 
 
 @dataclass
@@ -70,6 +84,9 @@ class Span:
     dur: float
     child_time: float = 0.0
     args: dict | None = None
+    #: Originating process, for spans injected from other processes
+    #: (:mod:`repro.obs.dist`).  ``None`` means "this process".
+    pid: int | None = None
 
     @property
     def self_time(self) -> float:
@@ -151,6 +168,11 @@ class Tracer:
         self.max_spans = max_spans
         self.dropped = 0
         self.origin = time.perf_counter()
+        #: Optional callable invoked with each finished :class:`Span`.
+        #: :mod:`repro.obs.dist` installs one inside forked workers to
+        #: ship spans over shared memory; errors are swallowed so a sink
+        #: can never take the hot path down.
+        self.sink = None
         self._lock = threading.Lock()
         self._spans: list[Span] = []
         self._stats: dict[tuple[str, str], SpanStats] = {}
@@ -195,6 +217,23 @@ class Tracer:
         end = time.perf_counter()
         self._finish(Span(name, cat, threading.get_ident(),
                           end - duration_s, duration_s, 0.0, args))
+
+    def record_span(self, name: str, start: float, dur: float,
+                    cat: str = "span", args: dict | None = None,
+                    tid: int | None = None, pid: int | None = None) -> None:
+        """Inject a span with an explicit start time (and optional pid).
+
+        Used by the distributed-trace collector to merge spans drained
+        from worker-process rings onto this tracer's timeline -- ``start``
+        must already be expressed on this process's
+        :func:`time.perf_counter` clock (offset-corrected).  No per-thread
+        stack attribution happens here: the span's ``child_time`` is 0.
+        """
+        if not self.enabled:
+            return
+        if tid is None:
+            tid = threading.get_ident()
+        self._finish(Span(name, cat, tid, start, dur, 0.0, args, pid))
 
     def add_time(self, name: str, duration_s: float,
                  cat: str = "span") -> None:
@@ -242,6 +281,12 @@ class Tracer:
                 self._spans.append(span)
             else:
                 self.dropped += 1
+        sink = self.sink
+        if sink is not None and span.pid is None:
+            try:
+                sink(span)
+            except Exception:
+                pass  # a broken sink must never take the traced path down
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -281,6 +326,11 @@ class Tracer:
     def spans(self) -> list[Span]:
         with self._lock:
             return list(self._spans)
+
+    @property
+    def span_count(self) -> int:
+        with self._lock:
+            return len(self._spans)
 
     def stats(self) -> dict[tuple[str, str], SpanStats]:
         with self._lock:

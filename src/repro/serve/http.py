@@ -18,13 +18,17 @@ from __future__ import annotations
 import json
 import signal
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import numpy as np
 
 from repro.errors import ServeError, ServerBusyError
+from repro.obs.trace import get_tracer
 from repro.serve.metrics import ServeMetrics
 from repro.serve.pool import WorkerPool
+
+_TRACE = get_tracer()
 
 
 class ServingHTTPServer(ThreadingHTTPServer):
@@ -110,6 +114,7 @@ class _Handler(BaseHTTPRequestHandler):
         except (ValueError, TypeError, KeyError) as exc:
             self._send_json(400, {"error": f"bad request: {exc}"})
             return
+        t0 = time.perf_counter() if _TRACE.enabled else 0.0
         try:
             # One submission per sample: the scheduler coalesces them (and
             # any concurrent traffic) back into micro-batches.
@@ -121,6 +126,19 @@ class _Handler(BaseHTTPRequestHandler):
         except ServeError as exc:
             self._send_json(500, {"error": str(exc)})
             return
+        if _TRACE.enabled:
+            # HTTP ingress span: the root of each request's span tree.
+            # trace_ids link it to the per-request serve.request spans
+            # (and through them to the worker-side batch spans).
+            _TRACE.record(
+                "http.predict", time.perf_counter() - t0, cat="serve",
+                args={
+                    "n": len(futures),
+                    "trace_ids": [
+                        getattr(f, "trace_id", None) for f in futures
+                    ],
+                },
+            )
         self._send_json(200, {
             "model": self.server.model_name,
             "outputs": [out.tolist() for out in outputs],

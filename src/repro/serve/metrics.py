@@ -31,6 +31,10 @@ from repro.obs.telemetry import MetricRegistry, get_registry
 #: Samples retained per latency histogram (newest overwrite oldest).
 RESERVOIR_SIZE = 4096
 
+#: Buckets (milliseconds) for the submit->dispatch queue-wait histogram.
+QUEUE_WAIT_MS_BUCKETS = (0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0,
+                         50.0, 100.0, 250.0, 1000.0)
+
 
 class LatencyHistogram:
     """Streaming latency statistics with percentile estimates.
@@ -107,6 +111,11 @@ class ServeMetrics:
             "Serving/sweep event counters.",
             labelnames=("name",),
         )
+        self._queue_wait = self.registry.histogram(
+            "repro_serve_queue_wait_ms",
+            "Submit->dispatch queue wait per request, milliseconds.",
+            buckets=QUEUE_WAIT_MS_BUCKETS,
+        )
         self._latencies: dict[str, LatencyHistogram] = {}
         self._batch_sizes: dict[int, int] = {}
         self._gauges: dict[str, Callable[[], float]] = {}
@@ -127,6 +136,16 @@ class ServeMetrics:
             if hist is None:
                 hist = self._latencies[name] = LatencyHistogram()
             hist.observe(value_ms)
+
+    def observe_queue_wait(self, value_ms: float) -> None:
+        """Record one submit->dispatch queue wait (milliseconds).
+
+        Lands in both export paths: the ``queue_wait_ms`` reservoir
+        (p50/p95/p99 in the JSON snapshot) and the bucketed
+        ``repro_serve_queue_wait_ms`` registry histogram (Prometheus).
+        """
+        self.observe_latency("queue_wait_ms", value_ms)
+        self._queue_wait.observe(value_ms)
 
     def observe_batch(self, size: int) -> None:
         """Record the size of one executed micro-batch."""
@@ -155,6 +174,7 @@ class ServeMetrics:
     def as_dict(self) -> dict:
         """Snapshot every metric as a plain (JSON-serializable) dict."""
         from repro.core.lutgemm import engine_cache_stats
+        from repro.obs.trace import get_tracer
 
         counters = {
             key[0]: value for key, value in self._events.items()
@@ -169,6 +189,7 @@ class ServeMetrics:
         # slow or re-entrant callback must never stall metric writers.
         gauges = {name: fn() for name, fn in gauge_fns}
         cache = engine_cache_stats()
+        tracer = get_tracer()
         return {
             "counters": counters,
             "plan": plan_info,
@@ -179,6 +200,16 @@ class ServeMetrics:
                 "entries": cache.entries,
                 "hits": cache.hits,
                 "misses": cache.misses,
+            },
+            # Tracer state rides along so an operator can see from
+            # GET /metrics whether tracing is on and whether the span
+            # buffer overflowed (spans past max_spans drop silently
+            # otherwise).
+            "tracer": {
+                "enabled": tracer.enabled,
+                "max_spans": tracer.max_spans,
+                "spans": tracer.span_count,
+                "dropped_spans": tracer.dropped,
             },
             # Process-wide telemetry families (training-health gauges,
             # anomaly counters, ...) so GET /metrics exposes them in JSON.
@@ -230,4 +261,11 @@ class ServeMetrics:
             f"  engine cache: {cache['entries']} engine(s), "
             f"{cache['hits']} hit(s), {cache['misses']} miss(es)"
         )
+        tracer = snap["tracer"]
+        if tracer["enabled"] or tracer["dropped_spans"]:
+            lines.append(
+                f"  tracer: enabled={tracer['enabled']} "
+                f"spans={tracer['spans']}/{tracer['max_spans']} "
+                f"dropped={tracer['dropped_spans']}"
+            )
         return "\n".join(lines)

@@ -496,25 +496,27 @@ class _FusedIntFn:
             )
             # Padding with Z_x is bit-identical to padding the float
             # tensor with 0 and quantizing (Q(0) == Z).
-            res = (
-                lutkernel.im2col_serve(
-                    x, self.kh, self.kw, self.stride, self.pad, self.zx
+            with _TRACE.span("serve.im2col", cat="serve"):
+                res = (
+                    lutkernel.im2col_serve(
+                        x, self.kh, self.kw, self.stride, self.pad, self.zx
+                    )
+                    if x.dtype == np.uint8
+                    and execcore.serve_kernel_trusted()
+                    else None
                 )
-                if x.dtype == np.uint8 and execcore.serve_kernel_trusted()
-                else None
-            )
-            if res is not None:
-                xq, colsum = res
-            else:
-                cols = F.im2col(
-                    x, self.kh, self.kw, self.stride, self.pad,
-                    pad_value=self.zx,
-                )
-                xq = np.ascontiguousarray(
-                    cols.transpose(1, 0, 2).reshape(fa.k, n * oh * ow),
-                    dtype=np.int32,
-                )
-                colsum = None
+                if res is not None:
+                    xq, colsum = res
+                else:
+                    cols = F.im2col(
+                        x, self.kh, self.kw, self.stride, self.pad,
+                        pad_value=self.zx,
+                    )
+                    xq = np.ascontiguousarray(
+                        cols.transpose(1, 0, 2).reshape(fa.k, n * oh * ow),
+                        dtype=np.int32,
+                    )
+                    colsum = None
             q = self._gemm(xq, xqb, colsum)  # (M, C) uint8
             return (
                 q.reshape(fa.m, n, oh * ow)

@@ -18,6 +18,7 @@ standard coalescing queue:
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 from collections import deque
@@ -30,6 +31,11 @@ from repro.obs.trace import get_tracer
 from repro.serve.metrics import ServeMetrics
 
 _TRACE = get_tracer()
+
+#: Process-wide request/trace id sequence.  Assigned unconditionally at
+#: submit time (an int from a counter is free) so tracing can be flipped
+#: on without re-plumbing ids through the queue.
+_TRACE_IDS = itertools.count(1)
 
 
 def _remaining(deadline: float | None) -> float | None:
@@ -50,11 +56,14 @@ def _remaining(deadline: float | None) -> float | None:
 class PendingRequest:
     """Future for one submitted sample."""
 
-    __slots__ = ("payload", "enqueued_at", "_event", "_result", "_error")
+    __slots__ = ("payload", "enqueued_at", "trace_id", "dispatched_at",
+                 "_event", "_result", "_error")
 
     def __init__(self, payload: np.ndarray):
         self.payload = payload
         self.enqueued_at = time.perf_counter()
+        self.trace_id = next(_TRACE_IDS)
+        self.dispatched_at: float | None = None  # stamped by next_batch
         self._event = threading.Event()
         self._result: np.ndarray | None = None
         self._error: BaseException | None = None
@@ -165,8 +174,17 @@ class MicroBatcher:
                     )
             self._inflight += 1
         _TRACE.count("serve.batches")
+        dispatched = time.perf_counter()
+        for pending in batch:
+            # Re-dispatch after a worker death re-stamps: the queue wait
+            # reported is always the one of the dispatch that answered.
+            pending.dispatched_at = dispatched
         if self.metrics is not None:
             self.metrics.observe_batch(len(batch))
+            for pending in batch:
+                self.metrics.observe_queue_wait(
+                    (dispatched - pending.enqueued_at) * 1000.0
+                )
         return batch
 
     def task_done(self) -> None:

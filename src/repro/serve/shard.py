@@ -41,6 +41,7 @@ import numpy as np
 
 from repro.errors import ServeError
 from repro.obs.telemetry import MetricRegistry, get_registry
+from repro.obs.trace import get_tracer
 from repro.retrain.lifecycle import Heartbeat
 from repro.serve.metrics import ServeMetrics
 from repro.serve.plan import InferencePlan
@@ -49,6 +50,8 @@ from repro.serve.shm import SharedLutStore
 from repro.serve.supervisor import Supervisor, WorkerHandle
 
 __all__ = ["ShardServer", "plan_worker", "worker_metric_families"]
+
+_TRACE = get_tracer()
 
 #: Latency buckets (milliseconds) for the per-worker batch histogram.
 BATCH_MS_BUCKETS = (0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0)
@@ -95,21 +98,31 @@ def worker_metric_families(registry: MetricRegistry | None = None) -> dict:
 # ----------------------------------------------------------------------
 # Child process entry point.
 def plan_worker(conn, index: int, hb_slab, heartbeat_s: float,
-                plan: InferencePlan) -> None:
+                plan: InferencePlan, trace_block=None) -> None:
     """Run batches from ``conn`` through ``plan`` until stopped.
 
-    Forked entry point: ``plan`` and ``hb_slab`` (the supervisor's
-    writable heartbeat array) arrive through fork inheritance, never
-    pickling.  Protocol (parent -> child / child -> parent)::
+    Forked entry point: ``plan``, ``hb_slab`` (the supervisor's writable
+    heartbeat array), and ``trace_block`` (this worker's shm trace block
+    when distributed tracing is on) arrive through fork inheritance,
+    never pickling.  Protocol (parent -> child / child -> parent)::
 
-        ("batch", id, xs)          ->  ("result", id, ys, exec_ms)
-                                    |  ("error", id, message)
-        ("stop",)                  ->  child exits
-        <child start>              ->  ("ready", pid)
+        ("batch", id, xs[, trace_ids])  ->  ("result", id, ys, exec_ms)
+                                         |  ("error", id, message)
+        ("sync", t_send)                ->  ("sync_ack", t_send, t_local)
+        ("stop",)                       ->  child exits
+        <child start>                   ->  ("ready", pid)
+
+    The ``sync`` exchange calibrates this process's ``perf_counter``
+    offset against the router (:func:`repro.obs.dist.estimate_clock_offset`).
     """
     def beat() -> None:
         hb_slab[index] = time.monotonic()
 
+    tracectx = None
+    if trace_block is not None and _TRACE.enabled:
+        from repro.obs.dist import install_worker_tracing
+
+        tracectx = install_worker_tracing(trace_block)
     beat()
     hb = Heartbeat(heartbeat_s, beat, name=f"shard-worker-{index}-hb").start()
     try:
@@ -121,10 +134,23 @@ def plan_worker(conn, index: int, hb_slab, heartbeat_s: float,
                 break  # parent went away
             if msg[0] == "stop":
                 break
-            _, batch_id, xs = msg
+            if msg[0] == "sync":
+                conn.send(("sync_ack", msg[1], time.perf_counter()))
+                continue
+            batch_id, xs = msg[1], msg[2]
+            trace_ids = msg[3] if len(msg) > 3 else None
             t0 = time.perf_counter()
             try:
-                ys = plan.run(xs)
+                if tracectx is not None:
+                    tracectx.begin_batch(batch_id, trace_ids)
+                    try:
+                        with _TRACE.span("worker.batch", cat="serve",
+                                         args={"batch_id": batch_id}):
+                            ys = plan.run(xs)
+                    finally:
+                        tracectx.end_batch()
+                else:
+                    ys = plan.run(xs)
                 exec_ms = (time.perf_counter() - t0) * 1000.0
                 conn.send(("result", batch_id, ys, exec_ms))
             except Exception as exc:  # report, keep serving
@@ -140,13 +166,15 @@ def plan_worker(conn, index: int, hb_slab, heartbeat_s: float,
 class _DispatchedBatch:
     """One coalesced batch while it is out at a worker."""
 
-    __slots__ = ("id", "requests", "payload", "deaths")
+    __slots__ = ("id", "requests", "payload", "deaths", "sent_at", "worker")
 
     def __init__(self, batch_id: int, requests: list[PendingRequest]):
         self.id = batch_id
         self.requests = requests
         self.payload = np.stack([p.payload for p in requests])
         self.deaths = 0  # workers that died holding this batch
+        self.sent_at: float | None = None  # stamped at pipe send
+        self.worker: int | None = None
 
 
 class ShardServer:
@@ -175,6 +203,9 @@ class ShardServer:
             :class:`~repro.serve.supervisor.Supervisor`.
         share_lut_segments: Publish LUT/requant constants into shared
             memory before forking (disable only in tests).
+        trace_dir: Where distributed-trace artifacts (flight-recorder
+            black boxes) are written; only used when the process tracer
+            is enabled at :meth:`start` time (``repro serve --trace``).
     """
 
     def __init__(
@@ -195,6 +226,7 @@ class ShardServer:
         max_respawns: int = 5,
         on_event: Callable[[dict], None] | None = None,
         share_lut_segments: bool = True,
+        trace_dir: str | None = None,
     ):
         if workers < 1:
             raise ServeError(f"workers must be >= 1, got {workers}")
@@ -230,6 +262,13 @@ class ShardServer:
             on_event=self._on_supervisor_event,
         )
         self._on_event = on_event
+        self.trace_dir = trace_dir
+        self.tracectl = None  # ShardTraceController when tracing is on
+        # One send lock per worker slot: the dispatcher (batches) and the
+        # collector (clock-sync pings on "ready") both write to a worker's
+        # pipe, and interleaved Connection.send bytes would corrupt the
+        # stream.  Slots survive respawns, so index-keyed is enough.
+        self._send_locks = [threading.Lock() for _ in range(workers)]
         self._lock = threading.Lock()
         self._slots = threading.Condition(self._lock)
         # worker index -> {batch_id: _DispatchedBatch}
@@ -244,7 +283,12 @@ class ShardServer:
 
     # ------------------------------------------------------------------
     def _worker_entry(self, conn, index, hb_slab, heartbeat_s) -> None:
-        plan_worker(conn, index, hb_slab, heartbeat_s, self._plan)
+        # Runs in the forked child: the trace block (a view into the
+        # pre-fork shm slab) comes along for free, respawns included.
+        block = (
+            self.tracectl.block(index) if self.tracectl is not None else None
+        )
+        plan_worker(conn, index, hb_slab, heartbeat_s, self._plan, block)
 
     def _on_supervisor_event(self, event: dict) -> None:
         if event["event"] == "worker_spawned":
@@ -273,7 +317,22 @@ class ShardServer:
         if self._started:
             return self
         self._started = True
+        if _TRACE.enabled:
+            # Create the trace slab BEFORE forking so workers inherit
+            # the mapping (exactly like the heartbeat slab).
+            from repro.obs.dist import ShardTraceController
+
+            self.tracectl = ShardTraceController(
+                self.num_workers, trace_dir=self.trace_dir
+            )
+            self.metrics.register_gauge(
+                "trace_transport_dropped",
+                lambda: (self.tracectl.dropped_total
+                         if self.tracectl is not None else 0),
+            )
         self.supervisor.start()
+        if self.tracectl is not None:
+            self.tracectl.start()
         self._collector = threading.Thread(
             target=self._collect_loop, name="repro-shard-collector", daemon=True
         )
@@ -343,8 +402,16 @@ class ShardServer:
                 self._wm["inflight"].set(
                     len(self._outstanding[handle.index]), worker=handle.index
                 )
+            if self.tracectl is not None:
+                msg = ("batch", rec.id, rec.payload,
+                       [p.trace_id for p in rec.requests])
+            else:
+                msg = ("batch", rec.id, rec.payload)
+            rec.worker = handle.index
+            rec.sent_at = time.perf_counter()
             try:
-                handle.conn.send(("batch", rec.id, rec.payload))
+                with self._send_locks[handle.index]:
+                    handle.conn.send(msg)
             except (OSError, ValueError):
                 # Worker died between pick and send.  If the death
                 # handler already swept this batch out of outstanding it
@@ -431,6 +498,21 @@ class ShardServer:
     def _handle_message(self, handle: WorkerHandle, msg: tuple) -> None:
         kind = msg[0]
         if kind == "ready":
+            if self.tracectl is not None:
+                # Calibrate the fresh worker's perf_counter offset
+                # (NTP-style single exchange; the ack comes back through
+                # this collector as "sync_ack").
+                try:
+                    with self._send_locks[handle.index]:
+                        handle.conn.send(("sync", time.perf_counter()))
+                except (OSError, ValueError):
+                    pass
+            return
+        if kind == "sync_ack":
+            if self.tracectl is not None:
+                self.tracectl.note_sync(
+                    handle.index, msg[1], msg[2], time.perf_counter()
+                )
             return
         rec = self._pop_outstanding(handle.index, msg[1])
         if rec is None:
@@ -438,11 +520,15 @@ class ShardServer:
         if kind == "result":
             _, _, ys, exec_ms = msg
             done = time.perf_counter()
+            traced = _TRACE.enabled
             for pending, y in zip(rec.requests, ys):
                 pending.set_result(np.ascontiguousarray(y))
-                self.metrics.observe_latency(
-                    "request_ms", (done - pending.enqueued_at) * 1000.0
-                )
+                total_ms = (done - pending.enqueued_at) * 1000.0
+                self.metrics.observe_latency("request_ms", total_ms)
+                if traced:
+                    self._record_request_span(
+                        pending, rec, handle, exec_ms, total_ms
+                    )
             self.metrics.observe_latency("batch_exec_ms", exec_ms)
             self.metrics.inc("predictions_total", len(rec.requests))
             self._wm["batches"].inc(worker=handle.index)
@@ -453,6 +539,37 @@ class ShardServer:
                 pending.set_error(exc)
             self.metrics.inc("errors_total")
         self.batcher.task_done()
+
+    def _record_request_span(self, pending: PendingRequest,
+                             rec: _DispatchedBatch, handle: WorkerHandle,
+                             exec_ms: float, total_ms: float) -> None:
+        """One ``serve.request`` span per answered request.
+
+        The args carry the stage split ``repro trace`` reports on:
+        queue (submit->dispatch), assembly (dispatch->pipe send), exec
+        (worker-measured plan run), and transit (everything else --
+        pipe transfer both ways + collector pickup), which partition
+        ``total_ms`` by construction.
+        """
+        dispatched = pending.dispatched_at or pending.enqueued_at
+        sent = rec.sent_at or dispatched
+        queue_ms = (dispatched - pending.enqueued_at) * 1000.0
+        assembly_ms = max((sent - dispatched) * 1000.0, 0.0)
+        transit_ms = max(total_ms - queue_ms - assembly_ms - exec_ms, 0.0)
+        _TRACE.record_span(
+            "serve.request", pending.enqueued_at, total_ms / 1000.0,
+            cat="serve",
+            args={
+                "trace_id": pending.trace_id,
+                "batch_id": rec.id,
+                "worker": handle.index,
+                "queue_ms": queue_ms,
+                "assembly_ms": assembly_ms,
+                "exec_ms": exec_ms,
+                "transit_ms": transit_ms,
+                "total_ms": total_ms,
+            },
+        )
 
     def _pop_outstanding(self, index: int, batch_id: int):
         with self._slots:
@@ -466,6 +583,15 @@ class ShardServer:
 
     def _handle_death(self, handle: WorkerHandle) -> None:
         """Crashed worker: salvage outstanding batches, ask for respawn."""
+        if self.tracectl is not None:
+            # Salvage the dead worker's trace state from shm before the
+            # slot respawns: transported spans first, then the flight
+            # ring as a black-box dump (deduped per (index, pid) -- the
+            # pipe EOF and the sentinel both land here).
+            self.tracectl.drain_once()
+            path = self.tracectl.dump_black_box(handle.index, pid=handle.pid)
+            if path is not None:
+                self.metrics.inc("flight_recorder_dumps_total")
         self.supervisor.notice_death(handle)
         with self._slots:
             orphans = list(
@@ -510,6 +636,7 @@ class ShardServer:
             if not self._stopping:
                 self._stopping = True
                 self.supervisor.stop()
+                self._close_tracectl()
                 self.store.close()
             return
         self.batcher.close()
@@ -535,4 +662,16 @@ class ShardServer:
                 pending.set_error(ServeError("server shutting down"))
             self.batcher.task_done()
         self.supervisor.stop()
+        self._close_tracectl()
         self.store.close()
+
+    def _close_tracectl(self) -> None:
+        """Final trace drain + slab unlink (workers are stopped by now).
+
+        The controller object stays around (closed): its drop count is
+        cached so the ``trace_transport_dropped`` gauge and post-run
+        exports keep reporting the final number.
+        """
+        if self.tracectl is not None:
+            self.tracectl.stop()
+            self.tracectl.close()

@@ -46,6 +46,7 @@ import numpy as np
 from repro.errors import ServeError
 
 __all__ = [
+    "MutableSlab",
     "SharedArraySpec",
     "SharedLutStore",
     "segment_exists",
@@ -106,6 +107,91 @@ def segment_exists(name: str) -> bool:
         return False
     probe.close()
     return True
+
+
+class MutableSlab:
+    """One *writable* named shared-memory segment with owner-gated unlink.
+
+    The read-only :class:`SharedLutStore` segments carry immutable plan
+    constants; a ``MutableSlab`` carries live cross-process state -- the
+    supervisor's heartbeat cells and the distributed-trace ring buffers
+    (:mod:`repro.obs.dist`).  Same hygiene rules as the store:
+
+    - the creating process is the *owner* and the only one that may
+      unlink; a slab inherited over ``fork`` (or attached by name) only
+      unmaps on :meth:`close`, so the host-wide backing survives workers;
+    - attaches unregister themselves from the stdlib resource tracker so
+      the segment has exactly one registered guardian;
+    - callers must drop any :meth:`as_array` views *before* calling
+      :meth:`close` (a live numpy view holds a buffer export and
+      ``SharedMemory.close`` would raise ``BufferError``).
+    """
+
+    __slots__ = ("shm", "_owner_pid", "_closed")
+
+    def __init__(self, name: str, size: int | None = None,
+                 create: bool = True):
+        if create:
+            if size is None:
+                raise ServeError("MutableSlab(create=True) requires a size")
+            self.shm = shared_memory.SharedMemory(
+                create=True, size=max(int(size), 1), name=name
+            )
+            self._owner_pid = os.getpid()
+        else:
+            try:
+                self.shm = shared_memory.SharedMemory(name=name)
+            except FileNotFoundError as exc:
+                raise ServeError(
+                    f"shared slab {name!r} does not exist"
+                ) from exc
+            # Keep the creator as the segment's only tracker guardian
+            # (see module docstring).
+            resource_tracker.unregister(self.shm._name, "shared_memory")
+            self._owner_pid = -1
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.shm.name
+
+    @property
+    def size(self) -> int:
+        return self.shm.size
+
+    @property
+    def buf(self):
+        return self.shm.buf
+
+    @property
+    def is_owner(self) -> bool:
+        return os.getpid() == self._owner_pid
+
+    def as_array(self, dtype, shape, offset: int = 0) -> np.ndarray:
+        """A writable numpy view over ``shape`` items at byte ``offset``."""
+        return np.ndarray(shape, dtype=np.dtype(dtype),
+                          buffer=self.shm.buf, offset=offset)
+
+    def close(self) -> None:
+        """Unmap; the owner also unlinks.  Idempotent.
+
+        All :meth:`as_array` views must be dropped first.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.shm.close()
+        if self.is_owner:
+            # Rebalance the tracker exactly like SharedLutStore._release:
+            # a same-tracker attacher unregistered the name, and unlink's
+            # own unregister would otherwise warn about an unknown
+            # resource.  ``register`` is an idempotent set-add.
+            resource_tracker.register(self.shm._name, "shared_memory")
+            try:
+                self.shm.unlink()
+            except FileNotFoundError:
+                pass  # already removed (e.g. external cleanup)
 
 
 class SharedLutStore:

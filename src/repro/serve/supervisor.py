@@ -28,13 +28,13 @@ from __future__ import annotations
 import os
 import time
 from multiprocessing import get_context
-from multiprocessing import shared_memory
 from typing import Callable
 
 import numpy as np
 
 from repro.errors import ServeError
 from repro.retrain.lifecycle import capped_backoff
+from repro.serve.shm import MutableSlab
 
 __all__ = ["Supervisor", "WorkerHandle"]
 
@@ -134,13 +134,10 @@ class Supervisor:
         # Heartbeat slab: one float64 monotonic timestamp per slot,
         # inherited writable over fork.  Unrelated to the read-only
         # SharedLutStore segments (those carry immutable tables).
-        self._hb_shm = shared_memory.SharedMemory(
-            create=True, size=max(num_workers * 8, 8),
-            name=f"repro-hb-{os.getpid()}",
+        self._hb_shm = MutableSlab(
+            f"repro-hb-{os.getpid()}", size=max(num_workers * 8, 8)
         )
-        self.hb_slab = np.ndarray(
-            (num_workers,), dtype=np.float64, buffer=self._hb_shm.buf
-        )
+        self.hb_slab = self._hb_shm.as_array(np.float64, (num_workers,))
         self.hb_slab[:] = 0.0
 
     # ------------------------------------------------------------------
@@ -160,6 +157,10 @@ class Supervisor:
     def handles(self) -> list[WorkerHandle]:
         """Current handles, dead or alive (permanently-down slots absent)."""
         return [h for h in self._handles if h is not None]
+
+    def handle(self, index: int) -> WorkerHandle | None:
+        """The current handle of slot ``index`` (None while respawning)."""
+        return self._handles[index]
 
     def live_handles(self) -> list[WorkerHandle]:
         return [h for h in self.handles() if h.is_alive()]
@@ -292,12 +293,7 @@ class Supervisor:
                 pass
         self._handles = [None] * self.num_workers
         self.hb_slab = None  # release the exported buffer before close()
-        self._hb_shm.close()
-        if os.getpid() == self._owner_pid:
-            try:
-                self._hb_shm.unlink()
-            except FileNotFoundError:
-                pass
+        self._hb_shm.close()  # owner-gated unlink inside MutableSlab
 
     def __enter__(self) -> "Supervisor":
         return self.start()

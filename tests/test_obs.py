@@ -257,8 +257,22 @@ def test_prometheus_text_unifies_serve_and_trace():
     assert 'repro_trace_span_seconds_total{span="inner"}' in text
 
 
-def test_prometheus_text_empty():
-    assert prometheus_text(None, Tracer()) == "# no metrics collected\n"
+def test_prometheus_text_empty_still_reports_tracer_state():
+    # Even with no metrics/spans collected, the exposition answers "is
+    # tracing on, how big is the buffer, did it drop anything?".
+    text = prometheus_text(None, Tracer())
+    assert "repro_trace_enabled 0" in text
+    assert "repro_trace_max_spans 200000" in text
+    assert "repro_trace_dropped_spans_total 0" in text
+
+    on = Tracer(max_spans=1)
+    on.enabled = True
+    on.record("a", 0.001)
+    on.record("b", 0.001)  # buffer full: dropped
+    text = prometheus_text(None, on)
+    assert "repro_trace_enabled 1" in text
+    assert "repro_trace_max_spans 1" in text
+    assert "repro_trace_dropped_spans_total 1" in text
 
 
 def test_serve_metrics_prometheus_method():

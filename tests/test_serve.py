@@ -406,6 +406,14 @@ def test_http_metrics_json_and_text(retrained, http_server):
     assert 'repro_serve_counter{name="predictions_total"}' in text
     assert 'repro_latency_ms{series="request_ms",quantile="0.5"}' in text
     assert 'repro_engine_cache{stat="entries"}' in text
+    # Tracer state rides along on both export paths, even when tracing
+    # is off: an operator can tell from one scrape whether spans exist
+    # and whether the buffer overflowed.
+    assert body["tracer"]["enabled"] is False
+    assert body["tracer"]["dropped_spans"] == 0
+    assert body["tracer"]["max_spans"] > 0
+    assert "repro_trace_enabled 0" in text
+    assert "repro_trace_dropped_spans_total 0" in text
     with urllib.request.urlopen(http_server + "/metrics?format=report") as resp:
         report = resp.read().decode()
     assert "serve metrics" in report and "batch sizes" in report
@@ -501,6 +509,33 @@ def test_scheduler_never_waits_negative_timeout(monkeypatch):
     assert batcher.next_batch(timeout=0.05) is None
     assert waits, "expected the race to reach Condition.wait"
     assert all(w is not None and w >= 0 for w in waits)
+
+
+def test_queue_wait_histogram_observed_on_dispatch():
+    metrics = ServeMetrics()
+    batcher = MicroBatcher(
+        max_batch=4, max_wait_ms=0.0, capacity=8, metrics=metrics
+    )
+    p1 = batcher.submit(np.zeros(1))
+    p2 = batcher.submit(np.ones(1))
+    batch = batcher.next_batch(timeout=1.0)
+    assert len(batch) == 2
+    # Dispatch stamps every request (the serve.request span's queue stage
+    # reads it) and feeds both queue-wait export paths.
+    assert all(p.dispatched_at >= p.enqueued_at for p in (p1, p2))
+    batcher.task_done()
+    batcher.close()
+
+    snap = metrics.as_dict()["latency"]["queue_wait_ms"]
+    assert snap["count"] == 2
+    assert snap["p50_ms"] >= 0.0
+    fam = next(f for f in metrics.registry.families()
+               if f.name == "repro_serve_queue_wait_ms")
+    assert fam.kind == "histogram"
+    assert fam.value() == 2  # histogram value() is the sample count
+    prom = metrics.prometheus_text()
+    assert "repro_serve_queue_wait_ms_count 2" in prom
+    assert 'repro_serve_queue_wait_ms_bucket{le="+Inf"} 2' in prom
 
 
 def test_metrics_report_and_gauges():
